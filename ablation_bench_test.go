@@ -1,0 +1,117 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the TRR
+// tracker size (which sets the Fig 16 bypass threshold), the attack's
+// channel-targeting advantage, and the adaptive defense's savings. Each
+// reports its headline quantity as a custom metric.
+package hbmrd_test
+
+import (
+	"testing"
+
+	"hbmrd"
+)
+
+func BenchmarkAblationDefenseAdaptivity(b *testing.B) {
+	fleet := benchFleet(b, 4)
+	cfg := hbmrd.HCFirstConfig{
+		Rows:     hbmrd.SampleRows(4),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:     1,
+	}
+	b.ResetTimer()
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		recs, err := hbmrd.RunHCFirst(fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := hbmrd.CompareDefense(hbmrd.DefenseRegionsByChannel(recs), hbmrd.DefenseConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		savings = rep.SavingsPercent
+	}
+	b.ReportMetric(savings, "savings%")
+}
+
+func BenchmarkAblationChannelTargetedTemplating(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		chipA, err := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+		if err != nil {
+			b.Fatal(err)
+		}
+		chipB, err := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := hbmrd.SampleRows(48)
+		naive, err := hbmrd.RunTemplating(chipA, hbmrd.TemplateConfig{
+			Strategy: hbmrd.NaiveScan, TargetFlips: 8, HammerBudget: 40_000, Rows: rows,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		targeted, err := hbmrd.RunTemplating(chipB, hbmrd.TemplateConfig{
+			Strategy: hbmrd.ChannelTargeted, TargetFlips: 8, HammerBudget: 40_000, Rows: rows,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if naive.HammersSpent > 0 {
+			saved = (1 - float64(targeted.DrainHammers)/float64(naive.HammersSpent)) * 100
+		}
+	}
+	b.ReportMetric(saved, "drainSaved%")
+}
+
+// BenchmarkAblationBlastRadius quantifies the distance-2 coupling: flips in
+// the +-2 neighbour relative to the +-1 victim at an extreme probe dose.
+func BenchmarkAblationBlastRadius(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		chip, err := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := chip.Channel(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const agg = 5000
+		for d := -2; d <= 2; d++ {
+			fill := byte(0x55)
+			if d == 0 {
+				fill = 0xAA
+			}
+			if err := ch.FillRow(0, 0, agg+d, fill); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ch.HammerSingleSided(0, 0, agg, 3000, 9*3_900_000); err != nil {
+			b.Fatal(err)
+		}
+		near := make([]byte, hbmrd.RowBytes)
+		far := make([]byte, hbmrd.RowBytes)
+		if err := ch.ReadRow(0, 0, agg+1, near); err != nil {
+			b.Fatal(err)
+		}
+		if err := ch.ReadRow(0, 0, agg+2, far); err != nil {
+			b.Fatal(err)
+		}
+		nNear, nFar := countFlips(near, 0x55), countFlips(far, 0x55)
+		if nNear > 0 {
+			ratio = float64(nFar) / float64(nNear)
+		}
+	}
+	b.ReportMetric(ratio, "dist2/dist1")
+}
+
+func countFlips(buf []byte, expect byte) int {
+	n := 0
+	for _, v := range buf {
+		for x := v ^ expect; x != 0; x &= x - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,367 @@
+// Benchmarks: one per table and figure of the paper's evaluation, each
+// regenerating the artifact at a reduced scale per iteration and reporting
+// the headline metric alongside time/op. Run a single artifact with e.g.
+//
+//	go test -bench=BenchmarkFig16 -benchmem
+//
+// Paper-scale runs are the CLI's job (cmd/hbmrd -full); benchmarks exist to
+// track the cost and the key output of every experiment kernel.
+package hbmrd_test
+
+import (
+	"testing"
+
+	"hbmrd"
+)
+
+func benchFleet(b *testing.B, indices ...int) []*hbmrd.TestChip {
+	b.Helper()
+	fleet, err := hbmrd.NewFleet(indices, hbmrd.WithIdentityMapping())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fleet
+}
+
+func BenchmarkTable1Patterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := hbmrd.RenderTable1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := hbmrd.RenderTable2(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig3Temperature(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := hbmrd.SimulateTemperatures(1800, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4BERAcrossChips(b *testing.B) {
+	fleet := benchFleet(b, 0, 5)
+	cfg := hbmrd.BERConfig{
+		Channels: []int{0, 7},
+		Rows:     hbmrd.SampleRows(8),
+		Reps:     1,
+	}
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		recs, err := hbmrd.RunBER(fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, n := 0.0, 0
+		for _, r := range recs {
+			if r.WCDP {
+				sum += r.BERPercent
+				n++
+			}
+		}
+		mean = sum / float64(n)
+	}
+	b.ReportMetric(mean, "meanWCDPBER%")
+}
+
+func BenchmarkFig5HCFirstAcrossChips(b *testing.B) {
+	fleet := benchFleet(b, 5)
+	cfg := hbmrd.HCFirstConfig{
+		Channels: []int{0, 4},
+		Rows:     hbmrd.SampleRows(4),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:     1,
+	}
+	b.ResetTimer()
+	minHC := 0.0
+	for i := 0; i < b.N; i++ {
+		recs, err := hbmrd.RunHCFirst(fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minHC = 0
+		for _, r := range recs {
+			if r.Found && (minHC == 0 || float64(r.HCFirst) < minHC) {
+				minHC = float64(r.HCFirst)
+			}
+		}
+	}
+	b.ReportMetric(minHC, "minHCfirst")
+}
+
+func BenchmarkFig6BERAcrossChannels(b *testing.B) {
+	fleet := benchFleet(b, 0)
+	cfg := hbmrd.BERConfig{
+		Rows:     hbmrd.SampleRows(6),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:     1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hbmrd.RunBER(fleet, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7HCFirstAcrossChannels(b *testing.B) {
+	fleet := benchFleet(b, 0)
+	cfg := hbmrd.HCFirstConfig{
+		Rows:     hbmrd.SampleRows(2),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:     1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hbmrd.RunHCFirst(fleet, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8SpatialBER(b *testing.B) {
+	fleet := benchFleet(b, 0)
+	cfg := hbmrd.BERConfig{
+		Channels: []int{0},
+		Rows:     hbmrd.SampleRows(48),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:     1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hbmrd.RunBER(fleet, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9BankVariation(b *testing.B) {
+	fleet := benchFleet(b, 0)
+	cfg := hbmrd.BERConfig{
+		Channels: []int{0},
+		Pseudos:  []int{0, 1},
+		Banks:    []int{0, 1, 2, 3},
+		Rows:     hbmrd.RegionRows(2),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:     1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hbmrd.RunBER(fleet, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Aging(b *testing.B) {
+	fleet := benchFleet(b, 4)
+	cfg := hbmrd.AgingConfig{
+		BER: hbmrd.BERConfig{Channels: []int{0}, Rows: hbmrd.SampleRows(12), Reps: 1},
+	}
+	b.ResetTimer()
+	var up int
+	for i := 0; i < b.N; i++ {
+		recs, err := hbmrd.RunAging(fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		up = hbmrd.SummarizeAging(recs).RowsUp
+	}
+	b.ReportMetric(float64(up), "rowsUp")
+}
+
+func BenchmarkFig11HammerCountToNthFlip(b *testing.B) {
+	fleet := benchFleet(b, 2)
+	cfg := hbmrd.HCNthConfig{
+		Channels: []int{0},
+		Rows:     hbmrd.SampleRows(4),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hbmrd.RunHCNth(fleet, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12AdditionalHammers(b *testing.B) {
+	fleet := benchFleet(b, 1)
+	cfg := hbmrd.HCNthConfig{
+		Channels: []int{0},
+		Rows:     hbmrd.SampleRows(10),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+	}
+	b.ResetTimer()
+	var pearson float64
+	for i := 0; i < b.N; i++ {
+		recs, err := hbmrd.RunHCNth(fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := hbmrd.ComputeFig12(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(st) > 0 {
+			pearson = st[0].Pearson
+		}
+	}
+	b.ReportMetric(pearson, "pearson")
+}
+
+func BenchmarkFig13HCFirstVariation(b *testing.B) {
+	fleet := benchFleet(b, 0)
+	cfg := hbmrd.VariabilityConfig{
+		Rows:       hbmrd.SampleRows(3),
+		Iterations: 10,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hbmrd.RunVariability(fleet, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14RowPressBER(b *testing.B) {
+	fleet := benchFleet(b, 3)
+	cfg := hbmrd.RowPressBERConfig{
+		Channels: []int{0},
+		Rows:     hbmrd.RegionRows(2),
+	}
+	b.ResetTimer()
+	var saturated float64
+	for i := 0; i < b.N; i++ {
+		recs, err := hbmrd.RunRowPressBER(fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saturated = recs[len(recs)-1].BERPercent
+	}
+	b.ReportMetric(saturated, "BER%@35.1us")
+}
+
+func BenchmarkFig15RowPressHCFirst(b *testing.B) {
+	fleet := benchFleet(b, 2)
+	cfg := hbmrd.RowPressHCConfig{
+		Channels: []int{0},
+		Rows:     hbmrd.SampleRows(3),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hbmrd.RunRowPressHC(fleet, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16TRRBypass(b *testing.B) {
+	fleet := benchFleet(b, 0)
+	cfg := hbmrd.BypassConfig{
+		Victims:     hbmrd.SampleRows(1),
+		DummyCounts: []int{3, 4},
+		AggActs:     []int{26},
+		Windows:     8205,
+	}
+	b.ResetTimer()
+	var bypassBER float64
+	for i := 0; i < b.N; i++ {
+		recs, err := hbmrd.RunBypass(fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if r.Dummies == 4 {
+				bypassBER = r.BERPercent
+			}
+		}
+	}
+	b.ReportMetric(bypassBER, "bypassBER%")
+}
+
+func BenchmarkFig17ECCWords(b *testing.B) {
+	fleet := benchFleet(b, 4)
+	cfg := hbmrd.BERConfig{
+		Channels:     []int{0},
+		Rows:         hbmrd.SampleRows(8),
+		Patterns:     []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:         1,
+		CollectMasks: true,
+	}
+	b.ResetTimer()
+	var multi int
+	for i := 0; i < b.N; i++ {
+		recs, err := hbmrd.RunBER(fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hists, err := hbmrd.WordFlipHistograms(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		multi = 0
+		for _, h := range hists {
+			multi += h.MultiBit()
+		}
+	}
+	b.ReportMetric(float64(multi), "multiBitWords")
+}
+
+func BenchmarkUTRRReveal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chip, err := hbmrd.NewChip(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := hbmrd.UncoverTRR(chip)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Period != 17 {
+			b.Fatalf("period %d", f.Period)
+		}
+	}
+}
+
+// BenchmarkHammerThroughput measures the device's batched hammer path: how
+// fast the simulator applies paper-scale hammer counts.
+func BenchmarkHammerThroughput(b *testing.B) {
+	chip, err := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := chip.Channel(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range []int{999, 1000, 1001} {
+		fill := byte(0x55)
+		if r != 1000 {
+			fill = 0xAA
+		}
+		if err := ch.FillRow(0, 0, r, fill); err != nil {
+			b.Fatal(err)
+		}
+	}
+	buf := make([]byte, hbmrd.RowBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ch.HammerDoubleSided(0, 0, 999, 1001, 256*1024, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := ch.ReadRow(0, 0, 1000, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*256*1024), "ACTs/op")
+}

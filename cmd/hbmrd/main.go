@@ -1,0 +1,470 @@
+// Command hbmrd regenerates the paper's tables and figures against the
+// simulated chip fleet. Each artifact runs at a reduced "demo" scale by
+// default (seconds on a laptop); -full switches to the paper's component
+// counts from Table 2 (hours).
+//
+// Usage:
+//
+//	hbmrd [-full] [-chips 0,1,...] <artifact>
+//
+// Artifacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+// fig12 fig13 fig14 fig15 fig16 fig17 trr attack defense all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hbmrd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hbmrd:", err)
+		os.Exit(1)
+	}
+}
+
+type runCtx struct {
+	full  bool
+	chips []int
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hbmrd", flag.ContinueOnError)
+	full := fs.Bool("full", false, "run at the paper's Table 2 scale instead of demo scale")
+	chipsFlag := fs.String("chips", "", "comma-separated chip indices (default: the artifact's paper chips)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: hbmrd [-full] [-chips 0,1] <artifact>; artifacts: %s", strings.Join(artifactNames(), " "))
+	}
+	ctx := runCtx{full: *full}
+	if *chipsFlag != "" {
+		for _, part := range strings.Split(*chipsFlag, ",") {
+			idx, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -chips value %q: %w", part, err)
+			}
+			ctx.chips = append(ctx.chips, idx)
+		}
+	}
+
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, a := range artifactNames() {
+			if a == "all" {
+				continue
+			}
+			if err := runOne(a, ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(name, ctx)
+}
+
+func runOne(name string, ctx runCtx) error {
+	fn, ok := artifacts()[name]
+	if !ok {
+		return fmt.Errorf("unknown artifact %q (have: %s)", name, strings.Join(artifactNames(), " "))
+	}
+	start := time.Now()
+	out, err := fn(ctx)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), out)
+	return nil
+}
+
+type artifactFn func(runCtx) (string, error)
+
+func artifactNames() []string {
+	m := artifacts()
+	names := make([]string, 0, len(m)+1)
+	for n := range m {
+		names = append(names, n)
+	}
+	names = append(names, "all")
+	sort.Strings(names)
+	return names
+}
+
+func (c runCtx) fleet(defaultChips []int) ([]*hbmrd.TestChip, error) {
+	chips := c.chips
+	if len(chips) == 0 {
+		chips = defaultChips
+	}
+	return hbmrd.NewFleet(chips)
+}
+
+func (c runCtx) pick(demo, full int) int {
+	if c.full {
+		return full
+	}
+	return demo
+}
+
+func allChips() []int { return []int{0, 1, 2, 3, 4, 5} }
+
+func artifacts() map[string]artifactFn {
+	return map[string]artifactFn{
+		"table1": func(runCtx) (string, error) { return hbmrd.RenderTable1(), nil },
+		"table2": func(runCtx) (string, error) { return hbmrd.RenderTable2(), nil },
+
+		"fig3": func(c runCtx) (string, error) {
+			dur := 2.0 * 3600
+			if c.full {
+				dur = 24 * 3600 // the paper's 24-hour window
+			}
+			names, traces, err := hbmrd.SimulateTemperatures(dur, 5)
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig3(names, traces), nil
+		},
+
+		"fig4": func(c runCtx) (string, error) {
+			fleet, err := c.fleet(allChips())
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+				Rows: hbmrd.SampleRows(c.pick(48, 16384)),
+				Reps: c.pick(2, 5),
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig4(recs), nil
+		},
+
+		"fig5": func(c runCtx) (string, error) {
+			fleet, err := c.fleet(allChips())
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
+				Rows:    hbmrd.SampleRows(c.pick(12, 3072)),
+				Pseudos: pick2(c.full),
+				Reps:    c.pick(2, 5),
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig5(recs), nil
+		},
+
+		"fig6": func(c runCtx) (string, error) {
+			fleet, err := c.fleet(allChips())
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+				Rows: hbmrd.SampleRows(c.pick(32, 16384)),
+				Reps: c.pick(2, 5),
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig6(recs), nil
+		},
+
+		"fig7": func(c runCtx) (string, error) {
+			fleet, err := c.fleet(allChips())
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
+				Rows: hbmrd.SampleRows(c.pick(10, 3072)),
+				Reps: c.pick(2, 5),
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig7(recs), nil
+		},
+
+		"fig8": func(c runCtx) (string, error) {
+			fleet, err := c.fleet([]int{0})
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+				Channels: []int{0, 1, 2},
+				Rows:     hbmrd.SampleRows(c.pick(256, 16384)),
+				Reps:     1,
+			})
+			if err != nil {
+				return "", err
+			}
+			// Discover the subarray boundary around the first 832/768 seam
+			// with single-sided hammering (footnote 4's methodology).
+			bounds, err := hbmrd.ScanSubarrayBoundaries(fleet[0], hbmrd.SubarrayScanConfig{
+				FromRow: 780, ToRow: 880,
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig8CSV(recs, bounds), nil
+		},
+
+		"fig9": func(c runCtx) (string, error) {
+			fleet, err := c.fleet([]int{0}) // the paper's Fig 9 is Chip 0
+			if err != nil {
+				return "", err
+			}
+			banks := make([]int, 16)
+			for i := range banks {
+				banks[i] = i
+			}
+			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+				Pseudos: []int{0, 1},
+				Banks:   banks,
+				Rows:    hbmrd.RegionRows(c.pick(4, 100)),
+				Reps:    c.pick(1, 5),
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig9(recs), nil
+		},
+
+		"fig10": func(c runCtx) (string, error) {
+			fleet, err := c.fleet([]int{2, 3, 4, 5}) // the same-age chips
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunAging(fleet, hbmrd.AgingConfig{
+				BER: hbmrd.BERConfig{
+					Rows: hbmrd.SampleRows(c.pick(64, 1024)),
+					Reps: 1,
+				},
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig10(hbmrd.SummarizeAging(recs)), nil
+		},
+
+		"fig11": func(c runCtx) (string, error) {
+			recs, err := runHCNth(c)
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig11(recs), nil
+		},
+
+		"fig12": func(c runCtx) (string, error) {
+			recs, err := runHCNth(c)
+			if err != nil {
+				return "", err
+			}
+			st, err := hbmrd.ComputeFig12(recs)
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig12(st), nil
+		},
+
+		"fig13": func(c runCtx) (string, error) {
+			fleet, err := c.fleet(allChips())
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunVariability(fleet, hbmrd.VariabilityConfig{
+				Rows:       hbmrd.SampleRows(c.pick(8, 768)),
+				Iterations: c.pick(20, 50),
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig13(recs), nil
+		},
+
+		"fig14": func(c runCtx) (string, error) {
+			fleet, err := c.fleet(allChips())
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunRowPressBER(fleet, hbmrd.RowPressBERConfig{
+				Channels: channelsN(c.pick(2, 8)),
+				Rows:     hbmrd.RegionRows(c.pick(4, 128)),
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig14(recs), nil
+		},
+
+		"fig15": func(c runCtx) (string, error) {
+			fleet, err := c.fleet(allChips())
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunRowPressHC(fleet, hbmrd.RowPressHCConfig{
+				Channels: channelsN(c.pick(1, 3)),
+				Rows:     hbmrd.SampleRows(c.pick(8, 384)),
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig15(recs), nil
+		},
+
+		"fig16": func(c runCtx) (string, error) {
+			fleet, err := c.fleet([]int{0}) // the paper's TRR chip
+			if err != nil {
+				return "", err
+			}
+			cfg := hbmrd.BypassConfig{
+				Victims: hbmrd.SampleRows(c.pick(4, 32)),
+				AggActs: []int{18, 26, 34},
+			}
+			if !c.full {
+				cfg.Windows = 8205 // one refresh window instead of two
+			}
+			if c.full {
+				cfg.AggActs = []int{18, 20, 22, 24, 26, 28, 30, 32, 34}
+			}
+			recs, err := hbmrd.RunBypass(fleet, cfg)
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig16(recs), nil
+		},
+
+		"fig17": func(c runCtx) (string, error) {
+			fleet, err := c.fleet([]int{4}) // the paper's Fig 17 is Chip 4
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+				Channels:     channelsN(c.pick(2, 8)),
+				Rows:         hbmrd.SampleRows(c.pick(96, 16384)),
+				Reps:         1,
+				CollectMasks: true,
+			})
+			if err != nil {
+				return "", err
+			}
+			hists, err := hbmrd.WordFlipHistograms(recs)
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderFig17(hists), nil
+		},
+
+		"attack": func(c runCtx) (string, error) {
+			rows := hbmrd.SampleRows(c.pick(96, 256))
+			budget := 40_000
+			target := c.pick(16, 64)
+			chipA, err := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+			if err != nil {
+				return "", err
+			}
+			naive, err := hbmrd.RunTemplating(chipA, hbmrd.TemplateConfig{
+				Strategy: hbmrd.NaiveScan, TargetFlips: target, HammerBudget: budget, Rows: rows,
+			})
+			if err != nil {
+				return "", err
+			}
+			chipB, err := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+			if err != nil {
+				return "", err
+			}
+			targeted, err := hbmrd.RunTemplating(chipB, hbmrd.TemplateConfig{
+				Strategy: hbmrd.ChannelTargeted, TargetFlips: target, HammerBudget: budget, Rows: rows,
+			})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderTemplating(naive, targeted), nil
+		},
+
+		"defense": func(c runCtx) (string, error) {
+			fleet, err := c.fleet([]int{4})
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
+				Rows: hbmrd.SampleRows(c.pick(8, 64)),
+				Reps: c.pick(2, 5),
+			})
+			if err != nil {
+				return "", err
+			}
+			rep, err := hbmrd.CompareDefense(hbmrd.DefenseRegionsByChannel(recs), hbmrd.DefenseConfig{})
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderDefense(rep), nil
+		},
+
+		"trr": func(c runCtx) (string, error) {
+			chip, err := hbmrd.NewChip(0)
+			if err != nil {
+				return "", err
+			}
+			f, err := hbmrd.UncoverTRR(chip)
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderTRRFindings(f), nil
+		},
+
+		"retention": func(c runCtx) (string, error) {
+			// The §6 baselines: the three experiment durations that exceed
+			// the 32 ms refresh window (34.8 ms, 1.17 s, 10.53 s).
+			chip, err := hbmrd.NewChip(3)
+			if err != nil {
+				return "", err
+			}
+			waits := []hbmrd.TimePS{
+				34_800_000_000, 1_170 * hbmrd.MS, 10_530 * hbmrd.MS,
+			}
+			bers, err := hbmrd.MeasureRetentionBaselines(chip, 0, c.pick(48, 384), waits)
+			if err != nil {
+				return "", err
+			}
+			return hbmrd.RenderRetention(waits, bers), nil
+		},
+	}
+}
+
+func runHCNth(c runCtx) ([]hbmrd.HCNthRecord, error) {
+	fleet, err := c.fleet(allChips())
+	if err != nil {
+		return nil, err
+	}
+	cfg := hbmrd.HCNthConfig{
+		Rows: hbmrd.RegionRows(c.pick(3, 32)),
+	}
+	if !c.full {
+		cfg.Patterns = []hbmrd.Pattern{hbmrd.Rowstripe0, hbmrd.Checkered0}
+	}
+	return hbmrd.RunHCNth(fleet, cfg)
+}
+
+func channelsN(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func pick2(full bool) []int {
+	if full {
+		return []int{0, 1}
+	}
+	return []int{0}
+}

@@ -1,0 +1,104 @@
+// Command membender assembles and executes a MemBender test program (the
+// software analogue of a DRAM Bender program) against a simulated HBM2
+// chip, printing read-back data and execution statistics.
+//
+// Usage:
+//
+//	membender [-chip N] [-channel N] [-strict] program.mb
+//	membender [-chip N] [-channel N] -    (read the program from stdin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hbmrd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "membender:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	chipIdx := flag.Int("chip", 0, "chip index 0-5")
+	channel := flag.Int("channel", 0, "HBM2 channel 0-7")
+	strict := flag.Bool("strict", false, "fail on timing violations instead of auto-delaying")
+	hexDump := flag.Bool("hex", false, "dump full read data as hex")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: membender [flags] <program.mb | ->")
+	}
+
+	var src io.Reader
+	if flag.Arg(0) == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	prog, err := hbmrd.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+
+	var opts []hbmrd.ChipOption
+	if *strict {
+		opts = append(opts, hbmrd.WithStrictTiming())
+	}
+	chip, err := hbmrd.NewChip(*chipIdx, opts...)
+	if err != nil {
+		return err
+	}
+	plat := hbmrd.NewPlatform(chip)
+	res, err := plat.Run(*channel, prog)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("executed %d commands in %.3f ms of device time\n",
+		res.Commands, float64(res.Duration())/float64(hbmrd.MS))
+	for i, rec := range res.Reads {
+		flips := 0
+		first := rec.Data[0]
+		uniform := true
+		for _, b := range rec.Data {
+			if b != first {
+				uniform = false
+			}
+			for x := b; x != 0; x &= x - 1 {
+				flips++
+			}
+		}
+		where := fmt.Sprintf("pc%d.ba%d", rec.PC, rec.Bank)
+		if rec.Row >= 0 {
+			where += fmt.Sprintf(".row%d", rec.Row)
+		} else {
+			where += fmt.Sprintf(".col%d", rec.Col)
+		}
+		fmt.Printf("read %d: %s, %d bytes, %d set bits", i, where, len(rec.Data), flips)
+		if uniform {
+			fmt.Printf(", uniform 0x%02X", first)
+		}
+		fmt.Println()
+		if *hexDump {
+			for off := 0; off < len(rec.Data); off += 32 {
+				end := off + 32
+				if end > len(rec.Data) {
+					end = len(rec.Data)
+				}
+				fmt.Printf("  %04x: % x\n", off, rec.Data[off:end])
+			}
+		}
+	}
+	return nil
+}

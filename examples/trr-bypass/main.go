@@ -1,0 +1,38 @@
+// trr-bypass crafts the paper's §7 specialized access pattern: with
+// periodic refresh running, plain double-sided RowHammer is defeated by
+// the chip's undocumented TRR mechanism, but activating at least four
+// dummy rows first fills the TRR tracker and lets the real aggressors
+// through (Fig 16).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbmrd"
+)
+
+func main() {
+	fleet, err := hbmrd.NewFleet([]int{0}) // the paper probes Chip 0
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("TRR bypass sweep (one refresh window per configuration):")
+	recs, err := hbmrd.RunBypass(fleet, hbmrd.BypassConfig{
+		Victims:     hbmrd.SampleRows(3),
+		DummyCounts: []int{1, 2, 3, 4, 5, 6, 8},
+		AggActs:     []int{18, 26, 34},
+		Windows:     8205, // one tREFW of back-to-back tREFI intervals
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hbmrd.RenderFig16(recs))
+
+	fmt.Println("\nReading the sweep: BER stays 0 with up to 3 dummy rows (the")
+	fmt.Println("tracker still catches an aggressor and preventively refreshes")
+	fmt.Println("the victim); from 4 dummy rows on, the tracker holds only")
+	fmt.Println("dummies and the aggressors hammer freely - and more aggressor")
+	fmt.Println("activations per tREFI mean more bitflips (Takeaway 8).")
+}

@@ -1,0 +1,318 @@
+// Package hbmrd is the public API of the HBM2 read-disturbance study
+// reproduction: six simulated HBM2 chips calibrated to the paper's
+// measurements, a DRAM-Bender-style test platform, the undocumented TRR
+// mechanism, and the full characterization suite that regenerates every
+// table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	chip, _ := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+//	ch, _ := chip.Channel(0)
+//	ch.FillRow(0, 0, 999, 0xAA)  // aggressor
+//	ch.FillRow(0, 0, 1000, 0x55) // victim
+//	ch.FillRow(0, 0, 1001, 0xAA) // aggressor
+//	ch.HammerDoubleSided(0, 0, 999, 1001, 300_000, 0)
+//	buf := make([]byte, hbmrd.RowBytes)
+//	ch.ReadRow(0, 0, 1000, buf) // buf now contains RowHammer bitflips
+//
+// The experiment runners (RunBER, RunHCFirst, RunRowPressBER, RunBypass,
+// UncoverTRR, ...) reproduce the paper's Figs 4-17; the Render* helpers
+// print them in the shape of the corresponding table or figure.
+package hbmrd
+
+import (
+	"io"
+
+	"hbmrd/internal/bender"
+	"hbmrd/internal/core"
+	"hbmrd/internal/disturb"
+	"hbmrd/internal/ecc"
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+	"hbmrd/internal/report"
+	"hbmrd/internal/retention"
+	"hbmrd/internal/rowmap"
+	"hbmrd/internal/thermal"
+	"hbmrd/internal/trr"
+	"hbmrd/internal/utrr"
+)
+
+// Re-exported device types.
+type (
+	// Chip is one simulated HBM2 stack.
+	Chip = hbm.Chip
+	// Channel is one independently operating HBM2 channel.
+	Channel = hbm.Channel
+	// ChipOption configures chip construction.
+	ChipOption = hbm.Option
+	// Timing holds the JEDEC timing parameters.
+	Timing = hbm.Timing
+	// TimePS is simulated time in picoseconds.
+	TimePS = hbm.TimePS
+	// Profile is a chip fault-model calibration profile.
+	Profile = disturb.Profile
+	// Pattern is a Table 1 data pattern.
+	Pattern = pattern.Pattern
+	// TestChip couples a chip with its study index.
+	TestChip = core.TestChip
+	// Program is a MemBender test program.
+	Program = bender.Program
+	// Platform executes MemBender programs against a chip.
+	Platform = bender.Platform
+	// TRRFindings is the outcome of the U-TRR methodology.
+	TRRFindings = utrr.Findings
+	// FlipHistogram buckets 64-bit words by bitflip count (Fig 17).
+	FlipHistogram = ecc.FlipHistogram
+)
+
+// Re-exported experiment configurations and records.
+type (
+	BERConfig          = core.BERConfig
+	BERRecord          = core.BERRecord
+	HCFirstConfig      = core.HCFirstConfig
+	HCFirstRecord      = core.HCFirstRecord
+	HCNthConfig        = core.HCNthConfig
+	HCNthRecord        = core.HCNthRecord
+	Fig12Stats         = core.Fig12Stats
+	VariabilityConfig  = core.VariabilityConfig
+	VariabilityRecord  = core.VariabilityRecord
+	RowPressBERConfig  = core.RowPressBERConfig
+	RowPressBERRecord  = core.RowPressBERRecord
+	RowPressHCConfig   = core.RowPressHCConfig
+	RowPressHCRecord   = core.RowPressHCRecord
+	BypassConfig       = core.BypassConfig
+	BypassRecord       = core.BypassRecord
+	AgingConfig        = core.AgingConfig
+	AgingRecord        = core.AgingRecord
+	AgingSummary       = core.AgingSummary
+	SubarrayScanConfig = core.SubarrayScanConfig
+)
+
+// Geometry and time constants.
+const (
+	NumChannels       = hbm.NumChannels
+	NumPseudoChannels = hbm.NumPseudoChannels
+	NumBanks          = hbm.NumBanks
+	NumRows           = hbm.NumRows
+	RowBytes          = hbm.RowBytes
+	RowBits           = hbm.RowBits
+
+	NS  = hbm.NS
+	US  = hbm.US
+	MS  = hbm.MS
+	SEC = hbm.SEC
+)
+
+// Data patterns (Table 1).
+const (
+	Rowstripe0 = pattern.Rowstripe0
+	Rowstripe1 = pattern.Rowstripe1
+	Checkered0 = pattern.Checkered0
+	Checkered1 = pattern.Checkered1
+)
+
+// AllPatterns lists the four Table 1 patterns.
+func AllPatterns() []Pattern { return pattern.All() }
+
+// NewChip builds one of the paper's six chips (index 0-5).
+func NewChip(index int, opts ...ChipOption) (*Chip, error) {
+	return hbm.NewBuiltin(index, opts...)
+}
+
+// NewCustomChip builds a chip from a custom fault-model profile.
+func NewCustomChip(p Profile, opts ...ChipOption) (*Chip, error) {
+	return hbm.New(p, opts...)
+}
+
+// BuiltinProfiles returns the six calibrated chip profiles.
+func BuiltinProfiles() []Profile { return disturb.BuiltinProfiles() }
+
+// DefaultTiming returns the study's HBM2 timing parameters.
+func DefaultTiming() Timing { return hbm.DefaultTiming() }
+
+// WithIdentityMapping disables the vendor row swizzle (useful when an
+// experiment wants logical adjacency to equal physical adjacency without
+// reverse engineering first).
+func WithIdentityMapping() ChipOption {
+	return hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows})
+}
+
+// WithoutTRR disables the undocumented on-die TRR mechanism.
+func WithoutTRR() ChipOption {
+	return hbm.WithTRRConfig(trr.Config{Enabled: false})
+}
+
+// WithTiming overrides the chip's timing parameters.
+func WithTiming(t Timing) ChipOption { return hbm.WithTiming(t) }
+
+// WithStrictTiming makes early commands fail instead of auto-delaying.
+func WithStrictTiming() ChipOption { return hbm.WithStrictTiming() }
+
+// NewFleet builds the given subset of the study's chips (ECC disabled, as
+// in every experiment of the paper).
+func NewFleet(indices []int, opts ...ChipOption) ([]*TestChip, error) {
+	return core.NewFleet(indices, opts...)
+}
+
+// NewFullFleet builds all six chips.
+func NewFullFleet(opts ...ChipOption) ([]*TestChip, error) {
+	return core.NewFullFleet(opts...)
+}
+
+// SampleRows spreads n victim rows evenly across a bank.
+func SampleRows(n int) []int { return core.SampleRows(n) }
+
+// RegionRows samples count rows from the beginning, middle, and end of a
+// bank.
+func RegionRows(count int) []int { return core.RegionRows(count) }
+
+// Experiment runners (one per paper artifact; see DESIGN.md §5).
+func RunBER(fleet []*TestChip, cfg BERConfig) ([]BERRecord, error) { return core.RunBER(fleet, cfg) }
+
+func RunHCFirst(fleet []*TestChip, cfg HCFirstConfig) ([]HCFirstRecord, error) {
+	return core.RunHCFirst(fleet, cfg)
+}
+
+func RunHCNth(fleet []*TestChip, cfg HCNthConfig) ([]HCNthRecord, error) {
+	return core.RunHCNth(fleet, cfg)
+}
+
+func ComputeFig12(recs []HCNthRecord) ([]Fig12Stats, error) { return core.ComputeFig12(recs) }
+
+func RunVariability(fleet []*TestChip, cfg VariabilityConfig) ([]VariabilityRecord, error) {
+	return core.RunVariability(fleet, cfg)
+}
+
+func RunRowPressBER(fleet []*TestChip, cfg RowPressBERConfig) ([]RowPressBERRecord, error) {
+	return core.RunRowPressBER(fleet, cfg)
+}
+
+func RunRowPressHC(fleet []*TestChip, cfg RowPressHCConfig) ([]RowPressHCRecord, error) {
+	return core.RunRowPressHC(fleet, cfg)
+}
+
+func RunBypass(fleet []*TestChip, cfg BypassConfig) ([]BypassRecord, error) {
+	return core.RunBypass(fleet, cfg)
+}
+
+func RunAging(fleet []*TestChip, cfg AgingConfig) ([]AgingRecord, error) {
+	return core.RunAging(fleet, cfg)
+}
+
+func SummarizeAging(recs []AgingRecord) AgingSummary { return core.SummarizeAging(recs) }
+
+func ScanSubarrayBoundaries(tc *TestChip, cfg SubarrayScanConfig) ([]int, error) {
+	return core.ScanSubarrayBoundaries(tc, cfg)
+}
+
+func ReverseEngineerMapping(tc *TestChip, cfg SubarrayScanConfig, logicalRows []int) ([][]int, error) {
+	return core.ReverseEngineerMapping(tc, cfg, logicalRows)
+}
+
+// UncoverTRR runs the U-TRR retention-side-channel methodology against a
+// freshly built chip (no REFs may have been issued yet) and returns the
+// uncovered mechanism parameters.
+func UncoverTRR(chip *Chip) (TRRFindings, error) {
+	ch, err := chip.Channel(0)
+	if err != nil {
+		return TRRFindings{}, err
+	}
+	p := &utrr.Prober{Chan: ch, Mapper: chip.Mapper(), Fill: 0x55}
+	return p.Uncover(3000, 128*MS, 4*SEC)
+}
+
+// NewPlatform attaches a MemBender platform to a chip.
+func NewPlatform(chip *Chip) *Platform { return bender.NewPlatform(chip) }
+
+// ParseProgram assembles a MemBender text program.
+func ParseProgram(r io.Reader) (*Program, error) { return bender.Parse(r) }
+
+// ThermalSample is one point of a Fig 3 temperature trace.
+type ThermalSample = thermal.Sample
+
+// SimulateTemperatures regenerates the Fig 3 traces for all six chips.
+func SimulateTemperatures(durationSec, sampleEverySec float64) (names []string, traces [][]ThermalSample, err error) {
+	for _, setup := range thermal.PaperSetups() {
+		tr, err := thermal.Simulate(setup, durationSec, sampleEverySec)
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, setup.Name)
+		traces = append(traces, tr)
+	}
+	return names, traces, nil
+}
+
+// WordFlipHistograms aggregates the Fig 17 word-level flip histograms per
+// pattern from mask-collecting BER records.
+func WordFlipHistograms(recs []BERRecord) (map[Pattern]*FlipHistogram, error) {
+	hists := make(map[Pattern]*FlipHistogram)
+	for _, r := range recs {
+		if r.WCDP || r.Mask == nil {
+			continue
+		}
+		h, ok := hists[r.Pattern]
+		if !ok {
+			h = &FlipHistogram{}
+			hists[r.Pattern] = h
+		}
+		if err := h.AccumulateWordFlips(r.Mask); err != nil {
+			return nil, err
+		}
+	}
+	return hists, nil
+}
+
+// Renderers: print results in the shape of the paper's artifacts.
+func RenderTable1() string                                       { return report.Table1() }
+func RenderTable2() string                                       { return report.Table2() }
+func RenderFig3(names []string, traces [][]ThermalSample) string { return report.Fig3(names, traces) }
+func RenderFig4(recs []BERRecord) string                         { return report.Fig4(recs) }
+func RenderFig5(recs []HCFirstRecord) string                     { return report.Fig5(recs) }
+func RenderFig6(recs []BERRecord) string                         { return report.Fig6(recs) }
+func RenderFig7(recs []HCFirstRecord) string                     { return report.Fig7(recs) }
+func RenderFig8CSV(recs []BERRecord, boundaries []int) string {
+	return report.Fig8CSV(recs, boundaries)
+}
+func RenderFig9(recs []BERRecord) string                  { return report.Fig9(recs) }
+func RenderFig10(s AgingSummary) string                   { return report.Fig10(s) }
+func RenderFig11(recs []HCNthRecord) string               { return report.Fig11(recs) }
+func RenderFig12(s []Fig12Stats) string                   { return report.Fig12(s) }
+func RenderFig13(recs []VariabilityRecord) string         { return report.Fig13(recs) }
+func RenderFig14(recs []RowPressBERRecord) string         { return report.Fig14(recs) }
+func RenderFig15(recs []RowPressHCRecord) string          { return report.Fig15(recs) }
+func RenderFig16(recs []BypassRecord) string              { return report.Fig16(recs) }
+func RenderFig17(hists map[Pattern]*FlipHistogram) string { return report.Fig17(hists) }
+func RenderTRRFindings(f TRRFindings) string              { return report.UTRR(f) }
+
+// MeasureRetentionBaselines reproduces the §6 retention measurements: the
+// aggregate retention BER of `rows` rows on one bank after each wait.
+func MeasureRetentionBaselines(chip *Chip, channel, rows int, waits []TimePS) ([]float64, error) {
+	ch, err := chip.Channel(channel)
+	if err != nil {
+		return nil, err
+	}
+	prof := &retention.Profiler{Chan: ch, PC: 0, Bank: 0, Fill: 0x55}
+	out := make([]float64, 0, len(waits))
+	for _, w := range waits {
+		ber, err := prof.MeasureRetentionBER(1000, rows, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ber)
+	}
+	return out, nil
+}
+
+// RenderRetention prints the §6 retention baselines.
+func RenderRetention(waits []TimePS, bers []float64) string {
+	return report.Retention(waits, bers)
+}
+
+// RenderTemplating prints the §8.1 naive-vs-targeted templating comparison.
+func RenderTemplating(naive, targeted TemplateResult) string {
+	return report.Templating(naive, targeted)
+}
+
+// RenderDefense prints the §8.2 uniform-vs-adaptive mitigation comparison.
+func RenderDefense(rep DefenseReport) string { return report.Defense(rep) }

@@ -1,0 +1,129 @@
+package hbmrd_test
+
+import (
+	"bytes"
+	"math/bits"
+	"strings"
+	"testing"
+
+	"hbmrd"
+)
+
+// TestFacadeQuickstartFlow exercises the doc-comment quick start verbatim.
+func TestFacadeQuickstartFlow(t *testing.T) {
+	chip, err := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := chip.Channel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.FillRow(0, 0, 999, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.FillRow(0, 0, 1000, 0x55); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.FillRow(0, 0, 1001, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.HammerDoubleSided(0, 0, 999, 1001, 300_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, hbmrd.RowBytes)
+	if err := ch.ReadRow(0, 0, 1000, buf); err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	for _, b := range buf {
+		flips += bits.OnesCount8(b ^ 0x55)
+	}
+	if flips == 0 {
+		t.Error("quick start produced no bitflips")
+	}
+}
+
+func TestFacadeProfilesAndPatterns(t *testing.T) {
+	if len(hbmrd.BuiltinProfiles()) != 6 {
+		t.Error("six chips expected")
+	}
+	if len(hbmrd.AllPatterns()) != 4 {
+		t.Error("four Table 1 patterns expected")
+	}
+	if hbmrd.DefaultTiming().ActBudgetPerREFI() != 78 {
+		t.Error("ACT budget per tREFI must be 78")
+	}
+}
+
+func TestFacadeExperimentAndRender(t *testing.T) {
+	fleet, err := hbmrd.NewFleet([]int{5}, hbmrd.WithIdentityMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+		Channels: []int{0},
+		Rows:     hbmrd.SampleRows(4),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := hbmrd.RenderFig4(recs)
+	if !strings.Contains(out, "Chip 5") || !strings.Contains(out, "WCDP") {
+		t.Errorf("render output malformed:\n%s", out)
+	}
+}
+
+func TestFacadeMemBenderProgram(t *testing.T) {
+	prog, err := hbmrd.ParseProgram(strings.NewReader(`
+FILLROW 0 0 100 0x55
+READROW 0 0 100
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := hbmrd.NewChip(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hbmrd.NewPlatform(chip).Run(0, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reads) != 1 || !bytes.Equal(res.Reads[0].Data[:4], []byte{0x55, 0x55, 0x55, 0x55}) {
+		t.Error("program read-back wrong")
+	}
+}
+
+func TestFacadeThermal(t *testing.T) {
+	names, traces, err := hbmrd.SimulateTemperatures(600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 6 || len(traces) != 6 {
+		t.Fatalf("%d traces", len(traces))
+	}
+	out := hbmrd.RenderFig3(names, traces)
+	if !strings.Contains(out, "Chip 0") {
+		t.Error("fig3 render malformed")
+	}
+}
+
+func TestFacadeUncoverTRR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("side-channel probing takes a few seconds")
+	}
+	chip, err := hbmrd.NewChip(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := hbmrd.UncoverTRR(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Period != 17 || f.IdentifyThreshold != 5 {
+		t.Errorf("findings %+v diverge from the paper's mechanism", f)
+	}
+}

@@ -1,0 +1,71 @@
+package hbmrd
+
+import (
+	"hbmrd/internal/attack"
+	"hbmrd/internal/core"
+	"hbmrd/internal/defense"
+)
+
+// The paper's §8 implications, quantifiable against the simulated chips:
+// attackers accelerate memory templating by targeting the most vulnerable
+// channel (§8.1), and defenses cut preventive-refresh cost by adapting to
+// the heterogeneous vulnerability across channels and subarrays (§8.2).
+
+// Attack-side re-exports.
+type (
+	// AttackStrategy orders a templating scan.
+	AttackStrategy = attack.Strategy
+	// TemplateConfig parameterizes a templating run.
+	TemplateConfig = attack.Config
+	// TemplateResult summarizes a templating run.
+	TemplateResult = attack.Result
+)
+
+// Templating strategies.
+const (
+	NaiveScan       = attack.NaiveScan
+	ChannelTargeted = attack.ChannelTargeted
+)
+
+// RunTemplating scans a chip for exploitable rows under the given strategy
+// and budget (§8.1: memory templating).
+func RunTemplating(chip *Chip, cfg TemplateConfig) (TemplateResult, error) {
+	return attack.Template(chip, cfg)
+}
+
+// RetirementImpact returns the fraction of measured rows a
+// retire-on-N-errors policy would retire (§8.1: RowHammer accelerates page
+// retirement beyond design-time estimates).
+func RetirementImpact(berPercents []float64, retireAtFlips int) float64 {
+	return attack.RetirementImpact(berPercents, retireAtFlips)
+}
+
+// Defense-side re-exports.
+type (
+	// DefenseRegion is one independently provisioned protection domain.
+	DefenseRegion = defense.Region
+	// DefenseConfig parameterizes the mitigation cost model.
+	DefenseConfig = defense.Config
+	// DefenseReport compares uniform and adaptive provisioning.
+	DefenseReport = defense.CostReport
+)
+
+// CompareDefense computes uniform-vs-adaptive mitigation cost (§8.2).
+func CompareDefense(regions []DefenseRegion, cfg DefenseConfig) (DefenseReport, error) {
+	return defense.Compare(regions, cfg)
+}
+
+// DefenseRegionsByChannel derives per-channel protection domains from
+// HCfirst experiment records.
+func DefenseRegionsByChannel(recs []HCFirstRecord) []DefenseRegion {
+	return defense.ProfileChannels(recs)
+}
+
+// DefenseRegionsBySubarray derives per-subarray protection domains from
+// HCfirst records and discovered subarray boundaries.
+func DefenseRegionsBySubarray(recs []HCFirstRecord, boundaries []int) []DefenseRegion {
+	return defense.ProfileSubarrays(recs, boundaries)
+}
+
+// BERPercents extracts BER values from records (for RetirementImpact).
+func BERPercents(recs []BERRecord) []float64 { return core.BERValues(recs) }

@@ -1,0 +1,47 @@
+package hbmrd_test
+
+import (
+	"testing"
+
+	"hbmrd"
+)
+
+func TestImplicationTemplatingFacade(t *testing.T) {
+	chip, err := hbmrd.NewChip(5, hbmrd.WithIdentityMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hbmrd.RunTemplating(chip, hbmrd.TemplateConfig{
+		Strategy:    hbmrd.NaiveScan,
+		TargetFlips: 2,
+		Rows:        hbmrd.SampleRows(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TemplatesFound < 2 {
+		t.Errorf("templating found %d rows", res.TemplatesFound)
+	}
+}
+
+func TestImplicationDefenseFacade(t *testing.T) {
+	regions := []hbmrd.DefenseRegion{
+		{Label: "CH0", MinHCFirst: 15000},
+		{Label: "CH4", MinHCFirst: 60000},
+	}
+	rep, err := hbmrd.CompareDefense(regions, hbmrd.DefenseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SavingsPercent <= 0 {
+		t.Errorf("no savings for 4x heterogeneity: %+v", rep)
+	}
+}
+
+func TestRetirementImpactFacade(t *testing.T) {
+	recs := []hbmrd.BERRecord{{BERPercent: 1.0}, {BERPercent: 0.0001}}
+	got := hbmrd.RetirementImpact(hbmrd.BERPercents(recs), 10)
+	if got != 0.5 {
+		t.Errorf("retired fraction %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,265 @@
+// Package attack quantifies the paper's §8.1 implication for read
+// disturbance attacks: an attacker who first profiles a few rows per
+// channel and then concentrates on the most vulnerable channel finds
+// exploitable bitflips faster than one scanning the chip uniformly
+// (memory templating acceleration, the paper's second implication).
+//
+// "Exploitable" follows the practical RowHammer attack literature the
+// paper cites: a row whose first bitflip arrives within a hammer budget an
+// attacker can spend inside one refresh window.
+package attack
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+)
+
+// Strategy selects how the templating scan orders its work.
+type Strategy int
+
+// Scan strategies.
+const (
+	// NaiveScan sweeps rows round-robin across all channels.
+	NaiveScan Strategy = iota + 1
+	// ChannelTargeted first profiles PilotRows rows on every channel,
+	// ranks channels by observed flips, then scans the most vulnerable
+	// channels first.
+	ChannelTargeted
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case NaiveScan:
+		return "naive"
+	case ChannelTargeted:
+		return "channel-targeted"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes a templating run.
+type Config struct {
+	// Strategy orders the scan.
+	Strategy Strategy
+	// HammerBudget is the per-aggressor activation count the attacker can
+	// spend per candidate row (default 150K: well inside one refresh
+	// window at minimum tRAS).
+	HammerBudget int
+	// TargetFlips stops the scan once this many rows with at least
+	// MinFlips bitflips have been found (default 8).
+	TargetFlips int
+	// MinFlips is the per-row bitflip count that makes a row a usable
+	// template (default 1).
+	MinFlips int
+	// PilotRows is the per-channel profiling sample of the targeted
+	// strategy (default 4).
+	PilotRows int
+	// PilotBudget is the per-aggressor hammer count of pilot probes
+	// (default 256K: a generous budget so pilot flip totals reflect each
+	// channel's BER, giving a reliable vulnerability ranking).
+	PilotBudget int
+	// Rows are candidate physical victim rows per channel (default: an
+	// even 96-row sample).
+	Rows []int
+	// Pattern is the templating data pattern (default Checkered0).
+	Pattern pattern.Pattern
+	// PC and Bank select the templated bank.
+	PC, Bank int
+}
+
+func (c *Config) fill() {
+	if c.Strategy == 0 {
+		c.Strategy = NaiveScan
+	}
+	if c.HammerBudget == 0 {
+		c.HammerBudget = 150_000
+	}
+	if c.TargetFlips == 0 {
+		c.TargetFlips = 8
+	}
+	if c.MinFlips == 0 {
+		c.MinFlips = 1
+	}
+	if c.PilotRows == 0 {
+		c.PilotRows = 6
+	}
+	if c.PilotBudget == 0 {
+		c.PilotBudget = 256 * 1024
+	}
+	if len(c.Rows) == 0 {
+		c.Rows = evenRows(96)
+	}
+	if c.Pattern == 0 {
+		c.Pattern = pattern.Checkered0
+	}
+}
+
+func evenRows(n int) []int {
+	rows := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, 2+(hbm.NumRows-5)*i/(n-1))
+	}
+	return rows
+}
+
+// Result summarizes a templating run.
+type Result struct {
+	Strategy Strategy
+	// TemplatesFound is the number of exploitable rows located.
+	TemplatesFound int
+	// RowsHammered counts candidate rows spent (pilot rows included).
+	RowsHammered int
+	// HammersSpent counts total per-aggressor activations issued
+	// (PilotHammers + DrainHammers).
+	HammersSpent int
+	// PilotHammers is the one-time channel-profiling cost of the targeted
+	// strategy; an attacker amortizes it across every subsequent
+	// templating campaign on the same chip.
+	PilotHammers int
+	// DrainHammers is the per-campaign scanning cost.
+	DrainHammers int
+	// BestChannel is the channel the targeted strategy ranked first
+	// (-1 for the naive strategy).
+	BestChannel int
+}
+
+// Template runs the templating scan against a chip and reports how much
+// work it took to find the requested number of exploitable rows.
+func Template(chip *hbm.Chip, cfg Config) (Result, error) {
+	cfg.fill()
+	res := Result{Strategy: cfg.Strategy, BestChannel: -1}
+
+	probe := func(ch, row int) (bool, error) {
+		flips, err := hammerRow(chip, ch, cfg, cfg.HammerBudget, row)
+		if err != nil {
+			return false, err
+		}
+		res.RowsHammered++
+		res.HammersSpent += cfg.HammerBudget
+		res.DrainHammers += cfg.HammerBudget
+		if flips >= cfg.MinFlips {
+			res.TemplatesFound++
+		}
+		return res.TemplatesFound >= cfg.TargetFlips, nil
+	}
+
+	switch cfg.Strategy {
+	case ChannelTargeted:
+		// Pilot phase: probe the first PilotRows candidates on every
+		// channel at the generous pilot budget; the flip totals rank the
+		// channels by vulnerability. A flip found at the pilot budget is
+		// NOT a template for the tight campaign budget, so pilots only
+		// inform the ranking.
+		pilot := cfg.PilotRows
+		if pilot > len(cfg.Rows) {
+			pilot = len(cfg.Rows)
+		}
+		flipsPerCh := make([]int, hbm.NumChannels)
+		for ch := 0; ch < hbm.NumChannels; ch++ {
+			for p := 0; p < pilot; p++ {
+				// Stride across the candidate list so the pilot sees the
+				// whole bank, not just its (atypical) first rows.
+				row := cfg.Rows[p*len(cfg.Rows)/pilot]
+				flips, err := hammerRow(chip, ch, cfg, cfg.PilotBudget, row)
+				if err != nil {
+					return res, err
+				}
+				flipsPerCh[ch] += flips
+				res.RowsHammered++
+				res.HammersSpent += cfg.PilotBudget
+				res.PilotHammers += cfg.PilotBudget
+			}
+		}
+		order := make([]int, hbm.NumChannels)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return flipsPerCh[order[i]] > flipsPerCh[order[j]]
+		})
+		res.BestChannel = order[0]
+		// Drain phase: most vulnerable channels first.
+		for _, ch := range order {
+			for _, row := range cfg.Rows {
+				done, err := probe(ch, row)
+				if err != nil {
+					return res, err
+				}
+				if done {
+					return res, nil
+				}
+			}
+		}
+	case NaiveScan:
+		// Round-robin channels, advancing the row cursor together.
+		for _, row := range cfg.Rows {
+			for ch := 0; ch < hbm.NumChannels; ch++ {
+				done, err := probe(ch, row)
+				if err != nil {
+					return res, err
+				}
+				if done {
+					return res, nil
+				}
+			}
+		}
+	default:
+		return res, fmt.Errorf("attack: unknown strategy %d", int(cfg.Strategy))
+	}
+	return res, nil
+}
+
+// hammerRow runs one double-sided templating probe on a physical victim
+// row at the given budget and returns the observed bitflip count.
+func hammerRow(chip *hbm.Chip, chIdx int, cfg Config, budget, victimPhys int) (int, error) {
+	ch, err := chip.Channel(chIdx)
+	if err != nil {
+		return 0, err
+	}
+	m := chip.Mapper()
+	for d := -2; d <= 2; d++ {
+		fillByte := cfg.Pattern.VictimByte()
+		if d == -1 || d == 1 {
+			fillByte = cfg.Pattern.AggressorByte()
+		}
+		if err := ch.FillRow(cfg.PC, cfg.Bank, m.ToLogical(victimPhys+d), fillByte); err != nil {
+			return 0, err
+		}
+	}
+	if err := ch.HammerDoubleSided(cfg.PC, cfg.Bank,
+		m.ToLogical(victimPhys-1), m.ToLogical(victimPhys+1), budget, 0); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, hbm.RowBytes)
+	if err := ch.ReadRow(cfg.PC, cfg.Bank, m.ToLogical(victimPhys), buf); err != nil {
+		return 0, err
+	}
+	flips := 0
+	for _, b := range buf {
+		flips += bits.OnesCount8(b ^ cfg.Pattern.VictimByte())
+	}
+	return flips, nil
+}
+
+// RetirementImpact models the paper's lifetime implication: RowHammer-
+// induced correctable errors accelerate memory page retirement beyond
+// design-time estimates. Given per-row BER measurements it returns the
+// fraction of rows a retire-on-N-errors policy would retire.
+func RetirementImpact(berPercents []float64, retireAtFlips int) float64 {
+	if len(berPercents) == 0 || retireAtFlips <= 0 {
+		return 0
+	}
+	retired := 0
+	for _, ber := range berPercents {
+		if ber/100*float64(hbm.RowBits) >= float64(retireAtFlips) {
+			retired++
+		}
+	}
+	return float64(retired) / float64(len(berPercents))
+}

@@ -1,0 +1,227 @@
+package bender
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hbmrd/internal/hbm"
+)
+
+// Parse assembles a MemBender text program. The format is line-oriented;
+// '#' starts a comment. Mnemonics (case-insensitive):
+//
+//	ACT <pc> <bank> <row>
+//	PRE <pc> <bank>
+//	RD <pc> <bank> <col>
+//	WR <pc> <bank> <col> <byte>          byte as 0xNN or decimal
+//	REF
+//	SLEEP <dur>                          dur like 29ns, 3.9us, 16ms, 2s, 1200 (ps)
+//	HAMMER <pc> <bank> <rowA> <rowB> <count> <tOn>
+//	HAMMER1 <pc> <bank> <row> <count> <tOn>
+//	FILLROW <pc> <bank> <row> <byte>
+//	READROW <pc> <bank> <row>
+//	LOOP <count> ... ENDLOOP             loops may nest
+func Parse(r io.Reader) (*Program, error) {
+	var stack []*Program
+	top := &Program{}
+	stack = append(stack, top)
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		cur := stack[len(stack)-1]
+		mnemonic := strings.ToUpper(fields[0])
+		args := fields[1:]
+		fail := func(err error) (*Program, error) {
+			return nil, fmt.Errorf("bender: line %d: %s: %w", lineNo, mnemonic, err)
+		}
+		switch mnemonic {
+		case "ACT":
+			v, err := ints(args, 3)
+			if err != nil {
+				return fail(err)
+			}
+			cur.Act(v[0], v[1], v[2])
+		case "PRE":
+			v, err := ints(args, 2)
+			if err != nil {
+				return fail(err)
+			}
+			cur.Pre(v[0], v[1])
+		case "RD":
+			v, err := ints(args, 3)
+			if err != nil {
+				return fail(err)
+			}
+			cur.Rd(v[0], v[1], v[2])
+		case "WR":
+			if len(args) != 4 {
+				return fail(fmt.Errorf("want 4 args, got %d", len(args)))
+			}
+			v, err := ints(args[:3], 3)
+			if err != nil {
+				return fail(err)
+			}
+			b, err := parseByte(args[3])
+			if err != nil {
+				return fail(err)
+			}
+			cur.Wr(v[0], v[1], v[2], b)
+		case "REF":
+			cur.Ref()
+		case "SLEEP":
+			if len(args) != 1 {
+				return fail(fmt.Errorf("want 1 arg, got %d", len(args)))
+			}
+			d, err := ParseDuration(args[0])
+			if err != nil {
+				return fail(err)
+			}
+			cur.Sleep(d)
+		case "HAMMER":
+			if len(args) != 6 {
+				return fail(fmt.Errorf("want 6 args, got %d", len(args)))
+			}
+			v, err := ints(args[:5], 5)
+			if err != nil {
+				return fail(err)
+			}
+			d, err := ParseDuration(args[5])
+			if err != nil {
+				return fail(err)
+			}
+			cur.Hammer(v[0], v[1], v[2], v[3], v[4], d)
+		case "HAMMER1":
+			if len(args) != 5 {
+				return fail(fmt.Errorf("want 5 args, got %d", len(args)))
+			}
+			v, err := ints(args[:4], 4)
+			if err != nil {
+				return fail(err)
+			}
+			d, err := ParseDuration(args[4])
+			if err != nil {
+				return fail(err)
+			}
+			cur.HammerSingle(v[0], v[1], v[2], v[3], d)
+		case "FILLROW":
+			if len(args) != 4 {
+				return fail(fmt.Errorf("want 4 args, got %d", len(args)))
+			}
+			v, err := ints(args[:3], 3)
+			if err != nil {
+				return fail(err)
+			}
+			b, err := parseByte(args[3])
+			if err != nil {
+				return fail(err)
+			}
+			cur.FillRow(v[0], v[1], v[2], b)
+		case "READROW":
+			v, err := ints(args, 3)
+			if err != nil {
+				return fail(err)
+			}
+			cur.ReadRow(v[0], v[1], v[2])
+		case "LOOP":
+			v, err := ints(args, 1)
+			if err != nil {
+				return fail(err)
+			}
+			body := &Program{}
+			// Record the loop header; the body is patched at ENDLOOP.
+			cur.instrs = append(cur.instrs, Instr{Op: OpLoop, Count: v[0]})
+			stack = append(stack, body)
+		case "ENDLOOP":
+			if len(stack) < 2 {
+				return fail(fmt.Errorf("ENDLOOP without LOOP"))
+			}
+			body := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			parent := stack[len(stack)-1]
+			parent.instrs[len(parent.instrs)-1].Body = body.instrs
+		default:
+			return fail(fmt.Errorf("unknown mnemonic"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bender: reading program: %w", err)
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("bender: %d unclosed LOOP(s)", len(stack)-1)
+	}
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	return top, nil
+}
+
+// ParseDuration parses a time span with an optional unit suffix (ps, ns,
+// us, ms, s); a bare number means picoseconds. Fractions are allowed
+// ("3.9us").
+func ParseDuration(s string) (hbm.TimePS, error) {
+	unit := hbm.TimePS(1)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ps"):
+		num = s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		num, unit = s[:len(s)-2], hbm.NS
+	case strings.HasSuffix(s, "us"):
+		num, unit = s[:len(s)-2], hbm.US
+	case strings.HasSuffix(s, "ms"):
+		num, unit = s[:len(s)-2], hbm.MS
+	case strings.HasSuffix(s, "s"):
+		num, unit = s[:len(s)-1], hbm.SEC
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q: %w", s, err)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return hbm.TimePS(f * float64(unit)), nil
+}
+
+func ints(args []string, n int) ([]int, error) {
+	if len(args) != n {
+		return nil, fmt.Errorf("want %d args, got %d", n, len(args))
+	}
+	out := make([]int, n)
+	for i, a := range args {
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", a, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseByte(s string) (byte, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "0x"), hexOrDec(s), 9)
+	if err != nil || v > 0xFF {
+		return 0, fmt.Errorf("bad byte %q", s)
+	}
+	return byte(v), nil
+}
+
+func hexOrDec(s string) int {
+	if strings.HasPrefix(strings.ToLower(s), "0x") {
+		return 16
+	}
+	return 10
+}

@@ -1,0 +1,258 @@
+package bender
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/rowmap"
+)
+
+func newPlatform(t *testing.T) *Platform {
+	t.Helper()
+	chip, err := hbm.NewBuiltin(0, hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPlatform(chip)
+}
+
+func TestProgramBuilderRoundTrip(t *testing.T) {
+	p := &Program{}
+	p.FillRow(0, 0, 100, 0x55).
+		Act(0, 0, 100).
+		Rd(0, 0, 0).
+		Pre(0, 0).
+		Sleep(10 * hbm.NS).
+		Ref()
+	if p.Len() != 6 {
+		t.Fatalf("program has %d instructions, want 6", p.Len())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWriteReadProgram(t *testing.T) {
+	plat := newPlatform(t)
+	p := &Program{}
+	p.FillRow(0, 2, 500, 0xA5).ReadRow(0, 2, 500)
+	res, err := plat.Run(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reads) != 1 {
+		t.Fatalf("got %d read records, want 1", len(res.Reads))
+	}
+	rec := res.Reads[0]
+	if rec.Row != 500 || len(rec.Data) != hbm.RowBytes {
+		t.Fatalf("record = row %d, %d bytes", rec.Row, len(rec.Data))
+	}
+	for _, b := range rec.Data {
+		if b != 0xA5 {
+			t.Fatal("read-back data mismatch")
+		}
+	}
+	if res.Duration() <= 0 {
+		t.Error("program consumed no simulated time")
+	}
+	if res.Commands == 0 {
+		t.Error("no commands counted")
+	}
+}
+
+func TestHammerProgramFlipsBits(t *testing.T) {
+	plat := newPlatform(t)
+	const victim = 3000
+	p := &Program{}
+	p.FillRow(0, 0, victim-2, 0x55).
+		FillRow(0, 0, victim-1, 0xAA).
+		FillRow(0, 0, victim, 0x55).
+		FillRow(0, 0, victim+1, 0xAA).
+		FillRow(0, 0, victim+2, 0x55).
+		Hammer(0, 0, victim-1, victim+1, 300_000, 0).
+		ReadRow(0, 0, victim)
+	res, err := plat.Run(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x55}, hbm.RowBytes)
+	if bytes.Equal(res.Reads[0].Data, want) {
+		t.Error("hammer program induced no bitflips")
+	}
+}
+
+func TestLoopExpansion(t *testing.T) {
+	plat := newPlatform(t)
+	p := &Program{}
+	p.Loop(3, func(body *Program) {
+		body.Act(0, 1, 7).Pre(0, 1)
+	})
+	res, err := plat.Run(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commands != 6 {
+		t.Errorf("loop executed %d commands, want 6", res.Commands)
+	}
+}
+
+func TestStrictModeSurfacesTimingViolation(t *testing.T) {
+	chip, err := hbm.NewBuiltin(0, hbm.WithStrictTiming(), hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := NewPlatform(chip)
+	p := &Program{}
+	p.Act(0, 0, 10).Pre(0, 0) // PRE violates tRAS
+	if _, err := plat.Run(0, p); err == nil {
+		t.Fatal("strict mode accepted an early PRE")
+	}
+	// With an adequate SLEEP the program is legal (different bank: the
+	// failed program above left bank 0 open, as real hardware would).
+	p2 := &Program{}
+	p2.Act(0, 1, 10).Sleep(hbm.DefaultTiming().TRAS).Pre(0, 1)
+	if _, err := plat.Run(0, p2); err != nil {
+		t.Fatalf("legal strict program rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	cases := []*Program{
+		(&Program{}).Act(0, 0, hbm.NumRows),
+		(&Program{}).Act(0, hbm.NumBanks, 0),
+		(&Program{}).Act(hbm.NumPseudoChannels, 0, 0),
+		(&Program{}).Rd(0, 0, hbm.NumCols),
+		(&Program{}).Sleep(-1),
+		(&Program{}).Hammer(0, 0, 1, 2, -1, 0),
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestRunRejectsBadChannel(t *testing.T) {
+	plat := newPlatform(t)
+	if _, err := plat.Run(99, &Program{}); err == nil {
+		t.Error("channel 99 accepted")
+	}
+}
+
+func TestParseFullProgram(t *testing.T) {
+	src := `
+# TRR-style probe
+FILLROW 0 0 100 0x55
+FILLROW 0 0 101 0xAA
+LOOP 2
+  ACT 0 0 101
+  SLEEP 29ns
+  PRE 0 0
+ENDLOOP
+HAMMER 0 0 99 101 1000 29ns
+HAMMER1 0 0 99 500 3.9us
+REF
+READROW 0 0 100
+RD 0 0 5
+WR 0 0 5 0xFF
+SLEEP 16ms
+`
+	// RD/WR need an open bank; wrap into a valid sequence for execution.
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 10 {
+		t.Fatalf("parsed %d top-level instructions, want 10", p.Len())
+	}
+	if p.Instrs()[2].Op != OpLoop || len(p.Instrs()[2].Body) != 3 {
+		t.Errorf("loop structure wrong: %+v", p.Instrs()[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"BOGUS 1 2 3",
+		"ACT 0 0",           // too few args
+		"ACT 0 0 x",         // bad int
+		"SLEEP -5ns",        // negative
+		"WR 0 0 0 0x1FF",    // byte overflow
+		"LOOP 2\nACT 0 0 1", // unclosed loop
+		"ENDLOOP",
+		"ACT 0 0 999999", // out of range (validation)
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("source %q parsed without error", src)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want hbm.TimePS
+	}{
+		{"29ns", 29 * hbm.NS},
+		{"3.9us", 3_900_000},
+		{"16ms", 16 * hbm.MS},
+		{"2s", 2 * hbm.SEC},
+		{"1200", 1200},
+		{"0.5ns", 500},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseDuration(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "ns", "-4ns", "abc"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsedProgramExecutes(t *testing.T) {
+	src := `
+FILLROW 0 0 2000 0x55
+FILLROW 0 0 1999 0xAA
+FILLROW 0 0 2001 0xAA
+HAMMER 0 0 1999 2001 250000 29ns
+READROW 0 0 2000
+`
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := newPlatform(t)
+	res, err := plat.Run(2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reads) != 1 {
+		t.Fatalf("%d reads", len(res.Reads))
+	}
+	flips := 0
+	for _, b := range res.Reads[0].Data {
+		x := b ^ 0x55
+		for x != 0 {
+			x &= x - 1
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Error("parsed hammer program induced no flips")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAct.String() != "ACT" || OpHammer.String() != "HAMMER" {
+		t.Error("op mnemonics wrong")
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Error("unknown op should render numerically")
+	}
+}

@@ -1,0 +1,64 @@
+package bender
+
+import (
+	"testing"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/rowmap"
+)
+
+// TestBypassPatternAsProgram expresses the paper's §7 TRR bypass as a
+// MemBender program - the form an attacker would actually ship to the
+// FPGA platform - and verifies the dummy-row threshold end to end: the
+// program flips victim bits with 4 dummy rows and is fully countered with
+// 2.
+func TestBypassPatternAsProgram(t *testing.T) {
+	run := func(dummies int) int {
+		chip, err := hbm.NewBuiltin(0, hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat := NewPlatform(chip)
+		tm := chip.Timing()
+
+		const victim = 6000
+		budget := tm.ActBudgetPerREFI() // 78
+		aggActs := 26
+		dummyActs := (budget - 2*aggActs) / dummies
+		windows := int(tm.TREFW / tm.TREFI) // one refresh window
+
+		p := &Program{}
+		p.FillRow(0, 0, victim-2, 0x55).
+			FillRow(0, 0, victim-1, 0xAA).
+			FillRow(0, 0, victim, 0x55).
+			FillRow(0, 0, victim+1, 0xAA).
+			FillRow(0, 0, victim+2, 0x55)
+		p.Loop(windows, func(body *Program) {
+			for d := 0; d < dummies; d++ {
+				body.HammerSingle(0, 0, 9000+4*d, dummyActs, 0)
+			}
+			body.Hammer(0, 0, victim-1, victim+1, aggActs, 0)
+			body.Ref()
+		})
+		p.ReadRow(0, 0, victim)
+
+		res, err := plat.Run(0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flips := 0
+		for _, b := range res.Reads[0].Data {
+			for x := b ^ 0x55; x != 0; x &= x - 1 {
+				flips++
+			}
+		}
+		return flips
+	}
+
+	if got := run(2); got != 0 {
+		t.Errorf("2-dummy program flipped %d bits; TRR should counter it", got)
+	}
+	if got := run(4); got == 0 {
+		t.Error("4-dummy program flipped nothing; the bypass should work")
+	}
+}

@@ -1,0 +1,127 @@
+package bender
+
+import (
+	"fmt"
+
+	"hbmrd/internal/hbm"
+)
+
+// ReadRecord is one piece of read-back data (32 bytes for RD, a whole row
+// for READROW) in program order.
+type ReadRecord struct {
+	PC, Bank, Col, Row int
+	Data               []byte
+}
+
+// Result summarizes one program execution.
+type Result struct {
+	// Reads holds the read-back data in program order.
+	Reads []ReadRecord
+	// Start and End bracket the execution on the channel clock.
+	Start, End hbm.TimePS
+	// Commands counts executed device commands (loops expanded; a hammer
+	// burst counts its constituent ACT/PRE pairs).
+	Commands int
+}
+
+// Duration returns the simulated execution time.
+func (r *Result) Duration() hbm.TimePS { return r.End - r.Start }
+
+// Platform drives one simulated HBM2 chip, playing the role of the
+// FPGA-based DRAM Bender host: it executes test programs channel by
+// channel and returns read-back buffers. Distinct channels may be driven
+// concurrently from different goroutines.
+type Platform struct {
+	chip *hbm.Chip
+}
+
+// NewPlatform attaches a platform to a chip.
+func NewPlatform(chip *hbm.Chip) *Platform {
+	return &Platform{chip: chip}
+}
+
+// Chip returns the attached chip.
+func (p *Platform) Chip() *hbm.Chip { return p.chip }
+
+// Run validates and executes prog on the given channel. Execution uses the
+// channel's current timing mode: auto (commands wait for legality) or
+// strict (early commands fail with *hbm.TimingError).
+func (p *Platform) Run(channel int, prog *Program) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	ch, err := p.chip.Channel(channel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Start: ch.Now()}
+	if err := p.exec(ch, prog.Instrs(), res); err != nil {
+		return nil, err
+	}
+	res.End = ch.Now()
+	return res, nil
+}
+
+func (p *Platform) exec(ch *hbm.Channel, instrs []Instr, res *Result) error {
+	for i := range instrs {
+		in := &instrs[i]
+		var err error
+		switch in.Op {
+		case OpAct:
+			err = ch.Activate(in.PC, in.Bank, in.Row)
+			res.Commands++
+		case OpPre:
+			err = ch.Precharge(in.PC, in.Bank)
+			res.Commands++
+		case OpRd:
+			buf := make([]byte, hbm.ColBytes)
+			if err = ch.Read(in.PC, in.Bank, in.Col, buf); err == nil {
+				res.Reads = append(res.Reads, ReadRecord{PC: in.PC, Bank: in.Bank, Col: in.Col, Row: -1, Data: buf})
+			}
+			res.Commands++
+		case OpWr:
+			buf := make([]byte, hbm.ColBytes)
+			for j := range buf {
+				buf[j] = in.Fill
+			}
+			err = ch.Write(in.PC, in.Bank, in.Col, buf)
+			res.Commands++
+		case OpRef:
+			err = ch.Refresh()
+			res.Commands++
+		case OpSleep:
+			ch.Wait(in.Dur)
+		case OpHammer:
+			err = ch.HammerDoubleSided(in.PC, in.Bank, in.Row, in.Row2, in.Count, in.Dur)
+			res.Commands += 4 * in.Count // ACT+PRE per aggressor per iteration
+		case OpHammerSingle:
+			err = ch.HammerSingleSided(in.PC, in.Bank, in.Row, in.Count, in.Dur)
+			res.Commands += 2 * in.Count
+		case OpLoop:
+			for k := 0; k < in.Count; k++ {
+				if err = p.exec(ch, in.Body, res); err != nil {
+					break
+				}
+			}
+		case OpFillRow:
+			buf := make([]byte, hbm.RowBytes)
+			for j := range buf {
+				buf[j] = in.Fill
+			}
+			err = ch.WriteRow(in.PC, in.Bank, in.Row, buf)
+			res.Commands += hbm.NumCols + 2
+		case OpReadRow:
+			buf := make([]byte, hbm.RowBytes)
+			if err = ch.ReadRow(in.PC, in.Bank, in.Row, buf); err == nil {
+				res.Reads = append(res.Reads, ReadRecord{PC: in.PC, Bank: in.Bank, Col: -1, Row: in.Row, Data: buf})
+			}
+			res.Commands += hbm.NumCols + 2
+		default:
+			err = fmt.Errorf("bender: unknown opcode %d", int(in.Op))
+		}
+		if err != nil {
+			return fmt.Errorf("bender: %s: %w", in.Op, err)
+		}
+	}
+	return nil
+}

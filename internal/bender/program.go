@@ -1,0 +1,230 @@
+// Package bender implements "MemBender", the software stand-in for the
+// modified DRAM Bender FPGA infrastructure the paper uses (§3). Test
+// programs are sequences of DRAM commands with explicit timing control at
+// interface-clock granularity; the platform executes them against a
+// simulated HBM2 chip, collects read-back data, and (in strict mode)
+// reports timing violations exactly where the real platform's constraints
+// would bite.
+//
+// Like the real DRAM Bender ISA, programs support hardware-looped hammer
+// bursts (HAMMER), generic loops, sleeps, and per-command addressing. A
+// small text assembler (Parse) makes programs scriptable from files.
+package bender
+
+import (
+	"fmt"
+
+	"hbmrd/internal/hbm"
+)
+
+// Op is a MemBender instruction opcode.
+type Op int
+
+// Instruction opcodes.
+const (
+	// OpAct issues ACT <pc> <bank> <row>.
+	OpAct Op = iota + 1
+	// OpPre issues PRE <pc> <bank>.
+	OpPre
+	// OpRd issues RD <pc> <bank> <col> and records the column data.
+	OpRd
+	// OpWr issues WR <pc> <bank> <col> with a fill byte.
+	OpWr
+	// OpRef issues an all-bank REF.
+	OpRef
+	// OpSleep advances the channel clock by Dur picoseconds.
+	OpSleep
+	// OpHammer is the hardware-looped double-sided hammer burst: Count
+	// activations of Row and Row2 each, every activation open for Dur.
+	OpHammer
+	// OpHammerSingle is the single-sided variant (Row only).
+	OpHammerSingle
+	// OpLoop repeats Body Count times.
+	OpLoop
+	// OpFillRow is a macro: ACT + 32 WRs of Fill + PRE.
+	OpFillRow
+	// OpReadRow is a macro: ACT + 32 RDs + PRE; records the whole row.
+	OpReadRow
+)
+
+// opNames maps opcodes to their assembler mnemonics.
+var opNames = map[Op]string{
+	OpAct: "ACT", OpPre: "PRE", OpRd: "RD", OpWr: "WR", OpRef: "REF",
+	OpSleep: "SLEEP", OpHammer: "HAMMER", OpHammerSingle: "HAMMER1",
+	OpLoop: "LOOP", OpFillRow: "FILLROW", OpReadRow: "READROW",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Instr is one MemBender instruction.
+type Instr struct {
+	Op    Op
+	PC    int
+	Bank  int
+	Row   int
+	Row2  int // second aggressor for OpHammer
+	Col   int
+	Count int        // loop iterations / hammer count
+	Fill  byte       // WR/FILLROW data byte
+	Dur   hbm.TimePS // SLEEP duration / hammer tAggON
+	Body  []Instr    // OpLoop body
+}
+
+// Program is a buildable MemBender test program.
+type Program struct {
+	instrs []Instr
+}
+
+// Instrs returns the program's instructions.
+func (p *Program) Instrs() []Instr { return p.instrs }
+
+// Len returns the number of top-level instructions.
+func (p *Program) Len() int { return len(p.instrs) }
+
+// Act appends an ACT.
+func (p *Program) Act(pc, bank, row int) *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpAct, PC: pc, Bank: bank, Row: row})
+	return p
+}
+
+// Pre appends a PRE.
+func (p *Program) Pre(pc, bank int) *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpPre, PC: pc, Bank: bank})
+	return p
+}
+
+// Rd appends a RD of one column.
+func (p *Program) Rd(pc, bank, col int) *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpRd, PC: pc, Bank: bank, Col: col})
+	return p
+}
+
+// Wr appends a WR of one column with a fill byte.
+func (p *Program) Wr(pc, bank, col int, fill byte) *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpWr, PC: pc, Bank: bank, Col: col, Fill: fill})
+	return p
+}
+
+// Ref appends an all-bank REF.
+func (p *Program) Ref() *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpRef})
+	return p
+}
+
+// Sleep appends a clock advance.
+func (p *Program) Sleep(d hbm.TimePS) *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpSleep, Dur: d})
+	return p
+}
+
+// Hammer appends a double-sided hammer burst.
+func (p *Program) Hammer(pc, bank, rowA, rowB, count int, tOn hbm.TimePS) *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpHammer, PC: pc, Bank: bank, Row: rowA, Row2: rowB, Count: count, Dur: tOn})
+	return p
+}
+
+// HammerSingle appends a single-sided hammer burst.
+func (p *Program) HammerSingle(pc, bank, row, count int, tOn hbm.TimePS) *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpHammerSingle, PC: pc, Bank: bank, Row: row, Count: count, Dur: tOn})
+	return p
+}
+
+// Loop appends a loop of count iterations whose body is built by fn.
+func (p *Program) Loop(count int, fn func(*Program)) *Program {
+	var body Program
+	fn(&body)
+	p.instrs = append(p.instrs, Instr{Op: OpLoop, Count: count, Body: body.instrs})
+	return p
+}
+
+// FillRow appends the fill-row macro.
+func (p *Program) FillRow(pc, bank, row int, fill byte) *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpFillRow, PC: pc, Bank: bank, Row: row, Fill: fill})
+	return p
+}
+
+// ReadRow appends the read-row macro.
+func (p *Program) ReadRow(pc, bank, row int) *Program {
+	p.instrs = append(p.instrs, Instr{Op: OpReadRow, PC: pc, Bank: bank, Row: row})
+	return p
+}
+
+// Validate checks instruction operands against the chip geometry.
+func (p *Program) Validate() error { return validateInstrs(p.instrs, 0) }
+
+func validateInstrs(instrs []Instr, depth int) error {
+	if depth > 8 {
+		return fmt.Errorf("bender: loop nesting deeper than 8")
+	}
+	for i, in := range instrs {
+		if err := validateInstr(in, depth); err != nil {
+			return fmt.Errorf("bender: instruction %d (%s): %w", i, in.Op, err)
+		}
+	}
+	return nil
+}
+
+func validateInstr(in Instr, depth int) error {
+	checkAddr := func(row int) error {
+		if in.PC < 0 || in.PC >= hbm.NumPseudoChannels {
+			return fmt.Errorf("pseudo channel %d out of range", in.PC)
+		}
+		if in.Bank < 0 || in.Bank >= hbm.NumBanks {
+			return fmt.Errorf("bank %d out of range", in.Bank)
+		}
+		if row < 0 || row >= hbm.NumRows {
+			return fmt.Errorf("row %d out of range", row)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpAct, OpFillRow, OpReadRow, OpHammerSingle:
+		if err := checkAddr(in.Row); err != nil {
+			return err
+		}
+		if in.Op == OpHammerSingle && in.Count < 0 {
+			return fmt.Errorf("negative hammer count %d", in.Count)
+		}
+	case OpHammer:
+		if err := checkAddr(in.Row); err != nil {
+			return err
+		}
+		if err := checkAddr(in.Row2); err != nil {
+			return err
+		}
+		if in.Count < 0 {
+			return fmt.Errorf("negative hammer count %d", in.Count)
+		}
+	case OpPre:
+		if err := checkAddr(0); err != nil {
+			return err
+		}
+	case OpRd, OpWr:
+		if err := checkAddr(0); err != nil {
+			return err
+		}
+		if in.Col < 0 || in.Col >= hbm.NumCols {
+			return fmt.Errorf("column %d out of range", in.Col)
+		}
+	case OpRef:
+		// No operands.
+	case OpSleep:
+		if in.Dur < 0 {
+			return fmt.Errorf("negative sleep %d", in.Dur)
+		}
+	case OpLoop:
+		if in.Count < 0 {
+			return fmt.Errorf("negative loop count %d", in.Count)
+		}
+		return validateInstrs(in.Body, depth+1)
+	default:
+		return fmt.Errorf("unknown opcode %d", int(in.Op))
+	}
+	return nil
+}

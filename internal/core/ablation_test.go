@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/rowmap"
+	"hbmrd/internal/trr"
+)
+
+// Ablation tests: vary the design parameters DESIGN.md calls out and check
+// the system-level consequences move the way the mechanism predicts. These
+// double as regression tests for the causal link between the TRR tracker
+// design and the Fig 16 bypass threshold.
+
+func ablationFleet(t *testing.T, trrCfg trr.Config) []*TestChip {
+	t.Helper()
+	fleet, err := NewFleet([]int{0},
+		hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows}),
+		hbm.WithTRRConfig(trrCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+// TestAblationTrackerSizeMovesBypassThreshold: the paper's ">=4 dummy rows"
+// threshold is exactly the tracker's table size. Shrinking the table to 2
+// entries must move the bypass threshold to 2 dummies.
+func TestAblationTrackerSizeMovesBypassThreshold(t *testing.T) {
+	cfg := trr.DefaultConfig()
+	cfg.TableSize = 2
+	fleet := ablationFleet(t, cfg)
+
+	recs, err := RunBypass(fleet, BypassConfig{
+		Victims:     []int{6000},
+		DummyCounts: []int{1, 2, 3},
+		AggActs:     []int{26},
+		Windows:     8205,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ber := map[int]float64{}
+	for _, r := range recs {
+		ber[r.Dummies] = r.BERPercent
+	}
+	if ber[1] != 0 {
+		t.Errorf("1 dummy vs 2-entry tracker: BER %.4f%%, want 0 (aggressor tracked)", ber[1])
+	}
+	for _, d := range []int{2, 3} {
+		if ber[d] == 0 {
+			t.Errorf("%d dummies vs 2-entry tracker: BER 0, want bypass", d)
+		}
+	}
+}
+
+// TestAblationTRRPeriodVisibleToSideChannel is covered in internal/utrr
+// (DiscoverPeriod against an 11-REF engine); here we check the system-level
+// effect: a *more frequent* TRR (period 2) still cannot stop the bypass
+// pattern, because the tracker never sees the aggressors at all.
+func TestAblationFrequentTRRStillBypassed(t *testing.T) {
+	cfg := trr.DefaultConfig()
+	cfg.Period = 2
+	fleet := ablationFleet(t, cfg)
+	recs, err := RunBypass(fleet, BypassConfig{
+		Victims:     []int{6000},
+		DummyCounts: []int{6},
+		AggActs:     []int{30},
+		Windows:     8205,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].BERPercent == 0 {
+		t.Error("bypass defeated by a frequent TRR; the tracker design, not the cadence, should gate it")
+	}
+}
+
+// TestAblationNoTRRMakesPlainHammeringWork: with the engine disabled, even
+// the plain double-sided pattern (no dummies) flips bits under refresh.
+func TestAblationNoTRRMakesPlainHammeringWork(t *testing.T) {
+	fleet := ablationFleet(t, trr.Config{Enabled: false})
+	ch, err := fleet[0].Chip.Channel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := bankRef{tc: fleet[0], ch: ch, pc: 0, bnk: 0}
+	const victim = 6000
+	if err := ref.initPattern(victim, 3 /* Checkered0 */); err != nil {
+		t.Fatal(err)
+	}
+	budget := fleet[0].Chip.Timing().ActBudgetPerREFI()
+	agg := budget / 2
+	for w := 0; w < 8205; w++ {
+		if err := ch.HammerRows(0, 0,
+			[]int{victim - 1, victim + 1}, []int{agg, budget - agg}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flips, err := ref.readFlips(victim, 0x55, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips == 0 {
+		t.Error("no bitflips without TRR; the protection ablation is vacuous")
+	}
+}
+
+// TestAblationIdentifyThresholdGatesProtection: raising the identification
+// threshold above the aggressor count disables rule (ii); with dummies
+// absorbing rule (i)'s first-ACT slot, the victim flips even with only one
+// dummy row.
+func TestAblationIdentifyThresholdGatesProtection(t *testing.T) {
+	cfg := trr.DefaultConfig()
+	cfg.IdentifyThreshold = 100 // far above any per-window count
+	fleet := ablationFleet(t, cfg)
+	recs, err := RunBypass(fleet, BypassConfig{
+		Victims:     []int{6000},
+		DummyCounts: []int{1},
+		AggActs:     []int{30},
+		Windows:     8205,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].BERPercent == 0 {
+		t.Error("victim protected although the count rule cannot fire and the first ACT is a dummy")
+	}
+}

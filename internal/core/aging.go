@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hbmrd/internal/pattern"
+	"hbmrd/internal/stats"
+)
+
+// AgingConfig parameterizes the Fig 10 experiment: the paper re-measures
+// BER on Chips 2-5 after keeping them powered for 7 more months (3072
+// rows, 3 channels, Checkered1).
+type AgingConfig struct {
+	// BER is the underlying measurement configuration; the pattern
+	// defaults to Checkered1 and channels to {0,1,2}.
+	BER BERConfig
+	// AdditionalMonths is the powered-on time between the two
+	// measurements (default 7).
+	AdditionalMonths float64
+}
+
+// AgingRecord pairs one row's BER before and after aging.
+type AgingRecord struct {
+	Chip, Channel, Row int
+	OldBERPercent      float64
+	NewBERPercent      float64
+}
+
+// RunAging measures BER, advances each chip's powered-on age, and measures
+// again. The chips' ages are restored afterwards.
+func RunAging(fleet []*TestChip, cfg AgingConfig) ([]AgingRecord, error) {
+	if cfg.AdditionalMonths == 0 {
+		cfg.AdditionalMonths = 7
+	}
+	if len(cfg.BER.Patterns) == 0 {
+		cfg.BER.Patterns = []pattern.Pattern{pattern.Checkered1}
+	}
+	if len(cfg.BER.Channels) == 0 {
+		cfg.BER.Channels = []int{0, 1, 2}
+	}
+
+	before, err := RunBER(fleet, cfg.BER)
+	if err != nil {
+		return nil, fmt.Errorf("core: aging baseline: %w", err)
+	}
+	for _, tc := range fleet {
+		m := tc.Chip.Model()
+		m.SetAgeMonths(m.AgeMonths() + cfg.AdditionalMonths)
+	}
+	after, err := RunBER(fleet, cfg.BER)
+	for _, tc := range fleet {
+		m := tc.Chip.Model()
+		m.SetAgeMonths(m.AgeMonths() - cfg.AdditionalMonths)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: aged measurement: %w", err)
+	}
+
+	type key struct{ chip, ch, pc, bank, row int }
+	oldBER := make(map[key]float64, len(before))
+	for _, r := range before {
+		if r.WCDP {
+			continue
+		}
+		oldBER[key{r.Chip, r.Channel, r.Pseudo, r.Bank, r.Row}] = r.BERPercent
+	}
+	var out []AgingRecord
+	for _, r := range after {
+		if r.WCDP {
+			continue
+		}
+		old, ok := oldBER[key{r.Chip, r.Channel, r.Pseudo, r.Bank, r.Row}]
+		if !ok {
+			continue
+		}
+		out = append(out, AgingRecord{
+			Chip: r.Chip, Channel: r.Channel, Row: r.Row,
+			OldBERPercent: old, NewBERPercent: r.BERPercent,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Chip != b.Chip:
+			return a.Chip < b.Chip
+		case a.Channel != b.Channel:
+			return a.Channel < b.Channel
+		default:
+			return a.Row < b.Row
+		}
+	})
+	return out, nil
+}
+
+// AgingSummary aggregates Fig 10's two panels: the distribution of
+// New/Old for rows whose BER rose and Old/New for the rest, plus the
+// up/down row counts the paper quotes (18713 vs 17973).
+type AgingSummary struct {
+	RowsUp, RowsDown, RowsEqual int
+	// UpRatioPercentiles and DownRatioPercentiles hold P1..P99 of the
+	// respective ratio distributions at the paper's percentile marks.
+	Percentiles          []float64
+	UpRatioPercentiles   []float64
+	DownRatioPercentiles []float64
+}
+
+// SummarizeAging computes the Fig 10 statistics. Rows with a zero BER on
+// the shrinking side are excluded from ratio distributions (as outliers,
+// like the paper's 178 omitted rows).
+func SummarizeAging(recs []AgingRecord) AgingSummary {
+	ps := []float64{1, 5, 10, 25, 50, 75, 90, 95, 99}
+	var up, down []float64
+	s := AgingSummary{Percentiles: ps}
+	for _, r := range recs {
+		switch {
+		case r.NewBERPercent > r.OldBERPercent:
+			s.RowsUp++
+			if r.OldBERPercent > 0 {
+				up = append(up, r.NewBERPercent/r.OldBERPercent)
+			}
+		case r.NewBERPercent < r.OldBERPercent:
+			s.RowsDown++
+			if r.NewBERPercent > 0 {
+				down = append(down, r.OldBERPercent/r.NewBERPercent)
+			}
+		default:
+			s.RowsEqual++
+		}
+	}
+	s.UpRatioPercentiles = stats.Percentiles(up, ps)
+	s.DownRatioPercentiles = stats.Percentiles(down, ps)
+	return s
+}

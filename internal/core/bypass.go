@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+)
+
+// BypassConfig parameterizes the Fig 16 experiment: the specialized access
+// pattern that defeats the undocumented TRR mechanism. Per tREFI the
+// pattern spends the full 78-ACT budget: first the dummy rows, then the
+// double-sided aggressor pair; a REF closes every interval. The paper
+// repeats the pattern for two refresh windows (8205*2 intervals) per
+// victim and sweeps the number of dummy rows (x-axis) and the aggressor
+// activation count (boxes).
+type BypassConfig struct {
+	Channel int
+	Pseudo  int
+	Bank    int
+	// Victims are physical victim rows (default SampleRows(6)).
+	Victims []int
+	// DummyCounts sweeps the number of dummy rows (default 1..10).
+	DummyCounts []int
+	// AggActs sweeps per-aggressor activations per tREFI (default
+	// 18..34 step 4; must keep 2*AggAct <= budget).
+	AggActs []int
+	// Windows is the number of tREFI intervals to run (default
+	// 2*tREFW/tREFI = 16410, the paper's 8205*2).
+	Windows int
+	// Pattern selects the victim data pattern (default Checkered0).
+	Pattern pattern.Pattern
+}
+
+func (c *BypassConfig) fill(t hbm.Timing) {
+	if len(c.Victims) == 0 {
+		c.Victims = SampleRows(6)
+	}
+	if len(c.DummyCounts) == 0 {
+		c.DummyCounts = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	}
+	if len(c.AggActs) == 0 {
+		c.AggActs = []int{18, 22, 26, 30, 34}
+	}
+	if c.Windows == 0 {
+		c.Windows = 2 * int(t.TREFW/t.TREFI)
+	}
+	if c.Pattern == 0 {
+		c.Pattern = pattern.Checkered0
+	}
+}
+
+// BypassRecord is the outcome of one (dummies, aggAct, victim) run.
+type BypassRecord struct {
+	Chip, Row        int
+	Dummies, AggActs int
+	BERPercent       float64
+}
+
+// RunBypass executes the TRR bypass sweep on each chip of the fleet
+// (the paper runs it on Chip 0). Victim rows are processed in parallel
+// across configurations only per chip-channel, to keep device access
+// serialized.
+func RunBypass(fleet []*TestChip, cfg BypassConfig) ([]BypassRecord, error) {
+	var (
+		mu  sync.Mutex
+		out []BypassRecord
+	)
+	var jobs []chanJob
+	for _, tc := range fleet {
+		jobs = append(jobs, chanJob{tc: tc, channel: cfg.Channel, run: func(tc *TestChip, ch *hbm.Channel) error {
+			c := cfg
+			c.fill(tc.Chip.Timing())
+			budget := tc.Chip.Timing().ActBudgetPerREFI()
+			var local []BypassRecord
+			for _, aggActs := range c.AggActs {
+				if 2*aggActs > budget {
+					return fmt.Errorf("core: aggressor activations %d exceed the %d-ACT budget", aggActs, budget)
+				}
+				for _, dummies := range c.DummyCounts {
+					for _, victim := range c.Victims {
+						ber, err := runBypassPattern(tc, ch, c, victim, dummies, aggActs, budget)
+						if err != nil {
+							return err
+						}
+						local = append(local, BypassRecord{
+							Chip: tc.Index, Row: victim, Dummies: dummies, AggActs: aggActs,
+							BERPercent: ber,
+						})
+					}
+				}
+			}
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+			return nil
+		}})
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Chip != b.Chip:
+			return a.Chip < b.Chip
+		case a.Dummies != b.Dummies:
+			return a.Dummies < b.Dummies
+		case a.AggActs != b.AggActs:
+			return a.AggActs < b.AggActs
+		default:
+			return a.Row < b.Row
+		}
+	})
+	return out, nil
+}
+
+func runBypassPattern(tc *TestChip, ch *hbm.Channel, cfg BypassConfig, victim, dummies, aggActs, budget int) (float64, error) {
+	ref := bankRef{tc: tc, ch: ch, pc: cfg.Pseudo, bnk: cfg.Bank}
+	if err := ref.initPattern(victim, cfg.Pattern); err != nil {
+		return 0, err
+	}
+
+	// Dummy rows sit far from the victim, spaced apart so they do not
+	// disturb each other or anything we measure.
+	dummyBase := victim + 2000
+	if dummyBase+4*dummies >= hbm.NumRows {
+		dummyBase = victim - 2000 - 4*dummies
+	}
+	if dummyBase < 0 {
+		return 0, fmt.Errorf("core: no room for %d dummy rows near victim %d", dummies, victim)
+	}
+
+	// Per tREFI: dummies first (the paper's pattern), then the
+	// double-sided pair, then REF.
+	dummyActsTotal := budget - 2*aggActs
+	rows := make([]int, 0, dummies+2)
+	counts := make([]int, 0, dummies+2)
+	for d := 0; d < dummies; d++ {
+		rows = append(rows, ref.logical(dummyBase+4*d))
+		counts = append(counts, dummyActsTotal/dummies)
+	}
+	rows = append(rows, ref.logical(victim-1), ref.logical(victim+1))
+	counts = append(counts, aggActs, aggActs)
+
+	for w := 0; w < cfg.Windows; w++ {
+		if err := ch.HammerRows(cfg.Pseudo, cfg.Bank, rows, counts, 0); err != nil {
+			return 0, err
+		}
+		if err := ch.Refresh(); err != nil {
+			return 0, err
+		}
+	}
+
+	flips, err := ref.readFlips(victim, cfg.Pattern.VictimByte(), nil)
+	if err != nil {
+		return 0, err
+	}
+	return float64(flips) / float64(hbm.RowBits) * 100, nil
+}

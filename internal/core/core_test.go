@@ -1,0 +1,494 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+	"hbmrd/internal/rowmap"
+)
+
+func smallFleet(t *testing.T, indices ...int) []*TestChip {
+	t.Helper()
+	fleet, err := NewFleet(indices, hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+func TestSampleRows(t *testing.T) {
+	rows := SampleRows(16)
+	if len(rows) != 16 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r < 2 || r > hbm.NumRows-3 {
+			t.Errorf("row %d out of safe range", r)
+		}
+		if i > 0 && rows[i-1] >= r {
+			t.Error("rows not strictly increasing")
+		}
+	}
+	if rows[0] != 2 || rows[len(rows)-1] != hbm.NumRows-3 {
+		t.Error("sample does not span the bank")
+	}
+	if got := SampleRows(1); len(got) != 1 {
+		t.Error("n=1 broken")
+	}
+	if SampleRows(0) != nil {
+		t.Error("n=0 should be nil")
+	}
+}
+
+func TestRegionRows(t *testing.T) {
+	rows := RegionRows(4)
+	hasLow, hasMid, hasHigh := false, false, false
+	for _, r := range rows {
+		switch {
+		case r < 100:
+			hasLow = true
+		case r > hbm.NumRows/2-100 && r < hbm.NumRows/2+100:
+			hasMid = true
+		case r > hbm.NumRows-100:
+			hasHigh = true
+		}
+	}
+	if !hasLow || !hasMid || !hasHigh {
+		t.Errorf("regions not covered: %v", rows)
+	}
+}
+
+func TestNewFleetErrors(t *testing.T) {
+	if _, err := NewFleet(nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewFleet([]int{7}); err == nil {
+		t.Error("chip 7 accepted")
+	}
+}
+
+func TestRunBERBasics(t *testing.T) {
+	fleet := smallFleet(t, 0)
+	cfg := BERConfig{
+		Channels: []int{0, 3},
+		Rows:     SampleRows(6),
+		Patterns: []pattern.Pattern{pattern.Checkered0, pattern.Rowstripe0},
+		Reps:     2,
+	}
+	recs, err := RunBER(fleet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 chip x 2 channels x 1 pc x 1 bank x 6 rows x (2 patterns + WCDP).
+	want := 2 * 6 * 3
+	if len(recs) != want {
+		t.Fatalf("%d records, want %d", len(recs), want)
+	}
+	wcdp := 0
+	for _, r := range recs {
+		if r.BERPercent < 0 || r.BERPercent > 7 {
+			t.Errorf("BER %.3f%% out of plausible range", r.BERPercent)
+		}
+		if r.WCDP {
+			wcdp++
+		}
+	}
+	if wcdp != 2*6 {
+		t.Errorf("%d WCDP records, want %d", wcdp, 2*6)
+	}
+	// Mean BER across rows should be in the chip's calibrated ballpark.
+	mean := 0.0
+	n := 0
+	for _, r := range recs {
+		if r.WCDP {
+			mean += r.BERPercent
+			n++
+		}
+	}
+	mean /= float64(n)
+	if mean < 0.2 || mean > 3.5 {
+		t.Errorf("mean WCDP BER %.3f%% far from Chip 0's ~1.3%%", mean)
+	}
+}
+
+func TestRunBERDeterministic(t *testing.T) {
+	cfg := BERConfig{Channels: []int{1}, Rows: []int{5000, 9000}, Patterns: []pattern.Pattern{pattern.Checkered1}, Reps: 1}
+	a, err := RunBER(smallFleet(t, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBER(smallFleet(t, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical experiments on fresh chips diverged")
+	}
+}
+
+func TestRunBERMasksForFig17(t *testing.T) {
+	fleet := smallFleet(t, 4)
+	recs, err := RunBER(fleet, BERConfig{
+		Channels: []int{0}, Rows: SampleRows(4),
+		Patterns: []pattern.Pattern{pattern.Checkered0}, Reps: 2, CollectMasks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMask := 0
+	for _, r := range recs {
+		if r.Mask != nil {
+			withMask++
+			flips := 0
+			for _, b := range r.Mask {
+				for x := b; x != 0; x &= x - 1 {
+					flips++
+				}
+			}
+			if r.BERPercent > 0 && flips == 0 {
+				t.Error("nonzero BER but empty mask")
+			}
+		}
+	}
+	if withMask == 0 {
+		t.Error("no masks collected")
+	}
+}
+
+func TestRunHCFirstNearFloor(t *testing.T) {
+	fleet := smallFleet(t, 5)
+	recs, err := RunHCFirst(fleet, HCFirstConfig{
+		Channels: []int{0, 2, 4, 6},
+		Rows:     SampleRows(12),
+		Patterns: []pattern.Pattern{pattern.Checkered0},
+		Reps:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minHC := 1 << 30
+	found := 0
+	for _, r := range recs {
+		if r.WCDP || !r.Found {
+			continue
+		}
+		found++
+		if r.HCFirst < minHC {
+			minHC = r.HCFirst
+		}
+	}
+	if found == 0 {
+		t.Fatal("no HCfirst found anywhere")
+	}
+	floor := fleet[0].Chip.Profile().HCFloor
+	if float64(minHC) < floor*0.4 || float64(minHC) > floor*4 {
+		t.Errorf("min HCfirst %d far from Chip 5 floor %.0f", minHC, floor)
+	}
+}
+
+func TestWCDPPicksSmallestHCFirst(t *testing.T) {
+	fleet := smallFleet(t, 0)
+	recs, err := RunHCFirst(fleet, HCFirstConfig{
+		Channels: []int{0},
+		Rows:     []int{4096, 8000},
+		Reps:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRow := map[int][]HCFirstRecord{}
+	for _, r := range recs {
+		byRow[r.Row] = append(byRow[r.Row], r)
+	}
+	for row, rs := range byRow {
+		var wcdp *HCFirstRecord
+		minHC := 1 << 30
+		for i := range rs {
+			if rs[i].WCDP {
+				wcdp = &rs[i]
+			} else if rs[i].Found && rs[i].HCFirst < minHC {
+				minHC = rs[i].HCFirst
+			}
+		}
+		if wcdp == nil {
+			t.Fatalf("row %d has no WCDP record", row)
+		}
+		if wcdp.HCFirst != minHC {
+			t.Errorf("row %d: WCDP HCfirst %d != min %d", row, wcdp.HCFirst, minHC)
+		}
+	}
+}
+
+func TestRunHCNthMonotoneAndFig12(t *testing.T) {
+	fleet := smallFleet(t, 1)
+	recs, err := RunHCNth(fleet, HCNthConfig{
+		Channels: []int{0},
+		Rows:     SampleRows(20),
+		Patterns: []pattern.Pattern{pattern.Checkered0},
+		MaxFlips: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okRecs := 0
+	for _, r := range recs {
+		if !r.Found {
+			continue
+		}
+		okRecs++
+		if len(r.HC) != 10 {
+			t.Fatalf("row %d: %d hammer counts", r.Row, len(r.HC))
+		}
+		for k := 1; k < len(r.HC); k++ {
+			if r.HC[k] < r.HC[k-1] {
+				t.Errorf("row %d: HC%d (%d) < HC%d (%d)", r.Row, k+1, r.HC[k], k, r.HC[k-1])
+			}
+		}
+		norm := r.Normalized()
+		if norm[0] != 1 {
+			t.Error("normalized HC1 must be 1")
+		}
+		if norm[9] < 1.0 || norm[9] > 9 {
+			t.Errorf("row %d: HC10/HC1 = %.2f out of plausible range", r.Row, norm[9])
+		}
+	}
+	if okRecs < 10 {
+		t.Fatalf("only %d complete rows", okRecs)
+	}
+	stats12, err := ComputeFig12(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats12) != 1 || stats12[0].Chip != 1 {
+		t.Fatalf("fig12 stats: %+v", stats12)
+	}
+	if stats12[0].Pearson > 0.2 {
+		t.Errorf("Pearson %.2f strongly positive; paper reports -0.34..-0.45", stats12[0].Pearson)
+	}
+}
+
+func TestRunVariabilityRanges(t *testing.T) {
+	fleet := smallFleet(t, 0)
+	recs, err := RunVariability(fleet, VariabilityConfig{
+		Rows:       SampleRows(8),
+		Iterations: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := 0
+	for _, r := range recs {
+		if !r.MeasuredRatios {
+			continue
+		}
+		measured++
+		if r.Ratio() < 1 {
+			t.Errorf("row %d: max/min ratio %.3f below 1", r.Row, r.Ratio())
+		}
+		if r.Ratio() > 3 {
+			t.Errorf("row %d: ratio %.3f beyond paper's ~2.23 max", r.Row, r.Ratio())
+		}
+	}
+	if measured == 0 {
+		t.Fatal("no measurable rows")
+	}
+}
+
+func TestRowPressBERGrowsWithTAggON(t *testing.T) {
+	fleet := smallFleet(t, 3)
+	recs, err := RunRowPressBER(fleet, RowPressBERConfig{
+		Channels: []int{0},
+		Rows:     RegionRows(3),
+		TAggONs:  []hbm.TimePS{29 * hbm.NS, 116 * hbm.NS, 3_900 * hbm.NS, 35_100 * hbm.NS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("%d records", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].BERPercent < recs[i-1].BERPercent {
+			t.Errorf("BER fell from %.3f%% to %.3f%% as tAggON grew to %d",
+				recs[i-1].BERPercent, recs[i].BERPercent, recs[i].TAggON)
+		}
+	}
+	last := recs[len(recs)-1]
+	if last.BERPercent < 20 {
+		t.Errorf("BER at 35.1us = %.2f%%, paper sees ~50%%", last.BERPercent)
+	}
+	if last.RetentionBERPercent <= 0 {
+		t.Error("long RowPress run reported no retention baseline")
+	}
+	if last.RetentionBERPercent > 1 {
+		t.Errorf("retention BER %.3f%% too high (paper: 0.134%% at 10.53 s)", last.RetentionBERPercent)
+	}
+}
+
+func TestRowPressHCFirstShrinksWithTAggON(t *testing.T) {
+	fleet := smallFleet(t, 2)
+	recs, err := RunRowPressHC(fleet, RowPressHCConfig{
+		Channels: []int{0},
+		Rows:     SampleRows(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRow := map[int][]RowPressHCRecord{}
+	for _, r := range recs {
+		byRow[r.Row] = append(byRow[r.Row], r)
+	}
+	for row, rs := range byRow {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Found && rs[i-1].Found && rs[i].HCFirst > rs[i-1].HCFirst {
+				t.Errorf("row %d: HCfirst grew from %d to %d with larger tAggON", row, rs[i-1].HCFirst, rs[i].HCFirst)
+			}
+		}
+		final := rs[len(rs)-1] // 16 ms
+		if final.Found && final.HCFirst != 1 {
+			t.Errorf("row %d: HCfirst at 16 ms = %d, paper observes 1", row, final.HCFirst)
+		}
+		// The paper picked 16 ms so one activation per aggressor fits the
+		// 32 ms refresh window exactly; the eligibility filter must agree.
+		if final.Found && final.HCFirst == 1 && !final.WithinWindow {
+			t.Errorf("row %d: single 16 ms activation flagged outside the refresh window", row)
+		}
+	}
+}
+
+func TestRunBypassDummyThreshold(t *testing.T) {
+	fleet := smallFleet(t, 0)
+	cfg := BypassConfig{
+		Victims:     []int{6000, 9000},
+		DummyCounts: []int{2, 3, 4, 6},
+		AggActs:     []int{26},
+		Windows:     8205,
+	}
+	recs, err := RunBypass(fleet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	berByDummies := map[int]float64{}
+	for _, r := range recs {
+		berByDummies[r.Dummies] += r.BERPercent
+	}
+	for _, d := range []int{2, 3} {
+		if berByDummies[d] != 0 {
+			t.Errorf("%d dummies: BER %.4f%%, paper observes 0 (TRR protects)", d, berByDummies[d])
+		}
+	}
+	for _, d := range []int{4, 6} {
+		if berByDummies[d] == 0 {
+			t.Errorf("%d dummies: BER 0, paper's bypass induces flips", d)
+		}
+	}
+}
+
+func TestScanSubarrayBoundaries(t *testing.T) {
+	fleet := smallFleet(t, 0)
+	bounds, err := ScanSubarrayBoundaries(fleet[0], SubarrayScanConfig{
+		FromRow: 800, ToRow: 864,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 1 || bounds[0] != 832 {
+		t.Errorf("discovered boundaries %v, want [832]", bounds)
+	}
+}
+
+func TestReverseEngineerMappingOnSwizzledChip(t *testing.T) {
+	fleet, err := NewFleet([]int{0}) // default vendor swizzle mapping
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := fleet[0]
+	logical := make([]int, 48)
+	for i := range logical {
+		logical[i] = i
+	}
+	paths, err := ReverseEngineerMapping(tc, SubarrayScanConfig{}, logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths recovered")
+	}
+	m := tc.Chip.Mapper()
+	covered := 0
+	for _, p := range paths {
+		covered += len(p)
+		for i := 1; i < len(p); i++ {
+			a, b := m.ToPhysical(p[i-1]), m.ToPhysical(p[i])
+			if a-b != 1 && b-a != 1 {
+				t.Fatalf("path entries %d,%d map to non-adjacent physical rows %d,%d", p[i-1], p[i], a, b)
+			}
+		}
+	}
+	if covered < 40 {
+		t.Errorf("paths cover only %d of 48 probed rows", covered)
+	}
+}
+
+func TestRunAgingSkewsUp(t *testing.T) {
+	fleet := smallFleet(t, 4)
+	recs, err := RunAging(fleet, AgingConfig{
+		BER: BERConfig{Channels: []int{0}, Rows: SampleRows(40), Reps: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SummarizeAging(recs)
+	if s.RowsUp+s.RowsDown+s.RowsEqual != len(recs) {
+		t.Error("summary counts do not add up")
+	}
+	if s.RowsUp == 0 {
+		t.Error("no rows increased in BER after aging")
+	}
+	for _, p := range s.UpRatioPercentiles {
+		if p < 1 {
+			t.Errorf("up-ratio percentile %v below 1", p)
+		}
+	}
+	// Age restored afterwards.
+	if got := fleet[0].Chip.Model().AgeMonths(); got != fleet[0].Chip.Profile().AgeMonthsAtStart {
+		t.Errorf("chip age not restored: %v", got)
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	if len(t1) != 3 {
+		t.Fatalf("Table 1 has %d rows", len(t1))
+	}
+	if t1[0].Bytes != [4]byte{0x00, 0xFF, 0x55, 0xAA} {
+		t.Errorf("victim bytes %v", t1[0].Bytes)
+	}
+	if t1[1].Bytes != [4]byte{0xFF, 0x00, 0xAA, 0x55} {
+		t.Errorf("aggressor bytes %v", t1[1].Bytes)
+	}
+	t2 := Table2()
+	if len(t2) != 4 || t2[0].RowsPerBank != 16384 || t2[1].RowsPerBank != 3072 || t2[2].Channels != 3 {
+		t.Errorf("Table 2 mismatch: %+v", t2)
+	}
+}
+
+func TestFilterHelpers(t *testing.T) {
+	recs := []BERRecord{{Chip: 0, BERPercent: 1}, {Chip: 1, BERPercent: 2}}
+	got := FilterBER(recs, func(r BERRecord) bool { return r.Chip == 1 })
+	if len(got) != 1 || got[0].BERPercent != 2 {
+		t.Error("FilterBER broken")
+	}
+	if vs := BERValues(recs); len(vs) != 2 || vs[1] != 2 {
+		t.Error("BERValues broken")
+	}
+	hres := []HCFirstRecord{{HCFirst: 5, Found: true}, {HCFirst: 9, Found: false}}
+	if vs := HCValues(hres); len(vs) != 1 || vs[0] != 5 {
+		t.Error("HCValues broken")
+	}
+	if got := FilterHCFirst(hres, func(r HCFirstRecord) bool { return r.Found }); len(got) != 1 {
+		t.Error("FilterHCFirst broken")
+	}
+}

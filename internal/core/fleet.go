@@ -1,0 +1,155 @@
+// Package core is the characterization engine: it reproduces every
+// experiment in the paper's evaluation (Figs 3-17, Tables 1-2) by driving
+// simulated HBM2 chips through their command interface, exactly following
+// the methodology of §3 (double-sided patterns, disabled refresh and ECC,
+// per-row repetition policy, retention filtering, WCDP selection).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hbmrd/internal/hbm"
+)
+
+// TestChip couples a chip with its identity in the study (Chip 0-5).
+type TestChip struct {
+	// Index is the paper's chip label (0-5).
+	Index int
+	// Chip is the device under test.
+	Chip *hbm.Chip
+}
+
+// NewFleet builds the requested subset of the paper's six chips. ECC is
+// disabled on every chip, as in all of the paper's experiments (§3.1).
+func NewFleet(indices []int, opts ...hbm.Option) ([]*TestChip, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("core: empty fleet")
+	}
+	fleet := make([]*TestChip, 0, len(indices))
+	for _, idx := range indices {
+		chip, err := hbm.NewBuiltin(idx, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: building chip %d: %w", idx, err)
+		}
+		chip.SetECC(false)
+		fleet = append(fleet, &TestChip{Index: idx, Chip: chip})
+	}
+	return fleet, nil
+}
+
+// AllChips lists the paper's six chip indices.
+func AllChips() []int { return []int{0, 1, 2, 3, 4, 5} }
+
+// NewFullFleet builds all six chips.
+func NewFullFleet(opts ...hbm.Option) ([]*TestChip, error) {
+	return NewFleet(AllChips(), opts...)
+}
+
+// chanJob is one unit of parallel work: everything a job touches lives on
+// one channel of one chip, so jobs never contend on device locks.
+type chanJob struct {
+	tc      *TestChip
+	channel int
+	run     func(tc *TestChip, ch *hbm.Channel) error
+}
+
+// runJobs executes channel jobs on a bounded worker pool and returns the
+// first error (after all workers drain).
+func runJobs(jobs []chanJob) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	next := make(chan chanJob)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range next {
+				ch, err := job.tc.Chip.Channel(job.channel)
+				if err == nil {
+					err = job.run(job.tc, ch)
+				}
+				if err != nil {
+					mu.Lock()
+					if first == nil {
+						first = fmt.Errorf("core: chip %d channel %d: %w", job.tc.Index, job.channel, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	return first
+}
+
+// SampleRows returns n physical victim rows spread evenly across a bank,
+// clamped away from the bank edges (victims need two physical neighbours
+// on each side). The first, middle, and last regions of the bank are
+// always represented, matching how the paper samples rows.
+func SampleRows(n int) []int {
+	const lo, hi = 2, hbm.NumRows - 3
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{hbm.NumRows / 2}
+	}
+	rows := make([]int, 0, n)
+	span := hi - lo
+	for i := 0; i < n; i++ {
+		rows = append(rows, lo+span*i/(n-1))
+	}
+	return dedupSorted(rows)
+}
+
+// RegionRows returns count physical rows from each of the beginning,
+// middle, and end of a bank (the paper's "first, middle, and last N rows"
+// sampling for Figs 9, 11, and 14).
+func RegionRows(count int) []int {
+	rows := make([]int, 0, 3*count)
+	for i := 0; i < count; i++ {
+		rows = append(rows, 2+i)
+		rows = append(rows, hbm.NumRows/2-count/2+i)
+		rows = append(rows, hbm.NumRows-3-count+i)
+	}
+	return dedupSorted(rows)
+}
+
+func dedupSorted(rows []int) []int {
+	sort.Ints(rows)
+	out := rows[:0]
+	prev := -1
+	for _, r := range rows {
+		if r != prev {
+			out = append(out, r)
+			prev = r
+		}
+	}
+	return out
+}
+
+// Channels returns channel indices 0..n-1.
+func Channels(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

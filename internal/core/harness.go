@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+)
+
+// bankRef addresses one bank on one channel, with the chip's
+// logical-to-physical mapping applied so experiments can think in physical
+// rows (spatial analyses are physical) while the device only ever sees
+// logical addresses.
+type bankRef struct {
+	tc      *TestChip
+	ch      *hbm.Channel
+	pc, bnk int
+}
+
+func (b bankRef) logical(phys int) int { return b.tc.Chip.Mapper().ToLogical(phys) }
+
+// initPattern writes the Table 1 data layout around a physical victim row:
+// the victim and V+-2 take the victim byte, the aggressors V+-1 the
+// complement.
+func (b bankRef) initPattern(victimPhys int, p pattern.Pattern) error {
+	for d := -2; d <= 2; d++ {
+		phys := victimPhys + d
+		if phys < 0 || phys >= hbm.NumRows {
+			return fmt.Errorf("core: victim %d too close to the bank edge", victimPhys)
+		}
+		fillByte := p.VictimByte()
+		if d == -1 || d == 1 {
+			fillByte = p.AggressorByte()
+		}
+		if err := b.ch.FillRow(b.pc, b.bnk, b.logical(phys), fillByte); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hammerAndCount initializes the pattern, performs a double-sided hammer
+// of `count` activations per aggressor with the given row-on time, reads
+// the victim back, and returns the number of bitflips. If mask is
+// non-nil (RowBytes), the victim's flip mask is OR-ed into it.
+func (b bankRef) hammerAndCount(victimPhys int, p pattern.Pattern, count int, tOn hbm.TimePS, mask []byte) (int, error) {
+	if err := b.initPattern(victimPhys, p); err != nil {
+		return 0, err
+	}
+	if err := b.ch.HammerDoubleSided(b.pc, b.bnk,
+		b.logical(victimPhys-1), b.logical(victimPhys+1), count, tOn); err != nil {
+		return 0, err
+	}
+	return b.readFlips(victimPhys, p.VictimByte(), mask)
+}
+
+// readFlips reads the victim row and counts bits differing from the
+// expected fill byte.
+func (b bankRef) readFlips(victimPhys int, expect byte, mask []byte) (int, error) {
+	buf := make([]byte, hbm.RowBytes)
+	if err := b.ch.ReadRow(b.pc, b.bnk, b.logical(victimPhys), buf); err != nil {
+		return 0, err
+	}
+	flips := 0
+	for i, v := range buf {
+		x := v ^ expect
+		flips += bits.OnesCount8(x)
+		if mask != nil {
+			mask[i] |= x
+		}
+	}
+	return flips, nil
+}
+
+// hcSearch finds the smallest hammer count in [lo, hi] inducing at least
+// minFlips bitflips, within ~1% multiplicative tolerance, for one trial.
+// found is false when even hi does not reach minFlips.
+func (b bankRef) hcSearch(victimPhys int, p pattern.Pattern, minFlips, lo, hi int, tOn hbm.TimePS) (hc int, found bool, err error) {
+	if lo < 1 {
+		lo = 1
+	}
+	n, err := b.hammerAndCount(victimPhys, p, hi, tOn, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	if n < minFlips {
+		return 0, false, nil
+	}
+	n, err = b.hammerAndCount(victimPhys, p, lo, tOn, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	if n >= minFlips {
+		return lo, true, nil
+	}
+	// Terminate on either a 1% multiplicative tolerance or an exhausted
+	// integer interval (hi-lo == 1 has no midpoint: without the second
+	// bound, rows whose first flip needs exactly lo+1 activations - which
+	// happens at extreme tAggON values - would spin forever).
+	for hi-lo > 1 && float64(hi)/float64(lo) > 1.01 {
+		mid := intSqrt(lo, hi)
+		n, err := b.hammerAndCount(victimPhys, p, mid, tOn, nil)
+		if err != nil {
+			return 0, false, err
+		}
+		if n >= minFlips {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}
+
+// hcSearchMin runs hcSearch reps times and returns the minimum observed
+// hammer count, the paper's repetition policy for HCfirst experiments
+// (§3.1: minimum across five repetitions).
+func (b bankRef) hcSearchMin(victimPhys int, p pattern.Pattern, minFlips, lo, hi, reps int, tOn hbm.TimePS) (int, bool, error) {
+	best := 0
+	found := false
+	for r := 0; r < reps; r++ {
+		hc, ok, err := b.hcSearch(victimPhys, p, minFlips, lo, hi, tOn)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok && (!found || hc < best) {
+			best, found = hc, true
+		}
+	}
+	return best, found, nil
+}
+
+// intSqrt returns the integer geometric mean of lo and hi, strictly
+// between them (callers guarantee hi-lo > 1).
+func intSqrt(lo, hi int) int {
+	m := int(isqrt(uint64(lo) * uint64(hi)))
+	if m <= lo {
+		m = lo + 1
+	}
+	if m >= hi {
+		m = hi - 1
+	}
+	return m
+}
+
+func isqrt(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	r := uint64(1) << ((bits.Len64(x) + 1) / 2)
+	for {
+		nr := (r + x/r) / 2
+		if nr >= r {
+			return r
+		}
+		r = nr
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+)
+
+// HCFirstConfig parameterizes the HCfirst experiments behind Figs 5 and 7
+// (Table 2: 3072 rows, 3 banks, 2 pseudo channels, 8 channels at paper
+// scale).
+type HCFirstConfig struct {
+	Channels []int // default {0..7}
+	Pseudos  []int // default {0}
+	Banks    []int // default {0}
+	// Rows are physical victim rows per bank (default SampleRows(24)).
+	Rows     []int
+	Patterns []pattern.Pattern
+	// MinHammer and MaxHammer bound the search (defaults 1000 and 300K).
+	MinHammer, MaxHammer int
+	// Reps takes the minimum HCfirst across repetitions (default 5, §3.1).
+	Reps int
+	// TOn is the aggressor row-on time (default tRAS).
+	TOn hbm.TimePS
+}
+
+func (c *HCFirstConfig) fill() {
+	if len(c.Channels) == 0 {
+		c.Channels = Channels(hbm.NumChannels)
+	}
+	if len(c.Pseudos) == 0 {
+		c.Pseudos = []int{0}
+	}
+	if len(c.Banks) == 0 {
+		c.Banks = []int{0}
+	}
+	if len(c.Rows) == 0 {
+		c.Rows = SampleRows(24)
+	}
+	if len(c.Patterns) == 0 {
+		c.Patterns = pattern.All()
+	}
+	if c.MinHammer == 0 {
+		c.MinHammer = 1000
+	}
+	if c.MaxHammer == 0 {
+		c.MaxHammer = 300 * 1024
+	}
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+}
+
+// HCFirstRecord is one (row, pattern) HCfirst measurement. WCDP marks the
+// derived worst-case record: the pattern with the smallest HCfirst (ties:
+// the larger BER at 256K, measured on demand).
+type HCFirstRecord struct {
+	Chip, Channel, Pseudo, Bank, Row int
+	Pattern                          pattern.Pattern
+	WCDP                             bool
+	// HCFirst is the minimum hammer count that induced the first bitflip
+	// (minimum across repetitions). Valid only when Found.
+	HCFirst int
+	// Found is false when no bitflip occurred up to MaxHammer.
+	Found bool
+}
+
+// RunHCFirst executes the HCfirst experiment across the fleet.
+func RunHCFirst(fleet []*TestChip, cfg HCFirstConfig) ([]HCFirstRecord, error) {
+	cfg.fill()
+	var (
+		mu  sync.Mutex
+		out []HCFirstRecord
+	)
+	var jobs []chanJob
+	for _, tc := range fleet {
+		for _, chIdx := range cfg.Channels {
+			jobs = append(jobs, chanJob{tc: tc, channel: chIdx, run: func(tc *TestChip, ch *hbm.Channel) error {
+				var local []HCFirstRecord
+				for _, pc := range cfg.Pseudos {
+					for _, bank := range cfg.Banks {
+						ref := bankRef{tc: tc, ch: ch, pc: pc, bnk: bank}
+						for _, row := range cfg.Rows {
+							recs, err := hcFirstForRow(ref, ch.Index(), row, cfg)
+							if err != nil {
+								return err
+							}
+							local = append(local, recs...)
+						}
+					}
+				}
+				mu.Lock()
+				out = append(out, local...)
+				mu.Unlock()
+				return nil
+			}})
+		}
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+	sortHCFirst(out)
+	return out, nil
+}
+
+func hcFirstForRow(ref bankRef, chIdx, row int, cfg HCFirstConfig) ([]HCFirstRecord, error) {
+	recs := make([]HCFirstRecord, 0, len(cfg.Patterns)+1)
+	bestIdx := -1
+	for _, p := range cfg.Patterns {
+		hc, found, err := ref.hcSearchMin(row, p, 1, cfg.MinHammer, cfg.MaxHammer, cfg.Reps, cfg.TOn)
+		if err != nil {
+			return nil, fmt.Errorf("row %d pattern %s: %w", row, p, err)
+		}
+		recs = append(recs, HCFirstRecord{
+			Chip: ref.tc.Index, Channel: chIdx, Pseudo: ref.pc, Bank: ref.bnk, Row: row,
+			Pattern: p, HCFirst: hc, Found: found,
+		})
+		if found && (bestIdx < 0 || hc < recs[bestIdx].HCFirst) {
+			bestIdx = len(recs) - 1
+		}
+	}
+	if bestIdx >= 0 {
+		w := recs[bestIdx]
+		w.WCDP = true
+		recs = append(recs, w)
+	}
+	return recs, nil
+}
+
+func sortHCFirst(recs []HCFirstRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		switch {
+		case a.Chip != b.Chip:
+			return a.Chip < b.Chip
+		case a.Channel != b.Channel:
+			return a.Channel < b.Channel
+		case a.Pseudo != b.Pseudo:
+			return a.Pseudo < b.Pseudo
+		case a.Bank != b.Bank:
+			return a.Bank < b.Bank
+		case a.Row != b.Row:
+			return a.Row < b.Row
+		case a.WCDP != b.WCDP:
+			return !a.WCDP
+		default:
+			return a.Pattern < b.Pattern
+		}
+	})
+}
+
+// FilterHCFirst returns records matching the predicate.
+func FilterHCFirst(recs []HCFirstRecord, keep func(HCFirstRecord) bool) []HCFirstRecord {
+	var out []HCFirstRecord
+	for _, r := range recs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HCValues extracts HCFirst (as float64) from found records.
+func HCValues(recs []HCFirstRecord) []float64 {
+	var out []float64
+	for _, r := range recs {
+		if r.Found {
+			out = append(out, float64(r.HCFirst))
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/rowmap"
+)
+
+// SubarrayScanConfig parameterizes the single-sided boundary discovery of
+// §4.2 (footnote 4): hammering a row at a subarray edge disturbs only its
+// same-subarray neighbour, so boundaries show up as rows whose single-sided
+// hammering leaves one neighbour clean.
+type SubarrayScanConfig struct {
+	Channel int
+	Pseudo  int
+	Bank    int
+	// FromRow and ToRow bound the scanned physical range (inclusive,
+	// exclusive).
+	FromRow, ToRow int
+	// HammerCount and TOn size the probe; the defaults (4000 activations
+	// held open for 9*tREFI) exceed every row's threshold.
+	HammerCount int
+	TOn         hbm.TimePS
+	// Fill is the probe data pattern byte.
+	Fill byte
+}
+
+func (c *SubarrayScanConfig) fill() {
+	if c.HammerCount == 0 {
+		c.HammerCount = 4000
+	}
+	if c.TOn == 0 {
+		c.TOn = 9 * 3_900_000
+	}
+	if c.Fill == 0 {
+		c.Fill = 0x55
+	}
+}
+
+// ScanSubarrayBoundaries probes [FromRow, ToRow) and returns the physical
+// rows B such that B-1 and B lie in different subarrays.
+func ScanSubarrayBoundaries(tc *TestChip, cfg SubarrayScanConfig) ([]int, error) {
+	cfg.fill()
+	if cfg.FromRow < 1 || cfg.ToRow > hbm.NumRows-1 || cfg.FromRow >= cfg.ToRow {
+		return nil, fmt.Errorf("core: bad scan range [%d, %d)", cfg.FromRow, cfg.ToRow)
+	}
+	ch, err := tc.Chip.Channel(cfg.Channel)
+	if err != nil {
+		return nil, err
+	}
+	ref := bankRef{tc: tc, ch: ch, pc: cfg.Pseudo, bnk: cfg.Bank}
+
+	var boundaries []int
+	for agg := cfg.FromRow; agg < cfg.ToRow; agg++ {
+		coupleUp, err := singleSidedCouples(ref, agg, agg+1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !coupleUp {
+			boundaries = append(boundaries, agg+1)
+		}
+	}
+	sort.Ints(boundaries)
+	return boundaries, nil
+}
+
+// singleSidedCouples hammers aggressor agg single-sided and reports
+// whether the neighbour row took any bitflips.
+func singleSidedCouples(ref bankRef, agg, neighbor int, cfg SubarrayScanConfig) (bool, error) {
+	if neighbor < 0 || neighbor >= hbm.NumRows {
+		return false, nil
+	}
+	if err := ref.ch.FillRow(ref.pc, ref.bnk, ref.logical(neighbor), cfg.Fill); err != nil {
+		return false, err
+	}
+	if err := ref.ch.FillRow(ref.pc, ref.bnk, ref.logical(agg), ^cfg.Fill); err != nil {
+		return false, err
+	}
+	if err := ref.ch.HammerSingleSided(ref.pc, ref.bnk, ref.logical(agg), cfg.HammerCount, cfg.TOn); err != nil {
+		return false, err
+	}
+	flips, err := ref.readFlips(neighbor, cfg.Fill, nil)
+	if err != nil {
+		return false, err
+	}
+	return flips > 0, nil
+}
+
+// ReverseEngineerMapping runs the paper's §3.1 methodology on a window of
+// logical rows: hammer each row single-sided, observe which logical rows
+// take bitflips, and decompose the adjacency into physically ordered
+// paths. It returns the discovered paths (each a run of logical rows in
+// physical order).
+func ReverseEngineerMapping(tc *TestChip, cfg SubarrayScanConfig, logicalRows []int) ([][]int, error) {
+	cfg.fill()
+	ch, err := tc.Chip.Channel(cfg.Channel)
+	if err != nil {
+		return nil, err
+	}
+
+	// Immediate physical neighbours take the full coupling dose (hundreds
+	// of bitflips at probe strength) while distance-2 neighbours see only
+	// ~1.5% of it (at most a few flips on the weakest rows), so a flip
+	// threshold separates true adjacency from blast-radius noise.
+	const adjacencyMinFlips = 8
+	probe := func(logical int) ([]int, error) {
+		// Initialize a candidate, hammer `logical`, read the candidate.
+		// For tractability the scan checks candidate logical rows within a
+		// small logical distance (vendor mappings permute within small
+		// blocks).
+		var ns []int
+		for _, cand := range logicalRows {
+			if cand == logical {
+				continue
+			}
+			if delta := cand - logical; delta < -8 || delta > 8 {
+				continue
+			}
+			if err := ch.FillRow(cfg.Pseudo, cfg.Bank, cand, cfg.Fill); err != nil {
+				return nil, err
+			}
+			if err := ch.FillRow(cfg.Pseudo, cfg.Bank, logical, ^cfg.Fill); err != nil {
+				return nil, err
+			}
+			if err := ch.HammerSingleSided(cfg.Pseudo, cfg.Bank, logical, cfg.HammerCount, cfg.TOn); err != nil {
+				return nil, err
+			}
+			buf := make([]byte, hbm.RowBytes)
+			if err := ch.ReadRow(cfg.Pseudo, cfg.Bank, cand, buf); err != nil {
+				return nil, err
+			}
+			flips := 0
+			for i, b := range buf {
+				for x := b ^ cfg.Fill; x != 0; x &= x - 1 {
+					flips++
+				}
+				if flips >= adjacencyMinFlips {
+					break
+				}
+				_ = i
+			}
+			if flips >= adjacencyMinFlips {
+				ns = append(ns, cand)
+			}
+		}
+		return ns, nil
+	}
+
+	adj, err := rowmap.BuildAdjacency(probe, logicalRows)
+	if err != nil {
+		return nil, err
+	}
+	// Rows whose physical neighbours fall outside the probed window end up
+	// with degree <= 2 naturally; decompose into paths.
+	return rowmap.Paths(adj)
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"hbmrd/internal/pattern"
+)
+
+// Table1Row is one row of the paper's Table 1 (the data patterns).
+type Table1Row struct {
+	Addresses string
+	Bytes     [4]byte // Rowstripe0, Rowstripe1, Checkered0, Checkered1
+}
+
+// Table1 returns the paper's Table 1 verbatim, derived from the pattern
+// package so the table and the implementation cannot drift apart.
+func Table1() []Table1Row {
+	pats := pattern.All()
+	var victim, aggr, outer [4]byte
+	for i, p := range pats {
+		victim[i] = p.VictimByte()
+		aggr[i] = p.AggressorByte()
+		outer[i] = p.VictimByte()
+	}
+	return []Table1Row{
+		{Addresses: "Victim (V)", Bytes: victim},
+		{Addresses: "Aggressors (V±1)", Bytes: aggr},
+		{Addresses: "V±[2:8]", Bytes: outer},
+	}
+}
+
+// Table2Row is one row of the paper's Table 2 (tested components per
+// experiment type).
+type Table2Row struct {
+	Experiment     string
+	RowsPerBank    int
+	Banks          int
+	PseudoChannels int
+	Channels       int
+}
+
+// Table2 returns the paper's Table 2: the component counts of each
+// experiment type at paper scale.
+func Table2() []Table2Row {
+	return []Table2Row{
+		{Experiment: "RowHammer BER", RowsPerBank: 16384, Banks: 1, PseudoChannels: 1, Channels: 8},
+		{Experiment: "RowHammer HCfirst", RowsPerBank: 3072, Banks: 3, PseudoChannels: 2, Channels: 8},
+		{Experiment: "RowPress BER", RowsPerBank: 384, Banks: 1, PseudoChannels: 1, Channels: 3},
+		{Experiment: "RowPress HCfirst", RowsPerBank: 384, Banks: 1, PseudoChannels: 1, Channels: 3},
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+)
+
+// VariabilityConfig parameterizes the Fig 13 experiment: how much a row's
+// HCfirst moves across repeated measurements (the paper runs 50 iterations
+// on 768 rows of channel 0 per chip with Rowstripe0).
+type VariabilityConfig struct {
+	Channel int
+	Pseudo  int
+	Bank    int
+	Rows    []int // default SampleRows(16)
+	Pattern pattern.Pattern
+	// Iterations is the number of repeated HCfirst measurements (default 50).
+	Iterations           int
+	MinHammer, MaxHammer int
+	TOn                  hbm.TimePS
+}
+
+func (c *VariabilityConfig) fill() {
+	if len(c.Rows) == 0 {
+		c.Rows = SampleRows(16)
+	}
+	if c.Pattern == 0 {
+		c.Pattern = pattern.Rowstripe0
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 50
+	}
+	if c.MinHammer == 0 {
+		c.MinHammer = 1000
+	}
+	if c.MaxHammer == 0 {
+		c.MaxHammer = 300 * 1024
+	}
+}
+
+// VariabilityRecord reports one row's HCfirst range across iterations.
+type VariabilityRecord struct {
+	Chip, Row      int
+	MinHC, MaxHC   int
+	Iterations     int
+	MeasuredRatios bool // false when the row never flipped
+}
+
+// Ratio returns MaxHC/MinHC, the Fig 13 metric.
+func (r VariabilityRecord) Ratio() float64 {
+	if r.MinHC == 0 {
+		return 0
+	}
+	return float64(r.MaxHC) / float64(r.MinHC)
+}
+
+// RunVariability measures HCfirst Iterations times per row and records the
+// extremes.
+func RunVariability(fleet []*TestChip, cfg VariabilityConfig) ([]VariabilityRecord, error) {
+	cfg.fill()
+	var (
+		mu  sync.Mutex
+		out []VariabilityRecord
+	)
+	var jobs []chanJob
+	for _, tc := range fleet {
+		jobs = append(jobs, chanJob{tc: tc, channel: cfg.Channel, run: func(tc *TestChip, ch *hbm.Channel) error {
+			ref := bankRef{tc: tc, ch: ch, pc: cfg.Pseudo, bnk: cfg.Bank}
+			var local []VariabilityRecord
+			for _, row := range cfg.Rows {
+				rec := VariabilityRecord{Chip: tc.Index, Row: row, Iterations: cfg.Iterations}
+				for it := 0; it < cfg.Iterations; it++ {
+					hc, found, err := ref.hcSearch(row, cfg.Pattern, 1, cfg.MinHammer, cfg.MaxHammer, cfg.TOn)
+					if err != nil {
+						return err
+					}
+					if !found {
+						continue
+					}
+					if !rec.MeasuredRatios || hc < rec.MinHC {
+						rec.MinHC = hc
+					}
+					if hc > rec.MaxHC {
+						rec.MaxHC = hc
+					}
+					rec.MeasuredRatios = true
+				}
+				local = append(local, rec)
+			}
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+			return nil
+		}})
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Chip != out[j].Chip {
+			return out[i].Chip < out[j].Chip
+		}
+		return out[i].Row < out[j].Row
+	})
+	return out, nil
+}

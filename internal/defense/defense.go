@@ -1,0 +1,191 @@
+// Package defense quantifies the paper's §8.2 implication for read
+// disturbance defenses: a mitigation mechanism that adapts to the
+// heterogeneous distribution of vulnerability across channels and
+// subarrays (Takeaways 2 and 3) prevents bitflips at a lower preventive-
+// refresh cost than one provisioned uniformly for the worst row anywhere.
+//
+// The cost model follows counter-based mitigations (Graphene/TWiCe-style):
+// a region protected with aggressor threshold T must issue a preventive
+// victim refresh whenever any row accumulates T/2 activations within a
+// refresh window, so the worst-case mitigation rate per bank is
+// maxACTs/(T/2), where maxACTs is the activation budget of one window.
+// A uniform design must set T from the most vulnerable row of the whole
+// chip; an adaptive design sets each region's T from that region's own
+// minimum HCfirst.
+package defense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hbmrd/internal/core"
+	"hbmrd/internal/hbm"
+)
+
+// Region is one independently provisioned protection domain (a channel, a
+// die, or a subarray) with its measured vulnerability.
+type Region struct {
+	// Label names the region ("CH3", "SA10", ...).
+	Label string
+	// MinHCFirst is the smallest HCfirst measured in the region.
+	MinHCFirst float64
+	// Rows is the number of rows the region covers (cost weighting).
+	Rows int
+}
+
+// Config parameterizes the cost model.
+type Config struct {
+	// Timing supplies the activation budget per refresh window.
+	Timing hbm.Timing
+	// SafetyDivisor derates measured HCfirst into the defense threshold
+	// (threshold = MinHCFirst / SafetyDivisor); real deployments divide by
+	// 2 or more to absorb variation and aging (Fig 13 / Fig 10). Default 2.
+	SafetyDivisor float64
+}
+
+func (c *Config) fill() {
+	if c.Timing.TRC == 0 {
+		c.Timing = hbm.DefaultTiming()
+	}
+	if c.SafetyDivisor == 0 {
+		c.SafetyDivisor = 2
+	}
+}
+
+// maxActsPerWindow is the per-bank activation budget of one refresh window.
+func maxActsPerWindow(t hbm.Timing) float64 {
+	return float64(t.TREFW) / float64(t.TRC)
+}
+
+// mitigationRate returns worst-case preventive refreshes per refresh
+// window for one region protected at the given aggressor threshold.
+func mitigationRate(t hbm.Timing, threshold float64) float64 {
+	if threshold < 2 {
+		threshold = 2
+	}
+	return maxActsPerWindow(t) / (threshold / 2)
+}
+
+// CostReport compares uniform and adaptive provisioning.
+type CostReport struct {
+	// UniformRate and AdaptiveRate are worst-case preventive refreshes
+	// per refresh window, summed across regions.
+	UniformRate, AdaptiveRate float64
+	// SavingsPercent is the adaptive design's cost reduction.
+	SavingsPercent float64
+	// GlobalThreshold is the uniform design's aggressor threshold.
+	GlobalThreshold float64
+	// Regions echoes the per-region thresholds of the adaptive design.
+	Regions []RegionCost
+}
+
+// RegionCost is one region's adaptive provisioning.
+type RegionCost struct {
+	Label     string
+	Threshold float64
+	Rate      float64
+}
+
+// Compare computes the uniform-vs-adaptive mitigation cost over the given
+// regions. It returns an error when no region carries a measurement.
+func Compare(regions []Region, cfg Config) (CostReport, error) {
+	cfg.fill()
+	if len(regions) == 0 {
+		return CostReport{}, fmt.Errorf("defense: no regions")
+	}
+	globalMin := math.Inf(1)
+	for _, r := range regions {
+		if r.MinHCFirst <= 0 {
+			return CostReport{}, fmt.Errorf("defense: region %s has no HCfirst measurement", r.Label)
+		}
+		if r.MinHCFirst < globalMin {
+			globalMin = r.MinHCFirst
+		}
+	}
+	rep := CostReport{GlobalThreshold: globalMin / cfg.SafetyDivisor}
+	for _, r := range regions {
+		threshold := r.MinHCFirst / cfg.SafetyDivisor
+		rate := mitigationRate(cfg.Timing, threshold)
+		rep.Regions = append(rep.Regions, RegionCost{Label: r.Label, Threshold: threshold, Rate: rate})
+		rep.AdaptiveRate += rate
+		rep.UniformRate += mitigationRate(cfg.Timing, rep.GlobalThreshold)
+	}
+	if rep.UniformRate > 0 {
+		rep.SavingsPercent = (1 - rep.AdaptiveRate/rep.UniformRate) * 100
+	}
+	return rep, nil
+}
+
+// ProfileChannels builds per-channel regions from HCfirst experiment
+// records (the Fig 7 measurement feeds straight into the defense model).
+func ProfileChannels(recs []core.HCFirstRecord) []Region {
+	minByCh := map[int]float64{}
+	rowsByCh := map[int]int{}
+	for _, r := range recs {
+		if !r.Found || r.WCDP {
+			continue
+		}
+		hc := float64(r.HCFirst)
+		if cur, ok := minByCh[r.Channel]; !ok || hc < cur {
+			minByCh[r.Channel] = hc
+		}
+		rowsByCh[r.Channel]++
+	}
+	chs := make([]int, 0, len(minByCh))
+	for ch := range minByCh {
+		chs = append(chs, ch)
+	}
+	sort.Ints(chs)
+	regions := make([]Region, 0, len(chs))
+	for _, ch := range chs {
+		regions = append(regions, Region{
+			Label:      fmt.Sprintf("CH%d", ch),
+			MinHCFirst: minByCh[ch],
+			Rows:       rowsByCh[ch],
+		})
+	}
+	return regions
+}
+
+// ProfileSubarrays builds per-subarray regions from HCfirst records using
+// discovered subarray boundaries (ascending physical rows where a new
+// subarray starts; the implicit first boundary is row 0).
+func ProfileSubarrays(recs []core.HCFirstRecord, boundaries []int) []Region {
+	starts := append([]int{0}, boundaries...)
+	sort.Ints(starts)
+	idxOf := func(row int) int {
+		i := sort.SearchInts(starts, row+1) - 1
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	minBySA := map[int]float64{}
+	rowsBySA := map[int]int{}
+	for _, r := range recs {
+		if !r.Found || r.WCDP {
+			continue
+		}
+		sa := idxOf(r.Row)
+		hc := float64(r.HCFirst)
+		if cur, ok := minBySA[sa]; !ok || hc < cur {
+			minBySA[sa] = hc
+		}
+		rowsBySA[sa]++
+	}
+	sas := make([]int, 0, len(minBySA))
+	for sa := range minBySA {
+		sas = append(sas, sa)
+	}
+	sort.Ints(sas)
+	regions := make([]Region, 0, len(sas))
+	for _, sa := range sas {
+		regions = append(regions, Region{
+			Label:      fmt.Sprintf("SA%d", sa),
+			MinHCFirst: minBySA[sa],
+			Rows:       rowsBySA[sa],
+		})
+	}
+	return regions
+}

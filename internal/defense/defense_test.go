@@ -1,0 +1,133 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"hbmrd/internal/core"
+	"hbmrd/internal/hbm"
+)
+
+func TestCompareAdaptiveNeverCostsMore(t *testing.T) {
+	regions := []Region{
+		{Label: "CH0", MinHCFirst: 15000, Rows: 16384},
+		{Label: "CH3", MinHCFirst: 45000, Rows: 16384},
+		{Label: "CH7", MinHCFirst: 16000, Rows: 16384},
+	}
+	rep, err := Compare(regions, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AdaptiveRate > rep.UniformRate {
+		t.Errorf("adaptive rate %.0f exceeds uniform %.0f", rep.AdaptiveRate, rep.UniformRate)
+	}
+	if rep.SavingsPercent <= 0 {
+		t.Errorf("heterogeneous regions should yield savings, got %.1f%%", rep.SavingsPercent)
+	}
+	if rep.GlobalThreshold != 7500 {
+		t.Errorf("global threshold %.0f, want 15000/2", rep.GlobalThreshold)
+	}
+}
+
+func TestCompareHomogeneousNoSavings(t *testing.T) {
+	regions := []Region{
+		{Label: "A", MinHCFirst: 20000},
+		{Label: "B", MinHCFirst: 20000},
+	}
+	rep, err := Compare(regions, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.SavingsPercent) > 1e-9 {
+		t.Errorf("homogeneous regions should save nothing, got %.3f%%", rep.SavingsPercent)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(nil, Config{}); err == nil {
+		t.Error("empty regions accepted")
+	}
+	if _, err := Compare([]Region{{Label: "X"}}, Config{}); err == nil {
+		t.Error("region without measurement accepted")
+	}
+}
+
+func TestMitigationRateScalesInverselyWithThreshold(t *testing.T) {
+	tm := hbm.DefaultTiming()
+	loose := mitigationRate(tm, 40000)
+	tight := mitigationRate(tm, 10000)
+	if tight <= loose {
+		t.Error("tighter threshold must cost more")
+	}
+	if r := tight / loose; math.Abs(r-4) > 1e-9 {
+		t.Errorf("cost ratio %.3f, want 4 (threshold ratio)", r)
+	}
+}
+
+func TestProfileChannels(t *testing.T) {
+	recs := []core.HCFirstRecord{
+		{Channel: 0, HCFirst: 20000, Found: true},
+		{Channel: 0, HCFirst: 18000, Found: true},
+		{Channel: 3, HCFirst: 52000, Found: true},
+		{Channel: 3, HCFirst: 0, Found: false},               // ignored
+		{Channel: 3, HCFirst: 9000, Found: true, WCDP: true}, // derived record ignored
+	}
+	regions := ProfileChannels(recs)
+	if len(regions) != 2 {
+		t.Fatalf("%d regions", len(regions))
+	}
+	if regions[0].Label != "CH0" || regions[0].MinHCFirst != 18000 || regions[0].Rows != 2 {
+		t.Errorf("CH0 region = %+v", regions[0])
+	}
+	if regions[1].Label != "CH3" || regions[1].MinHCFirst != 52000 {
+		t.Errorf("CH3 region = %+v", regions[1])
+	}
+}
+
+func TestProfileSubarrays(t *testing.T) {
+	recs := []core.HCFirstRecord{
+		{Row: 10, HCFirst: 20000, Found: true},
+		{Row: 900, HCFirst: 60000, Found: true},
+		{Row: 831, HCFirst: 30000, Found: true}, // last row of SA0
+	}
+	regions := ProfileSubarrays(recs, []int{832})
+	if len(regions) != 2 {
+		t.Fatalf("%d regions: %+v", len(regions), regions)
+	}
+	if regions[0].Label != "SA0" || regions[0].MinHCFirst != 20000 || regions[0].Rows != 2 {
+		t.Errorf("SA0 = %+v", regions[0])
+	}
+	if regions[1].Label != "SA1" || regions[1].MinHCFirst != 60000 {
+		t.Errorf("SA1 = %+v", regions[1])
+	}
+}
+
+// TestEndToEndChannelAdaptiveSavings runs a real (small) HCfirst experiment
+// on the chip with the widest die spread and confirms the adaptive design
+// saves mitigation cost, reproducing the §8.2 argument quantitatively.
+func TestEndToEndChannelAdaptiveSavings(t *testing.T) {
+	fleet, err := core.NewFleet([]int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := core.RunHCFirst(fleet, core.HCFirstConfig{
+		Rows:     core.SampleRows(6),
+		Patterns: nil, // all four
+		Reps:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := ProfileChannels(recs)
+	if len(regions) != hbm.NumChannels {
+		t.Fatalf("%d channel regions", len(regions))
+	}
+	rep, err := Compare(regions, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SavingsPercent <= 5 {
+		t.Errorf("chip 4's channel heterogeneity should save >5%% mitigation cost, got %.1f%%", rep.SavingsPercent)
+	}
+	t.Logf("adaptive defense saves %.1f%% of preventive refreshes on Chip 4", rep.SavingsPercent)
+}

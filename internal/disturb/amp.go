@@ -1,0 +1,54 @@
+package disturb
+
+import "math"
+
+// ampAnchor is one calibration point of the aggressor-row-on-time
+// amplification curve: keeping a row open for OnTime nanoseconds makes each
+// activation Amp times as disturbing as a minimum-tRAS (29.0 ns) activation.
+type ampAnchor struct {
+	onTimeNS float64
+	amp      float64
+}
+
+// ampAnchors is fit to the paper's measurements (§6):
+//   - Fig 14: BER at a hammer count of 150K grows from 0.08% at 29 ns to
+//     0.73% at 116 ns (the sub-tRC regime).
+//   - Fig 15 / Obsv 19: average HCfirst shrinks from 83689 at 29 ns to 1519
+//     at tREFI (3.9 µs, amp ≈ 55x) and 376 at 9*tREFI (35.1 µs, amp ≈ 222.6x,
+//     the paper's "222.57x smaller" headline), and a single activation kept
+//     open for 16 ms flips cells in every chip (amp must exceed the largest
+//     per-row HCfirst, hence >= 2.4e5).
+//
+// Between anchors the curve is interpolated linearly in log-log space;
+// beyond the last anchor it extrapolates with the final segment's slope.
+var ampAnchors = []ampAnchor{
+	{29.0, 1.0},
+	{58.0, 2.05},
+	{87.0, 3.10},
+	{116.0, 4.20},
+	{3_900.0, 55.0},
+	{35_100.0, 222.6},
+	{16_000_000.0, 240_000.0},
+}
+
+// AggOnAmp returns the read-disturbance amplification factor for an
+// activation that keeps the aggressor row open for onTimeNS nanoseconds.
+// Times at or below the minimum tRAS of 29.0 ns return 1.0.
+func AggOnAmp(onTimeNS float64) float64 {
+	if onTimeNS <= ampAnchors[0].onTimeNS || math.IsNaN(onTimeNS) {
+		return 1.0
+	}
+	last := len(ampAnchors) - 1
+	for i := 1; i <= last; i++ {
+		if onTimeNS <= ampAnchors[i].onTimeNS {
+			return logLogInterp(ampAnchors[i-1], ampAnchors[i], onTimeNS)
+		}
+	}
+	// Extrapolate past 16 ms with the slope of the final segment.
+	return logLogInterp(ampAnchors[last-1], ampAnchors[last], onTimeNS)
+}
+
+func logLogInterp(a, b ampAnchor, t float64) float64 {
+	slope := math.Log(b.amp/a.amp) / math.Log(b.onTimeNS/a.onTimeNS)
+	return a.amp * math.Exp(slope*math.Log(t/a.onTimeNS))
+}

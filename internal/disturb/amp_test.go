@@ -1,0 +1,70 @@
+package disturb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggOnAmpAnchors(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want float64
+	}{
+		{29.0, 1.0},
+		{3_900.0, 55.0},     // tREFI: paper's HCfirst shrinks ~55x
+		{35_100.0, 222.6},   // 9*tREFI: paper's 222.57x headline
+		{16_000_000, 240e3}, // 16 ms: a single activation must flip
+	}
+	for _, c := range cases {
+		got := AggOnAmp(c.ns)
+		if math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("AggOnAmp(%v ns) = %v, want %v", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestAggOnAmpClampsBelowTRAS(t *testing.T) {
+	for _, ns := range []float64{-5, 0, 10, 29} {
+		if got := AggOnAmp(ns); got != 1.0 {
+			t.Errorf("AggOnAmp(%v) = %v, want 1.0", ns, got)
+		}
+	}
+	if got := AggOnAmp(math.NaN()); got != 1.0 {
+		t.Errorf("AggOnAmp(NaN) = %v, want 1.0", got)
+	}
+}
+
+func TestAggOnAmpMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		// Map to [29 ns, 100 ms].
+		ta := 29 + float64(a)/float64(math.MaxUint32)*1e8
+		tb := 29 + float64(b)/float64(math.MaxUint32)*1e8
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return AggOnAmp(ta) <= AggOnAmp(tb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggOnAmpExtrapolates(t *testing.T) {
+	if AggOnAmp(64e6) <= AggOnAmp(16e6) {
+		t.Error("amplification should keep growing past the last anchor")
+	}
+}
+
+// TestAggOnAmpPaperRatios checks the derived HCfirst reduction ratios the
+// paper reports in Obsv 19 (83689 -> 1519 -> 376 average HCfirst).
+func TestAggOnAmpPaperRatios(t *testing.T) {
+	r1 := AggOnAmp(3_900) / AggOnAmp(29)
+	r2 := AggOnAmp(35_100) / AggOnAmp(29)
+	if r1 < 45 || r1 > 65 {
+		t.Errorf("tREFI amplification %v outside paper's ~55x", r1)
+	}
+	if r2 < 200 || r2 > 245 {
+		t.Errorf("9*tREFI amplification %v outside paper's ~222.6x", r2)
+	}
+}

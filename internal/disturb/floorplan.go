@@ -1,0 +1,113 @@
+package disturb
+
+import "math"
+
+// The paper reverse-engineers (footnote 4) that a bank in the tested HBM2
+// chips is built from subarrays of either 832 or 768 rows, and that the
+// middle and the last subarrays (both 832 rows) are markedly more
+// RowHammer-resilient than the rest. This floorplan encodes that layout:
+// 21 subarrays per 16384-row bank, 4 of 832 rows and 17 of 768 rows, with
+// the 832-row subarrays placed so that one covers the exact middle of the
+// bank and one covers the end.
+const (
+	// RowsPerBank is the number of rows in every bank of every tested chip.
+	RowsPerBank = 16384
+	// SubarraysPerBank is the number of subarrays the floorplan divides a
+	// bank into.
+	SubarraysPerBank = 21
+)
+
+// subarraySizes lists the row count of each subarray in physical order.
+// Index 10 is the middle subarray and index 20 the last; both are 832-row
+// "edge design" subarrays per the paper's Obsv 11 hypothesis. 4*832 +
+// 17*768 = 16384.
+var subarraySizes = [SubarraysPerBank]int{
+	832, 768, 768, 768, 768,
+	832, 768, 768, 768, 768,
+	832, 768, 768, 768, 768,
+	768, 768, 768, 768, 768,
+	832,
+}
+
+// subarrayStarts[i] is the first physical row of subarray i; computed once
+// at package load from subarraySizes.
+var subarrayStarts = func() [SubarraysPerBank]int {
+	var starts [SubarraysPerBank]int
+	row := 0
+	for i, sz := range subarraySizes {
+		starts[i] = row
+		row += sz
+	}
+	if row != RowsPerBank {
+		panic("disturb: subarray layout does not cover the bank")
+	}
+	return starts
+}()
+
+// resilientSubarrays marks the subarrays the paper found to be strongly
+// suppressed in BER (the middle and the last 832-row subarrays).
+var resilientSubarrays = map[int]bool{10: true, 20: true}
+
+// Subarray returns the index of the subarray containing the physical row,
+// and the row's zero-based offset within that subarray. Rows outside
+// [0, RowsPerBank) are clamped.
+func Subarray(physRow int) (index, offset int) {
+	if physRow < 0 {
+		physRow = 0
+	}
+	if physRow >= RowsPerBank {
+		physRow = RowsPerBank - 1
+	}
+	for i := SubarraysPerBank - 1; i >= 0; i-- {
+		if physRow >= subarrayStarts[i] {
+			return i, physRow - subarrayStarts[i]
+		}
+	}
+	return 0, physRow
+}
+
+// SubarraySize returns the number of rows in subarray index.
+func SubarraySize(index int) int {
+	if index < 0 || index >= SubarraysPerBank {
+		return 0
+	}
+	return subarraySizes[index]
+}
+
+// SubarrayStart returns the first physical row of subarray index.
+func SubarrayStart(index int) int {
+	if index < 0 || index >= SubarraysPerBank {
+		return 0
+	}
+	return subarrayStarts[index]
+}
+
+// SameSubarray reports whether two physical rows live in the same subarray.
+// Aggressor coupling does not cross subarray boundaries (each subarray has
+// its own row buffer and sense amplifiers), which is exactly the property
+// the paper exploits to discover subarray boundaries with single-sided
+// RowHammer.
+func SameSubarray(rowA, rowB int) bool {
+	if rowA < 0 || rowB < 0 || rowA >= RowsPerBank || rowB >= RowsPerBank {
+		return false
+	}
+	ia, _ := Subarray(rowA)
+	ib, _ := Subarray(rowB)
+	return ia == ib
+}
+
+// SubarrayShape returns the spatial BER modulation factor for a physical
+// row: a half-sine bump that peaks mid-subarray (Obsv 10: BER periodically
+// increases and decreases across rows, higher in the middle of a subarray),
+// additionally suppressed by 0.42x in the resilient middle/last subarrays
+// (Obsv 11 / Takeaway 3).
+func SubarrayShape(physRow int) float64 {
+	idx, off := Subarray(physRow)
+	size := subarraySizes[idx]
+	pos := (float64(off) + 0.5) / float64(size)
+	shape := 0.72 + 0.46*math.Sin(pos*math.Pi)
+	if resilientSubarrays[idx] {
+		shape *= 0.42
+	}
+	return shape
+}

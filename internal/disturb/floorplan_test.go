@@ -1,0 +1,105 @@
+package disturb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubarrayLayoutCoversBank(t *testing.T) {
+	total := 0
+	n832, n768 := 0, 0
+	for i := 0; i < SubarraysPerBank; i++ {
+		sz := SubarraySize(i)
+		switch sz {
+		case 832:
+			n832++
+		case 768:
+			n768++
+		default:
+			t.Errorf("subarray %d has unexpected size %d", i, sz)
+		}
+		total += sz
+	}
+	if total != RowsPerBank {
+		t.Errorf("subarrays cover %d rows, want %d", total, RowsPerBank)
+	}
+	if n832 != 4 || n768 != 17 {
+		t.Errorf("layout has %d x832 and %d x768 subarrays, want 4 and 17", n832, n768)
+	}
+}
+
+func TestMiddleAndLastSubarraysAre832(t *testing.T) {
+	midIdx, _ := Subarray(RowsPerBank / 2)
+	if SubarraySize(midIdx) != 832 {
+		t.Errorf("middle row's subarray %d has size %d, want 832", midIdx, SubarraySize(midIdx))
+	}
+	lastIdx, _ := Subarray(RowsPerBank - 1)
+	if lastIdx != SubarraysPerBank-1 || SubarraySize(lastIdx) != 832 {
+		t.Errorf("last subarray %d size %d, want index %d size 832", lastIdx, SubarraySize(lastIdx), SubarraysPerBank-1)
+	}
+}
+
+func TestSubarrayOffsets(t *testing.T) {
+	for i := 0; i < SubarraysPerBank; i++ {
+		start := SubarrayStart(i)
+		idx, off := Subarray(start)
+		if idx != i || off != 0 {
+			t.Errorf("Subarray(start of %d) = %d,%d", i, idx, off)
+		}
+		end := start + SubarraySize(i) - 1
+		idx, off = Subarray(end)
+		if idx != i || off != SubarraySize(i)-1 {
+			t.Errorf("Subarray(end of %d) = %d,%d", i, idx, off)
+		}
+	}
+}
+
+func TestSameSubarray(t *testing.T) {
+	if !SameSubarray(0, 831) {
+		t.Error("rows 0 and 831 should share the first 832-row subarray")
+	}
+	if SameSubarray(831, 832) {
+		t.Error("rows 831 and 832 straddle a subarray boundary")
+	}
+	if SameSubarray(-1, 0) || SameSubarray(0, RowsPerBank) {
+		t.Error("out-of-range rows are never in the same subarray")
+	}
+}
+
+func TestSubarrayShapeSuppressedInResilientSubarrays(t *testing.T) {
+	// Compare mid-subarray shape in a regular subarray vs the middle/last.
+	regular := SubarrayShape(SubarrayStart(6) + 384)
+	middle := SubarrayShape(SubarrayStart(10) + 416)
+	last := SubarrayShape(SubarrayStart(20) + 416)
+	if middle >= regular*0.6 || last >= regular*0.6 {
+		t.Errorf("resilient subarrays not suppressed: regular=%v middle=%v last=%v", regular, middle, last)
+	}
+}
+
+func TestSubarrayShapePeaksMidSubarray(t *testing.T) {
+	start := SubarrayStart(2)
+	size := SubarraySize(2)
+	edge := SubarrayShape(start)
+	mid := SubarrayShape(start + size/2)
+	if mid <= edge {
+		t.Errorf("shape should peak mid-subarray: edge=%v mid=%v", edge, mid)
+	}
+}
+
+func TestSubarrayClampProperty(t *testing.T) {
+	f := func(r int16) bool {
+		idx, off := Subarray(int(r))
+		return idx >= 0 && idx < SubarraysPerBank && off >= 0 && off < SubarraySize(idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubarrayShapePositive(t *testing.T) {
+	for r := 0; r < RowsPerBank; r += 97 {
+		if s := SubarrayShape(r); s <= 0 || s > 1.3 {
+			t.Fatalf("SubarrayShape(%d) = %v out of (0, 1.3]", r, s)
+		}
+	}
+}

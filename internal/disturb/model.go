@@ -1,0 +1,590 @@
+package disturb
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hbmrd/internal/stats"
+)
+
+// RowBytes and RowBits give the size of one DRAM row in the tested HBM2
+// chips (1 KiB rows, §3).
+const (
+	RowBytes = 1024
+	RowBits  = RowBytes * 8
+)
+
+// Calibration constants. These are the model's single source of truth; all
+// of them trace back to a specific number or observation in the paper (see
+// the comment on each).
+const (
+	// refHammer is the per-aggressor hammer count at which per-row BER
+	// targets are calibrated. The paper measures BER (and breaks WCDP
+	// ties) at 256K.
+	refHammer = 256 * 1024
+
+	// doseSides folds the two sides of the paper's double-sided access
+	// pattern into calibration dose space: at a hammer count of N, the
+	// victim receives dose from both aggressors.
+	doseSides = 2.0
+
+	// eligibleFrac is the nominal fraction of cells stored in their charged
+	// state under the Table 1 patterns (true-/anti-cell mix), used when
+	// translating row-level BER targets into per-cell quantiles.
+	eligibleFrac = 0.5
+
+	// Dose-coupling multipliers. An aggressor bit opposite to the victim
+	// bit couples more strongly than an identical bit; a victim bit whose
+	// intra-row neighbours differ couples more strongly than one inside a
+	// uniform run. Checkered/rowstripe mean BER ratio in the paper is
+	// 0.76/0.67 = 1.13, which the intraDiff/intraSame ratio reproduces.
+	coupleAggrOpp   = 1.06
+	coupleAggrSame  = 0.82
+	coupleIntraDiff = 1.07
+	coupleIntraSame = 0.94
+
+	// calibCouple is the reference coupling product for the worst-case data
+	// pattern (aggrOpp * intraDiff), in whose dose-space the per-row BER
+	// and HCfirst targets are specified.
+	calibCouple = coupleAggrOpp * coupleIntraDiff
+
+	// patJitterSigma adds a per-(row, victim fill byte) log-normal wobble so
+	// no single data pattern wins on every row (Obsv 9: "no data pattern
+	// individually achieves the smallest HCfirst").
+	patJitterSigma = 0.06
+
+	// wordClusterSigma spreads vulnerability between 64-bit words within a
+	// row (mean-one log-normal scaling of the per-cell flip probability).
+	// Real DRAM weak cells cluster spatially; the paper's Fig 17 finds
+	// that most words with any bitflip hold more than one. Without this
+	// term i.i.d. cells under-produce multi-bit words.
+	wordClusterSigma = 0.55
+
+	// orientCoupleSigma spreads vulnerability between true and anti cells
+	// per die, which is what makes Rowstripe0 and Rowstripe1 differ within
+	// a channel (the paper sees median HCfirst ratios up to ~1.37).
+	orientCoupleSigma = 0.08
+
+	// Tail-regime parameters. The tail spread is chosen so that the
+	// *additional* hammers from the 1st to the 10th bitflip shrink as the
+	// row's HCfirst multiplier m grows: extra ~ tailExtraB*HCfloor/m^0.5,
+	// i.e. sigTail = ln(1 + tailExtraB/m^1.5)/gap. This reproduces Fig 12's
+	// negative Pearson correlation (-0.34..-0.45 in the paper) and keeps
+	// the HC10th/HC1st ratio within the paper's observed 1.15..5.22 range
+	// with a mean of ~1.7 (Obsv 14).
+	tailExtraB     = 6.0
+	tailExtraExp   = 1.5
+	tailJitterSig  = 0.35
+	sigTailMin     = 0.222
+	sigTailMax     = 2.6
+	bulkSigmaFloor = 0.50
+	bulkSigmaDflt  = 0.60
+
+	// Retention model: per-cell log-normal retention time with median
+	// retMedianSec at retRefTempC, halving every +10 C. Calibrated against
+	// the paper's retention BER measurements (0%, 0.013%, 0.134% at
+	// 34.8 ms, 1.17 s, 10.53 s).
+	retMedianSec = 2.7e5
+	retSigma     = 3.3
+	retRefTempC  = 55.0
+	// retMinElapsedSec is the shortest disarmed interval: below this no
+	// retention failures are possible (manufacturer-guaranteed window).
+	retMinElapsedSec = 0.030
+
+	// Trial-to-trial jitter (Fig 13): ~90% of rows are tight (max/min
+	// HCfirst over 50 trials below ~1.09x), the rest progressively looser
+	// (the paper's loosest row reaches 2.23x).
+	trialTightSigma = 0.015
+	trialLooseBase  = 0.03
+	trialLooseSpan  = 0.15
+
+	// Aging drift (Fig 10): per-row vulnerability drift rate in ln-dose
+	// units per sqrt(month), slightly biased toward more vulnerable
+	// (paper: 18713 rows up vs 17973 rows down after 7 months).
+	agingDriftMu    = 0.02
+	agingDriftSigma = 0.105
+
+	// tempHCSlope makes chips marginally more vulnerable when hot.
+	tempHCSlope = 0.002
+
+	// wcdpHeadroom compensates the HCfirst calibration for the worst-case
+	// composition the WCDP selection applies on top of the reference
+	// coupling: the best of four patterns rides the upper tail of the
+	// pattern jitter, orientation coupling, and trial jitter (together
+	// ~x0.85 on the realized minimum). Without this factor the measured
+	// per-chip minimum HCfirst lands well below the paper's values.
+	wcdpHeadroom = 1.18
+)
+
+// Quantile anchors in probit space.
+var (
+	// zJunction is the tail/bulk regime boundary: the expected quantile of
+	// the ~50th weakest eligible cell.
+	zJunction = stats.Probit(50.0 / (RowBits*eligibleFrac + 1))
+	// zEligGap corrects the realized all-cell minimum quantile to the
+	// expected eligible-cell minimum (half the cells are eligible under
+	// the Table 1 patterns).
+	zEligGap = stats.Probit(1.0/(RowBits*eligibleFrac+1)) - stats.Probit(1.0/(RowBits+1))
+	// zTenthGap is the expected quantile gap between the weakest and the
+	// 10th weakest eligible cell; it converts the HC10th/HC1st ratio into
+	// the tail spread.
+	zTenthGap = stats.Probit(10.0/(RowBits*eligibleFrac+1)) - stats.Probit(1.0/(RowBits*eligibleFrac+1))
+)
+
+// Hash salts, one per independent random field of the model.
+const (
+	saltRow     uint64 = 0xA1
+	saltPC      uint64 = 0xA2
+	saltBank    uint64 = 0xA3
+	saltBERJit  uint64 = 0xA4
+	saltHCMult  uint64 = 0xA5
+	saltAging   uint64 = 0xA6
+	saltTailJit uint64 = 0xA7
+	saltOrientP uint64 = 0xA8
+	saltOrientC uint64 = 0xA9
+	saltTrial   uint64 = 0xAA
+	saltEpoch   uint64 = 0xAB
+	saltPatJit  uint64 = 0xAC
+	saltWord    uint64 = 0xAD
+	// saltRetention decorrelates the retention draw from the threshold
+	// draw of the same cell.
+	saltRetention uint64 = 0x52455453414C54
+)
+
+// cellStride spreads consecutive cell indices across the hash space.
+const cellStride = 0x9E3779B97F4A7C15
+
+// RowLoc addresses one physical row inside a chip.
+type RowLoc struct {
+	Channel int // HBM2 channel, 0-7
+	Pseudo  int // pseudo channel, 0-1
+	Bank    int // bank, 0-15
+	Row     int // physical row, 0-16383
+}
+
+// Dose is the accumulated, amplification- and jitter-scaled disturbance a
+// victim row has received from each side since it was last restored,
+// measured in reference (minimum-tRAS) aggressor activations.
+type Dose struct {
+	Above float64 // from physical row Victim+1 (and a small share of +2)
+	Below float64 // from physical row Victim-1 (and a small share of -2)
+}
+
+// Total returns the summed dose from both sides.
+func (d Dose) Total() float64 { return d.Above + d.Below }
+
+// Model evaluates the read-disturbance fault physics of one chip.
+// Evaluation methods are safe for concurrent use; the Set* configuration
+// methods must not be called concurrently with evaluation.
+type Model struct {
+	prof      Profile
+	tempC     float64
+	ageMonths float64
+
+	mu    sync.RWMutex
+	calib map[RowLoc]rowCalib
+}
+
+// NewModel validates the profile and builds a fault model for it. The
+// model starts at the profile's operating temperature and starting age.
+func NewModel(p Profile) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		prof:      p,
+		tempC:     p.OperatingTempC,
+		ageMonths: p.AgeMonthsAtStart,
+		calib:     make(map[RowLoc]rowCalib),
+	}, nil
+}
+
+// Profile returns the profile the model was built from.
+func (m *Model) Profile() Profile { return m.prof }
+
+// TempC returns the current chip temperature in Celsius.
+func (m *Model) TempC() float64 { return m.tempC }
+
+// SetTempC changes the chip temperature (affects retention and, mildly,
+// hammer vulnerability). Not safe concurrently with evaluation.
+func (m *Model) SetTempC(c float64) {
+	m.tempC = c
+	m.resetCalib()
+}
+
+// AgeMonths returns the chip's current powered-on age in months.
+func (m *Model) AgeMonths() float64 { return m.ageMonths }
+
+// SetAgeMonths advances (or rewinds) the chip's age, drifting per-row
+// vulnerability per the aging model. Not safe concurrently with evaluation.
+func (m *Model) SetAgeMonths(months float64) {
+	if months < 0 {
+		months = 0
+	}
+	m.ageMonths = months
+	m.resetCalib()
+}
+
+func (m *Model) resetCalib() {
+	m.mu.Lock()
+	m.calib = make(map[RowLoc]rowCalib)
+	m.mu.Unlock()
+}
+
+// rowCalib holds the derived per-row threshold-curve parameters.
+type rowCalib struct {
+	rowSeed uint64
+	zAnchor float64 // realized weakest-cell quantile (eligible-corrected)
+	lnHC1   float64 // ln threshold at zAnchor (dose space incl. both sides)
+	sigTail float64
+	lnTJ    float64 // ln threshold at the tail/bulk junction
+	lnM     float64 // bulk log-normal location
+	sigBulk float64
+	pTrue   float64    // fraction of true cells (charged state = 1)
+	orientC [2]float64 // coupling multiplier per orientation (0=anti, 1=true)
+	lnRet   float64    // ln median cell retention (seconds) at current temp
+}
+
+func (m *Model) calibRow(loc RowLoc) rowCalib {
+	m.mu.RLock()
+	rc, ok := m.calib[loc]
+	m.mu.RUnlock()
+	if ok {
+		return rc
+	}
+	rc = m.computeCalib(loc)
+	m.mu.Lock()
+	m.calib[loc] = rc
+	m.mu.Unlock()
+	return rc
+}
+
+func (m *Model) computeCalib(loc RowLoc) rowCalib {
+	seed := m.prof.Seed
+	die := DieOf(loc.Channel)
+	rowSeed := hashN(seed, saltRow, uint64(loc.Channel), uint64(loc.Pseudo), uint64(loc.Bank), uint64(loc.Row))
+
+	// ---- Realized weakest-cell quantile. Anchoring the threshold curve
+	// at the row's actual minimum keeps the realized HCfirst pinned to the
+	// calibration target instead of drifting with extreme-value noise. ----
+	minU := 1.0
+	for idx := 0; idx < RowBits; idx++ {
+		h := splitmix64(rowSeed + uint64(idx)*cellStride)
+		u := (float64(h>>11) + 0.5) / (1 << 53)
+		if u < minU {
+			minU = u
+		}
+	}
+	zAnchor := stats.Probit(minU) + zEligGap
+	if zAnchor > zJunction-0.3 {
+		zAnchor = zJunction - 0.3
+	}
+
+	// ---- BER target (fraction of the row's 8192 bits at refHammer). ----
+	berT := m.prof.BaseBERPercent / 100
+	berT *= m.prof.DieBERFactor[die]
+	berT *= lognormal(hashN(seed, saltPC, uint64(loc.Channel), uint64(loc.Pseudo)), 0, 0.03)
+	berT *= lognormal(hashN(seed, saltBank, uint64(loc.Channel), uint64(loc.Pseudo), uint64(loc.Bank)), 0, 0.06)
+	berT *= SubarrayShape(loc.Row)
+	berT *= lognormal(mix(rowSeed, saltBERJit), 0, 0.18)
+	// The floor guarantees Obsv 1 (bitflips in every tested row at the
+	// reference hammer count): ~6 expected flips even in the most
+	// resilient rows.
+	if berT < 0.0008 {
+		berT = 0.0008
+	}
+	if berT > 0.026 {
+		berT = 0.026
+	}
+
+	// ---- HCfirst target. ----
+	hcMult := 1 + gamma2(mix(rowSeed, saltHCMult), m.prof.HCGammaTheta)
+	dieHC := dieHCFactor(m.prof, die)
+	shapeHC := math.Pow(SubarrayShape(loc.Row), -0.3)
+	tempHC := 1 - tempHCSlope*(m.tempC-retRefTempC)
+	hc1 := m.prof.HCFloor * wcdpHeadroom * dieHC * hcMult * shapeHC * tempHC
+
+	// ---- Aging drift shifts the whole threshold curve in ln space,
+	// relative to the age at which the chip was calibrated (the profile's
+	// starting age: the paper measured the chips then). ----
+	drift := agingDriftMu + agingDriftSigma*normal(mix(rowSeed, saltAging))
+	shift := drift * (math.Sqrt(m.ageMonths) - math.Sqrt(m.prof.AgeMonthsAtStart))
+
+	// ---- Tail regime. ----
+	sigTail := math.Log(1+tailExtraB/math.Pow(hcMult, tailExtraExp)) / zTenthGap
+	sigTail *= lognormal(mix(rowSeed, saltTailJit), 0, tailJitterSig)
+	if sigTail < sigTailMin {
+		sigTail = sigTailMin
+	}
+	if sigTail > sigTailMax {
+		sigTail = sigTailMax
+	}
+	lnHC1 := math.Log(doseSides*hc1*calibCouple) - shift
+	lnTJ := lnHC1 + sigTail*(zJunction-zAnchor)
+
+	// ---- Bulk regime, anchored at the junction and hitting the BER
+	// target at refHammer. ----
+	z256 := stats.Probit(math.Min(berT/eligibleFrac, 0.9999))
+	lnRef := math.Log(doseSides*refHammer*calibCouple) - shift
+	var sigBulk, lnM float64
+	if z256 > zJunction+0.05 && lnRef > lnTJ {
+		sigBulk = (lnRef - lnTJ) / (z256 - zJunction)
+		// The floor keeps the bulk curve from degenerating into a step at
+		// the reference dose (a step would let coupling noise saturate the
+		// row); floored rows undershoot their BER target slightly.
+		if sigBulk < bulkSigmaFloor {
+			sigBulk = bulkSigmaFloor
+		}
+		lnM = lnTJ - sigBulk*zJunction
+	} else {
+		// BER target unreachable above the junction (very resilient row or
+		// very strong tail): continue with a default spread; the max()
+		// against the junction threshold keeps the curve monotone.
+		sigBulk = bulkSigmaDflt
+		lnM = lnRef - sigBulk*z256
+		if jm := lnTJ - sigBulk*zJunction; jm > lnM {
+			lnM = jm
+		}
+	}
+
+	// ---- Orientation. ----
+	pTrue := 0.5 + 0.16*(unit(hashN(seed, saltOrientP, uint64(die)))-0.5)
+	var orientC [2]float64
+	orientC[0] = lognormal(hashN(seed, saltOrientC, uint64(die), 0), 0, orientCoupleSigma)
+	orientC[1] = lognormal(hashN(seed, saltOrientC, uint64(die), 1), 0, orientCoupleSigma)
+
+	// ---- Retention (temperature-scaled). ----
+	lnRet := math.Log(retMedianSec) + math.Ln2*(retRefTempC-m.tempC)/10
+
+	return rowCalib{
+		rowSeed: rowSeed,
+		zAnchor: zAnchor,
+		lnHC1:   lnHC1,
+		sigTail: sigTail,
+		lnTJ:    lnTJ,
+		lnM:     lnM,
+		sigBulk: sigBulk,
+		pTrue:   pTrue,
+		orientC: orientC,
+		lnRet:   lnRet,
+	}
+}
+
+// dieHCFactor converts a die's BER factor into an HCfirst factor, normalized
+// so the most vulnerable die sits exactly at the chip's HC floor.
+func dieHCFactor(p Profile, die int) float64 {
+	maxBER := p.DieBERFactor[0]
+	for _, f := range p.DieBERFactor[1:] {
+		if f > maxBER {
+			maxBER = f
+		}
+	}
+	return math.Pow(maxBER/p.DieBERFactor[die], 0.35)
+}
+
+// thresholdCDF returns the probability that a cell's threshold quantile lies
+// below the effective ln dose, i.e. the per-cell flip probability cutoff.
+func thresholdCDF(rc rowCalib, lnDc float64) float64 {
+	if math.IsInf(lnDc, -1) {
+		return 0
+	}
+	if lnDc <= rc.lnTJ {
+		z := rc.zAnchor + (lnDc-rc.lnHC1)/rc.sigTail
+		return stats.NormalCDF(z)
+	}
+	z := (lnDc - rc.lnM) / rc.sigBulk
+	if z < zJunction {
+		z = zJunction
+	}
+	return stats.NormalCDF(z)
+}
+
+// TrialJitter returns the dose-effectiveness multiplier for the given
+// restore epoch of a row. The paper observes (Fig 13) that a row's HCfirst
+// varies across repeated experiments: most rows stay within ~9%, a minority
+// swings up to ~2.2x.
+func (m *Model) TrialJitter(loc RowLoc, epoch uint64) float64 {
+	rowSeed := hashN(m.prof.Seed, saltRow, uint64(loc.Channel), uint64(loc.Pseudo), uint64(loc.Bank), uint64(loc.Row))
+	u := unit(mix(rowSeed, saltTrial))
+	sigma := trialTightSigma
+	if u >= 0.9 {
+		sigma = trialLooseBase + (u-0.9)/0.1*trialLooseSpan
+	}
+	return lognormal(hashN(rowSeed, saltEpoch, epoch), 0, sigma)
+}
+
+// FlipMask evaluates which bits of the victim row flip given the
+// accumulated dose and the time elapsed since the row was last restored.
+// victim is the row's stored image; above and below are the current images
+// of the physically adjacent rows (nil means never written, treated as
+// all-zero). The flip mask is OR-ed into dst (which must have len(victim)
+// bytes) and the number of newly set mask bits is returned.
+func (m *Model) FlipMask(loc RowLoc, victim, above, below []byte, dose Dose, retElapsedSec float64, dst []byte) (int, error) {
+	if len(dst) != len(victim) {
+		return 0, fmt.Errorf("disturb: dst length %d != victim length %d", len(dst), len(victim))
+	}
+	hammer := dose.Above > 0 || dose.Below > 0
+	retention := retElapsedSec > retMinElapsedSec
+	if !hammer && !retention {
+		return 0, nil
+	}
+
+	rc := m.calibRow(loc)
+
+	// Per-combo flip-probability cutoffs. Combo index bits:
+	// bit0 aggressor-above opposite, bit1 aggressor-below opposite,
+	// bit2 intra-row neighbour differs, bit3 orientation (1 = true cell).
+	var pcrit [16]float64
+	if hammer {
+		victimByte := byte(0)
+		if len(victim) > 0 {
+			victimByte = victim[0]
+		}
+		patJit := lognormal(hashN(rc.rowSeed, saltPatJit, uint64(victimByte)), 0, patJitterSigma)
+		aggF := [2]float64{coupleAggrSame, coupleAggrOpp}
+		intraF := [2]float64{coupleIntraSame, coupleIntraDiff}
+		for combo := 0; combo < 16; combo++ {
+			oppA := combo & 1
+			oppB := (combo >> 1) & 1
+			intra := (combo >> 2) & 1
+			orient := (combo >> 3) & 1
+			deff := dose.Above*aggF[oppA] + dose.Below*aggF[oppB]
+			if deff <= 0 {
+				continue
+			}
+			couple := intraF[intra] * rc.orientC[orient] * patJit
+			pcrit[combo] = thresholdCDF(rc, math.Log(deff*couple))
+		}
+	}
+
+	var pRet float64
+	if retention {
+		pRet = stats.NormalCDF((math.Log(retElapsedSec) - rc.lnRet) / retSigma)
+		if pRet <= 0 {
+			retention = false
+		}
+	}
+	if !retention && !hammer {
+		return 0, nil
+	}
+
+	pTrueCut := uint64(rc.pTrue * (1 << 11))
+	flips := 0
+	n := len(victim)
+	// Per-word flip probabilities: pcrit transformed by the mean-one
+	// word-vulnerability factor via p -> 1-(1-p)^wf, which preserves both
+	// small-probability scaling (~p*wf) and saturation (p=1 stays 1).
+	// Cached lazily per (word, combo).
+	wordFactor := 1.0
+	var pEff [16]float64
+	var pEffOK [16]bool
+	for i := 0; i < n; i++ {
+		if hammer && i%8 == 0 {
+			h := hashN(rc.rowSeed, saltWord, uint64(i/8))
+			wordFactor = math.Exp(wordClusterSigma*normal(h) - wordClusterSigma*wordClusterSigma/2)
+			pEffOK = [16]bool{}
+		}
+		vb := victim[i]
+		ab := byteAt(above, i)
+		bb := byteAt(below, i)
+		prevB := byteAt(victim, i-1)
+		nextB := byteAt(victim, i+1)
+		var maskByte byte
+		for j := 0; j < 8; j++ {
+			bit := (vb >> j) & 1
+			h := splitmix64(rc.rowSeed + uint64(i*8+j)*cellStride)
+			orient := byte(0)
+			if h&0x7FF < pTrueCut {
+				orient = 1
+			}
+			// Eligible: only a cell stored in its charged state can lose
+			// charge. True cells (orient=1) store charge for logical 1.
+			if bit != orient {
+				continue
+			}
+			flip := false
+			if hammer {
+				// Intra-row neighbours (handle row edges).
+				left := bit
+				if i > 0 || j > 0 {
+					left = bitAt(vb, prevB, j-1)
+				}
+				right := bit
+				if i < n-1 || j < 7 {
+					right = bitAt(vb, nextB, j+1)
+				}
+				intra := 0
+				if left != bit || right != bit {
+					intra = 1
+				}
+				oppA := 0
+				if (ab>>j)&1 != bit {
+					oppA = 1
+				}
+				oppB := 0
+				if (bb>>j)&1 != bit {
+					oppB = 1
+				}
+				combo := oppA | oppB<<1 | intra<<2 | int(orient)<<3
+				if !pEffOK[combo] {
+					switch p := pcrit[combo]; {
+					case p <= 0:
+						pEff[combo] = 0
+					case p >= 1:
+						pEff[combo] = 1
+					default:
+						pEff[combo] = 1 - math.Pow(1-p, wordFactor)
+					}
+					pEffOK[combo] = true
+				}
+				u := (float64(h>>11) + 0.5) / (1 << 53)
+				flip = u < pEff[combo]
+			}
+			if !flip && retention {
+				uRet := unit(splitmix64(h ^ saltRetention))
+				flip = uRet < pRet
+			}
+			if flip {
+				maskByte |= 1 << j
+			}
+		}
+		if maskByte != 0 {
+			newBits := maskByte &^ dst[i]
+			flips += popcount(newBits)
+			dst[i] |= maskByte
+		}
+	}
+	return flips, nil
+}
+
+// byteAt returns buf[i] or 0 when buf is nil or i out of range (unwritten
+// rows read as zero).
+func byteAt(buf []byte, i int) byte {
+	if buf == nil || i < 0 || i >= len(buf) {
+		return 0
+	}
+	return buf[i]
+}
+
+// bitAt returns bit j of cur when 0<=j<8, else the wrapped bit of the
+// adjacent byte (j=-1 -> adjacent bit 7; j=8 -> adjacent bit 0).
+func bitAt(cur, adjacent byte, j int) byte {
+	switch {
+	case j < 0:
+		return (adjacent >> 7) & 1
+	case j > 7:
+		return adjacent & 1
+	default:
+		return (cur >> j) & 1
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for b != 0 {
+		b &= b - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,519 @@
+package disturb
+
+import (
+	"math"
+	"testing"
+
+	"hbmrd/internal/stats"
+)
+
+func newTestModel(t *testing.T, chip int) *Model {
+	t.Helper()
+	p, err := BuiltinProfile(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func fillRow(b byte) []byte {
+	buf := make([]byte, RowBytes)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+// flipCount evaluates the model for a symmetric double-sided dose with the
+// given victim/aggressor fill bytes and returns the number of flipped bits.
+func flipCount(t *testing.T, m *Model, loc RowLoc, victimByte, aggrByte byte, dose float64) int {
+	t.Helper()
+	victim := fillRow(victimByte)
+	aggr := fillRow(aggrByte)
+	dst := make([]byte, RowBytes)
+	n, err := m.FlipMask(loc, victim, aggr, aggr, Dose{Above: dose, Below: dose}, 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// hcForFlips binary-searches the smallest symmetric per-side dose that
+// produces at least k bitflips.
+func hcForFlips(t *testing.T, m *Model, loc RowLoc, victimByte, aggrByte byte, k int) float64 {
+	t.Helper()
+	lo, hi := 1.0, 4e6
+	if flipCount(t, m, loc, victimByte, aggrByte, hi) < k {
+		return math.Inf(1)
+	}
+	for hi/lo > 1.001 {
+		mid := math.Sqrt(lo * hi)
+		if flipCount(t, m, loc, victimByte, aggrByte, mid) >= k {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+func TestFlipMaskDeterministic(t *testing.T) {
+	m := newTestModel(t, 0)
+	loc := RowLoc{Channel: 3, Pseudo: 1, Bank: 5, Row: 4000}
+	a := flipCount(t, m, loc, 0x55, 0xAA, 200_000)
+	b := flipCount(t, m, loc, 0x55, 0xAA, 200_000)
+	if a != b {
+		t.Errorf("flip count not deterministic: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Error("expected bitflips at a 200K double-sided dose")
+	}
+}
+
+func TestFlipMaskDoseMonotone(t *testing.T) {
+	m := newTestModel(t, 2)
+	loc := RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: 1234}
+	prev := 0
+	for _, dose := range []float64{1e3, 1e4, 5e4, 1e5, 2e5, 1e6, 1e7} {
+		n := flipCount(t, m, loc, 0x55, 0xAA, dose)
+		if n < prev {
+			t.Errorf("flip count decreased with dose: %d -> %d at %v", prev, n, dose)
+		}
+		prev = n
+	}
+}
+
+func TestFlipMaskSubsetMonotone(t *testing.T) {
+	m := newTestModel(t, 1)
+	loc := RowLoc{Channel: 4, Pseudo: 0, Bank: 7, Row: 900}
+	victim := fillRow(0xAA)
+	aggr := fillRow(0x55)
+	small := make([]byte, RowBytes)
+	large := make([]byte, RowBytes)
+	if _, err := m.FlipMask(loc, victim, aggr, aggr, Dose{Above: 8e4, Below: 8e4}, 0, small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FlipMask(loc, victim, aggr, aggr, Dose{Above: 3e5, Below: 3e5}, 0, large); err != nil {
+		t.Fatal(err)
+	}
+	for i := range small {
+		if small[i]&^large[i] != 0 {
+			t.Fatalf("byte %d: cell flipped at small dose but not at large dose", i)
+		}
+	}
+}
+
+func TestFlipMaskZeroDoseNoFlips(t *testing.T) {
+	m := newTestModel(t, 0)
+	loc := RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: 0}
+	dst := make([]byte, RowBytes)
+	n, err := m.FlipMask(loc, fillRow(0x55), nil, nil, Dose{}, 0, dst)
+	if err != nil || n != 0 {
+		t.Errorf("zero dose produced %d flips, err=%v", n, err)
+	}
+}
+
+func TestFlipMaskLengthMismatch(t *testing.T) {
+	m := newTestModel(t, 0)
+	loc := RowLoc{}
+	_, err := m.FlipMask(loc, fillRow(0x55), nil, nil, Dose{Above: 1e5}, 0, make([]byte, 8))
+	if err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestFlipDirectionsDisjointByStoredValue(t *testing.T) {
+	// A cell can only flip away from its charged state, so the flip sets of
+	// an all-0 and an all-1 victim must be disjoint.
+	m := newTestModel(t, 3)
+	loc := RowLoc{Channel: 2, Pseudo: 1, Bank: 3, Row: 2500}
+	mask0 := make([]byte, RowBytes)
+	mask1 := make([]byte, RowBytes)
+	if _, err := m.FlipMask(loc, fillRow(0x00), fillRow(0xFF), fillRow(0xFF), Dose{Above: 3e5, Below: 3e5}, 0, mask0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FlipMask(loc, fillRow(0xFF), fillRow(0x00), fillRow(0x00), Dose{Above: 3e5, Below: 3e5}, 0, mask1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range mask0 {
+		if mask0[i]&mask1[i] != 0 {
+			t.Fatalf("byte %d: cell flipped for both stored polarities", i)
+		}
+	}
+}
+
+func TestBERCalibrationBallpark(t *testing.T) {
+	// Measured mean BER at the reference 256K hammer count, checkered data,
+	// across a spread of rows should land in the chip's calibrated
+	// neighbourhood (the paper's chip means are 0.66%..1.28%).
+	for chip := 0; chip < 6; chip++ {
+		m := newTestModel(t, chip)
+		var bers []float64
+		for row := 100; row < RowsPerBank; row += 997 {
+			n := flipCount(t, m, RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: row}, 0x55, 0xAA, refHammer)
+			bers = append(bers, float64(n)/RowBits*100)
+		}
+		mean := stats.Mean(bers)
+		if mean < 0.25 || mean > 3.0 {
+			t.Errorf("%s: mean checkered BER %.3f%% far from calibration", m.Profile().Name, mean)
+		}
+		if mx := stats.Max(bers); mx > 6.5 {
+			t.Errorf("%s: max BER %.3f%% exceeds paper-scale maximum (~3.02%%)", m.Profile().Name, mx)
+		}
+	}
+}
+
+func TestResilientSubarraysLowerBER(t *testing.T) {
+	m := newTestModel(t, 0)
+	berAt := func(row int) float64 {
+		n := flipCount(t, m, RowLoc{Channel: 1, Pseudo: 0, Bank: 2, Row: row}, 0x55, 0xAA, refHammer)
+		return float64(n) / RowBits
+	}
+	var normal, resilient float64
+	for i := 0; i < 16; i++ {
+		normal += berAt(SubarrayStart(6) + 300 + i)
+		resilient += berAt(SubarrayStart(20) + 300 + i)
+	}
+	if resilient >= normal*0.75 {
+		t.Errorf("last subarray BER (%v) not clearly below regular subarray BER (%v)", resilient, normal)
+	}
+}
+
+func TestHCFirstFloorBallpark(t *testing.T) {
+	// The minimum HCfirst across sampled rows should sit near the chip's
+	// calibrated floor (paper: 14531..18087 depending on chip).
+	for _, chip := range []int{0, 5} {
+		m := newTestModel(t, chip)
+		p := m.Profile()
+		minHC := math.Inf(1)
+		for row := 50; row < RowsPerBank; row += 397 {
+			for ch := 0; ch < 8; ch += 3 {
+				hc := hcForFlips(t, m, RowLoc{Channel: ch, Pseudo: 0, Bank: 0, Row: row}, 0x55, 0xAA, 1)
+				if hc < minHC {
+					minHC = hc
+				}
+			}
+		}
+		if minHC < p.HCFloor*0.45 || minHC > p.HCFloor*2.5 {
+			t.Errorf("%s: min HCfirst %v too far from floor %v", p.Name, minHC, p.HCFloor)
+		}
+	}
+}
+
+func TestHC10thOverHC1stRange(t *testing.T) {
+	// Paper Obsv 14: HC10th/HC1st between ~1.15x and ~5.22x, mean < 2.
+	m := newTestModel(t, 2)
+	var ratios []float64
+	for row := 200; row < 3000; row += 137 {
+		loc := RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: row}
+		hc1 := hcForFlips(t, m, loc, 0x55, 0xAA, 1)
+		hc10 := hcForFlips(t, m, loc, 0x55, 0xAA, 10)
+		if math.IsInf(hc1, 1) || math.IsInf(hc10, 1) {
+			continue
+		}
+		ratios = append(ratios, hc10/hc1)
+	}
+	if len(ratios) < 10 {
+		t.Fatalf("too few measurable rows: %d", len(ratios))
+	}
+	mean := stats.Mean(ratios)
+	if mean < 1.2 || mean > 2.6 {
+		t.Errorf("mean HC10/HC1 = %v, want roughly 1.7 (paper: <2)", mean)
+	}
+	if stats.Max(ratios) > 7 {
+		t.Errorf("max HC10/HC1 = %v, paper's max is ~5.22", stats.Max(ratios))
+	}
+	if stats.Min(ratios) < 1.0 {
+		t.Errorf("HC10/HC1 below 1 is impossible: %v", stats.Min(ratios))
+	}
+}
+
+func TestAdditionalHammersNegativelyCorrelated(t *testing.T) {
+	// Paper Fig 12: additional hammers to the 10th bitflip fall with
+	// HCfirst (Pearson -0.34..-0.45).
+	m := newTestModel(t, 1)
+	var hc1s, extras []float64
+	for row := 100; row < 6000; row += 61 {
+		loc := RowLoc{Channel: 3, Pseudo: 0, Bank: 1, Row: row}
+		hc1 := hcForFlips(t, m, loc, 0x55, 0xAA, 1)
+		hc10 := hcForFlips(t, m, loc, 0x55, 0xAA, 10)
+		if math.IsInf(hc10, 1) {
+			continue
+		}
+		hc1s = append(hc1s, hc1)
+		extras = append(extras, hc10-hc1)
+	}
+	r, err := stats.Pearson(hc1s, extras)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > -0.10 || r < -0.75 {
+		t.Errorf("Pearson(HCfirst, additional-to-10th) = %v, want moderately negative (paper: -0.34..-0.45)", r)
+	}
+}
+
+func TestCheckeredStrongerThanRowstripeOnAverage(t *testing.T) {
+	// Paper Obsv 2: checkered patterns beat rowstripe patterns on mean BER
+	// (0.76% vs 0.67%).
+	m := newTestModel(t, 4)
+	var ck, rs float64
+	rows := 0
+	for row := 64; row < RowsPerBank; row += 499 {
+		loc := RowLoc{Channel: 2, Pseudo: 0, Bank: 0, Row: row}
+		ck += float64(flipCount(t, m, loc, 0x55, 0xAA, refHammer))
+		ck += float64(flipCount(t, m, loc, 0xAA, 0x55, refHammer))
+		rs += float64(flipCount(t, m, loc, 0x00, 0xFF, refHammer))
+		rs += float64(flipCount(t, m, loc, 0xFF, 0x00, refHammer))
+		rows++
+	}
+	if ck <= rs {
+		t.Errorf("checkered total flips %v not above rowstripe %v over %d rows", ck, rs, rows)
+	}
+	if ck > rs*1.6 {
+		t.Errorf("checkered/rowstripe ratio %v too large (paper ~1.13)", ck/rs)
+	}
+}
+
+func TestNoPatternUniversallyWins(t *testing.T) {
+	// Paper Obsv 9: testing multiple patterns is necessary; no single
+	// pattern always yields the smallest HCfirst.
+	m := newTestModel(t, 0)
+	checkWins, stripeWins := 0, 0
+	for row := 128; row < 4000; row += 173 {
+		loc := RowLoc{Channel: 5, Pseudo: 1, Bank: 9, Row: row}
+		hcCk := hcForFlips(t, m, loc, 0x55, 0xAA, 1)
+		hcRs := hcForFlips(t, m, loc, 0x00, 0xFF, 1)
+		if math.IsInf(hcCk, 1) || math.IsInf(hcRs, 1) {
+			continue
+		}
+		if hcCk < hcRs {
+			checkWins++
+		} else {
+			stripeWins++
+		}
+	}
+	if checkWins == 0 || stripeWins == 0 {
+		t.Errorf("one pattern universally wins (checkered %d, rowstripe %d)", checkWins, stripeWins)
+	}
+}
+
+func TestRetentionFlips(t *testing.T) {
+	m := newTestModel(t, 0) // 82C chip: weakest retention
+	loc := RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: 77}
+	dst := make([]byte, RowBytes)
+	n, err := m.FlipMask(loc, fillRow(0x55), nil, nil, Dose{}, 0.010, dst)
+	if err != nil || n != 0 {
+		t.Errorf("10 ms retention produced %d flips, err=%v (guaranteed window)", n, err)
+	}
+	// Very long unrefreshed intervals must produce retention failures.
+	total := 0
+	for row := 0; row < 512; row++ {
+		dst := make([]byte, RowBytes)
+		n, err := m.FlipMask(RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: row}, fillRow(0x55), nil, nil, Dose{}, 600, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Error("no retention failures after 600 s unrefreshed at 82C")
+	}
+}
+
+func TestRetentionWorsensWithTemperature(t *testing.T) {
+	m := newTestModel(t, 2)
+	count := func(temp float64) int {
+		m.SetTempC(temp)
+		total := 0
+		for row := 0; row < 256; row++ {
+			dst := make([]byte, RowBytes)
+			n, err := m.FlipMask(RowLoc{Channel: 1, Pseudo: 0, Bank: 0, Row: row}, fillRow(0xAA), nil, nil, Dose{}, 120, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += n
+		}
+		return total
+	}
+	cold := count(40)
+	hot := count(90)
+	if hot <= cold {
+		t.Errorf("retention failures at 90C (%d) not above 40C (%d)", hot, cold)
+	}
+}
+
+func TestAgingDriftsBERBothWays(t *testing.T) {
+	// Paper Obsv 13: after 7 months, slightly more rows increase in BER
+	// than decrease.
+	m := newTestModel(t, 4)
+	type pair struct{ old, new int }
+	var up, down int
+	for row := 32; row < RowsPerBank; row += 401 {
+		loc := RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: row}
+		m.SetAgeMonths(m.Profile().AgeMonthsAtStart)
+		oldN := flipCount(t, m, loc, 0xAA, 0x55, refHammer)
+		m.SetAgeMonths(m.Profile().AgeMonthsAtStart + 7)
+		newN := flipCount(t, m, loc, 0xAA, 0x55, refHammer)
+		if newN > oldN {
+			up++
+		} else if newN < oldN {
+			down++
+		}
+	}
+	m.SetAgeMonths(m.Profile().AgeMonthsAtStart)
+	if up == 0 || down == 0 {
+		t.Errorf("aging should move BER both ways (up=%d down=%d)", up, down)
+	}
+	if up <= down {
+		t.Errorf("aging should skew toward higher BER (up=%d down=%d)", up, down)
+	}
+}
+
+func TestTrialJitterDistribution(t *testing.T) {
+	m := newTestModel(t, 0)
+	tight := 0
+	rows := 0
+	for row := 0; row < 4000; row += 13 {
+		loc := RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: row}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for epoch := uint64(0); epoch < 50; epoch++ {
+			j := m.TrialJitter(loc, epoch)
+			lo = math.Min(lo, j)
+			hi = math.Max(hi, j)
+		}
+		if hi/lo < 1.0 {
+			t.Fatalf("max/min jitter below 1 for row %d", row)
+		}
+		if hi/lo < 1.09 {
+			tight++
+		}
+		if hi/lo > 2.6 {
+			t.Errorf("row %d: jitter range %v exceeds paper's ~2.23 max", row, hi/lo)
+		}
+		rows++
+	}
+	frac := float64(tight) / float64(rows)
+	if frac < 0.80 || frac > 0.99 {
+		t.Errorf("fraction of tight rows = %v, paper: ~90%% below 1.09x", frac)
+	}
+}
+
+func TestRowPressSaturationAtHalf(t *testing.T) {
+	// At extreme dose, all charged cells flip; with a checkered victim that
+	// is ~50% of the row (Obsv 18: BER converges to ~50%).
+	m := newTestModel(t, 3)
+	loc := RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: 5000}
+	n := flipCount(t, m, loc, 0x55, 0xAA, 1e12)
+	ber := float64(n) / RowBits
+	if ber < 0.40 || ber > 0.60 {
+		t.Errorf("saturation BER = %v, want ~0.5", ber)
+	}
+}
+
+func TestDieOfPairs(t *testing.T) {
+	pairs := map[int]int{0: 0, 7: 0, 1: 1, 6: 1, 2: 2, 5: 2, 3: 3, 4: 3}
+	for ch, die := range pairs {
+		if DieOf(ch) != die {
+			t.Errorf("DieOf(%d) = %d, want %d", ch, DieOf(ch), die)
+		}
+	}
+	if DieOf(-1) != 0 || DieOf(8) != 0 {
+		t.Error("out-of-range channels should clamp to die 0")
+	}
+}
+
+func TestChannelPairsShareVulnerability(t *testing.T) {
+	// Obsv 6: channels come in pairs with similar BER. Verify paired
+	// channels are closer to each other than the max cross-pair gap.
+	m := newTestModel(t, 0)
+	chBER := make([]float64, 8)
+	for ch := 0; ch < 8; ch++ {
+		total := 0
+		for row := 1000; row < 4000; row += 211 {
+			total += flipCount(t, m, RowLoc{Channel: ch, Pseudo: 0, Bank: 0, Row: row}, 0x55, 0xAA, refHammer)
+		}
+		chBER[ch] = float64(total)
+	}
+	pairGap := math.Abs(chBER[0]-chBER[7]) + math.Abs(chBER[1]-chBER[6]) +
+		math.Abs(chBER[2]-chBER[5]) + math.Abs(chBER[3]-chBER[4])
+	crossGap := math.Abs(chBER[0] - chBER[3]) // die 0 (hot) vs die 3 (cool) on chip 0
+	if pairGap/4 >= crossGap {
+		t.Errorf("paired channels differ (avg %v) as much as cross-die channels (%v)", pairGap/4, crossGap)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	good, _ := BuiltinProfile(0)
+	cases := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.BaseBERPercent = 0 },
+		func(p *Profile) { p.BaseBERPercent = 99 },
+		func(p *Profile) { p.HCFloor = 10 },
+		func(p *Profile) { p.HCGammaTheta = 0 },
+		func(p *Profile) { p.DieBERFactor[2] = 0 },
+	}
+	for i, mutate := range cases {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile passed validation", i)
+		}
+		if _, err := NewModel(p); err == nil {
+			t.Errorf("case %d: NewModel accepted invalid profile", i)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("builtin profile invalid: %v", err)
+	}
+}
+
+func TestBuiltinProfileIndexRange(t *testing.T) {
+	if _, err := BuiltinProfile(-1); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := BuiltinProfile(6); err == nil {
+		t.Error("index 6 should error")
+	}
+	for i := 0; i < 6; i++ {
+		p, err := BuiltinProfile(i)
+		if err != nil {
+			t.Fatalf("BuiltinProfile(%d): %v", i, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("builtin profile %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestChipsDiffer(t *testing.T) {
+	// Different chips must behave like different specimens.
+	m0 := newTestModel(t, 0)
+	m5 := newTestModel(t, 5)
+	loc := RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: 3333}
+	if flipCount(t, m0, loc, 0x55, 0xAA, refHammer) == flipCount(t, m5, loc, 0x55, 0xAA, refHammer) {
+		// Equal counts can coincide; compare masks for a stronger check.
+		d0 := make([]byte, RowBytes)
+		d5 := make([]byte, RowBytes)
+		v, a := fillRow(0x55), fillRow(0xAA)
+		if _, err := m0.FlipMask(loc, v, a, a, Dose{Above: refHammer, Below: refHammer}, 0, d0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m5.FlipMask(loc, v, a, a, Dose{Above: refHammer, Below: refHammer}, 0, d5); err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range d0 {
+			if d0[i] != d5[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("two different chips produced identical flip masks")
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package disturb
+
+import "fmt"
+
+// Board identifies the FPGA board a chip is mounted on. The paper tests one
+// Bittware XUPVVH board (Chip 0, temperature-controlled at 82 C) and five
+// AMD Xilinx Alveo U50 boards (Chips 1-5, passively stable).
+type Board int
+
+// Supported boards.
+const (
+	BoardXUPVVH Board = iota + 1
+	BoardAlveoU50
+)
+
+// String implements fmt.Stringer.
+func (b Board) String() string {
+	switch b {
+	case BoardXUPVVH:
+		return "Bittware XUPVVH"
+	case BoardAlveoU50:
+		return "AMD Xilinx Alveo U50"
+	default:
+		return fmt.Sprintf("Board(%d)", int(b))
+	}
+}
+
+// Profile captures everything that distinguishes one simulated HBM2 chip
+// from another. The six built-in profiles are calibrated to the per-chip
+// statistics the paper reports; custom profiles can model hypothetical
+// chips.
+type Profile struct {
+	// Name labels the chip ("Chip 0" .. "Chip 5").
+	Name string
+	// Board the chip is mounted on.
+	Board Board
+	// AgeMonthsAtStart is the chip's estimated age when experiments began
+	// (Chip 0: 33 months, Chip 1: 8 months, Chips 2-5: 3 months).
+	AgeMonthsAtStart float64
+	// OperatingTempC is the steady-state chip temperature during the main
+	// experiments (82 C for the temperature-controlled Chip 0).
+	OperatingTempC float64
+
+	// BaseBERPercent is the calibration target for the chip-level mean
+	// RowHammer BER (percent of a row's 8192 bits) for the worst-case data
+	// pattern at a hammer count of 256K.
+	BaseBERPercent float64
+	// HCFloor is the calibration target for the chip-level minimum HCfirst
+	// (the most vulnerable row's first-bitflip hammer count).
+	HCFloor float64
+	// HCGammaTheta is the scale of the Gamma(2) multiplier that spreads
+	// per-row HCfirst values above the floor; larger values raise the
+	// chip's mean HCfirst without moving its minimum.
+	HCGammaTheta float64
+
+	// DieBERFactor scales the BER target of each of the four channel-pair
+	// dies. HBM2 channels {0,7}, {1,6}, {2,5}, {3,4} share dies 0..3
+	// (Obsv 6: channels group in pairs with matching vulnerability).
+	DieBERFactor [4]float64
+
+	// HasTRR enables the undocumented on-die TRR engine. The paper
+	// demonstrates the mechanism on Chip 0; we enable it on every chip
+	// since it is dormant while periodic refresh is disabled.
+	HasTRR bool
+
+	// Seed is the process-variation seed. Two chips with identical
+	// parameters but different seeds behave like two different specimens
+	// of the same part.
+	Seed uint64
+}
+
+// DieOf maps an HBM2 channel (0-7) to its 3D-stacked die index (0-3).
+// Channel pairs {0,7}, {1,6}, {2,5}, {3,4} share a die.
+func DieOf(channel int) int {
+	if channel < 0 || channel > 7 {
+		return 0
+	}
+	if channel < 4 {
+		return channel
+	}
+	return 7 - channel
+}
+
+// BuiltinProfiles returns the six chip profiles calibrated to the paper.
+// BaseBERPercent values are pre-compensated for the systematic undershoot
+// of rows whose bulk sigma saturates at its floor, so the *measured* mean
+// WCDP BER at 256K hammers lands on the paper's numbers:
+//
+//	             minHCfirst  meanBER(WCDP)  notes
+//	Chip 0        18087       1.28%         XUPVVH, 82C, CH0/CH7 die ~2x CH3/CH4
+//	Chip 1        16611       1.02%         CH3/CH4 die most vulnerable
+//	Chip 2        15500       1.10%
+//	Chip 3        17164       0.98%
+//	Chip 4        15500       1.17%         widest channel spread (~0.88pp)
+//	Chip 5        14531       0.80%         global min HCfirst, ~10.6% higher mean HC than Chip 2
+func BuiltinProfiles() []Profile {
+	return []Profile{
+		{
+			Name: "Chip 0", Board: BoardXUPVVH, AgeMonthsAtStart: 33, OperatingTempC: 82,
+			BaseBERPercent: 2.25, HCFloor: 18087, HCGammaTheta: 2.30,
+			DieBERFactor: [4]float64{1.45, 0.95, 0.85, 0.73},
+			HasTRR:       true, Seed: 0xA11CE0,
+		},
+		{
+			Name: "Chip 1", Board: BoardAlveoU50, AgeMonthsAtStart: 8, OperatingTempC: 58,
+			BaseBERPercent: 1.88, HCFloor: 16611, HCGammaTheta: 2.30,
+			DieBERFactor: [4]float64{0.80, 0.95, 1.00, 1.30},
+			HasTRR:       true, Seed: 0xA11CE1,
+		},
+		{
+			Name: "Chip 2", Board: BoardAlveoU50, AgeMonthsAtStart: 3, OperatingTempC: 55,
+			BaseBERPercent: 1.29, HCFloor: 15500, HCGammaTheta: 2.20,
+			DieBERFactor: [4]float64{1.10, 0.90, 1.05, 0.95},
+			HasTRR:       true, Seed: 0xA11CE2,
+		},
+		{
+			Name: "Chip 3", Board: BoardAlveoU50, AgeMonthsAtStart: 3, OperatingTempC: 56,
+			BaseBERPercent: 1.59, HCFloor: 17164, HCGammaTheta: 2.30,
+			DieBERFactor: [4]float64{0.95, 1.25, 0.85, 1.00},
+			HasTRR:       true, Seed: 0xA11CE3,
+		},
+		{
+			Name: "Chip 4", Board: BoardAlveoU50, AgeMonthsAtStart: 3, OperatingTempC: 54,
+			BaseBERPercent: 1.56, HCFloor: 15500, HCGammaTheta: 2.25,
+			DieBERFactor: [4]float64{1.55, 1.00, 0.80, 0.87},
+			HasTRR:       true, Seed: 0xA11CE4,
+		},
+		{
+			Name: "Chip 5", Board: BoardAlveoU50, AgeMonthsAtStart: 3, OperatingTempC: 57,
+			BaseBERPercent: 0.97, HCFloor: 14531, HCGammaTheta: 2.65,
+			DieBERFactor: [4]float64{1.03, 0.97, 1.00, 1.01},
+			HasTRR:       true, Seed: 0xA11CE5,
+		},
+	}
+}
+
+// BuiltinProfile returns the calibrated profile of chip index 0-5.
+func BuiltinProfile(index int) (Profile, error) {
+	ps := BuiltinProfiles()
+	if index < 0 || index >= len(ps) {
+		return Profile{}, fmt.Errorf("disturb: no builtin profile for chip %d (have 0-%d)", index, len(ps)-1)
+	}
+	return ps[index], nil
+}
+
+// Validate reports configuration errors in a custom profile.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("disturb: profile needs a name")
+	}
+	if p.BaseBERPercent <= 0 || p.BaseBERPercent > 50 {
+		return fmt.Errorf("disturb: profile %s: BaseBERPercent %v out of (0, 50]", p.Name, p.BaseBERPercent)
+	}
+	if p.HCFloor < 1000 {
+		return fmt.Errorf("disturb: profile %s: HCFloor %v implausibly small", p.Name, p.HCFloor)
+	}
+	if p.HCGammaTheta <= 0 {
+		return fmt.Errorf("disturb: profile %s: HCGammaTheta must be positive", p.Name)
+	}
+	for i, f := range p.DieBERFactor {
+		if f <= 0 {
+			return fmt.Errorf("disturb: profile %s: DieBERFactor[%d] must be positive", p.Name, i)
+		}
+	}
+	return nil
+}

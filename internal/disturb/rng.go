@@ -1,0 +1,68 @@
+// Package disturb implements the calibrated read-disturbance fault model
+// that stands in for the DRAM cell physics of the six HBM2 chips the paper
+// characterizes.
+//
+// Every quantity in the model is a deterministic function of a chip seed and
+// a cell/row coordinate, derived through splitmix64 hashing. This gives the
+// simulated chips the two properties the methodology depends on: behaviour
+// is stable across repeated experiments (like silicon), yet every chip,
+// die, bank, row, and cell differs (like process variation).
+package disturb
+
+import (
+	"math"
+
+	"hbmrd/internal/stats"
+)
+
+// splitmix64 is the 64-bit finalizer from Vigna's splitmix64 generator. It
+// is used as a hash: statistically strong, branch-free, and fast enough to
+// run once per DRAM cell on every row read.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// mix folds v into h, producing a new hash state.
+func mix(h, v uint64) uint64 {
+	return splitmix64(h ^ (v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)))
+}
+
+// hashN chains an arbitrary number of values into one hash.
+func hashN(vs ...uint64) uint64 {
+	h := uint64(0x8445D61A4E774912)
+	for _, v := range vs {
+		h = mix(h, v)
+	}
+	return h
+}
+
+// unit converts a hash to a uniform float64 in the half-open interval (0, 1).
+// The lower bound is open so the value can safely feed Probit and Log.
+func unit(h uint64) float64 {
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
+// normal returns a deterministic standard normal variate derived from h.
+func normal(h uint64) float64 {
+	return stats.Probit(unit(h))
+}
+
+// lognormal returns exp(sigma*N + mu) derived deterministically from h.
+func lognormal(h uint64, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*normal(h))
+}
+
+// expvar returns a deterministic Exp(1) variate derived from h.
+func expvar(h uint64) float64 {
+	return -math.Log(unit(h))
+}
+
+// gamma2 returns a deterministic Gamma(shape=2, scale=theta) variate: the
+// sum of two independent exponentials. It shapes the per-row HCfirst
+// multiplier distribution (minimum pinned near 1, long right tail).
+func gamma2(h uint64, theta float64) float64 {
+	return theta * (expvar(mix(h, 1)) + expvar(mix(h, 2)))
+}

@@ -1,0 +1,96 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WordBytes is the analysis word size of Fig 17: non-overlapping
+// consecutive 64-bit (8-byte) words.
+const WordBytes = 8
+
+// FlipHistogram buckets words by how many bitflips they contain, matching
+// the x-axis of Fig 17: exactly 1, 2, ... 7, and more than 7 flips. Words
+// with zero flips are counted separately in Clean.
+type FlipHistogram struct {
+	// PerCount[k-1] counts words with exactly k flips, k = 1..7.
+	PerCount [7]int
+	// Over7 counts words with more than 7 flips.
+	Over7 int
+	// Clean counts words with no flips.
+	Clean int
+	// MaxFlips is the largest flip count observed in any single word
+	// (the paper reports up to 16 in Chip 4).
+	MaxFlips int
+}
+
+// TotalFlipped returns the number of words with at least one flip.
+func (h FlipHistogram) TotalFlipped() int {
+	n := h.Over7
+	for _, c := range h.PerCount {
+		n += c
+	}
+	return n
+}
+
+// MultiBit returns the number of words with more than one flip (words
+// plain SECDED cannot correct).
+func (h FlipHistogram) MultiBit() int { return h.TotalFlipped() - h.PerCount[0] }
+
+// Undetectable returns the number of words with more than two flips, which
+// SECDED can neither correct nor reliably detect.
+func (h FlipHistogram) Undetectable() int {
+	n := h.Over7
+	for _, c := range h.PerCount[2:] {
+		n += c
+	}
+	return n
+}
+
+// AccumulateWordFlips folds the flip mask of one DRAM row into the
+// histogram. The mask must be a whole number of 8-byte words.
+func (h *FlipHistogram) AccumulateWordFlips(mask []byte) error {
+	if len(mask)%WordBytes != 0 {
+		return fmt.Errorf("ecc: mask length %d is not a multiple of %d", len(mask), WordBytes)
+	}
+	for off := 0; off < len(mask); off += WordBytes {
+		flips := 0
+		for _, b := range mask[off : off+WordBytes] {
+			flips += bits.OnesCount8(b)
+		}
+		switch {
+		case flips == 0:
+			h.Clean++
+		case flips <= 7:
+			h.PerCount[flips-1]++
+		default:
+			h.Over7++
+		}
+		if flips > h.MaxFlips {
+			h.MaxFlips = flips
+		}
+	}
+	return nil
+}
+
+// SECDEDOutcome summarizes what SECDED hardware would do with a set of
+// flipped words.
+type SECDEDOutcome struct {
+	Corrected  int // single-bit words: silently fixed
+	Detected   int // double-bit words: flagged uncorrectable
+	Escaped    int // 3+ bit words: silently escape or miscorrect
+	TotalWords int
+}
+
+// ClassifySECDED derives the SECDED outcome from a flip histogram,
+// following the paper's §8 argument: one flip per word is correctable, two
+// are detectable, three or more can neither be corrected nor reliably
+// detected.
+func ClassifySECDED(h FlipHistogram) SECDEDOutcome {
+	return SECDEDOutcome{
+		Corrected:  h.PerCount[0],
+		Detected:   h.PerCount[1],
+		Escaped:    h.Undetectable(),
+		TotalWords: h.TotalFlipped() + h.Clean,
+	}
+}

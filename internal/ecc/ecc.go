@@ -1,0 +1,197 @@
+// Package ecc implements the error-correcting codes the paper's §8 analysis
+// discusses: the SECDED (72,64) code typical of HBM/DDR ECC, and the short
+// Hamming(7,4) code whose 75% storage overhead the paper uses to argue that
+// ECC alone is an impractically expensive RowHammer defense.
+//
+// It also provides the word-level bitflip analysis behind Fig 17: a
+// histogram of how many non-overlapping 64-bit words contain 1, 2, ... >7
+// bitflips, and the classification of those words under SECDED (corrected /
+// detected / silently escaping).
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SECDED(72,64): an extended Hamming code. 64 data bits are spread over
+// codeword positions 1..71 that are not powers of two; positions 1, 2, 4,
+// 8, 16, 32, 64 hold Hamming parity; position 0 holds the overall parity
+// bit that upgrades single-error-correcting to double-error-detecting.
+const (
+	// DataBits is the number of data bits per SECDED codeword.
+	DataBits = 64
+	// CheckBits is the number of redundant bits per SECDED codeword.
+	CheckBits = 8
+	// CodeBits is the total SECDED codeword length.
+	CodeBits = DataBits + CheckBits
+)
+
+// dataPositions[i] is the codeword position (1..71) of data bit i.
+var dataPositions = func() [DataBits]int {
+	var pos [DataBits]int
+	i := 0
+	for p := 1; p < CodeBits && i < DataBits; p++ {
+		if p&(p-1) == 0 {
+			continue // power of two: Hamming parity position
+		}
+		pos[i] = p
+		i++
+	}
+	if i != DataBits {
+		panic("ecc: not enough non-parity positions")
+	}
+	return pos
+}()
+
+// Codeword is one SECDED-protected 64-bit word: the data and its 8 check
+// bits (7 Hamming + 1 overall parity).
+type Codeword struct {
+	Data  uint64
+	Check uint8
+}
+
+// Encode computes the SECDED codeword for 64 bits of data.
+func Encode(data uint64) Codeword {
+	var syndrome int
+	ones := 0
+	for i := 0; i < DataBits; i++ {
+		if data>>i&1 == 1 {
+			syndrome ^= dataPositions[i]
+			ones++
+		}
+	}
+	var check uint8
+	// Hamming parity bits at positions 2^k cover positions with bit k set.
+	for k := 0; k < 7; k++ {
+		if syndrome>>k&1 == 1 {
+			check |= 1 << k
+			ones++
+		}
+	}
+	// Overall parity (stored in check bit 7) makes total weight even.
+	if ones%2 == 1 {
+		check |= 1 << 7
+	}
+	return Codeword{Data: data, Check: check}
+}
+
+// DecodeResult classifies the outcome of a SECDED decode.
+type DecodeResult int
+
+// Decode outcomes.
+const (
+	// OK means the codeword was clean.
+	OK DecodeResult = iota
+	// Corrected means a single-bit error was detected and corrected.
+	Corrected
+	// Detected means an uncorrectable (double-bit) error was detected.
+	Detected
+	// Miscorrected is only reported by analysis helpers that know the
+	// original data: three or more flips can masquerade as a single-bit
+	// error and be "corrected" into the wrong word.
+	Miscorrected
+)
+
+// String implements fmt.Stringer.
+func (r DecodeResult) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	case Miscorrected:
+		return "miscorrected"
+	default:
+		return fmt.Sprintf("DecodeResult(%d)", int(r))
+	}
+}
+
+// Decode inspects a possibly corrupted codeword and returns the corrected
+// data plus the decode classification (OK, Corrected, or Detected). Like
+// real SECDED hardware, triple errors may silently miscorrect; Decode
+// reports what the hardware would believe.
+func Decode(cw Codeword) (uint64, DecodeResult) {
+	var syndrome int
+	ones := 0
+	for i := 0; i < DataBits; i++ {
+		if cw.Data>>i&1 == 1 {
+			syndrome ^= dataPositions[i]
+			ones++
+		}
+	}
+	for k := 0; k < 7; k++ {
+		if cw.Check>>k&1 == 1 {
+			syndrome ^= 1 << k
+			ones++
+		}
+	}
+	parityStored := int(cw.Check >> 7 & 1)
+	parityComputed := ones % 2
+	parityError := parityStored != parityComputed
+
+	switch {
+	case syndrome == 0 && !parityError:
+		return cw.Data, OK
+	case syndrome == 0 && parityError:
+		// The overall parity bit itself flipped.
+		return cw.Data, Corrected
+	case parityError:
+		// Odd number of flips with a Hamming syndrome: treat as a single
+		// error at the syndrome position and correct it.
+		return flipPosition(cw, syndrome).Data, Corrected
+	default:
+		// Non-zero syndrome with even parity: double error, uncorrectable.
+		return cw.Data, Detected
+	}
+}
+
+// flipPosition flips the codeword bit at Hamming position p (1..71).
+func flipPosition(cw Codeword, p int) Codeword {
+	for i, dp := range dataPositions {
+		if dp == p {
+			cw.Data ^= 1 << i
+			return cw
+		}
+	}
+	// Parity position 2^k.
+	k := bits.TrailingZeros(uint(p))
+	cw.Check ^= 1 << k
+	return cw
+}
+
+// InjectDataErrors flips the data bits of cw selected by mask.
+func InjectDataErrors(cw Codeword, mask uint64) Codeword {
+	cw.Data ^= mask
+	return cw
+}
+
+// Hamming74Overhead returns the storage overhead of the (7,4) Hamming code
+// the paper invokes: 3 parity bits per 4 data bits, i.e. 75%.
+func Hamming74Overhead() float64 { return 3.0 / 4.0 }
+
+// EncodeHamming74 encodes a 4-bit nibble into a 7-bit Hamming codeword.
+func EncodeHamming74(nibble uint8) uint8 {
+	d := [4]uint8{nibble & 1, nibble >> 1 & 1, nibble >> 2 & 1, nibble >> 3 & 1}
+	p1 := d[0] ^ d[1] ^ d[3]
+	p2 := d[0] ^ d[2] ^ d[3]
+	p3 := d[1] ^ d[2] ^ d[3]
+	// Codeword layout (bit 0 = position 1): p1 p2 d0 p3 d1 d2 d3.
+	return p1 | p2<<1 | d[0]<<2 | p3<<3 | d[1]<<4 | d[2]<<5 | d[3]<<6
+}
+
+// DecodeHamming74 decodes a 7-bit Hamming codeword, correcting up to one
+// flipped bit, and returns the 4-bit nibble.
+func DecodeHamming74(code uint8) uint8 {
+	bit := func(p int) uint8 { return code >> (p - 1) & 1 }
+	s1 := bit(1) ^ bit(3) ^ bit(5) ^ bit(7)
+	s2 := bit(2) ^ bit(3) ^ bit(6) ^ bit(7)
+	s3 := bit(4) ^ bit(5) ^ bit(6) ^ bit(7)
+	syndrome := int(s1) | int(s2)<<1 | int(s3)<<2
+	if syndrome != 0 {
+		code ^= 1 << (syndrome - 1)
+	}
+	return (code >> 2 & 1) | (code>>4&1)<<1 | (code>>5&1)<<2 | (code>>6&1)<<3
+}

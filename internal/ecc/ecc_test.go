@@ -1,0 +1,205 @@
+package ecc
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, data := range []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEBABE, 1 << 63} {
+		cw := Encode(data)
+		got, res := Decode(cw)
+		if got != data || res != OK {
+			t.Errorf("Decode(Encode(%#x)) = %#x, %v", data, got, res)
+		}
+	}
+}
+
+func TestSingleBitDataErrorsCorrected(t *testing.T) {
+	data := uint64(0x0123456789ABCDEF)
+	for bit := 0; bit < DataBits; bit++ {
+		cw := InjectDataErrors(Encode(data), 1<<bit)
+		got, res := Decode(cw)
+		if res != Corrected || got != data {
+			t.Fatalf("bit %d: Decode = %#x, %v; want corrected %#x", bit, got, res, data)
+		}
+	}
+}
+
+func TestSingleCheckBitErrorsCorrected(t *testing.T) {
+	data := uint64(0xA5A5A5A5A5A5A5A5)
+	for bit := 0; bit < CheckBits; bit++ {
+		cw := Encode(data)
+		cw.Check ^= 1 << bit
+		got, res := Decode(cw)
+		if res != Corrected || got != data {
+			t.Fatalf("check bit %d: Decode = %#x, %v", bit, got, res)
+		}
+	}
+}
+
+func TestDoubleBitErrorsDetected(t *testing.T) {
+	data := uint64(0xFEEDFACE12345678)
+	cases := [][2]int{{0, 1}, {5, 40}, {62, 63}, {0, 63}, {13, 14}}
+	for _, c := range cases {
+		cw := InjectDataErrors(Encode(data), 1<<c[0]|1<<c[1])
+		_, res := Decode(cw)
+		if res != Detected {
+			t.Errorf("double error bits %v: result %v, want Detected", c, res)
+		}
+	}
+}
+
+func TestTripleBitErrorsEscapeOrMiscorrect(t *testing.T) {
+	// The paper's point: 3+ flips defeat SECDED. The decoder must NOT
+	// report Detected reliably; it believes it corrected a single error.
+	data := uint64(0x1111222233334444)
+	cw := InjectDataErrors(Encode(data), 1<<3|1<<17|1<<44)
+	got, res := Decode(cw)
+	if res == Detected {
+		t.Skip("this particular triple produced a detectable syndrome; acceptable")
+	}
+	if got == data {
+		t.Error("triple error silently produced the original data")
+	}
+}
+
+func TestSECDEDPropertyRoundTrip(t *testing.T) {
+	f := func(data uint64) bool {
+		got, res := Decode(Encode(data))
+		return got == data && res == OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSECDEDPropertySingleErrorAlwaysCorrected(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		b := int(bit) % DataBits
+		got, res := Decode(InjectDataErrors(Encode(data), 1<<b))
+		return res == Corrected && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSECDEDPropertyDoubleErrorAlwaysDetected(t *testing.T) {
+	f := func(data uint64, b1, b2 uint8) bool {
+		x, y := int(b1)%DataBits, int(b2)%DataBits
+		if x == y {
+			return true
+		}
+		_, res := Decode(InjectDataErrors(Encode(data), 1<<x|1<<y))
+		return res == Detected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHamming74RoundTrip(t *testing.T) {
+	for n := uint8(0); n < 16; n++ {
+		if got := DecodeHamming74(EncodeHamming74(n)); got != n {
+			t.Errorf("Hamming74 round trip %d -> %d", n, got)
+		}
+	}
+}
+
+func TestHamming74CorrectsSingleError(t *testing.T) {
+	for n := uint8(0); n < 16; n++ {
+		code := EncodeHamming74(n)
+		for bit := 0; bit < 7; bit++ {
+			if got := DecodeHamming74(code ^ 1<<bit); got != n {
+				t.Errorf("nibble %d bit %d: decoded %d", n, bit, got)
+			}
+		}
+	}
+}
+
+func TestHamming74Overhead(t *testing.T) {
+	if Hamming74Overhead() != 0.75 {
+		t.Errorf("overhead = %v, paper states 75%%", Hamming74Overhead())
+	}
+}
+
+func TestFlipHistogramBuckets(t *testing.T) {
+	var h FlipHistogram
+	mask := make([]byte, 32) // 4 words
+	mask[0] = 0x01           // word 0: 1 flip
+	mask[8] = 0x03           // word 1: 2 flips
+	mask[16] = 0xFF          // word 2: 8 flips (>7)
+	// word 3: clean
+	if err := h.AccumulateWordFlips(mask); err != nil {
+		t.Fatal(err)
+	}
+	if h.PerCount[0] != 1 || h.PerCount[1] != 1 || h.Over7 != 1 || h.Clean != 1 {
+		t.Errorf("histogram = %+v", h)
+	}
+	if h.MaxFlips != 8 {
+		t.Errorf("MaxFlips = %d, want 8", h.MaxFlips)
+	}
+	if h.TotalFlipped() != 3 || h.MultiBit() != 2 || h.Undetectable() != 1 {
+		t.Errorf("aggregates: flipped=%d multi=%d undet=%d", h.TotalFlipped(), h.MultiBit(), h.Undetectable())
+	}
+}
+
+func TestFlipHistogramRejectsRaggedMask(t *testing.T) {
+	var h FlipHistogram
+	if err := h.AccumulateWordFlips(make([]byte, 13)); err == nil {
+		t.Error("ragged mask accepted")
+	}
+}
+
+func TestClassifySECDED(t *testing.T) {
+	var h FlipHistogram
+	h.PerCount = [7]int{10, 5, 3, 2, 0, 0, 1}
+	h.Over7 = 4
+	h.Clean = 100
+	out := ClassifySECDED(h)
+	if out.Corrected != 10 || out.Detected != 5 || out.Escaped != 10 {
+		t.Errorf("outcome = %+v", out)
+	}
+	if out.TotalWords != 125 {
+		t.Errorf("TotalWords = %d, want 125", out.TotalWords)
+	}
+}
+
+func TestHistogramCountMatchesPopcountProperty(t *testing.T) {
+	f := func(words [][8]byte) bool {
+		var h FlipHistogram
+		mask := make([]byte, 0, len(words)*8)
+		totalBits := 0
+		for _, w := range words {
+			mask = append(mask, w[:]...)
+			for _, b := range w {
+				totalBits += bits.OnesCount8(b)
+			}
+		}
+		if err := h.AccumulateWordFlips(mask); err != nil {
+			return false
+		}
+		// Reconstruct a lower bound on total flips from the histogram.
+		sum := 0
+		for k, c := range h.PerCount {
+			sum += (k + 1) * c
+		}
+		sum += h.Over7 * 8
+		return h.Clean+h.TotalFlipped() == len(words) && sum <= totalBits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeResultString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" ||
+		Detected.String() != "detected" || Miscorrected.String() != "miscorrected" {
+		t.Error("DecodeResult strings wrong")
+	}
+	if DecodeResult(9).String() == "" {
+		t.Error("unknown result should still render")
+	}
+}

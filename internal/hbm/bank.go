@@ -1,0 +1,89 @@
+package hbm
+
+import (
+	"math"
+
+	"hbmrd/internal/trr"
+)
+
+// Disturbance coupling weights by physical distance from the aggressor.
+// Distance-1 neighbours take full dose; distance-2 neighbours a small
+// fraction (the "blast radius" beyond immediate neighbours observed for
+// real DRAM). Coupling never crosses subarray boundaries, which is what
+// makes the paper's single-sided subarray-boundary discovery work.
+const (
+	coupleDist1 = 1.0
+	coupleDist2 = 0.015
+)
+
+// rowState is the device-side state of one physical row. Rows materialize
+// lazily: a bank only holds state for rows that an experiment has touched.
+type rowState struct {
+	// data is the stored image (RowBytes) or nil if never written; unwritten
+	// rows read as zeros and take no disturbance flips.
+	data []byte
+	// parity holds one SECDED check byte per 8-byte word, present only if
+	// the row was written while ECC was enabled.
+	parity []byte
+	// doseAbove/doseBelow accumulate disturbance from the physical
+	// neighbours above (row+1 side) and below, in reference activations,
+	// already amplification- and jitter-scaled.
+	doseAbove, doseBelow float64
+	// epoch counts restores (activate/refresh/write cycles); it seeds the
+	// per-trial dose jitter.
+	epoch uint64
+	// jitter is the cached trial-jitter multiplier for the current epoch.
+	jitter float64
+	// lastRestore is when the row's cells last had full charge.
+	lastRestore TimePS
+}
+
+// bank models one DRAM bank: a row-state store, the open-row state machine,
+// per-bank timing history, and the in-DRAM TRR engine.
+type bank struct {
+	pseudo, index int
+
+	open        bool
+	openLogical int
+	openPhys    int
+	actAt       TimePS
+
+	lastAct TimePS // previous ACT (for tRC)
+	lastPre TimePS // PRE issue time (for tRP)
+	lastRW  TimePS // last RD or WR (for tCCD_L / tRTP)
+	wrote   bool   // a WR happened in the current open interval (for tWR)
+
+	rows map[int]*rowState
+	trr  *trr.Engine
+}
+
+func newBank(pseudo, index int, trrCfg trr.Config) (*bank, error) {
+	eng, err := trr.NewEngine(trrCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &bank{
+		pseudo:  pseudo,
+		index:   index,
+		lastAct: math.MinInt64 / 2,
+		lastPre: math.MinInt64 / 2,
+		lastRW:  math.MinInt64 / 2,
+		rows:    make(map[int]*rowState),
+		trr:     eng,
+	}, nil
+}
+
+// row returns the state for a physical row, creating it on first touch. A
+// freshly created row is considered refreshed "now" (its content is
+// undefined until written, so there is nothing older to corrupt).
+func (b *bank) row(phys int, now TimePS, jitter func(phys int, epoch uint64) float64) *rowState {
+	if rs, ok := b.rows[phys]; ok {
+		return rs
+	}
+	rs := &rowState{lastRestore: now, jitter: jitter(phys, 0)}
+	b.rows[phys] = rs
+	return rs
+}
+
+// peek returns the state for a physical row without creating it.
+func (b *bank) peek(phys int) *rowState { return b.rows[phys] }

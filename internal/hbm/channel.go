@@ -1,0 +1,399 @@
+package hbm
+
+import (
+	"fmt"
+	"sync"
+
+	"hbmrd/internal/disturb"
+	"hbmrd/internal/ecc"
+)
+
+// Channel is one independently operating HBM2 channel: two pseudo channels
+// of sixteen banks each, a command clock, and a refresh engine. Channels of
+// the same chip can be driven concurrently (the paper's platform tests
+// channels in parallel); all methods of one Channel are serialized by an
+// internal mutex.
+type Channel struct {
+	mu sync.Mutex
+
+	chip  *Chip
+	index int
+
+	now        TimePS
+	lastRefEnd TimePS
+	refCounter int // internal refresh row counter, shared by all banks
+
+	banks [NumPseudoChannels][NumBanks]*bank
+
+	// autoTiming makes every command wait for its earliest legal issue
+	// time instead of failing. The platform's interpreter turns this off
+	// to validate hand-written programs.
+	autoTiming bool
+
+	scratch []byte // flip-mask scratch buffer, guarded by mu
+}
+
+// SetAutoTiming selects between auto-delayed commands (true, default) and
+// strict checking where early commands return *TimingError (false).
+func (ch *Channel) SetAutoTiming(auto bool) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.autoTiming = auto
+}
+
+// Index returns the channel number (0-7).
+func (ch *Channel) Index() int { return ch.index }
+
+// Now returns the channel's current simulated time.
+func (ch *Channel) Now() TimePS {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.now
+}
+
+// Wait advances the channel clock by d picoseconds (issuing nothing).
+func (ch *Channel) Wait(d TimePS) {
+	if d <= 0 {
+		return
+	}
+	ch.mu.Lock()
+	ch.now += d
+	ch.mu.Unlock()
+}
+
+// timingGate resolves a command's earliest legal time. In auto mode the
+// clock jumps forward; in strict mode a violation is returned.
+func (ch *Channel) timingGate(cmd, rule string, earliest TimePS) error {
+	if ch.now >= earliest {
+		return nil
+	}
+	if ch.autoTiming {
+		ch.now = earliest
+		return nil
+	}
+	return &TimingError{Cmd: cmd, Rule: rule, At: ch.now, Earliest: earliest}
+}
+
+func (ch *Channel) bank(pc, b int) (*bank, error) {
+	if pc < 0 || pc >= NumPseudoChannels {
+		return nil, fmt.Errorf("hbm: pseudo channel %d out of range", pc)
+	}
+	if b < 0 || b >= NumBanks {
+		return nil, fmt.Errorf("hbm: bank %d out of range", b)
+	}
+	return ch.banks[pc][b], nil
+}
+
+func (ch *Channel) jitterFn(pc, bankIdx int) func(phys int, epoch uint64) float64 {
+	return func(phys int, epoch uint64) float64 {
+		return ch.chip.model.TrialJitter(ch.rowLoc(pc, bankIdx, phys), epoch)
+	}
+}
+
+func (ch *Channel) rowLoc(pc, bankIdx, phys int) disturb.RowLoc {
+	return disturb.RowLoc{Channel: ch.index, Pseudo: pc, Bank: bankIdx, Row: phys}
+}
+
+// Activate opens a logical row: earliest-legal timing, logical-to-physical
+// translation, materialization of pending disturbance into the row, charge
+// restore, and TRR tracker update.
+func (ch *Channel) Activate(pc, bankIdx, logicalRow int) error {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.activateLocked(pc, bankIdx, logicalRow)
+}
+
+func (ch *Channel) activateLocked(pc, bankIdx, logicalRow int) error {
+	if logicalRow < 0 || logicalRow >= NumRows {
+		return fmt.Errorf("hbm: row %d out of range", logicalRow)
+	}
+	b, err := ch.bank(pc, bankIdx)
+	if err != nil {
+		return err
+	}
+	if b.open {
+		return fmt.Errorf("%w: %s", ErrBankOpen, Addr{ch.index, pc, bankIdx, b.openLogical})
+	}
+	t := ch.chip.timing
+	if err := ch.timingGate("ACT", "tRC", b.lastAct+t.TRC); err != nil {
+		return err
+	}
+	if err := ch.timingGate("ACT", "tRP", b.lastPre+t.TRP); err != nil {
+		return err
+	}
+	if err := ch.timingGate("ACT", "tRFC", ch.lastRefEnd); err != nil {
+		return err
+	}
+
+	phys := ch.chip.mapper.ToPhysical(logicalRow)
+	rs := b.row(phys, ch.now, ch.jitterFn(pc, bankIdx))
+	ch.restoreLocked(pc, bankIdx, b, phys, rs)
+
+	b.open = true
+	b.openLogical = logicalRow
+	b.openPhys = phys
+	b.actAt = ch.now
+	b.lastAct = ch.now
+	b.wrote = false
+	b.trr.OnActivate(phys)
+
+	ch.now += t.TCK
+	return nil
+}
+
+// Precharge closes the bank's open row (a PRE to an idle bank is a legal
+// no-op). Closing applies the row's disturbance dose to its physical
+// neighbours, scaled by how long the row stayed open (RowPress).
+func (ch *Channel) Precharge(pc, bankIdx int) error {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.prechargeLocked(pc, bankIdx)
+}
+
+func (ch *Channel) prechargeLocked(pc, bankIdx int) error {
+	b, err := ch.bank(pc, bankIdx)
+	if err != nil {
+		return err
+	}
+	t := ch.chip.timing
+	if !b.open {
+		b.lastPre = ch.now
+		ch.now += t.TCK
+		return nil
+	}
+	if err := ch.timingGate("PRE", "tRAS", b.actAt+t.TRAS); err != nil {
+		return err
+	}
+	if err := ch.timingGate("PRE", "tRTP", b.lastRW+t.TRTP); err != nil {
+		return err
+	}
+	if b.wrote {
+		if err := ch.timingGate("PRE", "tWR", b.lastRW+t.TWR); err != nil {
+			return err
+		}
+	}
+
+	onTime := ch.now - b.actAt
+	ch.applyDoseLocked(pc, bankIdx, b, b.openPhys, 1, onTime, nil)
+
+	b.open = false
+	b.lastPre = ch.now
+	ch.now += t.TCK
+	return nil
+}
+
+// applyDoseLocked distributes count activations' worth of disturbance from
+// aggressor physRow to its physical neighbours. Rows listed in exclude
+// receive no dose (used by the batched hammer path for rows that are
+// themselves re-activated every iteration, which continually resets their
+// accumulation).
+func (ch *Channel) applyDoseLocked(pc, bankIdx int, b *bank, physRow, count int, onTime TimePS, exclude map[int]bool) {
+	amp := disturb.AggOnAmp(float64(onTime) / float64(NS))
+	base := float64(count) * amp
+	for _, d := range [...]struct {
+		dist   int
+		weight float64
+	}{{1, coupleDist1}, {2, coupleDist2}} {
+		for _, sign := range [...]int{+1, -1} {
+			victim := physRow + sign*d.dist
+			if victim < 0 || victim >= NumRows || exclude[victim] {
+				continue
+			}
+			if !disturb.SameSubarray(physRow, victim) {
+				continue
+			}
+			vrs := b.row(victim, ch.now, ch.jitterFn(pc, bankIdx))
+			dose := base * d.weight * vrs.jitter
+			if sign > 0 {
+				// Aggressor is above... no: victim = physRow + dist means
+				// the aggressor sits below the victim.
+				vrs.doseBelow += dose
+			} else {
+				vrs.doseAbove += dose
+			}
+		}
+	}
+}
+
+// restoreLocked materializes pending disturbance and retention flips into
+// the row's stored data, then restores full charge (dose and retention
+// clock reset, epoch advance).
+func (ch *Channel) restoreLocked(pc, bankIdx int, b *bank, phys int, rs *rowState) {
+	if rs.data != nil && (rs.doseAbove > 0 || rs.doseBelow > 0 || ch.now-rs.lastRestore > 30*MS) {
+		var above, below []byte
+		if n := b.peek(phys + 1); n != nil {
+			above = n.data
+		}
+		if n := b.peek(phys - 1); n != nil {
+			below = n.data
+		}
+		if ch.scratch == nil {
+			ch.scratch = make([]byte, RowBytes)
+		}
+		mask := ch.scratch
+		for i := range mask {
+			mask[i] = 0
+		}
+		retSec := float64(ch.now-rs.lastRestore) / float64(SEC)
+		n, err := ch.chip.model.FlipMask(
+			ch.rowLoc(pc, bankIdx, phys),
+			rs.data, above, below,
+			disturb.Dose{Above: rs.doseAbove, Below: rs.doseBelow},
+			retSec, mask,
+		)
+		if err == nil && n > 0 {
+			for i := range rs.data {
+				rs.data[i] ^= mask[i]
+			}
+		}
+	}
+	rs.doseAbove = 0
+	rs.doseBelow = 0
+	rs.lastRestore = ch.now
+	rs.epoch++
+	rs.jitter = ch.chip.model.TrialJitter(ch.rowLoc(pc, bankIdx, phys), rs.epoch)
+}
+
+// Read issues a RD for one column (ColBytes bytes) of the open row into buf.
+// With ECC enabled, single-bit errors per 64-bit word are corrected on the
+// fly when the row carries check bits.
+func (ch *Channel) Read(pc, bankIdx, col int, buf []byte) error {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.readLocked(pc, bankIdx, col, buf)
+}
+
+func (ch *Channel) readLocked(pc, bankIdx, col int, buf []byte) error {
+	if col < 0 || col >= NumCols {
+		return fmt.Errorf("hbm: column %d out of range", col)
+	}
+	if len(buf) < ColBytes {
+		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, ColBytes)
+	}
+	b, err := ch.bank(pc, bankIdx)
+	if err != nil {
+		return err
+	}
+	if !b.open {
+		return ErrBankClosed
+	}
+	t := ch.chip.timing
+	if err := ch.timingGate("RD", "tRCD", b.actAt+t.TRCD); err != nil {
+		return err
+	}
+	if err := ch.timingGate("RD", "tCCD_L", b.lastRW+t.TCCDL); err != nil {
+		return err
+	}
+
+	rs := b.peek(b.openPhys)
+	off := col * ColBytes
+	if rs == nil || rs.data == nil {
+		for i := 0; i < ColBytes; i++ {
+			buf[i] = 0
+		}
+	} else {
+		copy(buf[:ColBytes], rs.data[off:off+ColBytes])
+		if ch.chip.modeRegs.ECCEnabled && rs.parity != nil {
+			correctColumn(buf[:ColBytes], rs.parity, off)
+		}
+	}
+	b.lastRW = ch.now
+	ch.now += t.TCK
+	return nil
+}
+
+// Write issues a WR for one column of the open row.
+func (ch *Channel) Write(pc, bankIdx, col int, data []byte) error {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.writeLocked(pc, bankIdx, col, data)
+}
+
+func (ch *Channel) writeLocked(pc, bankIdx, col int, data []byte) error {
+	if col < 0 || col >= NumCols {
+		return fmt.Errorf("hbm: column %d out of range", col)
+	}
+	if len(data) < ColBytes {
+		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, ColBytes)
+	}
+	b, err := ch.bank(pc, bankIdx)
+	if err != nil {
+		return err
+	}
+	if !b.open {
+		return ErrBankClosed
+	}
+	t := ch.chip.timing
+	if err := ch.timingGate("WR", "tRCD", b.actAt+t.TRCD); err != nil {
+		return err
+	}
+	if err := ch.timingGate("WR", "tCCD_L", b.lastRW+t.TCCDL); err != nil {
+		return err
+	}
+
+	rs := b.row(b.openPhys, ch.now, ch.jitterFn(pc, bankIdx))
+	if rs.data == nil {
+		rs.data = make([]byte, RowBytes)
+	}
+	off := col * ColBytes
+	copy(rs.data[off:off+ColBytes], data[:ColBytes])
+	if ch.chip.modeRegs.ECCEnabled {
+		if rs.parity == nil {
+			rs.parity = make([]byte, RowBytes/ecc.WordBytes)
+		}
+		updateParityColumn(rs.data, rs.parity, off)
+	}
+	b.lastRW = ch.now
+	b.wrote = true
+	ch.now += t.TCK
+	return nil
+}
+
+// Refresh issues an all-bank REF: every bank must be precharged; the
+// internal refresh counter restores the next rows of every bank, and each
+// bank's TRR engine may piggyback victim refreshes (every 17th REF).
+func (ch *Channel) Refresh() error {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.refreshLocked()
+}
+
+func (ch *Channel) refreshLocked() error {
+	for pc := 0; pc < NumPseudoChannels; pc++ {
+		for bi := 0; bi < NumBanks; bi++ {
+			if ch.banks[pc][bi].open {
+				return fmt.Errorf("%w: %s open", ErrBanksNotIdle, Addr{ch.index, pc, bi, ch.banks[pc][bi].openLogical})
+			}
+		}
+	}
+	if err := ch.timingGate("REF", "tRFC", ch.lastRefEnd); err != nil {
+		return err
+	}
+
+	t := ch.chip.timing
+	rowsPerRef := t.RowsPerREF()
+	for pc := 0; pc < NumPseudoChannels; pc++ {
+		for bi := 0; bi < NumBanks; bi++ {
+			b := ch.banks[pc][bi]
+			for k := 0; k < rowsPerRef; k++ {
+				phys := (ch.refCounter + k) % NumRows
+				if rs := b.peek(phys); rs != nil {
+					ch.restoreLocked(pc, bi, b, phys, rs)
+				}
+			}
+			for _, victim := range b.trr.OnRefresh() {
+				if victim < 0 || victim >= NumRows {
+					continue
+				}
+				if rs := b.peek(victim); rs != nil {
+					ch.restoreLocked(pc, bi, b, victim, rs)
+				}
+			}
+		}
+	}
+	ch.refCounter = (ch.refCounter + rowsPerRef) % NumRows
+
+	ch.lastRefEnd = ch.now + t.TRFC
+	ch.now = ch.lastRefEnd
+	return nil
+}

@@ -1,0 +1,171 @@
+package hbm
+
+import (
+	"fmt"
+	"math"
+
+	"hbmrd/internal/disturb"
+	"hbmrd/internal/rowmap"
+	"hbmrd/internal/trr"
+)
+
+// Chip is one simulated HBM2 stack. Its eight channels operate (and may be
+// driven) independently; chip-level configuration (mode registers,
+// temperature, age) must not be changed while channels are being driven.
+type Chip struct {
+	prof     disturb.Profile
+	model    *disturb.Model
+	mapper   rowmap.Mapper
+	timing   Timing
+	modeRegs ModeRegisters
+	channels [NumChannels]*Channel
+}
+
+// config collects the functional options of New.
+type config struct {
+	timing     Timing
+	mapper     rowmap.Mapper
+	trrCfg     trr.Config
+	autoTiming bool
+}
+
+// Option configures a Chip at construction time.
+type Option func(*config)
+
+// WithTiming overrides the default timing parameters.
+func WithTiming(t Timing) Option {
+	return func(c *config) { c.timing = t }
+}
+
+// WithMapper overrides the chip's internal logical-to-physical row mapping.
+func WithMapper(m rowmap.Mapper) Option {
+	return func(c *config) { c.mapper = m }
+}
+
+// WithTRRConfig overrides the undocumented TRR mechanism's configuration
+// (e.g. to disable it, or for the ablation benchmarks that sweep its
+// tracker size).
+func WithTRRConfig(cfg trr.Config) Option {
+	return func(c *config) { c.trrCfg = cfg }
+}
+
+// WithStrictTiming starts all channels in strict-timing mode, where
+// commands issued before their earliest legal time fail with *TimingError
+// instead of being delayed.
+func WithStrictTiming() Option {
+	return func(c *config) { c.autoTiming = false }
+}
+
+// New builds a chip from a fault-model profile. By default the chip uses
+// DefaultTiming, a salt-derived BitSwizzle row mapping (like real chips,
+// the mapping differs per specimen), the paper's TRR configuration when the
+// profile enables TRR, and auto-delayed command timing.
+func New(prof disturb.Profile, opts ...Option) (*Chip, error) {
+	model, err := disturb.NewModel(prof)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config{
+		timing:     DefaultTiming(),
+		mapper:     rowmap.BitSwizzle{NumRows: NumRows, Salt: prof.Seed},
+		autoTiming: true,
+	}
+	if prof.HasTRR {
+		cfg.trrCfg = trr.DefaultConfig()
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.timing.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.mapper.Rows() != NumRows {
+		return nil, fmt.Errorf("hbm: mapper covers %d rows, want %d", cfg.mapper.Rows(), NumRows)
+	}
+	if err := cfg.trrCfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	c := &Chip{
+		prof:   prof,
+		model:  model,
+		mapper: cfg.mapper,
+		timing: cfg.timing,
+	}
+	for i := 0; i < NumChannels; i++ {
+		ch := &Channel{
+			chip:       c,
+			index:      i,
+			autoTiming: cfg.autoTiming,
+			lastRefEnd: math.MinInt64 / 2,
+		}
+		for pc := 0; pc < NumPseudoChannels; pc++ {
+			for bi := 0; bi < NumBanks; bi++ {
+				b, err := newBank(pc, bi, cfg.trrCfg)
+				if err != nil {
+					return nil, err
+				}
+				ch.banks[pc][bi] = b
+			}
+		}
+		c.channels[i] = ch
+	}
+	return c, nil
+}
+
+// NewBuiltin builds one of the six chips the paper tests (index 0-5).
+func NewBuiltin(index int, opts ...Option) (*Chip, error) {
+	prof, err := disturb.BuiltinProfile(index)
+	if err != nil {
+		return nil, err
+	}
+	return New(prof, opts...)
+}
+
+// Channel returns channel i (0-7).
+func (c *Chip) Channel(i int) (*Channel, error) {
+	if i < 0 || i >= NumChannels {
+		return nil, fmt.Errorf("hbm: channel %d out of [0,%d)", i, NumChannels)
+	}
+	return c.channels[i], nil
+}
+
+// Profile returns the fault-model profile the chip was built from.
+func (c *Chip) Profile() disturb.Profile { return c.prof }
+
+// Model exposes the chip's fault model for environment control
+// (temperature, aging). Do not call its Set* methods while channels are
+// being driven.
+func (c *Chip) Model() *disturb.Model { return c.model }
+
+// Mapper returns the chip's logical-to-physical row mapping. Experiments
+// that follow the paper's methodology should *reverse-engineer* the mapping
+// through hammering instead (see internal/rowmap); this accessor is the
+// shortcut for experiment harnesses that have already done so.
+func (c *Chip) Mapper() rowmap.Mapper { return c.mapper }
+
+// Timing returns the chip's timing parameters.
+func (c *Chip) Timing() Timing { return c.timing }
+
+// ModeRegisters returns the current mode-register state.
+func (c *Chip) ModeRegisters() ModeRegisters { return c.modeRegs }
+
+// SetECC enables or disables the on-die ECC path (mode-register write,
+// §3.1). Not safe while channels are being driven.
+func (c *Chip) SetECC(enabled bool) { c.modeRegs.ECCEnabled = enabled }
+
+// SetTRRMode records the documented JEDEC TRR Mode state (bookkeeping
+// only; see ModeRegisters).
+func (c *Chip) SetTRRMode(enabled bool) { c.modeRegs.TRRModeEnabled = enabled }
+
+// ReadTemperatureSensor models the IEEE 1500 test-port temperature readout
+// the paper uses for Chips 1-5: the true chip temperature plus bounded,
+// deterministic sensor noise that varies with the sampling time.
+func (c *Chip) ReadTemperatureSensor(at TimePS) float64 {
+	h := (uint64(at)/uint64(5*SEC) + 1) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	noise := (float64(h&0xFFFF)/0xFFFF - 0.5) * 0.8 // +-0.4 C
+	return c.model.TempC() + noise
+}

@@ -1,0 +1,34 @@
+package hbm
+
+import (
+	"encoding/binary"
+
+	"hbmrd/internal/ecc"
+)
+
+// updateParityColumn recomputes the SECDED check bytes for the 64-bit words
+// covered by a column write at byte offset off.
+func updateParityColumn(data, parity []byte, off int) {
+	for w := off / ecc.WordBytes; w < (off+ColBytes)/ecc.WordBytes; w++ {
+		word := binary.LittleEndian.Uint64(data[w*ecc.WordBytes:])
+		parity[w] = ecc.Encode(word).Check
+	}
+}
+
+// correctColumn applies SECDED correction to the words of a just-read
+// column. buf holds the raw column data; off is its byte offset within the
+// row (used to find the matching parity bytes). Single-bit errors are
+// corrected in place; double-bit errors are left as read (real hardware
+// would raise an uncorrectable-error signal to the host).
+func correctColumn(buf, parity []byte, off int) {
+	for i := 0; i+ecc.WordBytes <= len(buf); i += ecc.WordBytes {
+		w := (off + i) / ecc.WordBytes
+		cw := ecc.Codeword{
+			Data:  binary.LittleEndian.Uint64(buf[i:]),
+			Check: parity[w],
+		}
+		if data, res := ecc.Decode(cw); res == ecc.Corrected {
+			binary.LittleEndian.PutUint64(buf[i:], data)
+		}
+	}
+}

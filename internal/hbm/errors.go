@@ -1,0 +1,37 @@
+package hbm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for command-sequence violations (distinct from timing
+// violations, which carry detail in TimingError).
+var (
+	// ErrBankOpen is returned when ACT hits a bank with an open row.
+	ErrBankOpen = errors.New("hbm: bank already has an open row")
+	// ErrBankClosed is returned when RD/WR hits a precharged bank.
+	ErrBankClosed = errors.New("hbm: bank has no open row")
+	// ErrBanksNotIdle is returned when REF is issued while rows are open.
+	ErrBanksNotIdle = errors.New("hbm: REF requires all banks precharged")
+	// ErrShortBuffer is returned when a data buffer is smaller than the
+	// command's transfer size.
+	ErrShortBuffer = errors.New("hbm: buffer too small")
+)
+
+// TimingError reports a command issued before its earliest legal time while
+// the channel is in strict-timing mode.
+type TimingError struct {
+	// Cmd is the violating command mnemonic ("ACT", "PRE", ...).
+	Cmd string
+	// Rule names the violated parameter ("tRC", "tRP", ...).
+	Rule string
+	// At is when the command was issued; Earliest is the first legal time.
+	At, Earliest TimePS
+}
+
+// Error implements error.
+func (e *TimingError) Error() string {
+	return fmt.Sprintf("hbm: %s at %d ps violates %s (earliest legal %d ps, short by %d ps)",
+		e.Cmd, e.At, e.Rule, e.Earliest, e.Earliest-e.At)
+}

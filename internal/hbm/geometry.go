@@ -1,0 +1,61 @@
+// Package hbm implements a command-level device model of the HBM2 DRAM
+// chips the paper characterizes: 8 channels x 2 pseudo channels x 16 banks
+// x 16384 rows of 1 KiB (§3). The chip is driven exclusively through the
+// JEDEC command interface (ACT/PRE/RD/WR/REF) with picosecond timestamps,
+// exactly as the paper's FPGA-based DRAM Bender platform drives real
+// silicon. Read-disturbance behaviour comes from the calibrated fault model
+// in internal/disturb; the undocumented TRR engine from internal/trr runs
+// inside every bank.
+package hbm
+
+import "fmt"
+
+// Geometry of the tested HBM2 chips (identical across all six).
+const (
+	// NumChannels is the number of independent HBM2 channels per stack.
+	NumChannels = 8
+	// NumPseudoChannels is the number of pseudo channels per channel.
+	NumPseudoChannels = 2
+	// NumBanks is the number of banks per pseudo channel.
+	NumBanks = 16
+	// NumRows is the number of rows per bank.
+	NumRows = 16384
+	// RowBytes is the size of one row.
+	RowBytes = 1024
+	// RowBits is the number of cells (bits) in one row.
+	RowBits = RowBytes * 8
+	// ColBytes is the data transferred by one RD/WR command (one column).
+	ColBytes = 32
+	// NumCols is the number of columns per row.
+	NumCols = RowBytes / ColBytes
+)
+
+// Addr identifies a row through the command interface. Row is a logical
+// (memory-controller-visible) row number; the chip applies its internal
+// logical-to-physical mapping.
+type Addr struct {
+	Channel int
+	Pseudo  int
+	Bank    int
+	Row     int
+}
+
+// Validate reports whether the address is within the chip's geometry.
+func (a Addr) Validate() error {
+	switch {
+	case a.Channel < 0 || a.Channel >= NumChannels:
+		return fmt.Errorf("hbm: channel %d out of [0,%d)", a.Channel, NumChannels)
+	case a.Pseudo < 0 || a.Pseudo >= NumPseudoChannels:
+		return fmt.Errorf("hbm: pseudo channel %d out of [0,%d)", a.Pseudo, NumPseudoChannels)
+	case a.Bank < 0 || a.Bank >= NumBanks:
+		return fmt.Errorf("hbm: bank %d out of [0,%d)", a.Bank, NumBanks)
+	case a.Row < 0 || a.Row >= NumRows:
+		return fmt.Errorf("hbm: row %d out of [0,%d)", a.Row, NumRows)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (a Addr) String() string {
+	return fmt.Sprintf("ch%d.pc%d.ba%d.row%d", a.Channel, a.Pseudo, a.Bank, a.Row)
+}

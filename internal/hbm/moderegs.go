@@ -1,0 +1,17 @@
+package hbm
+
+// ModeRegisters models the subset of HBM2 mode-register state the study
+// touches. The paper disables on-die ECC by clearing the corresponding mode
+// register bit (§3.1) and notes that the documented TRR Mode is entered via
+// a well-defined mode-register sequence - while the *undocumented* TRR
+// mechanism (internal/trr) operates regardless of this state.
+type ModeRegisters struct {
+	// ECCEnabled enables the on-die SECDED path: writes store check bits,
+	// reads correct single-bit errors per 64-bit word. The paper runs all
+	// experiments with ECC disabled so raw bitflips are observable.
+	ECCEnabled bool
+	// TRRModeEnabled records whether the host enabled the documented
+	// JEDEC TRR Mode. It is bookkeeping only: the undocumented mechanism
+	// the paper uncovers functions even when this is false (§7 fn. 2).
+	TRRModeEnabled bool
+}

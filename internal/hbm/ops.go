@@ -1,0 +1,158 @@
+package hbm
+
+import "fmt"
+
+// This file provides the row-level convenience operations experiments use:
+// whole-row writes and reads (composed of JEDEC commands with automatic
+// timing) and the batched hammer paths that make paper-scale hammer counts
+// tractable. The batched paths are exactly equivalent to issuing the
+// corresponding ACT/PRE sequences one by one (a property the test suite
+// verifies) but run in O(1) per burst, mirroring the hardware loop
+// instructions of the real DRAM Bender platform.
+
+// WriteRow activates a logical row, writes all its columns from data
+// (RowBytes bytes), and precharges.
+func (ch *Channel) WriteRow(pc, bankIdx, row int, data []byte) error {
+	if len(data) < RowBytes {
+		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, RowBytes)
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if err := ch.activateLocked(pc, bankIdx, row); err != nil {
+		return err
+	}
+	for col := 0; col < NumCols; col++ {
+		if err := ch.writeLocked(pc, bankIdx, col, data[col*ColBytes:]); err != nil {
+			return err
+		}
+	}
+	return ch.prechargeLocked(pc, bankIdx)
+}
+
+// FillRow writes the same byte to every cell of a logical row.
+func (ch *Channel) FillRow(pc, bankIdx, row int, fill byte) error {
+	buf := make([]byte, RowBytes)
+	for i := range buf {
+		buf[i] = fill
+	}
+	return ch.WriteRow(pc, bankIdx, row, buf)
+}
+
+// ReadRow activates a logical row, reads all its columns into buf
+// (RowBytes bytes), and precharges. Activation materializes any pending
+// disturbance first, so this is how experiments observe bitflips.
+func (ch *Channel) ReadRow(pc, bankIdx, row int, buf []byte) error {
+	if len(buf) < RowBytes {
+		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, RowBytes)
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if err := ch.activateLocked(pc, bankIdx, row); err != nil {
+		return err
+	}
+	for col := 0; col < NumCols; col++ {
+		if err := ch.readLocked(pc, bankIdx, col, buf[col*ColBytes:]); err != nil {
+			return err
+		}
+	}
+	return ch.prechargeLocked(pc, bankIdx)
+}
+
+// HammerDoubleSided performs the paper's double-sided access pattern: it
+// alternately activates the two aggressor rows `count` times each, keeping
+// each activation open for tOn (clamped up to tRAS). Equivalent to the
+// explicit ACT/wait/PRE loop, in O(1).
+func (ch *Channel) HammerDoubleSided(pc, bankIdx, rowA, rowB, count int, tOn TimePS) error {
+	return ch.hammer(pc, bankIdx, []int{rowA, rowB}, []int{count, count}, tOn, true)
+}
+
+// HammerSingleSided activates one aggressor row `count` times. Single-sided
+// hammering is the paper's tool for discovering subarray boundaries and
+// physical adjacency.
+func (ch *Channel) HammerSingleSided(pc, bankIdx, row, count int, tOn TimePS) error {
+	return ch.hammer(pc, bankIdx, []int{row}, []int{count}, tOn, true)
+}
+
+// HammerRows activates each rows[i] counts[i] times in order (rows[0]
+// first). Unlike the double-sided helpers, rows in the burst are NOT
+// excluded from each other's disturbance, matching access patterns - like
+// the TRR bypass pattern - whose rows are far apart or re-restored every
+// burst anyway.
+func (ch *Channel) HammerRows(pc, bankIdx int, rows, counts []int, tOn TimePS) error {
+	return ch.hammer(pc, bankIdx, rows, counts, tOn, false)
+}
+
+func (ch *Channel) hammer(pc, bankIdx int, rows, counts []int, tOn TimePS, excludeSelf bool) error {
+	if len(rows) != len(counts) {
+		return fmt.Errorf("hbm: %d rows but %d counts", len(rows), len(counts))
+	}
+	for i, r := range rows {
+		if r < 0 || r >= NumRows {
+			return fmt.Errorf("hbm: row %d out of range", r)
+		}
+		if counts[i] < 0 {
+			return fmt.Errorf("hbm: negative hammer count %d", counts[i])
+		}
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+
+	b, err := ch.bank(pc, bankIdx)
+	if err != nil {
+		return err
+	}
+	if b.open {
+		return fmt.Errorf("%w: %s", ErrBankOpen, Addr{ch.index, pc, bankIdx, b.openLogical})
+	}
+
+	t := ch.chip.timing
+	if tOn < t.TRAS {
+		tOn = t.TRAS
+	}
+	perAct := t.TRC
+	if tOn+t.TRP > perAct {
+		perAct = tOn + t.TRP
+	}
+
+	// Translate to physical rows; each hammered row's own charge restores
+	// at its first activation of the burst.
+	phys := make([]int, len(rows))
+	var exclude map[int]bool
+	if excludeSelf {
+		exclude = make(map[int]bool, len(rows))
+	}
+	for i, r := range rows {
+		phys[i] = ch.chip.mapper.ToPhysical(r)
+		if excludeSelf {
+			exclude[phys[i]] = true
+		}
+		rs := b.row(phys[i], ch.now, ch.jitterFn(pc, bankIdx))
+		ch.restoreLocked(pc, bankIdx, b, phys[i], rs)
+	}
+
+	// TRR sees the first occurrence of each row in order, then the bulk.
+	for i, p := range phys {
+		if counts[i] > 0 {
+			b.trr.OnActivateN(p, 1)
+		}
+	}
+	totalActs := 0
+	for i, p := range phys {
+		if counts[i] > 1 {
+			b.trr.OnActivateN(p, counts[i]-1)
+		}
+		totalActs += counts[i]
+	}
+
+	// Dose application (O(1) per row).
+	for i, p := range phys {
+		if counts[i] > 0 {
+			ch.applyDoseLocked(pc, bankIdx, b, p, counts[i], tOn, exclude)
+		}
+	}
+
+	ch.now += TimePS(totalActs) * perAct
+	b.lastAct = ch.now
+	b.lastPre = ch.now
+	return nil
+}

@@ -1,0 +1,116 @@
+package hbm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hbmrd/internal/rowmap"
+)
+
+// TestDataIntegrityUnderRandomCommandsProperty: arbitrary legal command
+// sequences (activations, reads, waits below the retention window, and
+// light hammering far away) never corrupt written data. Only disturbance
+// above threshold or long unrefreshed waits may flip bits.
+func TestDataIntegrityUnderRandomCommandsProperty(t *testing.T) {
+	f := func(ops []uint8, fillByte byte) bool {
+		chip, err := NewBuiltin(2, WithMapper(rowmap.Identity{NumRows: NumRows}))
+		if err != nil {
+			return false
+		}
+		ch, err := chip.Channel(0)
+		if err != nil {
+			return false
+		}
+		const guarded = 5000
+		want := bytes.Repeat([]byte{fillByte}, RowBytes)
+		if err := ch.WriteRow(0, 0, guarded, want); err != nil {
+			return false
+		}
+		for _, op := range ops {
+			switch op % 5 {
+			case 0: // benign activation of a distant row
+				if err := ch.Activate(0, 1, int(op)*7%NumRows); err != nil {
+					return false
+				}
+				if err := ch.Precharge(0, 1); err != nil {
+					return false
+				}
+			case 1: // short wait (well under the retention window)
+				ch.Wait(TimePS(op) * US)
+			case 2: // light hammering far from the guarded row
+				if err := ch.HammerSingleSided(0, 0, 100+int(op)%50, 200, 0); err != nil {
+					return false
+				}
+			case 3: // read the guarded row (also restores it)
+				buf := make([]byte, RowBytes)
+				if err := ch.ReadRow(0, 0, guarded, buf); err != nil {
+					return false
+				}
+				if !bytes.Equal(buf, want) {
+					return false
+				}
+			case 4: // refresh
+				if err := ch.Refresh(); err != nil {
+					return false
+				}
+			}
+		}
+		buf := make([]byte, RowBytes)
+		if err := ch.ReadRow(0, 0, guarded, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHammerCountAdditivityProperty: two consecutive hammer bursts without
+// an intervening victim restore are equivalent to one burst of the summed
+// count.
+func TestHammerCountAdditivityProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a := int(aRaw)%120_000 + 1
+		b := int(bRaw)%120_000 + 1
+		const victim = 7000
+
+		run := func(counts []int) []byte {
+			chip, err := NewBuiltin(4, WithMapper(rowmap.Identity{NumRows: NumRows}))
+			if err != nil {
+				return nil
+			}
+			ch, err := chip.Channel(0)
+			if err != nil {
+				return nil
+			}
+			for d := -2; d <= 2; d++ {
+				fill := byte(0x55)
+				if d == -1 || d == 1 {
+					fill = 0xAA
+				}
+				if err := ch.FillRow(0, 0, victim+d, fill); err != nil {
+					return nil
+				}
+			}
+			for _, c := range counts {
+				if err := ch.HammerDoubleSided(0, 0, victim-1, victim+1, c, 0); err != nil {
+					return nil
+				}
+			}
+			buf := make([]byte, RowBytes)
+			if err := ch.ReadRow(0, 0, victim, buf); err != nil {
+				return nil
+			}
+			return buf
+		}
+
+		split := run([]int{a, b})
+		joined := run([]int{a + b})
+		return split != nil && bytes.Equal(split, joined)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package hbm
+
+import "fmt"
+
+// TimePS is a point in (or span of) simulated time, in picoseconds. The
+// paper's test platform controls command timing at 1.67 ns granularity
+// (600 MHz interface clock); picoseconds represent that exactly enough
+// while spanning ~106 simulated days in an int64.
+type TimePS = int64
+
+// Time unit helpers.
+const (
+	PS  TimePS = 1
+	NS  TimePS = 1_000
+	US  TimePS = 1_000_000
+	MS  TimePS = 1_000_000_000
+	SEC TimePS = 1_000_000_000_000
+)
+
+// Timing holds the JEDEC timing parameters the device enforces. All values
+// in picoseconds.
+type Timing struct {
+	// TCK is the command-clock period (~600 MHz interface).
+	TCK TimePS
+	// TRCD is the ACT-to-RD/WR delay.
+	TRCD TimePS
+	// TRAS is the minimum row-open time before PRE (29.0 ns in the paper;
+	// the minimum tAggON of the RowPress sweep).
+	TRAS TimePS
+	// TRP is the PRE-to-ACT delay.
+	TRP TimePS
+	// TRC is the ACT-to-ACT delay for the same bank.
+	TRC TimePS
+	// TRFC is the REF cycle time.
+	TRFC TimePS
+	// TREFI is the average periodic-refresh interval (3.9 us).
+	TREFI TimePS
+	// TREFW is the refresh window in which every cell is refreshed once
+	// (32 ms).
+	TREFW TimePS
+	// TCCDL is the column-to-column delay (tCCD_L; 32 of these stream
+	// through a row in the paper's 128 ns estimate).
+	TCCDL TimePS
+	// TRTP is the read-to-precharge delay.
+	TRTP TimePS
+	// TWR is the write-recovery time before PRE.
+	TWR TimePS
+	// MaxOpen is the longest a row may stay open per the HBM2 standard
+	// (9*TREFI = 35.1 us). The device does not enforce it - the paper's
+	// RowPress sweep deliberately exceeds it - but exposes it so the
+	// platform can flag standard violations.
+	MaxOpen TimePS
+}
+
+// DefaultTiming returns the timing set used throughout the study. TREFI,
+// TRFC and TRC are chosen so the activation-count budget per refresh
+// interval comes out at the paper's 78: floor((3.9us - 350ns) / 45.5ns).
+func DefaultTiming() Timing {
+	return Timing{
+		TCK:     1_667,
+		TRCD:    14_000,
+		TRAS:    29_000,
+		TRP:     16_500,
+		TRC:     45_500, // TRAS + TRP
+		TRFC:    350_000,
+		TREFI:   3_900_000,
+		TREFW:   32 * MS,
+		TCCDL:   4_000,
+		TRTP:    7_500,
+		TWR:     15_000,
+		MaxOpen: 9 * 3_900_000,
+	}
+}
+
+// Validate reports inconsistent timing parameters.
+func (t Timing) Validate() error {
+	type check struct {
+		name string
+		v    TimePS
+	}
+	for _, c := range []check{
+		{"TCK", t.TCK}, {"TRCD", t.TRCD}, {"TRAS", t.TRAS}, {"TRP", t.TRP},
+		{"TRC", t.TRC}, {"TRFC", t.TRFC}, {"TREFI", t.TREFI}, {"TREFW", t.TREFW},
+		{"TCCDL", t.TCCDL}, {"TRTP", t.TRTP}, {"TWR", t.TWR},
+	} {
+		if c.v <= 0 {
+			return fmt.Errorf("hbm: timing %s must be positive, got %d", c.name, c.v)
+		}
+	}
+	if t.TRC < t.TRAS+t.TRP {
+		return fmt.Errorf("hbm: TRC (%d) below TRAS+TRP (%d)", t.TRC, t.TRAS+t.TRP)
+	}
+	if t.TREFI <= t.TRFC {
+		return fmt.Errorf("hbm: TREFI (%d) must exceed TRFC (%d)", t.TREFI, t.TRFC)
+	}
+	if t.TREFW <= t.TREFI {
+		return fmt.Errorf("hbm: TREFW (%d) must exceed TREFI (%d)", t.TREFW, t.TREFI)
+	}
+	return nil
+}
+
+// ActBudgetPerREFI is the maximum number of ACT commands between two REFs,
+// the quantity the paper computes as floor((tREFI - tRFC)/tRC) = 78 when
+// crafting the TRR bypass pattern.
+func (t Timing) ActBudgetPerREFI() int {
+	return int((t.TREFI - t.TRFC) / t.TRC)
+}
+
+// RowsPerREF is how many rows of each bank one REF command refreshes from
+// the internal refresh counter, so that a full bank is covered once per
+// refresh window.
+func (t Timing) RowsPerREF() int {
+	refsPerWindow := t.TREFW / t.TREFI
+	if refsPerWindow <= 0 {
+		return NumRows
+	}
+	n := (NumRows + int(refsPerWindow) - 1) / int(refsPerWindow)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

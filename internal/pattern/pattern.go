@@ -1,0 +1,88 @@
+// Package pattern defines the memory-test data patterns of Table 1 of the
+// paper and the worst-case data pattern (WCDP) selection rule used
+// throughout the characterization study.
+//
+// Every pattern assigns one fill byte to the victim row, the complementary
+// byte to the two aggressor rows (V±1), and the victim byte again to the
+// surrounding rows V±[2:8], exactly as Table 1 specifies.
+package pattern
+
+import "fmt"
+
+// Pattern identifies one of the four data patterns from Table 1. WCDP is a
+// per-row derived pattern, not a fill on its own; see the core package for
+// the selection rule.
+type Pattern int
+
+// The four concrete data patterns of Table 1.
+const (
+	Rowstripe0 Pattern = iota + 1
+	Rowstripe1
+	Checkered0
+	Checkered1
+)
+
+// All lists the concrete (non-derived) patterns in Table 1 order.
+func All() []Pattern {
+	return []Pattern{Rowstripe0, Rowstripe1, Checkered0, Checkered1}
+}
+
+// String implements fmt.Stringer with the paper's figure-axis labels.
+func (p Pattern) String() string {
+	switch p {
+	case Rowstripe0:
+		return "Rowstripe0"
+	case Rowstripe1:
+		return "Rowstripe1"
+	case Checkered0:
+		return "Checkered0"
+	case Checkered1:
+		return "Checkered1"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// VictimByte returns the fill byte written to the victim row (and to
+// V±[2:8]) for the pattern, per Table 1.
+func (p Pattern) VictimByte() byte {
+	switch p {
+	case Rowstripe0:
+		return 0x00
+	case Rowstripe1:
+		return 0xFF
+	case Checkered0:
+		return 0x55
+	case Checkered1:
+		return 0xAA
+	default:
+		return 0x00
+	}
+}
+
+// AggressorByte returns the fill byte written to the aggressor rows (V±1)
+// for the pattern, per Table 1. For all four patterns this is the bitwise
+// complement of the victim byte.
+func (p Pattern) AggressorByte() byte {
+	return ^p.VictimByte()
+}
+
+// Fill returns a freshly allocated buffer of n bytes filled with b.
+func Fill(n int, b byte) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+// VictimRow returns the victim-row image of n bytes for the pattern.
+func (p Pattern) VictimRow(n int) []byte { return Fill(n, p.VictimByte()) }
+
+// AggressorRow returns the aggressor-row image of n bytes for the pattern.
+func (p Pattern) AggressorRow(n int) []byte { return Fill(n, p.AggressorByte()) }
+
+// Valid reports whether p is one of the four Table 1 patterns.
+func (p Pattern) Valid() bool {
+	return p >= Rowstripe0 && p <= Checkered1
+}

@@ -1,0 +1,98 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1Bytes pins the exact fill bytes of Table 1 in the paper.
+func TestTable1Bytes(t *testing.T) {
+	cases := []struct {
+		p        Pattern
+		victim   byte
+		aggestor byte
+	}{
+		{Rowstripe0, 0x00, 0xFF},
+		{Rowstripe1, 0xFF, 0x00},
+		{Checkered0, 0x55, 0xAA},
+		{Checkered1, 0xAA, 0x55},
+	}
+	for _, c := range cases {
+		if got := c.p.VictimByte(); got != c.victim {
+			t.Errorf("%s victim byte = %#02x, want %#02x", c.p, got, c.victim)
+		}
+		if got := c.p.AggressorByte(); got != c.aggestor {
+			t.Errorf("%s aggressor byte = %#02x, want %#02x", c.p, got, c.aggestor)
+		}
+	}
+}
+
+func TestAggressorIsComplement(t *testing.T) {
+	for _, p := range All() {
+		if p.VictimByte()^p.AggressorByte() != 0xFF {
+			t.Errorf("%s: aggressor byte is not the complement of the victim byte", p)
+		}
+	}
+}
+
+func TestAllOrderAndValidity(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("All() returned %d patterns, want 4", len(all))
+	}
+	want := []Pattern{Rowstripe0, Rowstripe1, Checkered0, Checkered1}
+	for i, p := range all {
+		if p != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, p, want[i])
+		}
+		if !p.Valid() {
+			t.Errorf("%s: Valid() = false", p)
+		}
+	}
+	if Pattern(0).Valid() || Pattern(5).Valid() {
+		t.Error("out-of-range patterns reported valid")
+	}
+}
+
+func TestRowImages(t *testing.T) {
+	const n = 1024
+	for _, p := range All() {
+		v := p.VictimRow(n)
+		a := p.AggressorRow(n)
+		if len(v) != n || len(a) != n {
+			t.Fatalf("%s: row image length mismatch", p)
+		}
+		for i := 0; i < n; i++ {
+			if v[i] != p.VictimByte() {
+				t.Fatalf("%s: victim image byte %d = %#02x", p, i, v[i])
+			}
+			if a[i] != p.AggressorByte() {
+				t.Fatalf("%s: aggressor image byte %d = %#02x", p, i, a[i])
+			}
+		}
+	}
+}
+
+func TestFillProperty(t *testing.T) {
+	f := func(b byte, n uint8) bool {
+		buf := Fill(int(n), b)
+		if len(buf) != int(n) {
+			return false
+		}
+		for _, x := range buf {
+			if x != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringUnknown(t *testing.T) {
+	if got := Pattern(42).String(); got != "Pattern(42)" {
+		t.Errorf("Pattern(42).String() = %q", got)
+	}
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"hbmrd/internal/attack"
+	"hbmrd/internal/defense"
+)
+
+// Templating renders the §8.1 templating comparison: the naive scan versus
+// the channel-targeted strategy.
+func Templating(naive, targeted attack.Result) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Strategy\tTemplates\tRows hammered\tPilot hammers\tCampaign hammers")
+		fmt.Fprintf(w, "%s\t%d\t%d\t-\t%d\n",
+			naive.Strategy, naive.TemplatesFound, naive.RowsHammered, naive.HammersSpent)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n",
+			targeted.Strategy, targeted.TemplatesFound, targeted.RowsHammered,
+			targeted.PilotHammers, targeted.DrainHammers)
+		if naive.HammersSpent > 0 {
+			fmt.Fprintf(w, "campaign hammers saved by targeting CH%d:\t%.1f%%\n",
+				targeted.BestChannel,
+				(1-float64(targeted.DrainHammers)/float64(naive.HammersSpent))*100)
+		}
+	})
+}
+
+// Defense renders the §8.2 uniform-vs-adaptive mitigation comparison.
+func Defense(rep defense.CostReport) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Uniform threshold (worst row anywhere):\t%.0f activations\n", rep.GlobalThreshold)
+		fmt.Fprintln(w, "Region\tAdaptive threshold\tMitigations/window")
+		for _, r := range rep.Regions {
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\n", r.Label, r.Threshold, r.Rate)
+		}
+		fmt.Fprintf(w, "Uniform mitigations/window:\t%.0f\n", rep.UniformRate)
+		fmt.Fprintf(w, "Adaptive mitigations/window:\t%.0f\n", rep.AdaptiveRate)
+		fmt.Fprintf(w, "Adaptive savings:\t%.1f%%\n", rep.SavingsPercent)
+	})
+}

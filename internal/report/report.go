@@ -1,0 +1,489 @@
+// Package report renders experiment results in the shape of the paper's
+// tables and figures: one renderer per artifact, producing aligned text
+// tables (and CSV series where the figure is a curve). The renderers are
+// pure functions over the core package's record types, so the same results
+// can be printed by the CLI, the benchmarks, and EXPERIMENTS.md tooling.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"hbmrd/internal/core"
+	"hbmrd/internal/ecc"
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+	"hbmrd/internal/stats"
+	"hbmrd/internal/thermal"
+	"hbmrd/internal/utrr"
+)
+
+// table builds an aligned text table.
+func table(build func(w *tabwriter.Writer)) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	build(w)
+	w.Flush()
+	return sb.String()
+}
+
+func fmtDur(t hbm.TimePS) string {
+	switch {
+	case t >= hbm.MS:
+		return fmt.Sprintf("%.1fms", float64(t)/float64(hbm.MS))
+	case t >= hbm.US:
+		return fmt.Sprintf("%.1fus", float64(t)/float64(hbm.US))
+	default:
+		return fmt.Sprintf("%.1fns", float64(t)/float64(hbm.NS))
+	}
+}
+
+// Table1 renders the paper's Table 1 (data patterns).
+func Table1() string {
+	rows := core.Table1()
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Row Addresses\tRowstripe0\tRowstripe1\tCheckered0\tCheckered1")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t0x%02X\t0x%02X\t0x%02X\t0x%02X\n",
+				r.Addresses, r.Bytes[0], r.Bytes[1], r.Bytes[2], r.Bytes[3])
+		}
+	})
+}
+
+// Table2 renders the paper's Table 2 (tested components per experiment).
+func Table2() string {
+	rows := core.Table2()
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Experiment Type\tRows (Per Bank)\tBanks\tPseudo Channels\tChannels")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n",
+				r.Experiment, r.RowsPerBank, r.Banks, r.PseudoChannels, r.Channels)
+		}
+	})
+}
+
+// Fig3 renders per-chip temperature trace summaries (mean/min/max/max-step
+// over the sampled window), the stability argument of Fig 3.
+func Fig3(names []string, traces [][]thermal.Sample) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Chip\tSamples\tMean(C)\tMin(C)\tMax(C)\tMaxStep(C)")
+		for i, name := range names {
+			st := thermal.Summarize(traces[i])
+			fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				name, st.N, st.Mean, st.Min, st.Max, st.MaxStep)
+		}
+	})
+}
+
+// patternLabel renders the pattern column, with WCDP as its own label.
+func patternLabel(p pattern.Pattern, wcdp bool) string {
+	if wcdp {
+		return "WCDP"
+	}
+	return p.String()
+}
+
+// Fig4 renders the BER distribution across chips per data pattern: one row
+// per (chip, pattern) with the five-number box summary the figure plots.
+func Fig4(recs []core.BERRecord) string {
+	type key struct {
+		chip  int
+		label string
+	}
+	groups := map[key][]float64{}
+	for _, r := range recs {
+		k := key{r.Chip, patternLabel(r.Pattern, r.WCDP)}
+		groups[k] = append(groups[k], r.BERPercent)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].chip != keys[j].chip {
+			return keys[i].chip < keys[j].chip
+		}
+		return keys[i].label < keys[j].label
+	})
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Chip\tPattern\tN\tMeanBER%\tMinBER%\tMedianBER%\tMaxBER%")
+		for _, k := range keys {
+			b := stats.Box(groups[k])
+			fmt.Fprintf(w, "Chip %d\t%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				k.chip, k.label, b.N, b.Mean, b.Min, b.Median, b.Max)
+		}
+	})
+}
+
+// Fig5 renders the HCfirst distribution across chips per data pattern.
+func Fig5(recs []core.HCFirstRecord) string {
+	type key struct {
+		chip  int
+		label string
+	}
+	groups := map[key][]float64{}
+	for _, r := range recs {
+		if !r.Found {
+			continue
+		}
+		k := key{r.Chip, patternLabel(r.Pattern, r.WCDP)}
+		groups[k] = append(groups[k], float64(r.HCFirst))
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].chip != keys[j].chip {
+			return keys[i].chip < keys[j].chip
+		}
+		return keys[i].label < keys[j].label
+	})
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Chip\tPattern\tN\tMinHC\tMedianHC\tMeanHC\tMaxHC")
+		for _, k := range keys {
+			b := stats.Box(groups[k])
+			fmt.Fprintf(w, "Chip %d\t%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				k.chip, k.label, b.N, b.Min, b.Median, b.Mean, b.Max)
+		}
+	})
+}
+
+// Fig6 renders BER across channels within each chip (WCDP records), the
+// die-pair structure of Fig 6.
+func Fig6(recs []core.BERRecord) string {
+	type key struct{ chip, ch int }
+	groups := map[key][]float64{}
+	for _, r := range recs {
+		if !r.WCDP {
+			continue
+		}
+		groups[key{r.Chip, r.Channel}] = append(groups[key{r.Chip, r.Channel}], r.BERPercent)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].chip != keys[j].chip {
+			return keys[i].chip < keys[j].chip
+		}
+		return keys[i].ch < keys[j].ch
+	})
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Chip\tChannel\tN\tMeanBER%\tMinBER%\tMaxBER%")
+		for _, k := range keys {
+			b := stats.Box(groups[k])
+			fmt.Fprintf(w, "Chip %d\tCH%d\t%d\t%.3f\t%.3f\t%.3f\n", k.chip, k.ch, b.N, b.Mean, b.Min, b.Max)
+		}
+	})
+}
+
+// Fig7 renders HCfirst across channels within each chip (WCDP records).
+func Fig7(recs []core.HCFirstRecord) string {
+	type key struct{ chip, ch int }
+	groups := map[key][]float64{}
+	for _, r := range recs {
+		if !r.WCDP || !r.Found {
+			continue
+		}
+		groups[key{r.Chip, r.Channel}] = append(groups[key{r.Chip, r.Channel}], float64(r.HCFirst))
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].chip != keys[j].chip {
+			return keys[i].chip < keys[j].chip
+		}
+		return keys[i].ch < keys[j].ch
+	})
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Chip\tChannel\tN\tMinHC\tMedianHC\tMaxHC")
+		for _, k := range keys {
+			b := stats.Box(groups[k])
+			fmt.Fprintf(w, "Chip %d\tCH%d\t%d\t%.0f\t%.0f\t%.0f\n", k.chip, k.ch, b.N, b.Min, b.Median, b.Max)
+		}
+	})
+}
+
+// Fig8CSV renders the per-row BER series of Fig 8 as CSV (row, then one
+// column per channel), with discovered subarray boundaries appended as
+// comments.
+func Fig8CSV(recs []core.BERRecord, boundaries []int) string {
+	channels := map[int]bool{}
+	type key struct{ row, ch int }
+	vals := map[key]float64{}
+	rows := map[int]bool{}
+	for _, r := range recs {
+		if !r.WCDP {
+			continue
+		}
+		channels[r.Channel] = true
+		rows[r.Row] = true
+		vals[key{r.Row, r.Channel}] = r.BERPercent
+	}
+	chList := make([]int, 0, len(channels))
+	for c := range channels {
+		chList = append(chList, c)
+	}
+	sort.Ints(chList)
+	rowList := make([]int, 0, len(rows))
+	for r := range rows {
+		rowList = append(rowList, r)
+	}
+	sort.Ints(rowList)
+
+	var sb strings.Builder
+	sb.WriteString("row")
+	for _, c := range chList {
+		fmt.Fprintf(&sb, ",CH%d_BER%%", c)
+	}
+	sb.WriteString("\n")
+	for _, row := range rowList {
+		fmt.Fprintf(&sb, "%d", row)
+		for _, c := range chList {
+			fmt.Fprintf(&sb, ",%.4f", vals[key{row, c}])
+		}
+		sb.WriteString("\n")
+	}
+	for _, b := range boundaries {
+		fmt.Fprintf(&sb, "# subarray boundary at physical row %d\n", b)
+	}
+	return sb.String()
+}
+
+// Fig9 renders the per-bank (mean BER, CV) scatter of Fig 9.
+func Fig9(recs []core.BERRecord) string {
+	type key struct{ chip, ch, pc, bank int }
+	groups := map[key][]float64{}
+	for _, r := range recs {
+		if !r.WCDP {
+			continue
+		}
+		k := key{r.Chip, r.Channel, r.Pseudo, r.Bank}
+		groups[k] = append(groups[k], r.BERPercent)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		switch {
+		case a.chip != b.chip:
+			return a.chip < b.chip
+		case a.ch != b.ch:
+			return a.ch < b.ch
+		case a.pc != b.pc:
+			return a.pc < b.pc
+		default:
+			return a.bank < b.bank
+		}
+	})
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Chip\tChannel\tPC\tBank\tMeanBER%\tCV")
+		for _, k := range keys {
+			xs := groups[k]
+			fmt.Fprintf(w, "Chip %d\tCH%d\t%d\t%d\t%.3f\t%.3f\n",
+				k.chip, k.ch, k.pc, k.bank, stats.Mean(xs), stats.CV(xs))
+		}
+	})
+}
+
+// Fig10 renders the aging summary (row counts and ratio percentiles).
+func Fig10(s core.AgingSummary) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Rows with higher BER after aging:\t%d\n", s.RowsUp)
+		fmt.Fprintf(w, "Rows with lower BER after aging:\t%d\n", s.RowsDown)
+		fmt.Fprintf(w, "Rows unchanged:\t%d\n", s.RowsEqual)
+		fmt.Fprintln(w, "Percentile\tNew/Old (rows up)\tOld/New (rows down)")
+		for i, p := range s.Percentiles {
+			fmt.Fprintf(w, "P%.0f\t%.3f\t%.3f\n", p, s.UpRatioPercentiles[i], s.DownRatioPercentiles[i])
+		}
+	})
+}
+
+// Fig11 renders the distribution of HCk normalized to HCfirst per pattern.
+func Fig11(recs []core.HCNthRecord) string {
+	maxK := 0
+	for _, r := range recs {
+		if r.Found && len(r.HC) > maxK {
+			maxK = len(r.HC)
+		}
+	}
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Pattern\tFlip#\tN\tMeanHC/HC1\tMinHC/HC1\tMedian\tMaxHC/HC1")
+		for _, p := range pattern.All() {
+			for k := 0; k < maxK; k++ {
+				var xs []float64
+				for _, r := range recs {
+					if r.Pattern != p || !r.Found || len(r.HC) <= k {
+						continue
+					}
+					xs = append(xs, float64(r.HC[k])/float64(r.HC[0]))
+				}
+				if len(xs) == 0 {
+					continue
+				}
+				b := stats.Box(xs)
+				fmt.Fprintf(w, "%s\tHC%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\n",
+					p, k+1, b.N, b.Mean, b.Min, b.Median, b.Max)
+			}
+		}
+	})
+}
+
+// Fig12 renders the per-chip Pearson correlations and trend fits.
+func Fig12(statsList []core.Fig12Stats) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Chip\tRows\tPearson(HC1, extra-to-10th)\tTrend c0\tc1\tc2")
+		for _, s := range statsList {
+			if len(s.PolyCoef) == 3 {
+				fmt.Fprintf(w, "Chip %d\t%d\t%.3f\t%.3g\t%.3g\t%.3g\n",
+					s.Chip, s.N, s.Pearson, s.PolyCoef[0], s.PolyCoef[1], s.PolyCoef[2])
+			} else {
+				fmt.Fprintf(w, "Chip %d\t%d\t%.3f\t-\t-\t-\n", s.Chip, s.N, s.Pearson)
+			}
+		}
+	})
+}
+
+// Fig13 renders the max/min HCfirst ratio percentiles across rows.
+func Fig13(recs []core.VariabilityRecord) string {
+	var ratios []float64
+	for _, r := range recs {
+		if r.MeasuredRatios {
+			ratios = append(ratios, r.Ratio())
+		}
+	}
+	ps := []float64{1, 5, 10, 25, 50, 75, 90, 95, 99}
+	vals := stats.Percentiles(ratios, ps)
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Rows measured:\t%d\n", len(ratios))
+		fmt.Fprintln(w, "Percentile\tMaxHC/MinHC")
+		for i, p := range ps {
+			fmt.Fprintf(w, "P%.0f\t%.3f\n", p, vals[i])
+		}
+		fmt.Fprintf(w, "Max\t%.3f\n", stats.Max(ratios))
+	})
+}
+
+// Fig14 renders mean BER per (chip, channel) across the tAggON sweep.
+func Fig14(recs []core.RowPressBERRecord) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Chip\tChannel\ttAggON\tBER%\tRetentionBER%")
+		for _, r := range recs {
+			fmt.Fprintf(w, "Chip %d\tCH%d\t%s\t%.4f\t%.4f\n",
+				r.Chip, r.Channel, fmtDur(r.TAggON), r.BERPercent, r.RetentionBERPercent)
+		}
+	})
+}
+
+// Fig15 renders average and minimum HCfirst per tAggON across all chips
+// (the paper: 83689 (29183), 1519 (335), 376 (123), 1 (1)), restricted to
+// rows that flip within the refresh window at every tAggON.
+func Fig15(recs []core.RowPressHCRecord) string {
+	// Identify rows eligible at every tAggON.
+	type rowKey struct{ chip, ch, row int }
+	counts := map[rowKey]int{}
+	tons := map[hbm.TimePS]bool{}
+	for _, r := range recs {
+		tons[r.TAggON] = true
+		if r.Found && r.WithinWindow {
+			counts[rowKey{r.Chip, r.Channel, r.Row}]++
+		}
+	}
+	need := len(tons)
+	byTon := map[hbm.TimePS][]float64{}
+	for _, r := range recs {
+		if !r.Found || counts[rowKey{r.Chip, r.Channel, r.Row}] != need {
+			continue
+		}
+		byTon[r.TAggON] = append(byTon[r.TAggON], float64(r.HCFirst))
+	}
+	tonList := make([]hbm.TimePS, 0, len(byTon))
+	for t := range byTon {
+		tonList = append(tonList, t)
+	}
+	sort.Slice(tonList, func(i, j int) bool { return tonList[i] < tonList[j] })
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "tAggON\tRows\tAvg HCfirst\tMin HCfirst")
+		for _, t := range tonList {
+			xs := byTon[t]
+			fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\n", fmtDur(t), len(xs), stats.Mean(xs), stats.Min(xs))
+		}
+	})
+}
+
+// Fig16 renders the bypass BER distribution per (dummy count, aggressor
+// activation count).
+func Fig16(recs []core.BypassRecord) string {
+	type key struct{ dummies, agg int }
+	groups := map[key][]float64{}
+	for _, r := range recs {
+		groups[key{r.Dummies, r.AggActs}] = append(groups[key{r.Dummies, r.AggActs}], r.BERPercent)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dummies != keys[j].dummies {
+			return keys[i].dummies < keys[j].dummies
+		}
+		return keys[i].agg < keys[j].agg
+	})
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Dummies\tAggACTs/tREFI\tRows\tMeanBER%\tMaxBER%")
+		for _, k := range keys {
+			xs := groups[k]
+			fmt.Fprintf(w, "%d\t%d\t%d\t%.4f\t%.4f\n", k.dummies, k.agg, len(xs), stats.Mean(xs), stats.Max(xs))
+		}
+	})
+}
+
+// Fig17 renders the word-level flip histogram and the SECDED outcome.
+func Fig17(hists map[pattern.Pattern]*ecc.FlipHistogram) string {
+	pats := make([]pattern.Pattern, 0, len(hists))
+	for p := range hists {
+		pats = append(pats, p)
+	}
+	sort.Slice(pats, func(i, j int) bool { return pats[i] < pats[j] })
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Pattern\t1 flip\t2\t3\t4\t5\t6\t7\t>7\tMaxFlips\tSECDED corrected\tdetected\tescaped")
+		for _, p := range pats {
+			h := hists[p]
+			out := ecc.ClassifySECDED(*h)
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				p, h.PerCount[0], h.PerCount[1], h.PerCount[2], h.PerCount[3],
+				h.PerCount[4], h.PerCount[5], h.PerCount[6], h.Over7, h.MaxFlips,
+				out.Corrected, out.Detected, out.Escaped)
+		}
+	})
+}
+
+// Retention renders the §6 retention-BER baselines (the failures the
+// RowPress analysis subtracts): after waits of 34.8 ms, 1.17 s and 10.53 s
+// the paper measures 0%, 0.013% and 0.134%.
+func Retention(waits []hbm.TimePS, bers []float64) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Unrefreshed wait\tRetention BER%")
+		for i := range waits {
+			fmt.Fprintf(w, "%s\t%.4f\n", fmtDur(waits[i]), bers[i]*100)
+		}
+	})
+}
+
+// UTRR renders the uncovered TRR mechanism (§7, Obsv 20-23).
+func UTRR(f utrr.Findings) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "TRR-capable REF cadence (Obsv 20):\tevery %d REFs\n", f.Period)
+		fmt.Fprintf(w, "Refreshes both adjacent rows (Obsv 21):\t%v\n", f.RefreshesBothNeighbors)
+		fmt.Fprintf(w, "First ACT after TRR-capable REF identified (Obsv 22):\t%v\n", f.FirstActIdentified)
+		fmt.Fprintf(w, "Per-window identification threshold (Obsv 23):\t%d activations\n", f.IdentifyThreshold)
+	})
+}

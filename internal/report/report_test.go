@@ -1,0 +1,205 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hbmrd/internal/core"
+	"hbmrd/internal/ecc"
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+	"hbmrd/internal/thermal"
+	"hbmrd/internal/utrr"
+)
+
+func TestTable1ContainsPatternBytes(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Rowstripe0", "Checkered1", "0x55", "0xAA", "0xFF", "Victim (V)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2ContainsComponentCounts(t *testing.T) {
+	out := Table2()
+	for _, want := range []string{"RowHammer BER", "16384", "3072", "RowPress HCfirst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	setups := thermal.PaperSetups()[:2]
+	var names []string
+	var traces [][]thermal.Sample
+	for _, s := range setups {
+		tr, err := thermal.Simulate(s, 600, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, s.Name)
+		traces = append(traces, tr)
+	}
+	out := Fig3(names, traces)
+	if !strings.Contains(out, "Chip 0") || !strings.Contains(out, "MaxStep") {
+		t.Errorf("Fig3 output malformed:\n%s", out)
+	}
+}
+
+func TestFig4AndFig6(t *testing.T) {
+	recs := []core.BERRecord{
+		{Chip: 0, Channel: 0, Pattern: pattern.Checkered0, BERPercent: 1.0},
+		{Chip: 0, Channel: 0, Pattern: pattern.Checkered0, WCDP: true, BERPercent: 1.0},
+		{Chip: 0, Channel: 1, Pattern: pattern.Rowstripe0, BERPercent: 0.5},
+		{Chip: 5, Channel: 0, Pattern: pattern.Checkered0, BERPercent: 0.6},
+	}
+	out4 := Fig4(recs)
+	if !strings.Contains(out4, "WCDP") || !strings.Contains(out4, "Chip 5") {
+		t.Errorf("Fig4 missing groups:\n%s", out4)
+	}
+	out6 := Fig6(recs)
+	if !strings.Contains(out6, "CH0") {
+		t.Errorf("Fig6 missing channel rows:\n%s", out6)
+	}
+}
+
+func TestFig5AndFig7(t *testing.T) {
+	recs := []core.HCFirstRecord{
+		{Chip: 0, Channel: 0, Pattern: pattern.Checkered0, HCFirst: 20000, Found: true},
+		{Chip: 0, Channel: 0, Pattern: pattern.Checkered0, WCDP: true, HCFirst: 20000, Found: true},
+		{Chip: 0, Channel: 2, Pattern: pattern.Rowstripe1, HCFirst: 90000, Found: true},
+		{Chip: 1, Channel: 0, Pattern: pattern.Rowstripe1, Found: false},
+	}
+	if out := Fig5(recs); !strings.Contains(out, "20000") {
+		t.Errorf("Fig5 missing values:\n%s", out)
+	}
+	if out := Fig7(recs); !strings.Contains(out, "CH0") {
+		t.Errorf("Fig7 missing channel rows:\n%s", out)
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	recs := []core.BERRecord{
+		{Chip: 0, Channel: 0, Row: 10, WCDP: true, BERPercent: 1.5},
+		{Chip: 0, Channel: 1, Row: 10, WCDP: true, BERPercent: 0.7},
+		{Chip: 0, Channel: 0, Row: 11, WCDP: true, BERPercent: 1.4},
+	}
+	out := Fig8CSV(recs, []int{832})
+	if !strings.HasPrefix(out, "row,CH0_BER%,CH1_BER%") {
+		t.Errorf("Fig8 CSV header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# subarray boundary at physical row 832") {
+		t.Error("Fig8 CSV missing boundary comment")
+	}
+	if !strings.Contains(out, "10,1.5000,0.7000") {
+		t.Errorf("Fig8 CSV rows wrong:\n%s", out)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	recs := []core.BERRecord{
+		{Chip: 0, Channel: 0, Bank: 0, Row: 1, WCDP: true, BERPercent: 1.0},
+		{Chip: 0, Channel: 0, Bank: 0, Row: 2, WCDP: true, BERPercent: 1.4},
+		{Chip: 0, Channel: 0, Bank: 1, Row: 1, WCDP: true, BERPercent: 0.8},
+	}
+	out := Fig9(recs)
+	if !strings.Contains(out, "CV") || !strings.Contains(out, "Bank") {
+		t.Errorf("Fig9 malformed:\n%s", out)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	s := core.SummarizeAging([]core.AgingRecord{
+		{OldBERPercent: 1, NewBERPercent: 2},
+		{OldBERPercent: 2, NewBERPercent: 1},
+		{OldBERPercent: 1, NewBERPercent: 1},
+	})
+	out := Fig10(s)
+	if !strings.Contains(out, "higher BER after aging:  1") && !strings.Contains(out, "higher BER after aging") {
+		t.Errorf("Fig10 malformed:\n%s", out)
+	}
+}
+
+func TestFig11And12(t *testing.T) {
+	recs := []core.HCNthRecord{
+		{Chip: 0, Row: 1, Pattern: pattern.Checkered0, Found: true,
+			HC: []int{100, 110, 120, 130, 140, 150, 160, 170, 180, 190}},
+		{Chip: 0, Row: 2, Pattern: pattern.Checkered0, Found: true,
+			HC: []int{200, 210, 215, 220, 225, 230, 235, 240, 245, 250}},
+		{Chip: 0, Row: 3, Pattern: pattern.Checkered0, Found: true,
+			HC: []int{300, 301, 302, 303, 304, 305, 306, 307, 308, 309}},
+	}
+	out11 := Fig11(recs)
+	if !strings.Contains(out11, "HC10") {
+		t.Errorf("Fig11 missing HC10 row:\n%s", out11)
+	}
+	st, err := core.ComputeFig12(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out12 := Fig12(st)
+	if !strings.Contains(out12, "Pearson") {
+		t.Errorf("Fig12 malformed:\n%s", out12)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	out := Fig13([]core.VariabilityRecord{
+		{MinHC: 100, MaxHC: 109, MeasuredRatios: true},
+		{MinHC: 100, MaxHC: 220, MeasuredRatios: true},
+		{MeasuredRatios: false},
+	})
+	if !strings.Contains(out, "Rows measured:  2") && !strings.Contains(out, "Rows measured") {
+		t.Errorf("Fig13 malformed:\n%s", out)
+	}
+}
+
+func TestFig14And15(t *testing.T) {
+	out14 := Fig14([]core.RowPressBERRecord{
+		{Chip: 0, Channel: 0, TAggON: 29 * hbm.NS, BERPercent: 0.08},
+		{Chip: 0, Channel: 0, TAggON: 35_100 * hbm.NS, BERPercent: 50.3, RetentionBERPercent: 0.134},
+	})
+	if !strings.Contains(out14, "35.1us") || !strings.Contains(out14, "29.0ns") {
+		t.Errorf("Fig14 malformed:\n%s", out14)
+	}
+	out15 := Fig15([]core.RowPressHCRecord{
+		{Chip: 0, Channel: 0, Row: 1, TAggON: 29 * hbm.NS, HCFirst: 80000, Found: true, WithinWindow: true},
+		{Chip: 0, Channel: 0, Row: 1, TAggON: 16 * hbm.MS, HCFirst: 1, Found: true, WithinWindow: true},
+	})
+	if !strings.Contains(out15, "16.0ms") {
+		t.Errorf("Fig15 malformed:\n%s", out15)
+	}
+}
+
+func TestFig16(t *testing.T) {
+	out := Fig16([]core.BypassRecord{
+		{Dummies: 3, AggActs: 18, BERPercent: 0},
+		{Dummies: 4, AggActs: 18, BERPercent: 0.02},
+		{Dummies: 4, AggActs: 34, BERPercent: 0.06},
+	})
+	if !strings.Contains(out, "Dummies") || !strings.Contains(out, "0.0600") {
+		t.Errorf("Fig16 malformed:\n%s", out)
+	}
+}
+
+func TestFig17(t *testing.T) {
+	h := &ecc.FlipHistogram{}
+	h.PerCount = [7]int{5, 3, 1, 0, 0, 0, 0}
+	h.Over7 = 2
+	h.MaxFlips = 16
+	out := Fig17(map[pattern.Pattern]*ecc.FlipHistogram{pattern.Checkered0: h})
+	if !strings.Contains(out, "Checkered0") || !strings.Contains(out, "16") {
+		t.Errorf("Fig17 malformed:\n%s", out)
+	}
+}
+
+func TestUTRRReport(t *testing.T) {
+	out := UTRR(utrr.Findings{Period: 17, RefreshesBothNeighbors: true, FirstActIdentified: true, IdentifyThreshold: 5})
+	for _, want := range []string{"every 17 REFs", "Obsv 21", "Obsv 22", "5 activations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("UTRR report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package retention implements the data-retention profiling the paper uses
+// both to filter retention failures out of long RowPress experiments (§6)
+// and as the side channel of the U-TRR methodology (§7): a DRAM row is
+// deemed to have retention time T when T is the smallest multiple of the
+// profiling step at which any of the row's cells loses its data without
+// refresh.
+package retention
+
+import (
+	"fmt"
+
+	"hbmrd/internal/hbm"
+)
+
+// DefaultStep is the paper's profiling granularity (64 ms increments).
+const DefaultStep = 64 * hbm.MS
+
+// Profiler measures per-row retention times on one bank through the
+// command interface (write, wait unrefreshed, read back).
+type Profiler struct {
+	// Chan is the channel to drive.
+	Chan *hbm.Channel
+	// PC and Bank select the profiled bank.
+	PC, Bank int
+	// Fill is the data pattern byte used during profiling.
+	Fill byte
+	// Step is the profiling increment (DefaultStep if zero).
+	Step hbm.TimePS
+}
+
+func (p *Profiler) step() hbm.TimePS {
+	if p.Step > 0 {
+		return p.Step
+	}
+	return DefaultStep
+}
+
+// RowRetention returns the smallest tested retention time at which the row
+// exhibits at least one retention bitflip, scanning from one step up to
+// maxT. It returns 0 if the row retains data at every tested time.
+func (p *Profiler) RowRetention(row int, maxT hbm.TimePS) (hbm.TimePS, error) {
+	if p.Chan == nil {
+		return 0, fmt.Errorf("retention: profiler has no channel")
+	}
+	buf := make([]byte, hbm.RowBytes)
+	for t := p.step(); t <= maxT; t += p.step() {
+		flips, err := p.probe(row, t, buf)
+		if err != nil {
+			return 0, err
+		}
+		if flips > 0 {
+			return t, nil
+		}
+	}
+	return 0, nil
+}
+
+// FailsAt reports whether the row exhibits any retention bitflip after
+// being left unrefreshed for t.
+func (p *Profiler) FailsAt(row int, t hbm.TimePS) (bool, error) {
+	buf := make([]byte, hbm.RowBytes)
+	flips, err := p.probe(row, t, buf)
+	return flips > 0, err
+}
+
+func (p *Profiler) probe(row int, t hbm.TimePS, buf []byte) (int, error) {
+	if err := p.Chan.FillRow(p.PC, p.Bank, row, p.Fill); err != nil {
+		return 0, fmt.Errorf("retention: init row %d: %w", row, err)
+	}
+	p.Chan.Wait(t)
+	if err := p.Chan.ReadRow(p.PC, p.Bank, row, buf); err != nil {
+		return 0, fmt.Errorf("retention: read row %d: %w", row, err)
+	}
+	flips := 0
+	for _, b := range buf {
+		x := b ^ p.Fill
+		for x != 0 {
+			x &= x - 1
+			flips++
+		}
+	}
+	// Leave the row restored to its pattern for the caller.
+	if flips > 0 {
+		if err := p.Chan.FillRow(p.PC, p.Bank, row, p.Fill); err != nil {
+			return flips, err
+		}
+	}
+	return flips, nil
+}
+
+// FindSideChannelRows scans candidate rows and returns those whose
+// retention time T satisfies minT <= T <= maxT, together with their
+// retention times. Such rows serve as U-TRR side channels: initialized and
+// left unrefreshed for T/2 + T/2, they flip unless something (TRR)
+// refreshed them in between; minT must be at least twice the profiling
+// step so that T/2 is safely below the row's true failure time.
+func (p *Profiler) FindSideChannelRows(candidates []int, minT, maxT hbm.TimePS) (rows []int, times []hbm.TimePS, err error) {
+	if minT < 2*p.step() {
+		return nil, nil, fmt.Errorf("retention: minT %d below twice the profiling step", minT)
+	}
+	for _, row := range candidates {
+		t, err := p.RowRetention(row, maxT)
+		if err != nil {
+			return nil, nil, err
+		}
+		if t >= minT && t <= maxT {
+			rows = append(rows, row)
+			times = append(times, t)
+		}
+	}
+	return rows, times, nil
+}
+
+// MeasureRetentionBER initializes count rows starting at startRow, waits t
+// unrefreshed, and returns the aggregate retention BER (flipped bits over
+// all tested bits). This is the measurement the paper uses to subtract
+// retention failures from RowPress BER (§6: 0%, 0.013%, 0.134% at 34.8 ms,
+// 1.17 s, 10.53 s).
+func (p *Profiler) MeasureRetentionBER(startRow, count int, t hbm.TimePS) (float64, error) {
+	for r := startRow; r < startRow+count; r++ {
+		if err := p.Chan.FillRow(p.PC, p.Bank, r, p.Fill); err != nil {
+			return 0, err
+		}
+	}
+	p.Chan.Wait(t)
+	buf := make([]byte, hbm.RowBytes)
+	flips := 0
+	for r := startRow; r < startRow+count; r++ {
+		if err := p.Chan.ReadRow(p.PC, p.Bank, r, buf); err != nil {
+			return 0, err
+		}
+		for _, b := range buf {
+			x := b ^ p.Fill
+			for x != 0 {
+				x &= x - 1
+				flips++
+			}
+		}
+	}
+	return float64(flips) / float64(count*hbm.RowBits), nil
+}
+
+// RetentionMask returns the per-bit retention-failure mask of a row after
+// time t unrefreshed (used to filter retention flips out of read-disturb
+// measurements exactly as the paper does: a cell counts as a retention
+// failure if it fails in any of `reps` repetitions).
+func (p *Profiler) RetentionMask(row int, t hbm.TimePS, reps int) ([]byte, error) {
+	mask := make([]byte, hbm.RowBytes)
+	buf := make([]byte, hbm.RowBytes)
+	for rep := 0; rep < reps; rep++ {
+		if err := p.Chan.FillRow(p.PC, p.Bank, row, p.Fill); err != nil {
+			return nil, err
+		}
+		p.Chan.Wait(t)
+		if err := p.Chan.ReadRow(p.PC, p.Bank, row, buf); err != nil {
+			return nil, err
+		}
+		for i := range buf {
+			mask[i] |= buf[i] ^ p.Fill
+		}
+	}
+	return mask, nil
+}

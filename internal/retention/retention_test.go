@@ -1,0 +1,112 @@
+package retention
+
+import (
+	"testing"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/rowmap"
+)
+
+func newProfiler(t *testing.T, chip int) *Profiler {
+	t.Helper()
+	c, err := hbm.NewBuiltin(chip, hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.Channel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Profiler{Chan: ch, PC: 0, Bank: 0, Fill: 0x55}
+}
+
+func TestRowRetentionFindsFailures(t *testing.T) {
+	p := newProfiler(t, 0) // Chip 0 at 82C: weakest retention
+	found := 0
+	for row := 1000; row < 1040; row++ {
+		tRet, err := p.RowRetention(row, 4*hbm.SEC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tRet > 0 {
+			found++
+			if tRet%DefaultStep != 0 {
+				t.Errorf("row %d: retention %d not a step multiple", row, tRet)
+			}
+			// The row must actually fail at its reported time and hold at
+			// one step less.
+			fails, err := p.FailsAt(row, tRet)
+			if err != nil || !fails {
+				t.Errorf("row %d: does not fail at reported retention %d (err=%v)", row, tRet, err)
+			}
+			if tRet > DefaultStep {
+				fails, err = p.FailsAt(row, tRet-DefaultStep)
+				if err != nil || fails {
+					t.Errorf("row %d: fails below reported retention (err=%v)", row, err)
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no rows with measurable retention below 4 s at 82C")
+	}
+}
+
+func TestFindSideChannelRows(t *testing.T) {
+	p := newProfiler(t, 0)
+	candidates := make([]int, 60)
+	for i := range candidates {
+		candidates[i] = 2000 + i
+	}
+	rows, times, err := p.FindSideChannelRows(candidates, 2*DefaultStep, 4*hbm.SEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no side-channel rows found")
+	}
+	for i, r := range rows {
+		if times[i] < 2*DefaultStep || times[i] > 4*hbm.SEC {
+			t.Errorf("row %d: time %d outside requested window", r, times[i])
+		}
+	}
+	if _, _, err := p.FindSideChannelRows(candidates, DefaultStep, hbm.SEC); err == nil {
+		t.Error("minT below 2 steps accepted")
+	}
+}
+
+func TestMeasureRetentionBERGrowsWithTime(t *testing.T) {
+	p := newProfiler(t, 0)
+	short, err := p.MeasureRetentionBER(5000, 24, 40*hbm.MS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := p.MeasureRetentionBER(5000, 24, 20*hbm.SEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long <= short {
+		t.Errorf("retention BER did not grow: %v at 40ms vs %v at 20s", short, long)
+	}
+	if short > 1e-4 {
+		t.Errorf("retention BER %v at 40 ms; paper measures ~0%% at 34.8 ms", short)
+	}
+}
+
+func TestRetentionMaskUnionAcrossReps(t *testing.T) {
+	p := newProfiler(t, 0)
+	mask, err := p.RetentionMask(6000, 10*hbm.SEC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mask) != hbm.RowBytes {
+		t.Fatalf("mask length %d", len(mask))
+	}
+}
+
+func TestProfilerWithoutChannel(t *testing.T) {
+	p := &Profiler{}
+	if _, err := p.RowRetention(0, hbm.SEC); err == nil {
+		t.Error("profiler without channel accepted")
+	}
+}

@@ -1,0 +1,235 @@
+// Package rowmap models DRAM logical-to-physical row address mapping and
+// the paper's methodology for reverse-engineering it (§3.1).
+//
+// DRAM vendors remap memory-controller-visible (logical) row addresses to
+// physical rows for routing and repair reasons. Read-disturbance
+// experiments must hammer rows that are *physically* adjacent to the
+// victim, so the paper reverse-engineers the mapping by hammering a row and
+// observing which logical rows exhibit bitflips. This package provides the
+// mapping schemes used by the simulated chips and the pure reconstruction
+// algorithms driven by such probes.
+package rowmap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mapper translates between logical (controller-visible) and physical row
+// addresses within a bank. Implementations must be bijections over
+// [0, Rows()).
+type Mapper interface {
+	// ToPhysical maps a logical row to its physical row.
+	ToPhysical(logical int) int
+	// ToLogical maps a physical row back to its logical row.
+	ToLogical(physical int) int
+	// Rows returns the number of rows the mapper covers.
+	Rows() int
+}
+
+// Identity maps every logical row to the same physical row.
+type Identity struct {
+	// NumRows is the bank's row count.
+	NumRows int
+}
+
+// ToPhysical implements Mapper.
+func (m Identity) ToPhysical(logical int) int { return clampRow(logical, m.NumRows) }
+
+// ToLogical implements Mapper.
+func (m Identity) ToLogical(physical int) int { return clampRow(physical, m.NumRows) }
+
+// Rows implements Mapper.
+func (m Identity) Rows() int { return m.NumRows }
+
+// BitSwizzle models the remapping commonly found in real DRAM: within each
+// aligned block of eight rows, the low address bits are XOR-scrambled by a
+// block-dependent constant. The transform is its own inverse.
+type BitSwizzle struct {
+	// NumRows is the bank's row count (must be a multiple of 8).
+	NumRows int
+	// Salt varies the scramble constant per chip so different specimens
+	// have different mappings.
+	Salt uint64
+}
+
+// ToPhysical implements Mapper.
+func (m BitSwizzle) ToPhysical(logical int) int { return m.swizzle(clampRow(logical, m.NumRows)) }
+
+// ToLogical implements Mapper.
+func (m BitSwizzle) ToLogical(physical int) int { return m.swizzle(clampRow(physical, m.NumRows)) }
+
+// Rows implements Mapper.
+func (m BitSwizzle) Rows() int { return m.NumRows }
+
+func (m BitSwizzle) swizzle(row int) int {
+	block := row >> 3
+	// Only blocks whose bit0 is set get scrambled, mirroring the
+	// "odd groups are remapped" structure reported for real chips. The
+	// XOR constant (1..3 over the low two bits) depends on the salt.
+	if block&1 == 0 {
+		return row
+	}
+	c := int((m.Salt^uint64(block>>1))%3) + 1 // 1, 2 or 3
+	return (row &^ 3) | ((row & 3) ^ c)
+}
+
+// Verify checks that mapper m is a bijection with a consistent inverse over
+// its full row range.
+func Verify(m Mapper) error {
+	n := m.Rows()
+	if n <= 0 {
+		return fmt.Errorf("rowmap: mapper covers %d rows", n)
+	}
+	seen := make([]bool, n)
+	for l := 0; l < n; l++ {
+		p := m.ToPhysical(l)
+		if p < 0 || p >= n {
+			return fmt.Errorf("rowmap: logical %d maps to out-of-range physical %d", l, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("rowmap: physical %d reached from two logical rows", p)
+		}
+		seen[p] = true
+		if back := m.ToLogical(p); back != l {
+			return fmt.Errorf("rowmap: inverse mismatch: logical %d -> physical %d -> logical %d", l, p, back)
+		}
+	}
+	return nil
+}
+
+// NeighborProbe reports the logical rows observed to take disturbance
+// bitflips when the given logical row is hammered single-sided. This is the
+// experimental primitive behind the paper's reverse engineering: in the
+// simulator it is implemented by actually hammering the chip and scanning
+// nearby rows.
+type NeighborProbe func(logical int) ([]int, error)
+
+// Adjacency is an undirected physical-adjacency graph over logical row
+// numbers: Adjacency[l] lists the logical rows physically adjacent to l.
+type Adjacency map[int][]int
+
+// BuildAdjacency probes each logical row in rows and assembles the
+// symmetric adjacency graph.
+func BuildAdjacency(probe NeighborProbe, rows []int) (Adjacency, error) {
+	adj := make(Adjacency, len(rows))
+	for _, l := range rows {
+		ns, err := probe(l)
+		if err != nil {
+			return nil, fmt.Errorf("rowmap: probing row %d: %w", l, err)
+		}
+		for _, n := range ns {
+			addEdge(adj, l, n)
+		}
+	}
+	return adj, nil
+}
+
+func addEdge(adj Adjacency, a, b int) {
+	if !contains(adj[a], b) {
+		adj[a] = append(adj[a], b)
+	}
+	if !contains(adj[b], a) {
+		adj[b] = append(adj[b], a)
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Paths decomposes the adjacency graph into simple paths. Aggressor
+// coupling does not cross subarray boundaries, so a fully probed bank
+// decomposes into one path per subarray; each path lists logical rows in
+// physical order (orientation is arbitrary). An error is returned if any
+// row has more than two neighbours (not a path graph).
+func Paths(adj Adjacency) ([][]int, error) {
+	visited := make(map[int]bool, len(adj))
+	var starts []int
+	for row, ns := range adj {
+		if len(ns) > 2 {
+			return nil, fmt.Errorf("rowmap: row %d has %d physical neighbours", row, len(ns))
+		}
+		if len(ns) <= 1 {
+			starts = append(starts, row)
+		}
+	}
+	sort.Ints(starts)
+	var paths [][]int
+	for _, s := range starts {
+		if visited[s] {
+			continue
+		}
+		path := walk(adj, s, visited)
+		paths = append(paths, path)
+	}
+	// Cycles (should not occur in DRAM banks) would leave unvisited rows.
+	for row := range adj {
+		if !visited[row] {
+			return nil, fmt.Errorf("rowmap: row %d is part of a cycle", row)
+		}
+	}
+	return paths, nil
+}
+
+func walk(adj Adjacency, start int, visited map[int]bool) []int {
+	path := []int{start}
+	visited[start] = true
+	cur := start
+	for {
+		next := -1
+		for _, n := range adj[cur] {
+			if !visited[n] {
+				next = n
+				break
+			}
+		}
+		if next < 0 {
+			return path
+		}
+		visited[next] = true
+		path = append(path, next)
+		cur = next
+	}
+}
+
+// SubarraySizes returns the lengths of the discovered paths in descending
+// start order of their smallest logical row, matching how the paper reports
+// reverse-engineered subarray sizes (832- or 768-row groups, §4.2 fn. 4).
+func SubarraySizes(paths [][]int) []int {
+	sizes := make([]int, len(paths))
+	for i, p := range paths {
+		sizes[i] = len(p)
+	}
+	return sizes
+}
+
+// MappingFromPath reconstructs a logical->physical assignment for one path
+// given the physical row index of its first element and its direction. It
+// returns a map from logical row to physical row.
+func MappingFromPath(path []int, firstPhysical int, reversed bool) map[int]int {
+	out := make(map[int]int, len(path))
+	for i, logical := range path {
+		idx := i
+		if reversed {
+			idx = len(path) - 1 - i
+		}
+		out[logical] = firstPhysical + idx
+	}
+	return out
+}
+
+func clampRow(row, n int) int {
+	if row < 0 {
+		return 0
+	}
+	if row >= n {
+		return n - 1
+	}
+	return row
+}

@@ -1,0 +1,170 @@
+package rowmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityIsBijection(t *testing.T) {
+	if err := Verify(Identity{NumRows: 1024}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitSwizzleIsBijection(t *testing.T) {
+	for _, salt := range []uint64{0, 1, 0xDEADBEEF, 42} {
+		if err := Verify(BitSwizzle{NumRows: 2048, Salt: salt}); err != nil {
+			t.Errorf("salt %#x: %v", salt, err)
+		}
+	}
+}
+
+func TestBitSwizzleSelfInverseProperty(t *testing.T) {
+	m := BitSwizzle{NumRows: 16384, Salt: 0xA11CE}
+	f := func(r uint16) bool {
+		row := int(r) % m.NumRows
+		return m.ToLogical(m.ToPhysical(row)) == row
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitSwizzleActuallyRemapsSomething(t *testing.T) {
+	m := BitSwizzle{NumRows: 256, Salt: 7}
+	moved := 0
+	for r := 0; r < 256; r++ {
+		if m.ToPhysical(r) != r {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("swizzle mapper is the identity")
+	}
+}
+
+func TestVerifyCatchesBrokenMapper(t *testing.T) {
+	if err := Verify(brokenMapper{}); err == nil {
+		t.Error("broken mapper passed verification")
+	}
+	if err := Verify(Identity{NumRows: 0}); err == nil {
+		t.Error("empty mapper passed verification")
+	}
+}
+
+type brokenMapper struct{}
+
+func (brokenMapper) ToPhysical(l int) int { return 0 } // everything collides
+func (brokenMapper) ToLogical(p int) int  { return 0 }
+func (brokenMapper) Rows() int            { return 4 }
+
+// probeFor builds a NeighborProbe backed by a known mapper with subarray
+// boundaries every saSize physical rows: hammering logical L disturbs the
+// logical rows whose physical index is phys(L)+-1 within the same subarray.
+func probeFor(m Mapper, saSize int) NeighborProbe {
+	return func(logical int) ([]int, error) {
+		p := m.ToPhysical(logical)
+		var ns []int
+		for _, q := range []int{p - 1, p + 1} {
+			if q < 0 || q >= m.Rows() {
+				continue
+			}
+			if q/saSize != p/saSize {
+				continue // no coupling across subarray boundaries
+			}
+			ns = append(ns, m.ToLogical(q))
+		}
+		return ns, nil
+	}
+}
+
+func TestReverseEngineerRecoversPhysicalOrder(t *testing.T) {
+	const saSize = 64
+	m := BitSwizzle{NumRows: 256, Salt: 3}
+	probe := probeFor(m, saSize)
+	rows := make([]int, m.NumRows)
+	for i := range rows {
+		rows[i] = i
+	}
+	adj, err := BuildAdjacency(probe, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := Paths(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != m.NumRows/saSize {
+		t.Fatalf("recovered %d subarrays, want %d", len(paths), m.NumRows/saSize)
+	}
+	for _, p := range paths {
+		if len(p) != saSize {
+			t.Errorf("subarray of size %d, want %d", len(p), saSize)
+		}
+		// Consecutive path entries must be physically adjacent.
+		for i := 1; i < len(p); i++ {
+			a, b := m.ToPhysical(p[i-1]), m.ToPhysical(p[i])
+			if a-b != 1 && b-a != 1 {
+				t.Fatalf("path entries %d,%d are physically %d,%d (not adjacent)", p[i-1], p[i], a, b)
+			}
+		}
+	}
+}
+
+func TestSubarraySizes(t *testing.T) {
+	paths := [][]int{make([]int, 832), make([]int, 768)}
+	sizes := SubarraySizes(paths)
+	if sizes[0] != 832 || sizes[1] != 768 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestMappingFromPath(t *testing.T) {
+	path := []int{10, 11, 9} // logical rows in physical order
+	fwd := MappingFromPath(path, 100, false)
+	if fwd[10] != 100 || fwd[11] != 101 || fwd[9] != 102 {
+		t.Errorf("forward mapping = %v", fwd)
+	}
+	rev := MappingFromPath(path, 100, true)
+	if rev[10] != 102 || rev[11] != 101 || rev[9] != 100 {
+		t.Errorf("reversed mapping = %v", rev)
+	}
+}
+
+func TestPathsRejectsNonPathGraphs(t *testing.T) {
+	adj := Adjacency{0: {1, 2, 3}, 1: {0}, 2: {0}, 3: {0}}
+	if _, err := Paths(adj); err == nil {
+		t.Error("star graph accepted as path decomposition")
+	}
+}
+
+func TestPathsRejectsCycles(t *testing.T) {
+	adj := Adjacency{0: {1, 2}, 1: {0, 2}, 2: {1, 0}}
+	if _, err := Paths(adj); err == nil {
+		t.Error("cycle accepted as path decomposition")
+	}
+}
+
+func TestBuildAdjacencySymmetric(t *testing.T) {
+	probe := func(l int) ([]int, error) {
+		// Asymmetric raw observations: only row 0 reports row 1.
+		if l == 0 {
+			return []int{1}, nil
+		}
+		return nil, nil
+	}
+	adj, err := BuildAdjacency(probe, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(adj[1], 0) {
+		t.Error("adjacency not symmetrized")
+	}
+}
+
+func TestClampRow(t *testing.T) {
+	m := Identity{NumRows: 8}
+	if m.ToPhysical(-3) != 0 || m.ToPhysical(99) != 7 {
+		t.Error("row clamping broken")
+	}
+}

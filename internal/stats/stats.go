@@ -1,0 +1,308 @@
+// Package stats provides the small set of statistics used by the
+// characterization study: means, coefficients of variation, percentiles,
+// Pearson correlation, histograms, five-number box summaries, and a least
+// squares polynomial fit (used for the Fig 12 trend curve).
+//
+// All functions are pure and operate on float64 slices. Inputs are never
+// mutated; functions that need ordering work on internal copies.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned (or causes NaN results, where documented) when a
+// computation is requested over an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN if xs is empty.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CV returns the coefficient of variation (standard deviation normalized to
+// the mean), the bank-level dispersion metric used in Fig 9. It returns NaN
+// for empty input or a zero mean.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 || math.IsNaN(m) {
+		return math.NaN()
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the smallest element of xs, or NaN if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks, or NaN if xs is empty.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// Percentiles returns the requested percentiles of xs in one pass over a
+// single sorted copy. The result has the same length and order as ps.
+func Percentiles(xs []float64, ps []float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns an error if the slices differ in length, are shorter than two
+// elements, or either sample has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance sample")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// BoxStat is a five-number summary plus the mean, the shape each box in the
+// paper's box-and-whisker figures reports.
+type BoxStat struct {
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	N      int
+}
+
+// Box computes the five-number summary of xs. For empty input all fields are
+// NaN and N is zero.
+func Box(xs []float64) BoxStat {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return BoxStat{Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan, Mean: nan}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return BoxStat{
+		Min:    sorted[0],
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(xs),
+		N:      len(xs),
+	}
+}
+
+// Histogram counts xs into len(edges)-1 bins delimited by the ascending bin
+// edges. Values below edges[0] or at/above edges[len-1] are dropped, matching
+// the fixed-axis histograms in the paper.
+func Histogram(xs []float64, edges []float64) []int {
+	if len(edges) < 2 {
+		return nil
+	}
+	counts := make([]int, len(edges)-1)
+	for _, x := range xs {
+		if x < edges[0] || x >= edges[len(edges)-1] {
+			continue
+		}
+		i := sort.SearchFloat64s(edges, x)
+		// SearchFloat64s returns the insertion point; a value equal to an
+		// edge belongs to the bin starting at that edge.
+		if i < len(edges) && edges[i] == x {
+			i++
+		}
+		counts[i-1]++
+	}
+	return counts
+}
+
+// PolyFit fits a least squares polynomial of the given degree to (xs, ys) and
+// returns the coefficients c[0] + c[1]x + ... + c[degree]x^degree. It solves
+// the normal equations by Gaussian elimination with partial pivoting, which
+// is ample for the low-degree trend fits used in the figures.
+func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("stats: mismatched sample lengths")
+	}
+	if degree < 0 {
+		return nil, errors.New("stats: negative degree")
+	}
+	n := degree + 1
+	if len(xs) < n {
+		return nil, errors.New("stats: not enough points for degree")
+	}
+	// Build normal equations A c = b with A[i][j] = sum x^(i+j), b[i] = sum y x^i.
+	powSums := make([]float64, 2*degree+1)
+	b := make([]float64, n)
+	for k := range xs {
+		xp := 1.0
+		for i := 0; i <= 2*degree; i++ {
+			powSums[i] += xp
+			if i <= degree {
+				b[i] += ys[k] * xp
+			}
+			xp *= xs[k]
+		}
+	}
+	a := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = powSums[i+j]
+		}
+	}
+	if err := solveInPlace(a, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// PolyEval evaluates the polynomial with coefficients c (c[0] constant term)
+// at x using Horner's method.
+func PolyEval(c []float64, x float64) float64 {
+	y := 0.0
+	for i := len(c) - 1; i >= 0; i-- {
+		y = y*x + c[i]
+	}
+	return y
+}
+
+// solveInPlace solves a*x = b by Gaussian elimination with partial pivoting,
+// leaving the solution in b.
+func solveInPlace(a [][]float64, b []float64) error {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return errors.New("stats: singular system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * b[c]
+		}
+		b[r] = sum / a[r][r]
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasics(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := CV(xs); !almostEq(got, 2.0/5.0, 1e-12) {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+	if !math.IsNaN(CV([]float64{0, 0})) {
+		t.Error("CV of zero-mean sample should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentilesBatchMatchesSingle(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 2, 8}
+	ps := []float64{1, 5, 10, 25, 50, 75, 90, 95, 99}
+	batch := Percentiles(xs, ps)
+	for i, p := range ps {
+		if got := Percentile(xs, p); !almostEq(batch[i], got, 1e-12) {
+			t.Errorf("Percentiles[%v] = %v, single = %v", p, batch[i], got)
+		}
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v, %v; want 1, nil", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil || !almostEq(r, -1, 1e-12) {
+		t.Errorf("Pearson = %v, %v; want -1, nil", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("too-short samples should error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero-variance sample should error")
+	}
+}
+
+func TestBox(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Q1 != 2 || b.Q3 != 4 || b.N != 5 {
+		t.Errorf("Box = %+v", b)
+	}
+	empty := Box(nil)
+	if !math.IsNaN(empty.Mean) || empty.N != 0 {
+		t.Errorf("empty Box = %+v", empty)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges := []float64{0, 1, 2, 3}
+	xs := []float64{-0.5, 0, 0.5, 1, 1.5, 2.9, 3, 10}
+	got := Histogram(xs, edges)
+	want := []int{2, 2, 1} // [0,1): {0, 0.5}; [1,2): {1, 1.5}; [2,3): {2.9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Histogram = %v, want %v", got, want)
+			break
+		}
+	}
+	if Histogram(xs, []float64{1}) != nil {
+		t.Error("degenerate edges should return nil")
+	}
+}
+
+func TestPolyFitExactQuadratic(t *testing.T) {
+	// y = 2 - 3x + 0.5x^2 sampled exactly.
+	want := []float64{2, -3, 0.5}
+	var xs, ys []float64
+	for x := -3.0; x <= 3; x += 0.5 {
+		xs = append(xs, x)
+		ys = append(ys, PolyEval(want, x))
+	}
+	got, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-8) {
+			t.Errorf("coef[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative degree should error")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, 3); err == nil {
+		t.Error("underdetermined fit should error")
+	}
+}
+
+func TestProbitRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-6, 1e-4, 0.01, 0.1, 0.5, 0.9, 0.99, 0.9999} {
+		z := Probit(p)
+		back := NormalCDF(z)
+		if !almostEq(back, p, 1e-6) {
+			t.Errorf("NormalCDF(Probit(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestProbitKnownValues(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.84134474, 1.0},
+	}
+	for _, c := range cases {
+		if got := Probit(c.p); !almostEq(got, c.z, 1e-4) {
+			t.Errorf("Probit(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+	if !math.IsInf(Probit(0), -1) || !math.IsInf(Probit(1), 1) {
+		t.Error("Probit edges should be infinite")
+	}
+}
+
+// TestProbitMonotoneProperty uses testing/quick to check monotonicity of the
+// probit approximation across the unit interval.
+func TestProbitMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		pa := (float64(a) + 1) / (float64(math.MaxUint32) + 2)
+		pb := (float64(b) + 1) / (float64(math.MaxUint32) + 2)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Probit(pa) <= Probit(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPercentileWithinRangeProperty: any percentile lies within [min, max].
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw) / 255 * 100
+		v := Percentile(xs, p)
+		return v >= Min(xs) && v <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package thermal simulates the temperature environment of the paper's six
+// testing setups (Fig 2 and Fig 3): Chip 0 on the XUPVVH board sits under a
+// heating pad and cooling fan driven by an Arduino-style bang-bang
+// controller targeting 82 C; Chips 1-5 on Alveo U50 boards run passively
+// and settle at their self-heating equilibrium. Fig 3 plots each chip's
+// temperature over 24 hours at 5-second samples; this package regenerates
+// those traces with a first-order thermal RC plant.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one temperature measurement.
+type Sample struct {
+	// AtSec is the sample time in seconds from the start of the trace.
+	AtSec float64
+	// TempC is the measured (sensor) temperature.
+	TempC float64
+}
+
+// BoardSetup describes one chip's thermal configuration.
+type BoardSetup struct {
+	// Name labels the trace ("Chip 0" ...).
+	Name string
+	// AmbientC is the lab ambient temperature.
+	AmbientC float64
+	// SelfHeatC is the steady-state rise above ambient from chip activity.
+	SelfHeatC float64
+	// Controlled enables the heating-pad/fan controller.
+	Controlled bool
+	// TargetC is the controller setpoint (82 C for Chip 0).
+	TargetC float64
+	// HeaterRiseC is the additional steady-state rise at full heater power.
+	HeaterRiseC float64
+	// FanDropC is the steady-state drop at full fan.
+	FanDropC float64
+	// TauSec is the plant's thermal time constant.
+	TauSec float64
+	// SensorNoiseC is the amplitude of the sensor's quantization/noise.
+	SensorNoiseC float64
+	// Seed makes the trace deterministic per chip.
+	Seed uint64
+}
+
+// Validate reports setup errors.
+func (b BoardSetup) Validate() error {
+	if b.TauSec <= 0 {
+		return fmt.Errorf("thermal: %s: TauSec must be positive", b.Name)
+	}
+	if b.Controlled && b.TargetC <= b.AmbientC {
+		return fmt.Errorf("thermal: %s: target %.1fC not above ambient %.1fC", b.Name, b.TargetC, b.AmbientC)
+	}
+	return nil
+}
+
+// PaperSetups returns the six setups matching Fig 3: Chip 0 controlled at
+// 82 C, Chips 1-5 passive at their measured steady temperatures.
+func PaperSetups() []BoardSetup {
+	passive := func(name string, steady float64, seed uint64) BoardSetup {
+		return BoardSetup{
+			Name: name, AmbientC: 26, SelfHeatC: steady - 26,
+			TauSec: 300, SensorNoiseC: 0.35, Seed: seed,
+		}
+	}
+	return []BoardSetup{
+		{
+			Name: "Chip 0", AmbientC: 26, SelfHeatC: 18, Controlled: true,
+			TargetC: 82, HeaterRiseC: 55, FanDropC: 12,
+			TauSec: 120, SensorNoiseC: 0.3, Seed: 0x7E40,
+		},
+		passive("Chip 1", 58, 0x7E41),
+		passive("Chip 2", 55, 0x7E42),
+		passive("Chip 3", 56, 0x7E43),
+		passive("Chip 4", 54, 0x7E44),
+		passive("Chip 5", 57, 0x7E45),
+	}
+}
+
+// Simulate produces the temperature trace of one setup for the given
+// duration, sampled every sampleEvery seconds (the paper samples every 5 s
+// for 24 h). The simulation integrates a first-order plant at one-second
+// steps: dT/dt = (equilibrium - T)/tau, where the equilibrium combines
+// ambient drift, self-heating, and the controller's heater/fan state
+// (bang-bang with 0.25 C hysteresis).
+func Simulate(b BoardSetup, durationSec, sampleEvery float64) ([]Sample, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if durationSec <= 0 || sampleEvery <= 0 {
+		return nil, fmt.Errorf("thermal: duration and sample interval must be positive")
+	}
+
+	temp := b.AmbientC + b.SelfHeatC // start at passive equilibrium
+	heater, fan := false, false
+	var samples []Sample
+	nextSample := 0.0
+	rngState := b.Seed
+
+	for t := 0.0; t <= durationSec; t++ {
+		// Slow diurnal ambient drift (+-0.8 C over 24 h) plus a faster
+		// HVAC wobble.
+		ambient := b.AmbientC +
+			0.8*math.Sin(2*math.Pi*t/86400) +
+			0.2*math.Sin(2*math.Pi*t/1800)
+
+		if b.Controlled {
+			switch {
+			case temp < b.TargetC-0.25:
+				heater, fan = true, false
+			case temp > b.TargetC+0.25:
+				heater, fan = false, true
+			}
+		}
+		eq := ambient + b.SelfHeatC
+		if heater {
+			eq += b.HeaterRiseC
+		}
+		if fan {
+			eq -= b.FanDropC
+		}
+		temp += (eq - temp) / b.TauSec
+
+		if t >= nextSample {
+			rngState = rngState*6364136223846793005 + 1442695040888963407
+			noise := (float64(rngState>>33&0xFFFF)/0xFFFF - 0.5) * 2 * b.SensorNoiseC
+			samples = append(samples, Sample{AtSec: t, TempC: temp + noise})
+			nextSample += sampleEvery
+		}
+	}
+	return samples, nil
+}
+
+// Stats summarizes a trace: mean, min, max, and the maximum absolute
+// first-difference between consecutive samples (stability, the property
+// the paper argues from Fig 3).
+type Stats struct {
+	Mean, Min, Max, MaxStep float64
+	N                       int
+}
+
+// Summarize computes trace statistics.
+func Summarize(samples []Sample) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	s := Stats{Min: samples[0].TempC, Max: samples[0].TempC, N: len(samples)}
+	sum := 0.0
+	for i, smp := range samples {
+		sum += smp.TempC
+		if smp.TempC < s.Min {
+			s.Min = smp.TempC
+		}
+		if smp.TempC > s.Max {
+			s.Max = smp.TempC
+		}
+		if i > 0 {
+			step := math.Abs(smp.TempC - samples[i-1].TempC)
+			if step > s.MaxStep {
+				s.MaxStep = step
+			}
+		}
+	}
+	s.Mean = sum / float64(len(samples))
+	return s
+}

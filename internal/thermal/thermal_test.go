@@ -1,0 +1,102 @@
+package thermal
+
+import (
+	"testing"
+)
+
+func TestPaperSetupsValid(t *testing.T) {
+	setups := PaperSetups()
+	if len(setups) != 6 {
+		t.Fatalf("%d setups, want 6", len(setups))
+	}
+	for _, s := range setups {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	if !setups[0].Controlled || setups[0].TargetC != 82 {
+		t.Error("Chip 0 must be temperature-controlled at 82C")
+	}
+}
+
+func TestControlledChipHoldsTarget(t *testing.T) {
+	s, err := Simulate(PaperSetups()[0], 4*3600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the warm-up hour, then the trace must hold 82 +- 2 C.
+	warm := s[720:]
+	st := Summarize(warm)
+	if st.Mean < 80 || st.Mean > 84 {
+		t.Errorf("controlled mean %.2fC, want ~82C", st.Mean)
+	}
+	if st.Max-st.Min > 5 {
+		t.Errorf("controlled span %.2fC too wide", st.Max-st.Min)
+	}
+}
+
+func TestPassiveChipsStayStable(t *testing.T) {
+	for _, setup := range PaperSetups()[1:] {
+		s, err := Simulate(setup, 2*3600, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := Summarize(s)
+		want := setup.AmbientC + setup.SelfHeatC
+		if st.Mean < want-2 || st.Mean > want+2 {
+			t.Errorf("%s: mean %.2fC, want ~%.1fC", setup.Name, st.Mean, want)
+		}
+		if st.MaxStep > 1.5 {
+			t.Errorf("%s: max step %.2fC; paper observes stable temperatures", setup.Name, st.MaxStep)
+		}
+	}
+}
+
+func TestSampleCadence(t *testing.T) {
+	s, err := Simulate(PaperSetups()[1], 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 21 { // samples at 0,5,...,100
+		t.Errorf("%d samples over 100 s at 5 s cadence, want 21", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].AtSec-s[i-1].AtSec != 5 {
+			t.Fatalf("irregular cadence at sample %d", i)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, _ := Simulate(PaperSetups()[2], 600, 5)
+	b, _ := Simulate(PaperSetups()[2], 600, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(BoardSetup{Name: "x", TauSec: 0}, 10, 1); err == nil {
+		t.Error("zero tau accepted")
+	}
+	ok := PaperSetups()[0]
+	if _, err := Simulate(ok, 0, 5); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Simulate(ok, 10, 0); err == nil {
+		t.Error("zero sample interval accepted")
+	}
+	bad := ok
+	bad.TargetC = 10
+	if _, err := Simulate(bad, 10, 5); err == nil {
+		t.Error("target below ambient accepted")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if st := Summarize(nil); st.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}

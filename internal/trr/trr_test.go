@@ -1,0 +1,309 @@
+package trr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// refN issues n REFs and returns the victims of the last one.
+func refN(e *Engine, n int) []int {
+	var v []int
+	for i := 0; i < n; i++ {
+		v = e.OnRefresh()
+	}
+	return v
+}
+
+func TestOnlyEvery17thREFRefreshesVictims(t *testing.T) {
+	// Obsv 20: every 17th REF can perform a TRR victim refresh.
+	e := newEngine(t)
+	for ref := 1; ref <= 70; ref++ {
+		e.OnActivate(100) // keep a candidate alive in every window
+		victims := e.OnRefresh()
+		if ref%17 == 0 && len(victims) == 0 {
+			t.Errorf("REF %d is TRR-capable but refreshed no victims", ref)
+		}
+		if ref%17 != 0 && len(victims) != 0 {
+			t.Errorf("REF %d is not TRR-capable but refreshed %v", ref, victims)
+		}
+	}
+}
+
+func TestVictimsAreBothAdjacentRows(t *testing.T) {
+	// Obsv 21: identifying row R refreshes R-1 and R+1.
+	e := newEngine(t)
+	e.OnActivate(500)
+	victims := refN(e, 17)
+	want := map[int]bool{499: false, 501: false}
+	for _, v := range victims {
+		if _, ok := want[v]; ok {
+			want[v] = true
+		}
+	}
+	for row, seen := range want {
+		if !seen {
+			t.Errorf("victim row %d not refreshed (got %v)", row, victims)
+		}
+	}
+}
+
+func TestFirstActivatedRowIdentified(t *testing.T) {
+	// Obsv 22: the first row activated after a TRR-capable REF is always
+	// identified, even if other rows are activated far more.
+	e := newEngine(t)
+	refN(e, 17) // pass one TRR-capable REF so the first-ACT register arms
+	e.OnActivate(42)
+	for i := 0; i < 50; i++ {
+		e.OnActivate(1000)
+	}
+	victims := refN(e, 17)
+	if !contains(victims, 41) || !contains(victims, 43) {
+		t.Errorf("first-activated row 42's victims not refreshed: %v", victims)
+	}
+}
+
+func TestMostActivatedTrackedRowIdentified(t *testing.T) {
+	// Obsv 23: with 10 ACTs between two REFs, a row receiving 5 of them is
+	// identified.
+	e := newEngine(t)
+	// Window: row 7 first (also tracked), row 9 gets 5 ACTs, filler rows.
+	e.OnActivate(7)
+	for i := 0; i < 5; i++ {
+		e.OnActivate(9)
+	}
+	e.OnActivate(11)
+	e.OnActivate(13)
+	e.OnActivate(15) // untracked: table already holds 7,9,11,13
+	e.OnActivate(7)
+	victims := refN(e, 17)
+	if !contains(victims, 8) || !contains(victims, 10) {
+		t.Errorf("max-count row 9's victims not refreshed: %v", victims)
+	}
+}
+
+func TestTrackerTableIsFirstCome(t *testing.T) {
+	e := newEngine(t)
+	for row := 0; row < 10; row++ {
+		e.OnActivate(row)
+	}
+	tracked := e.TrackedRows()
+	if len(tracked) != 4 {
+		t.Fatalf("tracked %d rows, want 4", len(tracked))
+	}
+	for i, rc := range tracked {
+		if rc.Row != i || rc.Count != 1 {
+			t.Errorf("entry %d = %+v, want row %d count 1", i, rc, i)
+		}
+	}
+	// A tracked row keeps counting even after the table fills.
+	e.OnActivate(2)
+	if got := e.TrackedRows()[2].Count; got != 2 {
+		t.Errorf("tracked row 2 count = %d, want 2", got)
+	}
+}
+
+func TestTableResetsAtEveryREF(t *testing.T) {
+	e := newEngine(t)
+	e.OnActivate(1)
+	e.OnActivate(2)
+	e.OnRefresh()
+	if n := len(e.TrackedRows()); n != 0 {
+		t.Errorf("table holds %d entries after REF, want 0", n)
+	}
+}
+
+// TestBypassNeedsFourDummies reproduces the Fig 16 threshold: the paper's
+// pattern activates dummy rows first, then double-side hammers two real
+// aggressors. With >=4 dummies the tracker never sees the aggressors and
+// the shared victim is never TRR-refreshed; with <=3 dummies one aggressor
+// lands in the tracker, wins the count election, and the victim V (adjacent
+// to both aggressors) is preventively refreshed.
+func TestBypassNeedsFourDummies(t *testing.T) {
+	const (
+		victim = 5000
+		aggLo  = victim - 1
+		aggHi  = victim + 1
+		budget = 78 // ACT budget per tREFI (paper: floor((tREFI-tRFC)/tRC))
+		aggAct = 18
+	)
+	run := func(dummies int) (victimRefreshed bool) {
+		e := newEngine(t)
+		for ref := 1; ref <= 17*4; ref++ {
+			// Dummy rows first (they arm the first-ACT register and fill
+			// the tracker), then the double-sided aggressor pair.
+			dummyActs := budget - 2*aggAct
+			for d := 0; d < dummyActs; d++ {
+				e.OnActivate(9000 + d%dummies)
+			}
+			for a := 0; a < aggAct; a++ {
+				e.OnActivate(aggLo)
+				e.OnActivate(aggHi)
+			}
+			for _, v := range e.OnRefresh() {
+				if v == victim {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for dummies := 1; dummies <= 3; dummies++ {
+		if !run(dummies) {
+			t.Errorf("%d dummy rows: TRR failed to protect the victim (paper: BER=0)", dummies)
+		}
+	}
+	for dummies := 4; dummies <= 10; dummies++ {
+		if run(dummies) {
+			t.Errorf("%d dummy rows: TRR still protected the victim (paper: bypass succeeds)", dummies)
+		}
+	}
+}
+
+func TestDisabledEngineDoesNothing(t *testing.T) {
+	e, err := NewEngine(Config{Enabled: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.OnActivate(5)
+	for i := 0; i < 100; i++ {
+		if v := e.OnRefresh(); len(v) != 0 {
+			t.Fatalf("disabled engine refreshed victims %v", v)
+		}
+	}
+	if e.RefCount() != 0 {
+		t.Error("disabled engine should not count REFs")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{TableSize: 0, Period: 17, IdentifyThreshold: 5, PendingCap: 8, Enabled: true},
+		{TableSize: 4, Period: 0, IdentifyThreshold: 5, PendingCap: 8, Enabled: true},
+		{TableSize: 4, Period: 17, IdentifyThreshold: 1, PendingCap: 8, Enabled: true},
+		{TableSize: 4, Period: 17, IdentifyThreshold: 5, PendingCap: 0, Enabled: true},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config validated", i)
+		}
+		if _, err := NewEngine(cfg); err == nil {
+			t.Errorf("case %d: NewEngine accepted invalid config", i)
+		}
+	}
+	if err := (Config{Enabled: false}).Validate(); err != nil {
+		t.Errorf("disabled config should validate: %v", err)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	e := newEngine(t)
+	e.OnActivate(3)
+	refN(e, 16)
+	e.Reset()
+	if e.RefCount() != 0 || len(e.TrackedRows()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+	// After reset the 17-REF cadence restarts.
+	e.OnActivate(3)
+	if v := refN(e, 16); len(v) != 0 {
+		t.Errorf("REF 16 after reset refreshed %v", v)
+	}
+}
+
+func TestCandidateSurvivesUntilTRRCapableREF(t *testing.T) {
+	// A heavy hitter identified in an early window is remembered in the
+	// pending set until the next TRR-capable REF (Obsv 23 operates per
+	// window, but only every 17th REF acts).
+	e := newEngine(t)
+	refN(e, 17) // consume the power-up first-ACT register
+	e.OnActivate(111)
+	for i := 0; i < 9; i++ {
+		e.OnActivate(777)
+	}
+	e.OnRefresh()          // window closes; 777 identified, 111 is first-ACT
+	victims := refN(e, 16) // REF 34 fires TRR
+	for _, want := range []int{776, 778, 110, 112} {
+		if !contains(victims, want) {
+			t.Errorf("victim row %d not refreshed at TRR-capable REF: %v", want, victims)
+		}
+	}
+}
+
+func TestBelowThresholdRowsNotIdentified(t *testing.T) {
+	// A tracked row with fewer than IdentifyThreshold activations is not
+	// treated as an aggressor (unless it was the first ACT).
+	e := newEngine(t)
+	refN(e, 17)
+	e.OnActivate(50) // first ACT: identified by rule (i)
+	for i := 0; i < 4; i++ {
+		e.OnActivate(60) // 4 < threshold 5: not identified
+	}
+	victims := refN(e, 17)
+	if contains(victims, 59) || contains(victims, 61) {
+		t.Errorf("below-threshold row 60's victims were refreshed: %v", victims)
+	}
+	if !contains(victims, 49) || !contains(victims, 51) {
+		t.Errorf("first-ACT row 50's victims missing: %v", victims)
+	}
+}
+
+// TestTrackerInvariantsProperty drives the engine with arbitrary activation
+// sequences and checks structural invariants.
+func TestTrackerInvariantsProperty(t *testing.T) {
+	f := func(rows []uint8, refEvery uint8) bool {
+		e, err := NewEngine(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		period := int(refEvery%13) + 1
+		for i, r := range rows {
+			e.OnActivate(int(r))
+			tracked := e.TrackedRows()
+			if len(tracked) > 4 {
+				return false
+			}
+			seen := map[int]bool{}
+			total := 0
+			for _, rc := range tracked {
+				if rc.Count < 1 || seen[rc.Row] {
+					return false
+				}
+				seen[rc.Row] = true
+				total += rc.Count
+			}
+			if total > i+1 {
+				return false // cannot have tracked more ACTs than issued
+			}
+			if i%period == period-1 {
+				for _, v := range e.OnRefresh() {
+					// Victims are always +-1 of some activated row.
+					if v < -1 || v > 256 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

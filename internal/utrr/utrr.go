@@ -1,0 +1,292 @@
+// Package utrr implements the U-TRR methodology (Hassan et al., MICRO'21)
+// the paper uses to uncover the undocumented TRR mechanism in its HBM2
+// chip (§7). The key idea: rows with a known retention time T act as side
+// channels. Initialize such a row, wait T/2, poke the chip (activations
+// and REFs), wait T/2 again, and read the row: it comes back clean only if
+// something refreshed it in the middle - i.e. only if the TRR mechanism
+// identified one of its neighbours as an aggressor.
+//
+// Everything here observes the chip strictly through the command
+// interface. The prober keeps a host-side count of the REF commands it has
+// issued (as the real U-TRR host does); the TRR engine's internal state is
+// never consulted.
+package utrr
+
+import (
+	"fmt"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/retention"
+	"hbmrd/internal/rowmap"
+)
+
+// Findings summarizes what the methodology uncovered, mirroring the
+// paper's Observations 20-23.
+type Findings struct {
+	// Period is the TRR-capable REF cadence (paper: every 17th REF).
+	Period int
+	// PeriodOffset is the REF index (mod Period, counted from chip
+	// power-up) at which TRR-capable REFs fire.
+	PeriodOffset int
+	// RefreshesBothNeighbors reports whether identifying aggressor R
+	// refreshes both R-1 and R+1 (Obsv 21).
+	RefreshesBothNeighbors bool
+	// FirstActIdentified reports whether the first row activated after a
+	// TRR-capable REF is always identified, even with a single activation
+	// (Obsv 22).
+	FirstActIdentified bool
+	// IdentifyThreshold is the smallest per-window activation count at
+	// which a non-first row is identified (the paper phrases this as
+	// "more than half the activations" at its 10-ACT probe total; see
+	// internal/trr for why an absolute threshold is the consistent
+	// reading).
+	IdentifyThreshold int
+}
+
+// Prober drives the U-TRR methodology against one bank of a chip. The
+// chip must be freshly powered (no REFs issued yet) so the prober's
+// host-side REF count matches the device's.
+type Prober struct {
+	// Chan is the channel under test.
+	Chan *hbm.Channel
+	// Mapper is the (reverse-engineered) logical-to-physical mapping of
+	// the chip, used to address physically adjacent rows.
+	Mapper rowmap.Mapper
+	// PC and Bank select the bank.
+	PC, Bank int
+	// Fill is the side-channel data pattern.
+	Fill byte
+	// MaxProbeREFs bounds the search for the TRR period (default 60).
+	MaxProbeREFs int
+
+	refsIssued int
+}
+
+func (p *Prober) refresh() error {
+	if err := p.Chan.Refresh(); err != nil {
+		return err
+	}
+	p.refsIssued++
+	return nil
+}
+
+// actPhysicalN activates the physical row n times back to back.
+func (p *Prober) actPhysicalN(phys, n int) error {
+	logical := p.Mapper.ToLogical(phys)
+	for i := 0; i < n; i++ {
+		if err := p.Chan.Activate(p.PC, p.Bank, logical); err != nil {
+			return err
+		}
+		if err := p.Chan.Precharge(p.PC, p.Bank); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sideChannel is one retention side channel: a physical row and its
+// profiled retention time.
+type sideChannel struct {
+	phys int
+	t    hbm.TimePS
+}
+
+func (p *Prober) initSide(sc sideChannel) error {
+	return p.Chan.FillRow(p.PC, p.Bank, p.Mapper.ToLogical(sc.phys), p.Fill)
+}
+
+func (p *Prober) readSideClean(sc sideChannel) (bool, error) {
+	buf := make([]byte, hbm.RowBytes)
+	if err := p.Chan.ReadRow(p.PC, p.Bank, p.Mapper.ToLogical(sc.phys), buf); err != nil {
+		return false, err
+	}
+	for _, b := range buf {
+		if b != p.Fill {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// findSideChannels profiles physical rows from startPhys upward until it
+// finds n usable side channels (retention in [minT, maxT]).
+func (p *Prober) findSideChannels(startPhys, n int, minT, maxT hbm.TimePS) ([]sideChannel, error) {
+	if minT < 2*retention.DefaultStep {
+		return nil, fmt.Errorf("utrr: minT below twice the retention profiling step")
+	}
+	prof := &retention.Profiler{Chan: p.Chan, PC: p.PC, Bank: p.Bank, Fill: p.Fill}
+	var out []sideChannel
+	for phys := startPhys; phys < hbm.NumRows && len(out) < n; phys++ {
+		t, err := prof.RowRetention(p.Mapper.ToLogical(phys), maxT)
+		if err != nil {
+			return nil, err
+		}
+		if t >= minT && t <= maxT {
+			out = append(out, sideChannel{phys: phys, t: t})
+			phys += 4 // keep side channels apart so probes don't interact
+		}
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("utrr: found only %d of %d side-channel rows in [%d, %d)", len(out), n, startPhys, hbm.NumRows)
+	}
+	return out, nil
+}
+
+// discoverPeriod repeats a simple trial - init side row, wait T/2, hammer
+// its upper neighbour 10 times (enough to be identified), issue one REF,
+// wait T/2, read - and finds the spacing of trials whose REF carried out a
+// victim refresh.
+func (p *Prober) discoverPeriod(sc sideChannel) (period, offset int, err error) {
+	maxREFs := p.MaxProbeREFs
+	if maxREFs <= 0 {
+		maxREFs = 60
+	}
+	var cleanRefs []int
+	for i := 0; i < maxREFs; i++ {
+		if err := p.initSide(sc); err != nil {
+			return 0, 0, err
+		}
+		p.Chan.Wait(sc.t / 2)
+		if err := p.actPhysicalN(sc.phys+1, 10); err != nil {
+			return 0, 0, err
+		}
+		if err := p.refresh(); err != nil {
+			return 0, 0, err
+		}
+		refIdx := p.refsIssued // index of the REF just issued
+		p.Chan.Wait(sc.t / 2)
+		clean, err := p.readSideClean(sc)
+		if err != nil {
+			return 0, 0, err
+		}
+		if clean {
+			cleanRefs = append(cleanRefs, refIdx)
+			if len(cleanRefs) == 2 {
+				period := cleanRefs[1] - cleanRefs[0]
+				return period, cleanRefs[0] % period, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("utrr: no TRR-capable REF observed within %d REFs (chip may have no TRR)", maxREFs)
+}
+
+// alignToTRRBoundary issues idle REFs until the most recent REF was
+// TRR-capable, so the next activation is "the first ACT after a
+// TRR-capable REF". It always crosses at least one TRR-capable REF:
+// activations issued since the last boundary (e.g. the previous probe's
+// read-back) would otherwise still hold the first-ACT register.
+func (p *Prober) alignToTRRBoundary(period, offset int) error {
+	crossed := false
+	for !crossed || p.refsIssued%period != offset {
+		if err := p.refresh(); err != nil {
+			return err
+		}
+		if p.refsIssued%period == offset {
+			crossed = true
+		}
+	}
+	return nil
+}
+
+// probeWindow runs one aligned probe: immediately after a TRR-capable REF
+// it executes poke (the activations under test), initializes the side
+// channel, waits T/2, issues one full period of REFs (the last being
+// TRR-capable and able to carry out victim refreshes), waits T/2, and
+// reports whether the side row was refreshed.
+func (p *Prober) probeWindow(sc sideChannel, period, offset int, poke func() error) (bool, error) {
+	if err := p.alignToTRRBoundary(period, offset); err != nil {
+		return false, err
+	}
+	if poke != nil {
+		if err := poke(); err != nil {
+			return false, err
+		}
+	}
+	if err := p.initSide(sc); err != nil {
+		return false, err
+	}
+	p.Chan.Wait(sc.t / 2)
+	for k := 0; k < period; k++ {
+		if err := p.refresh(); err != nil {
+			return false, err
+		}
+	}
+	p.Chan.Wait(sc.t / 2)
+	return p.readSideClean(sc)
+}
+
+// Uncover runs the full methodology and returns the findings. startPhys
+// seeds the side-channel search; minT/maxT bound usable retention times
+// (minT at least 128 ms so that half the retention time is a safe wait).
+func (p *Prober) Uncover(startPhys int, minT, maxT hbm.TimePS) (Findings, error) {
+	var f Findings
+
+	scs, err := p.findSideChannels(startPhys, 5, minT, maxT)
+	if err != nil {
+		return f, err
+	}
+
+	// Obsv 20: the TRR-capable REF cadence.
+	period, offset, err := p.discoverPeriod(scs[0])
+	if err != nil {
+		return f, err
+	}
+	f.Period = period
+	f.PeriodOffset = offset
+
+	// Obsv 21: both neighbours of an identified aggressor are refreshed.
+	// Hammer the row *below* one side channel and the row *above* another
+	// (10 ACTs: identified by count); if both side rows come back clean,
+	// victims on both sides are refreshed.
+	below, err := p.probeWindow(scs[1], period, offset, func() error {
+		return p.actPhysicalN(scs[1].phys-1, 10)
+	})
+	if err != nil {
+		return f, err
+	}
+	above, err := p.probeWindow(scs[2], period, offset, func() error {
+		return p.actPhysicalN(scs[2].phys+1, 10)
+	})
+	if err != nil {
+		return f, err
+	}
+	f.RefreshesBothNeighbors = below && above
+
+	// Obsv 22: the first row activated after a TRR-capable REF is
+	// identified even with a single activation, despite a decoy row
+	// receiving many more.
+	sc := scs[3]
+	first, err := p.probeWindow(sc, period, offset, func() error {
+		if err := p.actPhysicalN(sc.phys+1, 1); err != nil { // first ACT
+			return err
+		}
+		return p.actPhysicalN(sc.phys+200, 20) // loud decoy
+	})
+	if err != nil {
+		return f, err
+	}
+	f.FirstActIdentified = first
+
+	// Obsv 23: sweep the activation count of a non-first row until it is
+	// identified. A sacrificial row absorbs the first-ACT rule.
+	sc = scs[4]
+	for count := 2; count <= 10; count++ {
+		clean, err := p.probeWindow(sc, period, offset, func() error {
+			if err := p.actPhysicalN(sc.phys+300, 1); err != nil { // sacrificial first ACT
+				return err
+			}
+			return p.actPhysicalN(sc.phys+1, count)
+		})
+		if err != nil {
+			return f, err
+		}
+		if clean {
+			f.IdentifyThreshold = count
+			break
+		}
+	}
+	if f.IdentifyThreshold == 0 {
+		return f, fmt.Errorf("utrr: no identification threshold found up to 10 activations")
+	}
+	return f, nil
+}

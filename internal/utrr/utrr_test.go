@@ -1,0 +1,79 @@
+package utrr
+
+import (
+	"testing"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/rowmap"
+	"hbmrd/internal/trr"
+)
+
+func newProber(t *testing.T, opts ...hbm.Option) *Prober {
+	t.Helper()
+	opts = append([]hbm.Option{hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows})}, opts...)
+	c, err := hbm.NewBuiltin(0, opts...) // Chip 0: the chip the paper probes
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.Channel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Prober{
+		Chan:   ch,
+		Mapper: c.Mapper(),
+		PC:     0,
+		Bank:   0,
+		Fill:   0x55,
+	}
+}
+
+// TestUncoverMatchesPaperFindings runs the full side-channel methodology
+// and checks it rediscovers all of the paper's §7 observations without
+// ever looking inside the TRR engine.
+func TestUncoverMatchesPaperFindings(t *testing.T) {
+	p := newProber(t)
+	f, err := p.Uncover(3000, 2*128*hbm.MS/2, 4*hbm.SEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Period != 17 {
+		t.Errorf("discovered TRR period %d, paper observes 17 (Obsv 20)", f.Period)
+	}
+	if !f.RefreshesBothNeighbors {
+		t.Error("both-neighbour refresh not observed (Obsv 21)")
+	}
+	if !f.FirstActIdentified {
+		t.Error("first-ACT identification not observed (Obsv 22)")
+	}
+	if f.IdentifyThreshold != 5 {
+		t.Errorf("identification threshold %d, want 5 (Obsv 23 at the paper's 10-ACT probe: half)", f.IdentifyThreshold)
+	}
+	t.Logf("uncovered: %+v", f)
+}
+
+// TestUncoverFailsWithoutTRR: on a chip without the undocumented
+// mechanism, the methodology correctly reports that no TRR period exists.
+func TestUncoverFailsWithoutTRR(t *testing.T) {
+	p := newProber(t, hbm.WithTRRConfig(trr.Config{Enabled: false}))
+	p.MaxProbeREFs = 40
+	if _, err := p.Uncover(3000, 128*hbm.MS, 4*hbm.SEC); err == nil {
+		t.Error("methodology claimed to find TRR on a TRR-less chip")
+	}
+}
+
+// TestDiscoverPeriodAgainstAblatedEngine checks the methodology tracks the
+// mechanism, not hard-coded constants: with a modified TRR cadence the
+// probe discovers the modified value.
+func TestDiscoverPeriodAgainstAblatedEngine(t *testing.T) {
+	cfg := trr.DefaultConfig()
+	cfg.Period = 11
+	p := newProber(t, hbm.WithTRRConfig(cfg))
+	f, err := p.Uncover(3000, 128*hbm.MS, 4*hbm.SEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Period != 11 {
+		t.Errorf("discovered period %d, engine configured with 11", f.Period)
+	}
+}
