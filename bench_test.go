@@ -365,3 +365,33 @@ func BenchmarkHammerThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(2*256*1024), "ACTs/op")
 }
+
+// BenchmarkRowInitReadHotPath measures the per-trial row traffic every
+// experiment pays (pattern init via FillRow, victim read-back via ReadRow).
+// Both paths stage data in per-channel buffers reused across calls, so the
+// loop must not allocate per row regardless of the chip's row size.
+func BenchmarkRowInitReadHotPath(b *testing.B) {
+	for _, preset := range hbmrd.Presets() {
+		b.Run(preset.Name, func(b *testing.B) {
+			chip, err := hbmrd.NewChip(0, hbmrd.WithGeometry(preset), hbmrd.WithIdentityMapping())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ch, err := chip.Channel(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, chip.Geometry().RowBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ch.FillRow(0, 0, 1000, byte(i)); err != nil {
+					b.Fatal(err)
+				}
+				if err := ch.ReadRow(0, 0, 1000, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	hbmrd [-full] [-chips 0,1,...] <artifact>
+//	hbmrd [-full] [-chips 0,1,...] [-geometry PRESET] <artifact>
+//
+// -geometry selects a chip organization preset (HBM2_8Gb, the paper's
+// part and the default; HBM2E_16Gb; HBM3_16Gb). The "geometries" artifact
+// lists them.
 //
 // Artifacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15 fig16 fig17 trr attack defense all
@@ -31,21 +35,32 @@ func main() {
 }
 
 type runCtx struct {
-	full  bool
-	chips []int
+	full    bool
+	chips   []int
+	geomSet bool
+	geom    hbmrd.GeometryPreset
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hbmrd", flag.ContinueOnError)
 	full := fs.Bool("full", false, "run at the paper's Table 2 scale instead of demo scale")
 	chipsFlag := fs.String("chips", "", "comma-separated chip indices (default: the artifact's paper chips)")
+	geomFlag := fs.String("geometry", "", "chip geometry preset (default HBM2_8Gb; see the geometries artifact)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: hbmrd [-full] [-chips 0,1] <artifact>; artifacts: %s", strings.Join(artifactNames(), " "))
+		return fmt.Errorf("usage: hbmrd [-full] [-chips 0,1] [-geometry PRESET] <artifact>; artifacts: %s", strings.Join(artifactNames(), " "))
 	}
 	ctx := runCtx{full: *full}
+	if *geomFlag != "" {
+		preset, err := hbmrd.LookupPreset(*geomFlag)
+		if err != nil {
+			return err
+		}
+		ctx.geom = preset
+		ctx.geomSet = true
+	}
 	if *chipsFlag != "" {
 		for _, part := range strings.Split(*chipsFlag, ",") {
 			idx, err := strconv.Atoi(strings.TrimSpace(part))
@@ -103,7 +118,16 @@ func (c runCtx) fleet(defaultChips []int) ([]*hbmrd.TestChip, error) {
 	if len(chips) == 0 {
 		chips = defaultChips
 	}
-	return hbmrd.NewFleet(chips)
+	return hbmrd.NewFleet(chips, c.chipOpts()...)
+}
+
+// chipOpts returns the chip-construction options the command-line flags
+// imply (currently just the geometry preset).
+func (c runCtx) chipOpts() []hbmrd.ChipOption {
+	if !c.geomSet {
+		return nil
+	}
+	return []hbmrd.ChipOption{hbmrd.WithGeometry(c.geom)}
 }
 
 func (c runCtx) pick(demo, full int) int {
@@ -117,6 +141,19 @@ func allChips() []int { return []int{0, 1, 2, 3, 4, 5} }
 
 func artifacts() map[string]artifactFn {
 	return map[string]artifactFn{
+		"geometries": func(runCtx) (string, error) {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%-12s %3s %3s %5s %6s %8s %8s  %s\n",
+				"preset", "ch", "pc", "banks", "rows", "rowB", "size", "description")
+			for _, p := range hbmrd.Presets() {
+				g := p.Geometry
+				fmt.Fprintf(&b, "%-12s %3d %3d %5d %6d %8d %7dM  %s\n",
+					p.Name, g.Channels, g.PseudoChannels, g.Banks, g.Rows,
+					g.RowBytes, g.TotalBytes()>>20, p.Description)
+			}
+			return b.String(), nil
+		},
+
 		"table1": func(runCtx) (string, error) { return hbmrd.RenderTable1(), nil },
 		"table2": func(runCtx) (string, error) { return hbmrd.RenderTable2(), nil },
 
@@ -138,7 +175,7 @@ func artifacts() map[string]artifactFn {
 				return "", err
 			}
 			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
-				Rows: hbmrd.SampleRows(c.pick(48, 16384)),
+				Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(48, 16384)),
 				Reps: c.pick(2, 5),
 			})
 			if err != nil {
@@ -153,7 +190,7 @@ func artifacts() map[string]artifactFn {
 				return "", err
 			}
 			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
-				Rows:    hbmrd.SampleRows(c.pick(12, 3072)),
+				Rows:    hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(12, 3072)),
 				Pseudos: pick2(c.full),
 				Reps:    c.pick(2, 5),
 			})
@@ -169,7 +206,7 @@ func artifacts() map[string]artifactFn {
 				return "", err
 			}
 			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
-				Rows: hbmrd.SampleRows(c.pick(32, 16384)),
+				Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(32, 16384)),
 				Reps: c.pick(2, 5),
 			})
 			if err != nil {
@@ -184,7 +221,7 @@ func artifacts() map[string]artifactFn {
 				return "", err
 			}
 			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
-				Rows: hbmrd.SampleRows(c.pick(10, 3072)),
+				Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(10, 3072)),
 				Reps: c.pick(2, 5),
 			})
 			if err != nil {
@@ -200,7 +237,7 @@ func artifacts() map[string]artifactFn {
 			}
 			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
 				Channels: []int{0, 1, 2},
-				Rows:     hbmrd.SampleRows(c.pick(256, 16384)),
+				Rows:     hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(256, 16384)),
 				Reps:     1,
 			})
 			if err != nil {
@@ -229,7 +266,7 @@ func artifacts() map[string]artifactFn {
 			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
 				Pseudos: []int{0, 1},
 				Banks:   banks,
-				Rows:    hbmrd.RegionRows(c.pick(4, 100)),
+				Rows:    hbmrd.RegionRowsIn(fleet[0].Chip.Geometry(), c.pick(4, 100)),
 				Reps:    c.pick(1, 5),
 			})
 			if err != nil {
@@ -245,7 +282,7 @@ func artifacts() map[string]artifactFn {
 			}
 			recs, err := hbmrd.RunAging(fleet, hbmrd.AgingConfig{
 				BER: hbmrd.BERConfig{
-					Rows: hbmrd.SampleRows(c.pick(64, 1024)),
+					Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(64, 1024)),
 					Reps: 1,
 				},
 			})
@@ -281,7 +318,7 @@ func artifacts() map[string]artifactFn {
 				return "", err
 			}
 			recs, err := hbmrd.RunVariability(fleet, hbmrd.VariabilityConfig{
-				Rows:       hbmrd.SampleRows(c.pick(8, 768)),
+				Rows:       hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(8, 768)),
 				Iterations: c.pick(20, 50),
 			})
 			if err != nil {
@@ -297,7 +334,7 @@ func artifacts() map[string]artifactFn {
 			}
 			recs, err := hbmrd.RunRowPressBER(fleet, hbmrd.RowPressBERConfig{
 				Channels: channelsN(c.pick(2, 8)),
-				Rows:     hbmrd.RegionRows(c.pick(4, 128)),
+				Rows:     hbmrd.RegionRowsIn(fleet[0].Chip.Geometry(), c.pick(4, 128)),
 			})
 			if err != nil {
 				return "", err
@@ -312,7 +349,7 @@ func artifacts() map[string]artifactFn {
 			}
 			recs, err := hbmrd.RunRowPressHC(fleet, hbmrd.RowPressHCConfig{
 				Channels: channelsN(c.pick(1, 3)),
-				Rows:     hbmrd.SampleRows(c.pick(8, 384)),
+				Rows:     hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(8, 384)),
 			})
 			if err != nil {
 				return "", err
@@ -326,7 +363,7 @@ func artifacts() map[string]artifactFn {
 				return "", err
 			}
 			cfg := hbmrd.BypassConfig{
-				Victims: hbmrd.SampleRows(c.pick(4, 32)),
+				Victims: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(4, 32)),
 				AggActs: []int{18, 26, 34},
 			}
 			if !c.full {
@@ -349,7 +386,7 @@ func artifacts() map[string]artifactFn {
 			}
 			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
 				Channels:     channelsN(c.pick(2, 8)),
-				Rows:         hbmrd.SampleRows(c.pick(96, 16384)),
+				Rows:         hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(96, 16384)),
 				Reps:         1,
 				CollectMasks: true,
 			})
@@ -364,20 +401,20 @@ func artifacts() map[string]artifactFn {
 		},
 
 		"attack": func(c runCtx) (string, error) {
-			rows := hbmrd.SampleRows(c.pick(96, 256))
 			budget := 40_000
 			target := c.pick(16, 64)
-			chipA, err := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+			chipA, err := hbmrd.NewChip(0, append(c.chipOpts(), hbmrd.WithIdentityMapping())...)
 			if err != nil {
 				return "", err
 			}
+			rows := hbmrd.SampleRowsIn(chipA.Geometry(), c.pick(96, 256))
 			naive, err := hbmrd.RunTemplating(chipA, hbmrd.TemplateConfig{
 				Strategy: hbmrd.NaiveScan, TargetFlips: target, HammerBudget: budget, Rows: rows,
 			})
 			if err != nil {
 				return "", err
 			}
-			chipB, err := hbmrd.NewChip(0, hbmrd.WithIdentityMapping())
+			chipB, err := hbmrd.NewChip(0, append(c.chipOpts(), hbmrd.WithIdentityMapping())...)
 			if err != nil {
 				return "", err
 			}
@@ -396,7 +433,7 @@ func artifacts() map[string]artifactFn {
 				return "", err
 			}
 			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
-				Rows: hbmrd.SampleRows(c.pick(8, 64)),
+				Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(8, 64)),
 				Reps: c.pick(2, 5),
 			})
 			if err != nil {
@@ -410,7 +447,7 @@ func artifacts() map[string]artifactFn {
 		},
 
 		"trr": func(c runCtx) (string, error) {
-			chip, err := hbmrd.NewChip(0)
+			chip, err := hbmrd.NewChip(0, c.chipOpts()...)
 			if err != nil {
 				return "", err
 			}
@@ -424,7 +461,7 @@ func artifacts() map[string]artifactFn {
 		"retention": func(c runCtx) (string, error) {
 			// The §6 baselines: the three experiment durations that exceed
 			// the 32 ms refresh window (34.8 ms, 1.17 s, 10.53 s).
-			chip, err := hbmrd.NewChip(3)
+			chip, err := hbmrd.NewChip(3, c.chipOpts()...)
 			if err != nil {
 				return "", err
 			}
@@ -446,7 +483,7 @@ func runHCNth(c runCtx) ([]hbmrd.HCNthRecord, error) {
 		return nil, err
 	}
 	cfg := hbmrd.HCNthConfig{
-		Rows: hbmrd.RegionRows(c.pick(3, 32)),
+		Rows: hbmrd.RegionRowsIn(fleet[0].Chip.Geometry(), c.pick(3, 32)),
 	}
 	if !c.full {
 		cfg.Patterns = []hbmrd.Pattern{hbmrd.Rowstripe0, hbmrd.Checkered0}

@@ -1,0 +1,68 @@
+// Command hbm3-sweep runs the same HCfirst characterization against every
+// geometry preset (the paper's HBM2 part plus the HBM2E- and HBM3-like
+// organizations) and compares how the most vulnerable rows respond across
+// device generations. It is the multi-generation counterpart of the
+// quickstart example: identical methodology, swept chip organization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbmrd"
+)
+
+func main() {
+	fmt.Println("HCfirst across device generations (chip 0 profile, demo scale)")
+	fmt.Println()
+	fmt.Printf("%-12s %8s %6s %6s %10s %10s %8s\n",
+		"preset", "channels", "banks", "rows/K", "rowBytes", "minHC1st", "found")
+
+	for _, preset := range hbmrd.Presets() {
+		minHC, found, err := sweepPreset(preset)
+		if err != nil {
+			log.Fatalf("%s: %v", preset.Name, err)
+		}
+		g := preset.Geometry
+		min := "-"
+		if found > 0 {
+			min = fmt.Sprintf("%d", minHC)
+		}
+		fmt.Printf("%-12s %8d %6d %6d %10d %10s %8d\n",
+			preset.Name, g.Channels, g.Banks, g.Rows/1024, g.RowBytes, min, found)
+	}
+
+	fmt.Println()
+	fmt.Println("Same fault-model profile, same methodology; only the chip")
+	fmt.Println("organization and timing table change. Rows per bank, row size,")
+	fmt.Println("and channel count all shift where the weakest rows sit and how")
+	fmt.Println("fast an attacker reaches them.")
+}
+
+// sweepPreset builds one chip with the preset and measures HCfirst on a
+// small row sample of channel 0, returning the smallest HCfirst observed.
+func sweepPreset(preset hbmrd.GeometryPreset) (minHC, found int, err error) {
+	fleet, err := hbmrd.NewFleet([]int{0}, hbmrd.WithGeometry(preset))
+	if err != nil {
+		return 0, 0, err
+	}
+	recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
+		Channels: []int{0},
+		Rows:     hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), 6),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:     1,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range recs {
+		if !r.Found || r.WCDP {
+			continue
+		}
+		found++
+		if minHC == 0 || r.HCFirst < minHC {
+			minHC = r.HCFirst
+		}
+	}
+	return minHC, found, nil
+}

@@ -1,0 +1,3 @@
+module hbmrd
+
+go 1.21

@@ -31,7 +31,6 @@ import (
 	"hbmrd/internal/pattern"
 	"hbmrd/internal/report"
 	"hbmrd/internal/retention"
-	"hbmrd/internal/rowmap"
 	"hbmrd/internal/thermal"
 	"hbmrd/internal/trr"
 	"hbmrd/internal/utrr"
@@ -45,6 +44,14 @@ type (
 	Channel = hbm.Channel
 	// ChipOption configures chip construction.
 	ChipOption = hbm.Option
+	// Geometry describes a chip organization (channels, pseudo channels,
+	// banks, rows, row size).
+	Geometry = hbm.Geometry
+	// GeometryPreset bundles an organization with its timing table
+	// (HBM2_8Gb, HBM2E_16Gb, HBM3_16Gb).
+	GeometryPreset = hbm.Preset
+	// Addr identifies a row through the command interface.
+	Addr = hbm.Addr
 	// Timing holds the JEDEC timing parameters.
 	Timing = hbm.Timing
 	// TimePS is simulated time in picoseconds.
@@ -88,7 +95,9 @@ type (
 	SubarrayScanConfig = core.SubarrayScanConfig
 )
 
-// Geometry and time constants.
+// Geometry constants of the default (paper HBM2) organization, and time
+// units. Chips built with a non-default preset report their organization
+// through Chip.Geometry instead.
 const (
 	NumChannels       = hbm.NumChannels
 	NumPseudoChannels = hbm.NumPseudoChannels
@@ -102,6 +111,27 @@ const (
 	MS  = hbm.MS
 	SEC = hbm.SEC
 )
+
+// Geometry preset names.
+const (
+	PresetHBM2  = hbm.PresetHBM2
+	PresetHBM2E = hbm.PresetHBM2E
+	PresetHBM3  = hbm.PresetHBM3
+)
+
+// Presets returns the built-in geometry presets (the paper's HBM2 part
+// first, then the HBM2E- and HBM3-like organizations).
+func Presets() []GeometryPreset { return hbm.Presets() }
+
+// LookupPreset finds a geometry preset by name (case-insensitive).
+func LookupPreset(name string) (GeometryPreset, error) { return hbm.LookupPreset(name) }
+
+// DefaultGeometry returns the paper's HBM2 organization.
+func DefaultGeometry() Geometry { return hbm.DefaultGeometry() }
+
+// WithGeometry builds a chip with a preset's organization and timing table.
+// An explicit WithTiming still overrides the preset's timing.
+func WithGeometry(p GeometryPreset) ChipOption { return hbm.WithGeometry(p) }
 
 // Data patterns (Table 1).
 const (
@@ -132,9 +162,10 @@ func DefaultTiming() Timing { return hbm.DefaultTiming() }
 
 // WithIdentityMapping disables the vendor row swizzle (useful when an
 // experiment wants logical adjacency to equal physical adjacency without
-// reverse engineering first).
+// reverse engineering first). It adapts to the chip's geometry, so it
+// composes with WithGeometry in any option order.
 func WithIdentityMapping() ChipOption {
-	return hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows})
+	return hbm.WithIdentityMapping()
 }
 
 // WithoutTRR disables the undocumented on-die TRR mechanism.
@@ -159,12 +190,20 @@ func NewFullFleet(opts ...ChipOption) ([]*TestChip, error) {
 	return core.NewFullFleet(opts...)
 }
 
-// SampleRows spreads n victim rows evenly across a bank.
+// SampleRows spreads n victim rows evenly across a bank of the default
+// geometry.
 func SampleRows(n int) []int { return core.SampleRows(n) }
 
+// SampleRowsIn spreads n victim rows evenly across a bank of geometry g.
+func SampleRowsIn(g Geometry, n int) []int { return core.SampleRowsIn(g, n) }
+
 // RegionRows samples count rows from the beginning, middle, and end of a
-// bank.
+// bank of the default geometry.
 func RegionRows(count int) []int { return core.RegionRows(count) }
+
+// RegionRowsIn samples count rows from the beginning, middle, and end of a
+// bank of geometry g.
+func RegionRowsIn(g Geometry, count int) []int { return core.RegionRowsIn(g, count) }
 
 // Experiment runners (one per paper artifact; see DESIGN.md §5).
 func RunBER(fleet []*TestChip, cfg BERConfig) ([]BERRecord, error) { return core.RunBER(fleet, cfg) }

@@ -127,3 +127,64 @@ func TestFacadeUncoverTRR(t *testing.T) {
 		t.Errorf("findings %+v diverge from the paper's mechanism", f)
 	}
 }
+
+// TestFacadeGeometryPresets runs the HCfirst experiment across every
+// geometry preset through the public API: at least three organizations are
+// selectable and every one of them yields measurable read disturbance.
+func TestFacadeGeometryPresets(t *testing.T) {
+	presets := hbmrd.Presets()
+	if len(presets) < 3 {
+		t.Fatalf("%d presets, want at least 3", len(presets))
+	}
+	for _, want := range []string{hbmrd.PresetHBM2, hbmrd.PresetHBM2E, hbmrd.PresetHBM3} {
+		if _, err := hbmrd.LookupPreset(want); err != nil {
+			t.Fatalf("preset %s missing: %v", want, err)
+		}
+	}
+	for _, preset := range presets {
+		preset := preset
+		t.Run(preset.Name, func(t *testing.T) {
+			t.Parallel()
+			fleet, err := hbmrd.NewFleet([]int{0}, hbmrd.WithGeometry(preset))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := fleet[0].Chip.Geometry()
+			if g.Name != preset.Name {
+				t.Fatalf("chip geometry %q, want %q", g.Name, preset.Name)
+			}
+			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
+				Channels: []int{g.Channels - 1},
+				Rows:     hbmrd.SampleRowsIn(g, 2),
+				Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+				Reps:     1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := 0
+			for _, r := range recs {
+				if r.Found && !r.WCDP {
+					found++
+					if r.HCFirst <= 0 {
+						t.Errorf("row %d: non-positive HCfirst %d", r.Row, r.HCFirst)
+					}
+				}
+			}
+			if found == 0 {
+				t.Errorf("%s: no row flipped within the search bound", preset.Name)
+			}
+		})
+	}
+}
+
+// TestFacadeDefaultGeometryConstantsAgree pins the re-exported constants to
+// the default geometry.
+func TestFacadeDefaultGeometryConstantsAgree(t *testing.T) {
+	g := hbmrd.DefaultGeometry()
+	if g.Channels != hbmrd.NumChannels || g.PseudoChannels != hbmrd.NumPseudoChannels ||
+		g.Banks != hbmrd.NumBanks || g.Rows != hbmrd.NumRows ||
+		g.RowBytes != hbmrd.RowBytes || g.RowBits() != hbmrd.RowBits {
+		t.Errorf("DefaultGeometry %+v disagrees with package constants", g)
+	}
+}

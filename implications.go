@@ -35,9 +35,17 @@ func RunTemplating(chip *Chip, cfg TemplateConfig) (TemplateResult, error) {
 
 // RetirementImpact returns the fraction of measured rows a
 // retire-on-N-errors policy would retire (§8.1: RowHammer accelerates page
-// retirement beyond design-time estimates).
+// retirement beyond design-time estimates). The BER-to-flip conversion
+// assumes the default (paper HBM2) row size; use RetirementImpactIn for
+// measurements taken on another geometry.
 func RetirementImpact(berPercents []float64, retireAtFlips int) float64 {
 	return attack.RetirementImpact(berPercents, retireAtFlips)
+}
+
+// RetirementImpactIn is RetirementImpact for BER measurements taken on
+// chips of geometry g.
+func RetirementImpactIn(g Geometry, berPercents []float64, retireAtFlips int) float64 {
+	return attack.RetirementImpactIn(g, berPercents, retireAtFlips)
 }
 
 // Defense-side re-exports.

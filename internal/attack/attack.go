@@ -73,7 +73,7 @@ type Config struct {
 	PC, Bank int
 }
 
-func (c *Config) fill() {
+func (c *Config) fill(g hbm.Geometry) {
 	if c.Strategy == 0 {
 		c.Strategy = NaiveScan
 	}
@@ -93,17 +93,17 @@ func (c *Config) fill() {
 		c.PilotBudget = 256 * 1024
 	}
 	if len(c.Rows) == 0 {
-		c.Rows = evenRows(96)
+		c.Rows = evenRows(g, 96)
 	}
 	if c.Pattern == 0 {
 		c.Pattern = pattern.Checkered0
 	}
 }
 
-func evenRows(n int) []int {
+func evenRows(g hbm.Geometry, n int) []int {
 	rows := make([]int, 0, n)
 	for i := 0; i < n; i++ {
-		rows = append(rows, 2+(hbm.NumRows-5)*i/(n-1))
+		rows = append(rows, 2+(g.Rows-5)*i/(n-1))
 	}
 	return rows
 }
@@ -132,11 +132,13 @@ type Result struct {
 // Template runs the templating scan against a chip and reports how much
 // work it took to find the requested number of exploitable rows.
 func Template(chip *hbm.Chip, cfg Config) (Result, error) {
-	cfg.fill()
+	g := chip.Geometry()
+	cfg.fill(g)
 	res := Result{Strategy: cfg.Strategy, BestChannel: -1}
+	scratch := make([]byte, g.RowBytes)
 
 	probe := func(ch, row int) (bool, error) {
-		flips, err := hammerRow(chip, ch, cfg, cfg.HammerBudget, row)
+		flips, err := hammerRow(chip, ch, cfg, cfg.HammerBudget, row, scratch)
 		if err != nil {
 			return false, err
 		}
@@ -160,13 +162,13 @@ func Template(chip *hbm.Chip, cfg Config) (Result, error) {
 		if pilot > len(cfg.Rows) {
 			pilot = len(cfg.Rows)
 		}
-		flipsPerCh := make([]int, hbm.NumChannels)
-		for ch := 0; ch < hbm.NumChannels; ch++ {
+		flipsPerCh := make([]int, g.Channels)
+		for ch := 0; ch < g.Channels; ch++ {
 			for p := 0; p < pilot; p++ {
 				// Stride across the candidate list so the pilot sees the
 				// whole bank, not just its (atypical) first rows.
 				row := cfg.Rows[p*len(cfg.Rows)/pilot]
-				flips, err := hammerRow(chip, ch, cfg, cfg.PilotBudget, row)
+				flips, err := hammerRow(chip, ch, cfg, cfg.PilotBudget, row, scratch)
 				if err != nil {
 					return res, err
 				}
@@ -176,7 +178,7 @@ func Template(chip *hbm.Chip, cfg Config) (Result, error) {
 				res.PilotHammers += cfg.PilotBudget
 			}
 		}
-		order := make([]int, hbm.NumChannels)
+		order := make([]int, g.Channels)
 		for i := range order {
 			order[i] = i
 		}
@@ -199,7 +201,7 @@ func Template(chip *hbm.Chip, cfg Config) (Result, error) {
 	case NaiveScan:
 		// Round-robin channels, advancing the row cursor together.
 		for _, row := range cfg.Rows {
-			for ch := 0; ch < hbm.NumChannels; ch++ {
+			for ch := 0; ch < g.Channels; ch++ {
 				done, err := probe(ch, row)
 				if err != nil {
 					return res, err
@@ -217,7 +219,7 @@ func Template(chip *hbm.Chip, cfg Config) (Result, error) {
 
 // hammerRow runs one double-sided templating probe on a physical victim
 // row at the given budget and returns the observed bitflip count.
-func hammerRow(chip *hbm.Chip, chIdx int, cfg Config, budget, victimPhys int) (int, error) {
+func hammerRow(chip *hbm.Chip, chIdx int, cfg Config, budget, victimPhys int, buf []byte) (int, error) {
 	ch, err := chip.Channel(chIdx)
 	if err != nil {
 		return 0, err
@@ -236,7 +238,6 @@ func hammerRow(chip *hbm.Chip, chIdx int, cfg Config, budget, victimPhys int) (i
 		m.ToLogical(victimPhys-1), m.ToLogical(victimPhys+1), budget, 0); err != nil {
 		return 0, err
 	}
-	buf := make([]byte, hbm.RowBytes)
 	if err := ch.ReadRow(cfg.PC, cfg.Bank, m.ToLogical(victimPhys), buf); err != nil {
 		return 0, err
 	}
@@ -249,15 +250,24 @@ func hammerRow(chip *hbm.Chip, chIdx int, cfg Config, budget, victimPhys int) (i
 
 // RetirementImpact models the paper's lifetime implication: RowHammer-
 // induced correctable errors accelerate memory page retirement beyond
-// design-time estimates. Given per-row BER measurements it returns the
-// fraction of rows a retire-on-N-errors policy would retire.
+// design-time estimates. Given per-row BER measurements against the
+// default (paper HBM2) row size, it returns the fraction of rows a
+// retire-on-N-errors policy would retire; see RetirementImpactIn for
+// other organizations.
 func RetirementImpact(berPercents []float64, retireAtFlips int) float64 {
+	return RetirementImpactIn(hbm.DefaultGeometry(), berPercents, retireAtFlips)
+}
+
+// RetirementImpactIn is RetirementImpact for BER measurements taken on
+// chips of geometry g (the BER-to-flip-count conversion depends on the
+// row's cell count).
+func RetirementImpactIn(g hbm.Geometry, berPercents []float64, retireAtFlips int) float64 {
 	if len(berPercents) == 0 || retireAtFlips <= 0 {
 		return 0
 	}
 	retired := 0
 	for _, ber := range berPercents {
-		if ber/100*float64(hbm.RowBits) >= float64(retireAtFlips) {
+		if ber/100*float64(g.RowBits()) >= float64(retireAtFlips) {
 			retired++
 		}
 	}

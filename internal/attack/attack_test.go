@@ -21,7 +21,7 @@ func TestTemplateFindsExploitableRows(t *testing.T) {
 	res, err := Template(chip, Config{
 		Strategy:    NaiveScan,
 		TargetFlips: 4,
-		Rows:        evenRows(24),
+		Rows:        evenRows(hbm.DefaultGeometry(), 24),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +47,7 @@ func TestChannelTargetingBeatsNaiveOnHeterogeneousChip(t *testing.T) {
 		target = 16
 		budget = 40_000
 	)
-	rows := evenRows(96)
+	rows := evenRows(hbm.DefaultGeometry(), 96)
 
 	naive, err := Template(newChip(t, 0), Config{
 		Strategy:     NaiveScan,
@@ -88,7 +88,7 @@ func TestTargetedPicksVulnerableChannel(t *testing.T) {
 	res, err := Template(newChip(t, 0), Config{
 		Strategy:    ChannelTargeted,
 		TargetFlips: 2,
-		Rows:        evenRows(96),
+		Rows:        evenRows(hbm.DefaultGeometry(), 96),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +112,7 @@ func TestStrategyString(t *testing.T) {
 }
 
 func TestTemplateUnknownStrategy(t *testing.T) {
-	if _, err := Template(newChip(t, 1), Config{Strategy: Strategy(9), Rows: evenRows(4)}); err == nil {
+	if _, err := Template(newChip(t, 1), Config{Strategy: Strategy(9), Rows: evenRows(hbm.DefaultGeometry(), 4)}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }

@@ -47,7 +47,7 @@ func (p *Platform) Chip() *hbm.Chip { return p.chip }
 // channel's current timing mode: auto (commands wait for legality) or
 // strict (early commands fail with *hbm.TimingError).
 func (p *Platform) Run(channel int, prog *Program) (*Result, error) {
-	if err := prog.Validate(); err != nil {
+	if err := prog.ValidateFor(p.chip.Geometry()); err != nil {
 		return nil, err
 	}
 	ch, err := p.chip.Channel(channel)
@@ -63,6 +63,7 @@ func (p *Platform) Run(channel int, prog *Program) (*Result, error) {
 }
 
 func (p *Platform) exec(ch *hbm.Channel, instrs []Instr, res *Result) error {
+	g := ch.Geometry()
 	for i := range instrs {
 		in := &instrs[i]
 		var err error
@@ -74,13 +75,13 @@ func (p *Platform) exec(ch *hbm.Channel, instrs []Instr, res *Result) error {
 			err = ch.Precharge(in.PC, in.Bank)
 			res.Commands++
 		case OpRd:
-			buf := make([]byte, hbm.ColBytes)
+			buf := make([]byte, g.ColBytes)
 			if err = ch.Read(in.PC, in.Bank, in.Col, buf); err == nil {
 				res.Reads = append(res.Reads, ReadRecord{PC: in.PC, Bank: in.Bank, Col: in.Col, Row: -1, Data: buf})
 			}
 			res.Commands++
 		case OpWr:
-			buf := make([]byte, hbm.ColBytes)
+			buf := make([]byte, g.ColBytes)
 			for j := range buf {
 				buf[j] = in.Fill
 			}
@@ -104,18 +105,14 @@ func (p *Platform) exec(ch *hbm.Channel, instrs []Instr, res *Result) error {
 				}
 			}
 		case OpFillRow:
-			buf := make([]byte, hbm.RowBytes)
-			for j := range buf {
-				buf[j] = in.Fill
-			}
-			err = ch.WriteRow(in.PC, in.Bank, in.Row, buf)
-			res.Commands += hbm.NumCols + 2
+			err = ch.FillRow(in.PC, in.Bank, in.Row, in.Fill)
+			res.Commands += g.Cols() + 2
 		case OpReadRow:
-			buf := make([]byte, hbm.RowBytes)
+			buf := make([]byte, g.RowBytes)
 			if err = ch.ReadRow(in.PC, in.Bank, in.Row, buf); err == nil {
 				res.Reads = append(res.Reads, ReadRecord{PC: in.PC, Bank: in.Bank, Col: -1, Row: in.Row, Data: buf})
 			}
-			res.Commands += hbm.NumCols + 2
+			res.Commands += g.Cols() + 2
 		default:
 			err = fmt.Errorf("bender: unknown opcode %d", int(in.Op))
 		}

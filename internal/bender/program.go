@@ -155,30 +155,35 @@ func (p *Program) ReadRow(pc, bank, row int) *Program {
 	return p
 }
 
-// Validate checks instruction operands against the chip geometry.
-func (p *Program) Validate() error { return validateInstrs(p.instrs, 0) }
+// Validate checks instruction operands against the default (paper HBM2)
+// chip geometry. Platform.Run validates against the attached chip's actual
+// geometry instead; use ValidateFor to do the same standalone.
+func (p *Program) Validate() error { return p.ValidateFor(hbm.DefaultGeometry()) }
 
-func validateInstrs(instrs []Instr, depth int) error {
+// ValidateFor checks instruction operands against a specific geometry.
+func (p *Program) ValidateFor(g hbm.Geometry) error { return validateInstrs(p.instrs, g, 0) }
+
+func validateInstrs(instrs []Instr, g hbm.Geometry, depth int) error {
 	if depth > 8 {
 		return fmt.Errorf("bender: loop nesting deeper than 8")
 	}
 	for i, in := range instrs {
-		if err := validateInstr(in, depth); err != nil {
+		if err := validateInstr(in, g, depth); err != nil {
 			return fmt.Errorf("bender: instruction %d (%s): %w", i, in.Op, err)
 		}
 	}
 	return nil
 }
 
-func validateInstr(in Instr, depth int) error {
+func validateInstr(in Instr, g hbm.Geometry, depth int) error {
 	checkAddr := func(row int) error {
-		if in.PC < 0 || in.PC >= hbm.NumPseudoChannels {
+		if in.PC < 0 || in.PC >= g.PseudoChannels {
 			return fmt.Errorf("pseudo channel %d out of range", in.PC)
 		}
-		if in.Bank < 0 || in.Bank >= hbm.NumBanks {
+		if in.Bank < 0 || in.Bank >= g.Banks {
 			return fmt.Errorf("bank %d out of range", in.Bank)
 		}
-		if row < 0 || row >= hbm.NumRows {
+		if row < 0 || row >= g.Rows {
 			return fmt.Errorf("row %d out of range", row)
 		}
 		return nil
@@ -209,7 +214,7 @@ func validateInstr(in Instr, depth int) error {
 		if err := checkAddr(0); err != nil {
 			return err
 		}
-		if in.Col < 0 || in.Col >= hbm.NumCols {
+		if in.Col < 0 || in.Col >= g.Cols() {
 			return fmt.Errorf("column %d out of range", in.Col)
 		}
 	case OpRef:
@@ -222,7 +227,7 @@ func validateInstr(in Instr, depth int) error {
 		if in.Count < 0 {
 			return fmt.Errorf("negative loop count %d", in.Count)
 		}
-		return validateInstrs(in.Body, depth+1)
+		return validateInstrs(in.Body, g, depth+1)
 	default:
 		return fmt.Errorf("unknown opcode %d", int(in.Op))
 	}

@@ -28,13 +28,18 @@ func ablationFleet(t *testing.T, trrCfg trr.Config) []*TestChip {
 // threshold is exactly the tracker's table size. Shrinking the table to 2
 // entries must move the bypass threshold to 2 dummies.
 func TestAblationTrackerSizeMovesBypassThreshold(t *testing.T) {
+	t.Parallel()
 	cfg := trr.DefaultConfig()
 	cfg.TableSize = 2
 	fleet := ablationFleet(t, cfg)
 
+	dummyCounts, bypassed := []int{1, 2, 3}, []int{2, 3}
+	if testing.Short() {
+		dummyCounts, bypassed = []int{1, 2}, []int{2}
+	}
 	recs, err := RunBypass(fleet, BypassConfig{
 		Victims:     []int{6000},
-		DummyCounts: []int{1, 2, 3},
+		DummyCounts: dummyCounts,
 		AggActs:     []int{26},
 		Windows:     8205,
 	})
@@ -48,7 +53,7 @@ func TestAblationTrackerSizeMovesBypassThreshold(t *testing.T) {
 	if ber[1] != 0 {
 		t.Errorf("1 dummy vs 2-entry tracker: BER %.4f%%, want 0 (aggressor tracked)", ber[1])
 	}
-	for _, d := range []int{2, 3} {
+	for _, d := range bypassed {
 		if ber[d] == 0 {
 			t.Errorf("%d dummies vs 2-entry tracker: BER 0, want bypass", d)
 		}
@@ -60,6 +65,7 @@ func TestAblationTrackerSizeMovesBypassThreshold(t *testing.T) {
 // effect: a *more frequent* TRR (period 2) still cannot stop the bypass
 // pattern, because the tracker never sees the aggressors at all.
 func TestAblationFrequentTRRStillBypassed(t *testing.T) {
+	t.Parallel()
 	cfg := trr.DefaultConfig()
 	cfg.Period = 2
 	fleet := ablationFleet(t, cfg)
@@ -80,12 +86,13 @@ func TestAblationFrequentTRRStillBypassed(t *testing.T) {
 // TestAblationNoTRRMakesPlainHammeringWork: with the engine disabled, even
 // the plain double-sided pattern (no dummies) flips bits under refresh.
 func TestAblationNoTRRMakesPlainHammeringWork(t *testing.T) {
+	t.Parallel()
 	fleet := ablationFleet(t, trr.Config{Enabled: false})
 	ch, err := fleet[0].Chip.Channel(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := bankRef{tc: fleet[0], ch: ch, pc: 0, bnk: 0}
+	ref := newBankRef(fleet[0], ch, 0, 0)
 	const victim = 6000
 	if err := ref.initPattern(victim, 3 /* Checkered0 */); err != nil {
 		t.Fatal(err)
@@ -115,6 +122,7 @@ func TestAblationNoTRRMakesPlainHammeringWork(t *testing.T) {
 // absorbing rule (i)'s first-ACT slot, the victim flips even with only one
 // dummy row.
 func TestAblationIdentifyThresholdGatesProtection(t *testing.T) {
+	t.Parallel()
 	cfg := trr.DefaultConfig()
 	cfg.IdentifyThreshold = 100 // far above any per-window count
 	fleet := ablationFleet(t, cfg)

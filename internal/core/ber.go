@@ -33,9 +33,9 @@ type BERConfig struct {
 	CollectMasks bool
 }
 
-func (c *BERConfig) fill() {
+func (c *BERConfig) fill(g hbm.Geometry) {
 	if len(c.Channels) == 0 {
-		c.Channels = Channels(hbm.NumChannels)
+		c.Channels = Channels(g.Channels)
 	}
 	if len(c.Pseudos) == 0 {
 		c.Pseudos = []int{0}
@@ -44,7 +44,7 @@ func (c *BERConfig) fill() {
 		c.Banks = []int{0}
 	}
 	if len(c.Rows) == 0 {
-		c.Rows = SampleRows(64)
+		c.Rows = SampleRowsIn(g, 64)
 	}
 	if len(c.Patterns) == 0 {
 		c.Patterns = pattern.All()
@@ -77,7 +77,7 @@ type BERRecord struct {
 // RunBER executes the BER experiment across the fleet, parallelized per
 // channel. Results are deterministic and sorted.
 func RunBER(fleet []*TestChip, cfg BERConfig) ([]BERRecord, error) {
-	cfg.fill()
+	cfg.fill(fleetGeometry(fleet))
 	var (
 		mu  sync.Mutex
 		out []BERRecord
@@ -89,7 +89,7 @@ func RunBER(fleet []*TestChip, cfg BERConfig) ([]BERRecord, error) {
 				var local []BERRecord
 				for _, pc := range cfg.Pseudos {
 					for _, bank := range cfg.Banks {
-						ref := bankRef{tc: tc, ch: ch, pc: pc, bnk: bank}
+						ref := newBankRef(tc, ch, pc, bank)
 						for _, row := range cfg.Rows {
 							recs, err := berForRow(ref, ch.Index(), row, cfg)
 							if err != nil {
@@ -119,7 +119,7 @@ func berForRow(ref bankRef, chIdx, row int, cfg BERConfig) ([]BERRecord, error) 
 	for _, p := range cfg.Patterns {
 		var mask []byte
 		if cfg.CollectMasks {
-			mask = make([]byte, hbm.RowBytes)
+			mask = make([]byte, ref.geom.RowBytes)
 		}
 		total := 0
 		for rep := 0; rep < cfg.Reps; rep++ {
@@ -129,7 +129,7 @@ func berForRow(ref bankRef, chIdx, row int, cfg BERConfig) ([]BERRecord, error) 
 			}
 			total += n
 		}
-		ber := float64(total) / float64(cfg.Reps) / float64(hbm.RowBits) * 100
+		ber := float64(total) / float64(cfg.Reps) / float64(ref.geom.RowBits()) * 100
 		recs = append(recs, BERRecord{
 			Chip: ref.tc.Index, Channel: chIdx, Pseudo: ref.pc, Bank: ref.bnk, Row: row,
 			Pattern: p, BERPercent: ber, Mask: mask,

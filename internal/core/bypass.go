@@ -34,9 +34,9 @@ type BypassConfig struct {
 	Pattern pattern.Pattern
 }
 
-func (c *BypassConfig) fill(t hbm.Timing) {
+func (c *BypassConfig) fill(g hbm.Geometry, t hbm.Timing) {
 	if len(c.Victims) == 0 {
-		c.Victims = SampleRows(6)
+		c.Victims = SampleRowsIn(g, 6)
 	}
 	if len(c.DummyCounts) == 0 {
 		c.DummyCounts = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
@@ -72,7 +72,7 @@ func RunBypass(fleet []*TestChip, cfg BypassConfig) ([]BypassRecord, error) {
 	for _, tc := range fleet {
 		jobs = append(jobs, chanJob{tc: tc, channel: cfg.Channel, run: func(tc *TestChip, ch *hbm.Channel) error {
 			c := cfg
-			c.fill(tc.Chip.Timing())
+			c.fill(tc.Chip.Geometry(), tc.Chip.Timing())
 			budget := tc.Chip.Timing().ActBudgetPerREFI()
 			var local []BypassRecord
 			for _, aggActs := range c.AggActs {
@@ -118,7 +118,7 @@ func RunBypass(fleet []*TestChip, cfg BypassConfig) ([]BypassRecord, error) {
 }
 
 func runBypassPattern(tc *TestChip, ch *hbm.Channel, cfg BypassConfig, victim, dummies, aggActs, budget int) (float64, error) {
-	ref := bankRef{tc: tc, ch: ch, pc: cfg.Pseudo, bnk: cfg.Bank}
+	ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
 	if err := ref.initPattern(victim, cfg.Pattern); err != nil {
 		return 0, err
 	}
@@ -126,7 +126,7 @@ func runBypassPattern(tc *TestChip, ch *hbm.Channel, cfg BypassConfig, victim, d
 	// Dummy rows sit far from the victim, spaced apart so they do not
 	// disturb each other or anything we measure.
 	dummyBase := victim + 2000
-	if dummyBase+4*dummies >= hbm.NumRows {
+	if dummyBase+4*dummies >= ref.geom.Rows {
 		dummyBase = victim - 2000 - 4*dummies
 	}
 	if dummyBase < 0 {
@@ -158,5 +158,5 @@ func runBypassPattern(tc *TestChip, ch *hbm.Channel, cfg BypassConfig, victim, d
 	if err != nil {
 		return 0, err
 	}
-	return float64(flips) / float64(hbm.RowBits) * 100, nil
+	return float64(flips) / float64(ref.geom.RowBits()) * 100, nil
 }

@@ -158,6 +158,7 @@ func TestRunBERMasksForFig17(t *testing.T) {
 }
 
 func TestRunHCFirstNearFloor(t *testing.T) {
+	t.Parallel()
 	fleet := smallFleet(t, 5)
 	recs, err := RunHCFirst(fleet, HCFirstConfig{
 		Channels: []int{0, 2, 4, 6},
@@ -222,6 +223,7 @@ func TestWCDPPicksSmallestHCFirst(t *testing.T) {
 }
 
 func TestRunHCNthMonotoneAndFig12(t *testing.T) {
+	t.Parallel()
 	fleet := smallFleet(t, 1)
 	recs, err := RunHCNth(fleet, HCNthConfig{
 		Channels: []int{0},
@@ -270,6 +272,7 @@ func TestRunHCNthMonotoneAndFig12(t *testing.T) {
 }
 
 func TestRunVariabilityRanges(t *testing.T) {
+	t.Parallel()
 	fleet := smallFleet(t, 0)
 	recs, err := RunVariability(fleet, VariabilityConfig{
 		Rows:       SampleRows(8),
@@ -328,6 +331,7 @@ func TestRowPressBERGrowsWithTAggON(t *testing.T) {
 }
 
 func TestRowPressHCFirstShrinksWithTAggON(t *testing.T) {
+	t.Parallel()
 	fleet := smallFleet(t, 2)
 	recs, err := RunRowPressHC(fleet, RowPressHCConfig{
 		Channels: []int{0},
@@ -359,12 +363,21 @@ func TestRowPressHCFirstShrinksWithTAggON(t *testing.T) {
 }
 
 func TestRunBypassDummyThreshold(t *testing.T) {
+	t.Parallel()
 	fleet := smallFleet(t, 0)
 	cfg := BypassConfig{
 		Victims:     []int{6000, 9000},
 		DummyCounts: []int{2, 3, 4, 6},
 		AggActs:     []int{26},
 		Windows:     8205,
+	}
+	protected, bypassed := []int{2, 3}, []int{4, 6}
+	if testing.Short() {
+		// One victim and the two decisive dummy counts around the paper's
+		// ">=4 dummies" threshold; the full run keeps the whole sweep.
+		cfg.Victims = []int{6000}
+		cfg.DummyCounts = []int{2, 4}
+		protected, bypassed = []int{2}, []int{4}
 	}
 	recs, err := RunBypass(fleet, cfg)
 	if err != nil {
@@ -374,12 +387,12 @@ func TestRunBypassDummyThreshold(t *testing.T) {
 	for _, r := range recs {
 		berByDummies[r.Dummies] += r.BERPercent
 	}
-	for _, d := range []int{2, 3} {
+	for _, d := range protected {
 		if berByDummies[d] != 0 {
 			t.Errorf("%d dummies: BER %.4f%%, paper observes 0 (TRR protects)", d, berByDummies[d])
 		}
 	}
-	for _, d := range []int{4, 6} {
+	for _, d := range bypassed {
 		if berByDummies[d] == 0 {
 			t.Errorf("%d dummies: BER 0, paper's bypass induces flips", d)
 		}
@@ -400,6 +413,7 @@ func TestScanSubarrayBoundaries(t *testing.T) {
 }
 
 func TestReverseEngineerMappingOnSwizzledChip(t *testing.T) {
+	t.Parallel()
 	fleet, err := NewFleet([]int{0}) // default vendor swizzle mapping
 	if err != nil {
 		t.Fatal(err)

@@ -99,17 +99,21 @@ func runJobs(jobs []chanJob) error {
 	return first
 }
 
-// SampleRows returns n physical victim rows spread evenly across a bank,
-// clamped away from the bank edges (victims need two physical neighbours
-// on each side). The first, middle, and last regions of the bank are
-// always represented, matching how the paper samples rows.
-func SampleRows(n int) []int {
-	const lo, hi = 2, hbm.NumRows - 3
+// SampleRows returns n physical victim rows spread evenly across a bank of
+// the default (paper HBM2) geometry; see SampleRowsIn.
+func SampleRows(n int) []int { return SampleRowsIn(hbm.DefaultGeometry(), n) }
+
+// SampleRowsIn returns n physical victim rows spread evenly across a bank
+// of geometry g, clamped away from the bank edges (victims need two
+// physical neighbours on each side). The first, middle, and last regions of
+// the bank are always represented, matching how the paper samples rows.
+func SampleRowsIn(g hbm.Geometry, n int) []int {
+	lo, hi := 2, g.Rows-3
 	if n <= 0 {
 		return nil
 	}
 	if n == 1 {
-		return []int{hbm.NumRows / 2}
+		return []int{g.Rows / 2}
 	}
 	rows := make([]int, 0, n)
 	span := hi - lo
@@ -120,16 +124,31 @@ func SampleRows(n int) []int {
 }
 
 // RegionRows returns count physical rows from each of the beginning,
-// middle, and end of a bank (the paper's "first, middle, and last N rows"
-// sampling for Figs 9, 11, and 14).
-func RegionRows(count int) []int {
+// middle, and end of a bank of the default (paper HBM2) geometry; see
+// RegionRowsIn.
+func RegionRows(count int) []int { return RegionRowsIn(hbm.DefaultGeometry(), count) }
+
+// RegionRowsIn returns count physical rows from each of the beginning,
+// middle, and end of a bank of geometry g (the paper's "first, middle, and
+// last N rows" sampling for Figs 9, 11, and 14).
+func RegionRowsIn(g hbm.Geometry, count int) []int {
 	rows := make([]int, 0, 3*count)
 	for i := 0; i < count; i++ {
 		rows = append(rows, 2+i)
-		rows = append(rows, hbm.NumRows/2-count/2+i)
-		rows = append(rows, hbm.NumRows-3-count+i)
+		rows = append(rows, g.Rows/2-count/2+i)
+		rows = append(rows, g.Rows-3-count+i)
 	}
 	return dedupSorted(rows)
+}
+
+// fleetGeometry returns the organization shared by the fleet's chips
+// (experiment defaults derive from the first chip; mixed-geometry fleets
+// should set explicit Channels/Rows in the experiment config).
+func fleetGeometry(fleet []*TestChip) hbm.Geometry {
+	if len(fleet) > 0 {
+		return fleet[0].Chip.Geometry()
+	}
+	return hbm.DefaultGeometry()
 }
 
 func dedupSorted(rows []int) []int {

@@ -16,6 +16,17 @@ type bankRef struct {
 	tc      *TestChip
 	ch      *hbm.Channel
 	pc, bnk int
+	geom    hbm.Geometry
+	// buf is a scratch row reused by readFlips so per-read allocations stay
+	// off the hot path. A bankRef (and hence the buffer) is only ever used
+	// by one experiment job at a time.
+	buf []byte
+}
+
+// newBankRef builds a bank reference with its scratch row allocated once.
+func newBankRef(tc *TestChip, ch *hbm.Channel, pc, bnk int) bankRef {
+	g := tc.Chip.Geometry()
+	return bankRef{tc: tc, ch: ch, pc: pc, bnk: bnk, geom: g, buf: make([]byte, g.RowBytes)}
 }
 
 func (b bankRef) logical(phys int) int { return b.tc.Chip.Mapper().ToLogical(phys) }
@@ -26,7 +37,7 @@ func (b bankRef) logical(phys int) int { return b.tc.Chip.Mapper().ToLogical(phy
 func (b bankRef) initPattern(victimPhys int, p pattern.Pattern) error {
 	for d := -2; d <= 2; d++ {
 		phys := victimPhys + d
-		if phys < 0 || phys >= hbm.NumRows {
+		if phys < 0 || phys >= b.geom.Rows {
 			return fmt.Errorf("core: victim %d too close to the bank edge", victimPhys)
 		}
 		fillByte := p.VictimByte()
@@ -58,7 +69,10 @@ func (b bankRef) hammerAndCount(victimPhys int, p pattern.Pattern, count int, tO
 // readFlips reads the victim row and counts bits differing from the
 // expected fill byte.
 func (b bankRef) readFlips(victimPhys int, expect byte, mask []byte) (int, error) {
-	buf := make([]byte, hbm.RowBytes)
+	buf := b.buf
+	if buf == nil {
+		buf = make([]byte, b.geom.RowBytes)
+	}
 	if err := b.ch.ReadRow(b.pc, b.bnk, b.logical(victimPhys), buf); err != nil {
 		return 0, err
 	}

@@ -27,9 +27,9 @@ type HCFirstConfig struct {
 	TOn hbm.TimePS
 }
 
-func (c *HCFirstConfig) fill() {
+func (c *HCFirstConfig) fill(g hbm.Geometry) {
 	if len(c.Channels) == 0 {
-		c.Channels = Channels(hbm.NumChannels)
+		c.Channels = Channels(g.Channels)
 	}
 	if len(c.Pseudos) == 0 {
 		c.Pseudos = []int{0}
@@ -38,7 +38,7 @@ func (c *HCFirstConfig) fill() {
 		c.Banks = []int{0}
 	}
 	if len(c.Rows) == 0 {
-		c.Rows = SampleRows(24)
+		c.Rows = SampleRowsIn(g, 24)
 	}
 	if len(c.Patterns) == 0 {
 		c.Patterns = pattern.All()
@@ -70,7 +70,7 @@ type HCFirstRecord struct {
 
 // RunHCFirst executes the HCfirst experiment across the fleet.
 func RunHCFirst(fleet []*TestChip, cfg HCFirstConfig) ([]HCFirstRecord, error) {
-	cfg.fill()
+	cfg.fill(fleetGeometry(fleet))
 	var (
 		mu  sync.Mutex
 		out []HCFirstRecord
@@ -82,7 +82,7 @@ func RunHCFirst(fleet []*TestChip, cfg HCFirstConfig) ([]HCFirstRecord, error) {
 				var local []HCFirstRecord
 				for _, pc := range cfg.Pseudos {
 					for _, bank := range cfg.Banks {
-						ref := bankRef{tc: tc, ch: ch, pc: pc, bnk: bank}
+						ref := newBankRef(tc, ch, pc, bank)
 						for _, row := range cfg.Rows {
 							recs, err := hcFirstForRow(ref, ch.Index(), row, cfg)
 							if err != nil {

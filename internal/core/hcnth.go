@@ -28,12 +28,12 @@ type HCNthConfig struct {
 	TOn                  hbm.TimePS
 }
 
-func (c *HCNthConfig) fill() {
+func (c *HCNthConfig) fill(g hbm.Geometry) {
 	if len(c.Channels) == 0 {
 		c.Channels = []int{0, 1}
 	}
 	if len(c.Rows) == 0 {
-		c.Rows = RegionRows(8)
+		c.Rows = RegionRowsIn(g, 8)
 	}
 	if len(c.Patterns) == 0 {
 		c.Patterns = pattern.All()
@@ -84,7 +84,7 @@ func (r HCNthRecord) Additional() int {
 // Searches for successive k reuse the k-1 result as the lower bound
 // (HC_k is monotonically non-decreasing in k).
 func RunHCNth(fleet []*TestChip, cfg HCNthConfig) ([]HCNthRecord, error) {
-	cfg.fill()
+	cfg.fill(fleetGeometry(fleet))
 	var (
 		mu  sync.Mutex
 		out []HCNthRecord
@@ -93,7 +93,7 @@ func RunHCNth(fleet []*TestChip, cfg HCNthConfig) ([]HCNthRecord, error) {
 	for _, tc := range fleet {
 		for _, chIdx := range cfg.Channels {
 			jobs = append(jobs, chanJob{tc: tc, channel: chIdx, run: func(tc *TestChip, ch *hbm.Channel) error {
-				ref := bankRef{tc: tc, ch: ch, pc: cfg.Pseudo, bnk: cfg.Bank}
+				ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
 				var local []HCNthRecord
 				for _, row := range cfg.Rows {
 					for _, p := range cfg.Patterns {

@@ -42,12 +42,12 @@ type RowPressBERConfig struct {
 	RetentionReps int
 }
 
-func (c *RowPressBERConfig) fill() {
+func (c *RowPressBERConfig) fill(g hbm.Geometry) {
 	if len(c.Channels) == 0 {
-		c.Channels = Channels(hbm.NumChannels)
+		c.Channels = Channels(g.Channels)
 	}
 	if len(c.Rows) == 0 {
-		c.Rows = RegionRows(8)
+		c.Rows = RegionRowsIn(g, 8)
 	}
 	if len(c.TAggONs) == 0 {
 		c.TAggONs = StandardTAggONs()
@@ -77,7 +77,7 @@ type RowPressBERRecord struct {
 
 // RunRowPressBER executes the Fig 14 sweep.
 func RunRowPressBER(fleet []*TestChip, cfg RowPressBERConfig) ([]RowPressBERRecord, error) {
-	cfg.fill()
+	cfg.fill(fleetGeometry(fleet))
 	var (
 		mu  sync.Mutex
 		out []RowPressBERRecord
@@ -86,7 +86,7 @@ func RunRowPressBER(fleet []*TestChip, cfg RowPressBERConfig) ([]RowPressBERReco
 	for _, tc := range fleet {
 		for _, chIdx := range cfg.Channels {
 			jobs = append(jobs, chanJob{tc: tc, channel: chIdx, run: func(tc *TestChip, ch *hbm.Channel) error {
-				ref := bankRef{tc: tc, ch: ch, pc: cfg.Pseudo, bnk: cfg.Bank}
+				ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
 				var local []RowPressBERRecord
 				for _, tOn := range cfg.TAggONs {
 					rec, err := rowPressBERPoint(ref, ch, chIdx, tOn, cfg)
@@ -134,7 +134,7 @@ func rowPressBERPoint(ref bankRef, ch *hbm.Channel, chIdx int, tOn hbm.TimePS, c
 	needFilter := !cfg.KeepRetention && expDur > t.TREFW
 
 	totalFlips, totalRetFlips := 0, 0
-	mask := make([]byte, hbm.RowBytes)
+	mask := make([]byte, ref.geom.RowBytes)
 	for _, row := range cfg.Rows {
 		for i := range mask {
 			mask[i] = 0
@@ -157,7 +157,7 @@ func rowPressBERPoint(ref bankRef, ch *hbm.Channel, chIdx int, tOn hbm.TimePS, c
 		}
 		totalFlips += flips
 	}
-	bits := float64(len(cfg.Rows) * hbm.RowBits)
+	bits := float64(len(cfg.Rows) * ref.geom.RowBits())
 	rec.BERPercent = float64(totalFlips) / bits * 100
 	rec.RetentionBERPercent = float64(totalRetFlips) / bits * 100
 	return rec, nil
@@ -184,12 +184,12 @@ type RowPressHCConfig struct {
 	MaxHammer int
 }
 
-func (c *RowPressHCConfig) fill() {
+func (c *RowPressHCConfig) fill(g hbm.Geometry) {
 	if len(c.Channels) == 0 {
 		c.Channels = []int{0, 1, 2}
 	}
 	if len(c.Rows) == 0 {
-		c.Rows = SampleRows(12)
+		c.Rows = SampleRowsIn(g, 12)
 	}
 	if len(c.TAggONs) == 0 {
 		c.TAggONs = Fig15TAggONs()
@@ -213,7 +213,7 @@ type RowPressHCRecord struct {
 
 // RunRowPressHC executes the Fig 15 sweep.
 func RunRowPressHC(fleet []*TestChip, cfg RowPressHCConfig) ([]RowPressHCRecord, error) {
-	cfg.fill()
+	cfg.fill(fleetGeometry(fleet))
 	var (
 		mu  sync.Mutex
 		out []RowPressHCRecord
@@ -222,7 +222,7 @@ func RunRowPressHC(fleet []*TestChip, cfg RowPressHCConfig) ([]RowPressHCRecord,
 	for _, tc := range fleet {
 		for _, chIdx := range cfg.Channels {
 			jobs = append(jobs, chanJob{tc: tc, channel: chIdx, run: func(tc *TestChip, ch *hbm.Channel) error {
-				ref := bankRef{tc: tc, ch: ch, pc: cfg.Pseudo, bnk: cfg.Bank}
+				ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
 				t := tc.Chip.Timing()
 				var local []RowPressHCRecord
 				for _, row := range cfg.Rows {

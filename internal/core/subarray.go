@@ -43,14 +43,15 @@ func (c *SubarrayScanConfig) fill() {
 // rows B such that B-1 and B lie in different subarrays.
 func ScanSubarrayBoundaries(tc *TestChip, cfg SubarrayScanConfig) ([]int, error) {
 	cfg.fill()
-	if cfg.FromRow < 1 || cfg.ToRow > hbm.NumRows-1 || cfg.FromRow >= cfg.ToRow {
+	g := tc.Chip.Geometry()
+	if cfg.FromRow < 1 || cfg.ToRow > g.Rows-1 || cfg.FromRow >= cfg.ToRow {
 		return nil, fmt.Errorf("core: bad scan range [%d, %d)", cfg.FromRow, cfg.ToRow)
 	}
 	ch, err := tc.Chip.Channel(cfg.Channel)
 	if err != nil {
 		return nil, err
 	}
-	ref := bankRef{tc: tc, ch: ch, pc: cfg.Pseudo, bnk: cfg.Bank}
+	ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
 
 	var boundaries []int
 	for agg := cfg.FromRow; agg < cfg.ToRow; agg++ {
@@ -69,7 +70,7 @@ func ScanSubarrayBoundaries(tc *TestChip, cfg SubarrayScanConfig) ([]int, error)
 // singleSidedCouples hammers aggressor agg single-sided and reports
 // whether the neighbour row took any bitflips.
 func singleSidedCouples(ref bankRef, agg, neighbor int, cfg SubarrayScanConfig) (bool, error) {
-	if neighbor < 0 || neighbor >= hbm.NumRows {
+	if neighbor < 0 || neighbor >= ref.geom.Rows {
 		return false, nil
 	}
 	if err := ref.ch.FillRow(ref.pc, ref.bnk, ref.logical(neighbor), cfg.Fill); err != nil {
@@ -105,6 +106,7 @@ func ReverseEngineerMapping(tc *TestChip, cfg SubarrayScanConfig, logicalRows []
 	// ~1.5% of it (at most a few flips on the weakest rows), so a flip
 	// threshold separates true adjacency from blast-radius noise.
 	const adjacencyMinFlips = 8
+	buf := make([]byte, tc.Chip.Geometry().RowBytes)
 	probe := func(logical int) ([]int, error) {
 		// Initialize a candidate, hammer `logical`, read the candidate.
 		// For tractability the scan checks candidate logical rows within a
@@ -127,7 +129,6 @@ func ReverseEngineerMapping(tc *TestChip, cfg SubarrayScanConfig, logicalRows []
 			if err := ch.HammerSingleSided(cfg.Pseudo, cfg.Bank, logical, cfg.HammerCount, cfg.TOn); err != nil {
 				return nil, err
 			}
-			buf := make([]byte, hbm.RowBytes)
 			if err := ch.ReadRow(cfg.Pseudo, cfg.Bank, cand, buf); err != nil {
 				return nil, err
 			}

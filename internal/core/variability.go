@@ -23,9 +23,9 @@ type VariabilityConfig struct {
 	TOn                  hbm.TimePS
 }
 
-func (c *VariabilityConfig) fill() {
+func (c *VariabilityConfig) fill(g hbm.Geometry) {
 	if len(c.Rows) == 0 {
-		c.Rows = SampleRows(16)
+		c.Rows = SampleRowsIn(g, 16)
 	}
 	if c.Pattern == 0 {
 		c.Pattern = pattern.Rowstripe0
@@ -60,7 +60,7 @@ func (r VariabilityRecord) Ratio() float64 {
 // RunVariability measures HCfirst Iterations times per row and records the
 // extremes.
 func RunVariability(fleet []*TestChip, cfg VariabilityConfig) ([]VariabilityRecord, error) {
-	cfg.fill()
+	cfg.fill(fleetGeometry(fleet))
 	var (
 		mu  sync.Mutex
 		out []VariabilityRecord
@@ -68,7 +68,7 @@ func RunVariability(fleet []*TestChip, cfg VariabilityConfig) ([]VariabilityReco
 	var jobs []chanJob
 	for _, tc := range fleet {
 		jobs = append(jobs, chanJob{tc: tc, channel: cfg.Channel, run: func(tc *TestChip, ch *hbm.Channel) error {
-			ref := bankRef{tc: tc, ch: ch, pc: cfg.Pseudo, bnk: cfg.Bank}
+			ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
 			var local []VariabilityRecord
 			for _, row := range cfg.Rows {
 				rec := VariabilityRecord{Chip: tc.Index, Row: row, Iterations: cfg.Iterations}

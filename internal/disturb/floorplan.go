@@ -8,20 +8,22 @@ import "math"
 // RowHammer-resilient than the rest. This floorplan encodes that layout:
 // 21 subarrays per 16384-row bank, 4 of 832 rows and 17 of 768 rows, with
 // the 832-row subarrays placed so that one covers the exact middle of the
-// bank and one covers the end.
+// bank and one covers the end. Other bank sizes (the HBM2E/HBM3 presets)
+// get a generated floorplan that extends the same structural pattern.
 const (
-	// RowsPerBank is the number of rows in every bank of every tested chip.
+	// RowsPerBank is the number of rows in every bank of the paper's tested
+	// chips (the default floorplan; other geometries build their own).
 	RowsPerBank = 16384
-	// SubarraysPerBank is the number of subarrays the floorplan divides a
-	// bank into.
+	// SubarraysPerBank is the number of subarrays the default floorplan
+	// divides a bank into.
 	SubarraysPerBank = 21
 )
 
-// subarraySizes lists the row count of each subarray in physical order.
-// Index 10 is the middle subarray and index 20 the last; both are 832-row
-// "edge design" subarrays per the paper's Obsv 11 hypothesis. 4*832 +
-// 17*768 = 16384.
-var subarraySizes = [SubarraysPerBank]int{
+// paperSubarraySizes lists the row count of each subarray of the paper's
+// 16384-row bank in physical order. Index 10 is the middle subarray and
+// index 20 the last; both are 832-row "edge design" subarrays per the
+// paper's Obsv 11 hypothesis. 4*832 + 17*768 = 16384.
+var paperSubarraySizes = []int{
 	832, 768, 768, 768, 768,
 	832, 768, 768, 768, 768,
 	832, 768, 768, 768, 768,
@@ -29,57 +31,119 @@ var subarraySizes = [SubarraysPerBank]int{
 	832,
 }
 
-// subarrayStarts[i] is the first physical row of subarray i; computed once
-// at package load from subarraySizes.
-var subarrayStarts = func() [SubarraysPerBank]int {
-	var starts [SubarraysPerBank]int
+// Floorplan is the subarray layout of one bank: the sizes and start rows of
+// its subarrays and which of them are RowHammer-resilient. Floorplans are
+// immutable after construction and safe for concurrent use.
+type Floorplan struct {
+	rows      int
+	sizes     []int
+	starts    []int
+	resilient map[int]bool
+}
+
+// defaultFloorplan is the paper's reverse-engineered 16384-row layout, used
+// by the package-level convenience functions below.
+var defaultFloorplan = newPaperFloorplan()
+
+func newPaperFloorplan() *Floorplan {
+	f := &Floorplan{
+		rows:      RowsPerBank,
+		sizes:     paperSubarraySizes,
+		resilient: map[int]bool{10: true, 20: true},
+	}
+	f.computeStarts()
+	return f
+}
+
+// DefaultFloorplan returns the paper's 16384-row bank layout.
+func DefaultFloorplan() *Floorplan { return defaultFloorplan }
+
+// NewFloorplan builds the subarray layout for a bank of rowsPerBank rows.
+// For the paper's 16384-row bank it returns the exact reverse-engineered
+// layout; for other sizes it extends the same structural pattern (832-row
+// "edge design" subarrays every fifth position among 768-row subarrays,
+// with the layout adjusted so the middle and last subarrays are resilient).
+func NewFloorplan(rowsPerBank int) *Floorplan {
+	if rowsPerBank <= 0 {
+		rowsPerBank = RowsPerBank
+	}
+	if rowsPerBank == RowsPerBank {
+		return defaultFloorplan
+	}
+	f := &Floorplan{rows: rowsPerBank, resilient: make(map[int]bool)}
+	remaining := rowsPerBank
+	for i := 0; remaining > 0; i++ {
+		size := 768
+		if i%5 == 0 {
+			size = 832
+		}
+		if remaining < size+256 {
+			// Too little left for another full subarray after this one:
+			// absorb the remainder so the layout covers the bank exactly.
+			size = remaining
+		}
+		f.sizes = append(f.sizes, size)
+		remaining -= size
+	}
+	f.computeStarts()
+	// Resilient subarrays mirror the paper's: the one covering the bank's
+	// middle row and the last one.
+	mid, _ := f.Subarray(rowsPerBank / 2)
+	f.resilient[mid] = true
+	f.resilient[len(f.sizes)-1] = true
+	return f
+}
+
+func (f *Floorplan) computeStarts() {
+	f.starts = make([]int, len(f.sizes))
 	row := 0
-	for i, sz := range subarraySizes {
-		starts[i] = row
+	for i, sz := range f.sizes {
+		f.starts[i] = row
 		row += sz
 	}
-	if row != RowsPerBank {
+	if row != f.rows {
 		panic("disturb: subarray layout does not cover the bank")
 	}
-	return starts
-}()
+}
 
-// resilientSubarrays marks the subarrays the paper found to be strongly
-// suppressed in BER (the middle and the last 832-row subarrays).
-var resilientSubarrays = map[int]bool{10: true, 20: true}
+// Rows returns the number of rows per bank the floorplan covers.
+func (f *Floorplan) Rows() int { return f.rows }
+
+// NumSubarrays returns the number of subarrays in the layout.
+func (f *Floorplan) NumSubarrays() int { return len(f.sizes) }
 
 // Subarray returns the index of the subarray containing the physical row,
 // and the row's zero-based offset within that subarray. Rows outside
-// [0, RowsPerBank) are clamped.
-func Subarray(physRow int) (index, offset int) {
+// [0, Rows()) are clamped.
+func (f *Floorplan) Subarray(physRow int) (index, offset int) {
 	if physRow < 0 {
 		physRow = 0
 	}
-	if physRow >= RowsPerBank {
-		physRow = RowsPerBank - 1
+	if physRow >= f.rows {
+		physRow = f.rows - 1
 	}
-	for i := SubarraysPerBank - 1; i >= 0; i-- {
-		if physRow >= subarrayStarts[i] {
-			return i, physRow - subarrayStarts[i]
+	for i := len(f.starts) - 1; i >= 0; i-- {
+		if physRow >= f.starts[i] {
+			return i, physRow - f.starts[i]
 		}
 	}
 	return 0, physRow
 }
 
 // SubarraySize returns the number of rows in subarray index.
-func SubarraySize(index int) int {
-	if index < 0 || index >= SubarraysPerBank {
+func (f *Floorplan) SubarraySize(index int) int {
+	if index < 0 || index >= len(f.sizes) {
 		return 0
 	}
-	return subarraySizes[index]
+	return f.sizes[index]
 }
 
 // SubarrayStart returns the first physical row of subarray index.
-func SubarrayStart(index int) int {
-	if index < 0 || index >= SubarraysPerBank {
+func (f *Floorplan) SubarrayStart(index int) int {
+	if index < 0 || index >= len(f.starts) {
 		return 0
 	}
-	return subarrayStarts[index]
+	return f.starts[index]
 }
 
 // SameSubarray reports whether two physical rows live in the same subarray.
@@ -87,27 +151,47 @@ func SubarrayStart(index int) int {
 // its own row buffer and sense amplifiers), which is exactly the property
 // the paper exploits to discover subarray boundaries with single-sided
 // RowHammer.
-func SameSubarray(rowA, rowB int) bool {
-	if rowA < 0 || rowB < 0 || rowA >= RowsPerBank || rowB >= RowsPerBank {
+func (f *Floorplan) SameSubarray(rowA, rowB int) bool {
+	if rowA < 0 || rowB < 0 || rowA >= f.rows || rowB >= f.rows {
 		return false
 	}
-	ia, _ := Subarray(rowA)
-	ib, _ := Subarray(rowB)
+	ia, _ := f.Subarray(rowA)
+	ib, _ := f.Subarray(rowB)
 	return ia == ib
 }
 
-// SubarrayShape returns the spatial BER modulation factor for a physical
-// row: a half-sine bump that peaks mid-subarray (Obsv 10: BER periodically
+// Shape returns the spatial BER modulation factor for a physical row: a
+// half-sine bump that peaks mid-subarray (Obsv 10: BER periodically
 // increases and decreases across rows, higher in the middle of a subarray),
 // additionally suppressed by 0.42x in the resilient middle/last subarrays
 // (Obsv 11 / Takeaway 3).
-func SubarrayShape(physRow int) float64 {
-	idx, off := Subarray(physRow)
-	size := subarraySizes[idx]
+func (f *Floorplan) Shape(physRow int) float64 {
+	idx, off := f.Subarray(physRow)
+	size := f.sizes[idx]
 	pos := (float64(off) + 0.5) / float64(size)
 	shape := 0.72 + 0.46*math.Sin(pos*math.Pi)
-	if resilientSubarrays[idx] {
+	if f.resilient[idx] {
 		shape *= 0.42
 	}
 	return shape
 }
+
+// Subarray returns the index of the subarray containing the physical row in
+// the default (paper) floorplan, and the row's offset within it.
+func Subarray(physRow int) (index, offset int) { return defaultFloorplan.Subarray(physRow) }
+
+// SubarraySize returns the number of rows in subarray index of the default
+// floorplan.
+func SubarraySize(index int) int { return defaultFloorplan.SubarraySize(index) }
+
+// SubarrayStart returns the first physical row of subarray index of the
+// default floorplan.
+func SubarrayStart(index int) int { return defaultFloorplan.SubarrayStart(index) }
+
+// SameSubarray reports whether two physical rows live in the same subarray
+// of the default floorplan.
+func SameSubarray(rowA, rowB int) bool { return defaultFloorplan.SameSubarray(rowA, rowB) }
+
+// SubarrayShape returns the spatial BER modulation factor for a physical
+// row of the default floorplan.
+func SubarrayShape(physRow int) float64 { return defaultFloorplan.Shape(physRow) }

@@ -103,3 +103,57 @@ func TestSubarrayShapePositive(t *testing.T) {
 		}
 	}
 }
+
+func TestNewFloorplanDefaultIsPaperLayout(t *testing.T) {
+	f := NewFloorplan(RowsPerBank)
+	if f.NumSubarrays() != SubarraysPerBank || f.Rows() != RowsPerBank {
+		t.Fatalf("16384-row floorplan: %d subarrays over %d rows", f.NumSubarrays(), f.Rows())
+	}
+	for i := 0; i < SubarraysPerBank; i++ {
+		if f.SubarraySize(i) != SubarraySize(i) || f.SubarrayStart(i) != SubarrayStart(i) {
+			t.Errorf("subarray %d: size %d start %d, want %d/%d",
+				i, f.SubarraySize(i), f.SubarrayStart(i), SubarraySize(i), SubarrayStart(i))
+		}
+	}
+}
+
+func TestNewFloorplanGeneratedLayouts(t *testing.T) {
+	for _, rows := range []int{8192, 16384, 32768, 65536} {
+		f := NewFloorplan(rows)
+		total := 0
+		for i := 0; i < f.NumSubarrays(); i++ {
+			sz := f.SubarraySize(i)
+			if sz <= 0 {
+				t.Fatalf("rows=%d: subarray %d has size %d", rows, i, sz)
+			}
+			if start := f.SubarrayStart(i); start != total {
+				t.Fatalf("rows=%d: subarray %d starts at %d, want %d", rows, i, start, total)
+			}
+			total += sz
+		}
+		if total != rows {
+			t.Errorf("rows=%d: layout covers %d rows", rows, total)
+		}
+		// Middle and last subarrays are resilient: suppressed shape.
+		midIdx, _ := f.Subarray(rows / 2)
+		regIdx := 1 // generated layouts always have a regular subarray at 1
+		regMid := f.SubarrayStart(regIdx) + f.SubarraySize(regIdx)/2
+		if f.Shape(rows/2) >= f.Shape(regMid) {
+			t.Errorf("rows=%d: middle subarray %d not suppressed", rows, midIdx)
+		}
+		if f.Shape(rows-1-f.SubarraySize(f.NumSubarrays()-1)/2) >= f.Shape(regMid) {
+			t.Errorf("rows=%d: last subarray not suppressed", rows)
+		}
+		// Coupling never crosses a boundary.
+		b := f.SubarrayStart(1)
+		if f.SameSubarray(b-1, b) {
+			t.Errorf("rows=%d: rows %d and %d straddle a boundary", rows, b-1, b)
+		}
+		if !f.SameSubarray(b, b+1) {
+			t.Errorf("rows=%d: rows %d and %d share a subarray", rows, b, b+1)
+		}
+		if f.SameSubarray(-1, 0) || f.SameSubarray(0, rows) {
+			t.Errorf("rows=%d: out-of-range rows grouped", rows)
+		}
+	}
+}

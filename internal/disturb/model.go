@@ -117,20 +117,31 @@ const (
 	wcdpHeadroom = 1.18
 )
 
-// Quantile anchors in probit space.
-var (
-	// zJunction is the tail/bulk regime boundary: the expected quantile of
-	// the ~50th weakest eligible cell.
-	zJunction = stats.Probit(50.0 / (RowBits*eligibleFrac + 1))
-	// zEligGap corrects the realized all-cell minimum quantile to the
-	// expected eligible-cell minimum (half the cells are eligible under
-	// the Table 1 patterns).
-	zEligGap = stats.Probit(1.0/(RowBits*eligibleFrac+1)) - stats.Probit(1.0/(RowBits+1))
-	// zTenthGap is the expected quantile gap between the weakest and the
-	// 10th weakest eligible cell; it converts the HC10th/HC1st ratio into
-	// the tail spread.
-	zTenthGap = stats.Probit(10.0/(RowBits*eligibleFrac+1)) - stats.Probit(1.0/(RowBits*eligibleFrac+1))
-)
+// Org is the minimal chip organization the fault model needs: enough to
+// derive per-die factors, the subarray floorplan, and the quantile anchors
+// that calibrate row-level targets to the number of cells per row.
+type Org struct {
+	// Channels is the stack's channel count (die mapping folds channel
+	// pairs onto the four stacked dies).
+	Channels int
+	// RowsPerBank is the number of rows per bank (sizes the floorplan).
+	RowsPerBank int
+	// RowBytes is the size of one row.
+	RowBytes int
+}
+
+// DefaultOrg returns the paper's HBM2 organization.
+func DefaultOrg() Org {
+	return Org{Channels: 8, RowsPerBank: RowsPerBank, RowBytes: RowBytes}
+}
+
+// Validate reports an unusable organization.
+func (o Org) Validate() error {
+	if o.Channels <= 0 || o.RowsPerBank <= 0 || o.RowBytes <= 0 {
+		return fmt.Errorf("disturb: org fields must be positive: %+v", o)
+	}
+	return nil
+}
 
 // Hash salts, one per independent random field of the model.
 const (
@@ -155,12 +166,14 @@ const (
 // cellStride spreads consecutive cell indices across the hash space.
 const cellStride = 0x9E3779B97F4A7C15
 
-// RowLoc addresses one physical row inside a chip.
+// RowLoc addresses one physical row inside a chip. Index ranges follow the
+// chip's organization (for the paper's HBM2 part: channel 0-7, pseudo
+// channel 0-1, bank 0-15, row 0-16383).
 type RowLoc struct {
-	Channel int // HBM2 channel, 0-7
-	Pseudo  int // pseudo channel, 0-1
-	Bank    int // bank, 0-15
-	Row     int // physical row, 0-16383
+	Channel int
+	Pseudo  int
+	Bank    int
+	Row     int
 }
 
 // Dose is the accumulated, amplification- and jitter-scaled disturbance a
@@ -179,26 +192,61 @@ func (d Dose) Total() float64 { return d.Above + d.Below }
 // methods must not be called concurrently with evaluation.
 type Model struct {
 	prof      Profile
+	org       Org
+	fp        *Floorplan
+	rowBits   int
 	tempC     float64
 	ageMonths float64
+
+	// Quantile anchors in probit space, derived from the organization's
+	// cells-per-row count: zJunction is the tail/bulk regime boundary (the
+	// expected quantile of the ~50th weakest eligible cell); zEligGap
+	// corrects the realized all-cell minimum quantile to the expected
+	// eligible-cell minimum; zTenthGap is the expected quantile gap between
+	// the weakest and the 10th weakest eligible cell.
+	zJunction, zEligGap, zTenthGap float64
 
 	mu    sync.RWMutex
 	calib map[RowLoc]rowCalib
 }
 
-// NewModel validates the profile and builds a fault model for it. The
-// model starts at the profile's operating temperature and starting age.
+// NewModel validates the profile and builds a fault model for it with the
+// paper's HBM2 organization. The model starts at the profile's operating
+// temperature and starting age.
 func NewModel(p Profile) (*Model, error) {
+	return NewModelFor(p, DefaultOrg())
+}
+
+// NewModelFor builds a fault model for a profile under an arbitrary chip
+// organization: the subarray floorplan scales to the bank's row count and
+// the quantile anchors to the row's cell count. With DefaultOrg the model
+// is identical to NewModel's.
+func NewModelFor(p Profile, org Org) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := org.Validate(); err != nil {
+		return nil, err
+	}
+	rowBits := org.RowBytes * 8
 	return &Model{
 		prof:      p,
+		org:       org,
+		fp:        NewFloorplan(org.RowsPerBank),
+		rowBits:   rowBits,
 		tempC:     p.OperatingTempC,
 		ageMonths: p.AgeMonthsAtStart,
-		calib:     make(map[RowLoc]rowCalib),
+		zJunction: stats.Probit(50.0 / (float64(rowBits)*eligibleFrac + 1)),
+		zEligGap: stats.Probit(1.0/(float64(rowBits)*eligibleFrac+1)) -
+			stats.Probit(1.0/(float64(rowBits)+1)),
+		zTenthGap: stats.Probit(10.0/(float64(rowBits)*eligibleFrac+1)) -
+			stats.Probit(1.0/(float64(rowBits)*eligibleFrac+1)),
+		calib: make(map[RowLoc]rowCalib),
 	}, nil
 }
+
+// Floorplan returns the model's subarray layout.
+func (m *Model) Floorplan() *Floorplan { return m.fp }
 
 // Profile returns the profile the model was built from.
 func (m *Model) Profile() Profile { return m.prof }
@@ -262,23 +310,23 @@ func (m *Model) calibRow(loc RowLoc) rowCalib {
 
 func (m *Model) computeCalib(loc RowLoc) rowCalib {
 	seed := m.prof.Seed
-	die := DieOf(loc.Channel)
+	die := dieOfN(loc.Channel, m.org.Channels)
 	rowSeed := hashN(seed, saltRow, uint64(loc.Channel), uint64(loc.Pseudo), uint64(loc.Bank), uint64(loc.Row))
 
 	// ---- Realized weakest-cell quantile. Anchoring the threshold curve
 	// at the row's actual minimum keeps the realized HCfirst pinned to the
 	// calibration target instead of drifting with extreme-value noise. ----
 	minU := 1.0
-	for idx := 0; idx < RowBits; idx++ {
+	for idx := 0; idx < m.rowBits; idx++ {
 		h := splitmix64(rowSeed + uint64(idx)*cellStride)
 		u := (float64(h>>11) + 0.5) / (1 << 53)
 		if u < minU {
 			minU = u
 		}
 	}
-	zAnchor := stats.Probit(minU) + zEligGap
-	if zAnchor > zJunction-0.3 {
-		zAnchor = zJunction - 0.3
+	zAnchor := stats.Probit(minU) + m.zEligGap
+	if zAnchor > m.zJunction-0.3 {
+		zAnchor = m.zJunction - 0.3
 	}
 
 	// ---- BER target (fraction of the row's 8192 bits at refHammer). ----
@@ -286,7 +334,7 @@ func (m *Model) computeCalib(loc RowLoc) rowCalib {
 	berT *= m.prof.DieBERFactor[die]
 	berT *= lognormal(hashN(seed, saltPC, uint64(loc.Channel), uint64(loc.Pseudo)), 0, 0.03)
 	berT *= lognormal(hashN(seed, saltBank, uint64(loc.Channel), uint64(loc.Pseudo), uint64(loc.Bank)), 0, 0.06)
-	berT *= SubarrayShape(loc.Row)
+	berT *= m.fp.Shape(loc.Row)
 	berT *= lognormal(mix(rowSeed, saltBERJit), 0, 0.18)
 	// The floor guarantees Obsv 1 (bitflips in every tested row at the
 	// reference hammer count): ~6 expected flips even in the most
@@ -301,7 +349,7 @@ func (m *Model) computeCalib(loc RowLoc) rowCalib {
 	// ---- HCfirst target. ----
 	hcMult := 1 + gamma2(mix(rowSeed, saltHCMult), m.prof.HCGammaTheta)
 	dieHC := dieHCFactor(m.prof, die)
-	shapeHC := math.Pow(SubarrayShape(loc.Row), -0.3)
+	shapeHC := math.Pow(m.fp.Shape(loc.Row), -0.3)
 	tempHC := 1 - tempHCSlope*(m.tempC-retRefTempC)
 	hc1 := m.prof.HCFloor * wcdpHeadroom * dieHC * hcMult * shapeHC * tempHC
 
@@ -312,7 +360,7 @@ func (m *Model) computeCalib(loc RowLoc) rowCalib {
 	shift := drift * (math.Sqrt(m.ageMonths) - math.Sqrt(m.prof.AgeMonthsAtStart))
 
 	// ---- Tail regime. ----
-	sigTail := math.Log(1+tailExtraB/math.Pow(hcMult, tailExtraExp)) / zTenthGap
+	sigTail := math.Log(1+tailExtraB/math.Pow(hcMult, tailExtraExp)) / m.zTenthGap
 	sigTail *= lognormal(mix(rowSeed, saltTailJit), 0, tailJitterSig)
 	if sigTail < sigTailMin {
 		sigTail = sigTailMin
@@ -321,29 +369,29 @@ func (m *Model) computeCalib(loc RowLoc) rowCalib {
 		sigTail = sigTailMax
 	}
 	lnHC1 := math.Log(doseSides*hc1*calibCouple) - shift
-	lnTJ := lnHC1 + sigTail*(zJunction-zAnchor)
+	lnTJ := lnHC1 + sigTail*(m.zJunction-zAnchor)
 
 	// ---- Bulk regime, anchored at the junction and hitting the BER
 	// target at refHammer. ----
 	z256 := stats.Probit(math.Min(berT/eligibleFrac, 0.9999))
 	lnRef := math.Log(doseSides*refHammer*calibCouple) - shift
 	var sigBulk, lnM float64
-	if z256 > zJunction+0.05 && lnRef > lnTJ {
-		sigBulk = (lnRef - lnTJ) / (z256 - zJunction)
+	if z256 > m.zJunction+0.05 && lnRef > lnTJ {
+		sigBulk = (lnRef - lnTJ) / (z256 - m.zJunction)
 		// The floor keeps the bulk curve from degenerating into a step at
 		// the reference dose (a step would let coupling noise saturate the
 		// row); floored rows undershoot their BER target slightly.
 		if sigBulk < bulkSigmaFloor {
 			sigBulk = bulkSigmaFloor
 		}
-		lnM = lnTJ - sigBulk*zJunction
+		lnM = lnTJ - sigBulk*m.zJunction
 	} else {
 		// BER target unreachable above the junction (very resilient row or
 		// very strong tail): continue with a default spread; the max()
 		// against the junction threshold keeps the curve monotone.
 		sigBulk = bulkSigmaDflt
 		lnM = lnRef - sigBulk*z256
-		if jm := lnTJ - sigBulk*zJunction; jm > lnM {
+		if jm := lnTJ - sigBulk*m.zJunction; jm > lnM {
 			lnM = jm
 		}
 	}
@@ -385,7 +433,7 @@ func dieHCFactor(p Profile, die int) float64 {
 
 // thresholdCDF returns the probability that a cell's threshold quantile lies
 // below the effective ln dose, i.e. the per-cell flip probability cutoff.
-func thresholdCDF(rc rowCalib, lnDc float64) float64 {
+func (m *Model) thresholdCDF(rc rowCalib, lnDc float64) float64 {
 	if math.IsInf(lnDc, -1) {
 		return 0
 	}
@@ -394,8 +442,8 @@ func thresholdCDF(rc rowCalib, lnDc float64) float64 {
 		return stats.NormalCDF(z)
 	}
 	z := (lnDc - rc.lnM) / rc.sigBulk
-	if z < zJunction {
-		z = zJunction
+	if z < m.zJunction {
+		z = m.zJunction
 	}
 	return stats.NormalCDF(z)
 }
@@ -454,7 +502,7 @@ func (m *Model) FlipMask(loc RowLoc, victim, above, below []byte, dose Dose, ret
 				continue
 			}
 			couple := intraF[intra] * rc.orientC[orient] * patJit
-			pcrit[combo] = thresholdCDF(rc, math.Log(deff*couple))
+			pcrit[combo] = m.thresholdCDF(rc, math.Log(deff*couple))
 		}
 	}
 

@@ -71,14 +71,22 @@ type Profile struct {
 
 // DieOf maps an HBM2 channel (0-7) to its 3D-stacked die index (0-3).
 // Channel pairs {0,7}, {1,6}, {2,5}, {3,4} share a die.
-func DieOf(channel int) int {
-	if channel < 0 || channel > 7 {
+func DieOf(channel int) int { return dieOfN(channel, 8) }
+
+// dieOfN generalizes the die mapping to organizations with other channel
+// counts: channel ch pairs with channel numChannels-1-ch (HBM routes
+// mirrored channels through the same die), and stacks with more than eight
+// channels fold pairs onto the four dies. For numChannels == 8 this is
+// exactly DieOf.
+func dieOfN(channel, numChannels int) int {
+	if channel < 0 || channel >= numChannels {
 		return 0
 	}
-	if channel < 4 {
-		return channel
+	pair := channel
+	if mirror := numChannels - 1 - channel; mirror < pair {
+		pair = mirror
 	}
-	return 7 - channel
+	return pair % 4
 }
 
 // BuiltinProfiles returns the six chip profiles calibrated to the paper.

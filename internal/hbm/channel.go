@@ -17,13 +17,15 @@ type Channel struct {
 	mu sync.Mutex
 
 	chip  *Chip
+	geom  Geometry
+	fp    *disturb.Floorplan
 	index int
 
 	now        TimePS
 	lastRefEnd TimePS
 	refCounter int // internal refresh row counter, shared by all banks
 
-	banks [NumPseudoChannels][NumBanks]*bank
+	banks [][]*bank
 
 	// autoTiming makes every command wait for its earliest legal issue
 	// time instead of failing. The platform's interpreter turns this off
@@ -31,6 +33,7 @@ type Channel struct {
 	autoTiming bool
 
 	scratch []byte // flip-mask scratch buffer, guarded by mu
+	fillBuf []byte // FillRow data buffer, guarded by mu
 }
 
 // SetAutoTiming selects between auto-delayed commands (true, default) and
@@ -41,8 +44,11 @@ func (ch *Channel) SetAutoTiming(auto bool) {
 	ch.autoTiming = auto
 }
 
-// Index returns the channel number (0-7).
+// Index returns the channel number (0 .. Geometry().Channels-1).
 func (ch *Channel) Index() int { return ch.index }
+
+// Geometry returns the organization of the chip the channel belongs to.
+func (ch *Channel) Geometry() Geometry { return ch.geom }
 
 // Now returns the channel's current simulated time.
 func (ch *Channel) Now() TimePS {
@@ -75,10 +81,10 @@ func (ch *Channel) timingGate(cmd, rule string, earliest TimePS) error {
 }
 
 func (ch *Channel) bank(pc, b int) (*bank, error) {
-	if pc < 0 || pc >= NumPseudoChannels {
+	if pc < 0 || pc >= ch.geom.PseudoChannels {
 		return nil, fmt.Errorf("hbm: pseudo channel %d out of range", pc)
 	}
-	if b < 0 || b >= NumBanks {
+	if b < 0 || b >= ch.geom.Banks {
 		return nil, fmt.Errorf("hbm: bank %d out of range", b)
 	}
 	return ch.banks[pc][b], nil
@@ -104,7 +110,7 @@ func (ch *Channel) Activate(pc, bankIdx, logicalRow int) error {
 }
 
 func (ch *Channel) activateLocked(pc, bankIdx, logicalRow int) error {
-	if logicalRow < 0 || logicalRow >= NumRows {
+	if logicalRow < 0 || logicalRow >= ch.geom.Rows {
 		return fmt.Errorf("hbm: row %d out of range", logicalRow)
 	}
 	b, err := ch.bank(pc, bankIdx)
@@ -196,10 +202,10 @@ func (ch *Channel) applyDoseLocked(pc, bankIdx int, b *bank, physRow, count int,
 	}{{1, coupleDist1}, {2, coupleDist2}} {
 		for _, sign := range [...]int{+1, -1} {
 			victim := physRow + sign*d.dist
-			if victim < 0 || victim >= NumRows || exclude[victim] {
+			if victim < 0 || victim >= ch.geom.Rows || exclude[victim] {
 				continue
 			}
-			if !disturb.SameSubarray(physRow, victim) {
+			if !ch.fp.SameSubarray(physRow, victim) {
 				continue
 			}
 			vrs := b.row(victim, ch.now, ch.jitterFn(pc, bankIdx))
@@ -228,7 +234,7 @@ func (ch *Channel) restoreLocked(pc, bankIdx int, b *bank, phys int, rs *rowStat
 			below = n.data
 		}
 		if ch.scratch == nil {
-			ch.scratch = make([]byte, RowBytes)
+			ch.scratch = make([]byte, ch.geom.RowBytes)
 		}
 		mask := ch.scratch
 		for i := range mask {
@@ -264,11 +270,11 @@ func (ch *Channel) Read(pc, bankIdx, col int, buf []byte) error {
 }
 
 func (ch *Channel) readLocked(pc, bankIdx, col int, buf []byte) error {
-	if col < 0 || col >= NumCols {
+	if col < 0 || col >= ch.geom.Cols() {
 		return fmt.Errorf("hbm: column %d out of range", col)
 	}
-	if len(buf) < ColBytes {
-		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, ColBytes)
+	if len(buf) < ch.geom.ColBytes {
+		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, ch.geom.ColBytes)
 	}
 	b, err := ch.bank(pc, bankIdx)
 	if err != nil {
@@ -286,15 +292,16 @@ func (ch *Channel) readLocked(pc, bankIdx, col int, buf []byte) error {
 	}
 
 	rs := b.peek(b.openPhys)
-	off := col * ColBytes
+	cb := ch.geom.ColBytes
+	off := col * cb
 	if rs == nil || rs.data == nil {
-		for i := 0; i < ColBytes; i++ {
+		for i := 0; i < cb; i++ {
 			buf[i] = 0
 		}
 	} else {
-		copy(buf[:ColBytes], rs.data[off:off+ColBytes])
+		copy(buf[:cb], rs.data[off:off+cb])
 		if ch.chip.modeRegs.ECCEnabled && rs.parity != nil {
-			correctColumn(buf[:ColBytes], rs.parity, off)
+			correctColumn(buf[:cb], rs.parity, off, cb)
 		}
 	}
 	b.lastRW = ch.now
@@ -310,11 +317,11 @@ func (ch *Channel) Write(pc, bankIdx, col int, data []byte) error {
 }
 
 func (ch *Channel) writeLocked(pc, bankIdx, col int, data []byte) error {
-	if col < 0 || col >= NumCols {
+	if col < 0 || col >= ch.geom.Cols() {
 		return fmt.Errorf("hbm: column %d out of range", col)
 	}
-	if len(data) < ColBytes {
-		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, ColBytes)
+	if len(data) < ch.geom.ColBytes {
+		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, ch.geom.ColBytes)
 	}
 	b, err := ch.bank(pc, bankIdx)
 	if err != nil {
@@ -333,15 +340,16 @@ func (ch *Channel) writeLocked(pc, bankIdx, col int, data []byte) error {
 
 	rs := b.row(b.openPhys, ch.now, ch.jitterFn(pc, bankIdx))
 	if rs.data == nil {
-		rs.data = make([]byte, RowBytes)
+		rs.data = make([]byte, ch.geom.RowBytes)
 	}
-	off := col * ColBytes
-	copy(rs.data[off:off+ColBytes], data[:ColBytes])
+	cb := ch.geom.ColBytes
+	off := col * cb
+	copy(rs.data[off:off+cb], data[:cb])
 	if ch.chip.modeRegs.ECCEnabled {
 		if rs.parity == nil {
-			rs.parity = make([]byte, RowBytes/ecc.WordBytes)
+			rs.parity = make([]byte, ch.geom.RowBytes/ecc.WordBytes)
 		}
-		updateParityColumn(rs.data, rs.parity, off)
+		updateParityColumn(rs.data, rs.parity, off, cb)
 	}
 	b.lastRW = ch.now
 	b.wrote = true
@@ -359,8 +367,8 @@ func (ch *Channel) Refresh() error {
 }
 
 func (ch *Channel) refreshLocked() error {
-	for pc := 0; pc < NumPseudoChannels; pc++ {
-		for bi := 0; bi < NumBanks; bi++ {
+	for pc := 0; pc < ch.geom.PseudoChannels; pc++ {
+		for bi := 0; bi < ch.geom.Banks; bi++ {
 			if ch.banks[pc][bi].open {
 				return fmt.Errorf("%w: %s open", ErrBanksNotIdle, Addr{ch.index, pc, bi, ch.banks[pc][bi].openLogical})
 			}
@@ -371,18 +379,18 @@ func (ch *Channel) refreshLocked() error {
 	}
 
 	t := ch.chip.timing
-	rowsPerRef := t.RowsPerREF()
-	for pc := 0; pc < NumPseudoChannels; pc++ {
-		for bi := 0; bi < NumBanks; bi++ {
+	rowsPerRef := t.RowsPerREF(ch.geom.Rows)
+	for pc := 0; pc < ch.geom.PseudoChannels; pc++ {
+		for bi := 0; bi < ch.geom.Banks; bi++ {
 			b := ch.banks[pc][bi]
 			for k := 0; k < rowsPerRef; k++ {
-				phys := (ch.refCounter + k) % NumRows
+				phys := (ch.refCounter + k) % ch.geom.Rows
 				if rs := b.peek(phys); rs != nil {
 					ch.restoreLocked(pc, bi, b, phys, rs)
 				}
 			}
 			for _, victim := range b.trr.OnRefresh() {
-				if victim < 0 || victim >= NumRows {
+				if victim < 0 || victim >= ch.geom.Rows {
 					continue
 				}
 				if rs := b.peek(victim); rs != nil {
@@ -391,7 +399,7 @@ func (ch *Channel) refreshLocked() error {
 			}
 		}
 	}
-	ch.refCounter = (ch.refCounter + rowsPerRef) % NumRows
+	ch.refCounter = (ch.refCounter + rowsPerRef) % ch.geom.Rows
 
 	ch.lastRefEnd = ch.now + t.TRFC
 	ch.now = ch.lastRefEnd

@@ -9,37 +9,70 @@ import (
 	"hbmrd/internal/trr"
 )
 
-// Chip is one simulated HBM2 stack. Its eight channels operate (and may be
+// Chip is one simulated HBM stack. Its channels operate (and may be
 // driven) independently; chip-level configuration (mode registers,
 // temperature, age) must not be changed while channels are being driven.
 type Chip struct {
+	geom     Geometry
 	prof     disturb.Profile
 	model    *disturb.Model
 	mapper   rowmap.Mapper
 	timing   Timing
 	modeRegs ModeRegisters
-	channels [NumChannels]*Channel
+	channels []*Channel
 }
 
 // config collects the functional options of New.
 type config struct {
-	timing     Timing
-	mapper     rowmap.Mapper
-	trrCfg     trr.Config
-	autoTiming bool
+	geom        Geometry
+	timing      Timing
+	timingSet   bool
+	mapper      rowmap.Mapper
+	identityMap bool
+	trrCfg      trr.Config
+	autoTiming  bool
 }
 
 // Option configures a Chip at construction time.
 type Option func(*config)
 
+// WithGeometry builds the chip with a preset's organization and timing
+// table (see Presets). An explicit WithTiming still wins over the preset's
+// timing, regardless of option order.
+func WithGeometry(p Preset) Option {
+	return func(c *config) {
+		c.geom = p.Geometry
+		if !c.timingSet {
+			c.timing = p.Timing
+		}
+	}
+}
+
 // WithTiming overrides the default timing parameters.
 func WithTiming(t Timing) Option {
-	return func(c *config) { c.timing = t }
+	return func(c *config) {
+		c.timing = t
+		c.timingSet = true
+	}
 }
 
 // WithMapper overrides the chip's internal logical-to-physical row mapping.
+// The mapper must cover exactly the chip geometry's row count.
 func WithMapper(m rowmap.Mapper) Option {
-	return func(c *config) { c.mapper = m }
+	return func(c *config) {
+		c.mapper = m
+		c.identityMap = false
+	}
+}
+
+// WithIdentityMapping disables the vendor row swizzle: logical adjacency
+// equals physical adjacency. Unlike WithMapper, it adapts to whatever row
+// count the chip's geometry ends up with.
+func WithIdentityMapping() Option {
+	return func(c *config) {
+		c.mapper = nil
+		c.identityMap = true
+	}
 }
 
 // WithTRRConfig overrides the undocumented TRR mechanism's configuration
@@ -57,17 +90,14 @@ func WithStrictTiming() Option {
 }
 
 // New builds a chip from a fault-model profile. By default the chip uses
-// DefaultTiming, a salt-derived BitSwizzle row mapping (like real chips,
-// the mapping differs per specimen), the paper's TRR configuration when the
-// profile enables TRR, and auto-delayed command timing.
+// the paper's HBM2 geometry and timing (the HBM2_8Gb preset), a
+// salt-derived BitSwizzle row mapping (like real chips, the mapping
+// differs per specimen), the paper's TRR configuration when the profile
+// enables TRR, and auto-delayed command timing.
 func New(prof disturb.Profile, opts ...Option) (*Chip, error) {
-	model, err := disturb.NewModel(prof)
-	if err != nil {
-		return nil, err
-	}
 	cfg := config{
+		geom:       DefaultGeometry(),
 		timing:     DefaultTiming(),
-		mapper:     rowmap.BitSwizzle{NumRows: NumRows, Salt: prof.Seed},
 		autoTiming: true,
 	}
 	if prof.HasTRR {
@@ -76,31 +106,54 @@ func New(prof disturb.Profile, opts ...Option) (*Chip, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if err := cfg.geom.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := disturb.NewModelFor(prof, disturb.Org{
+		Channels:    cfg.geom.Channels,
+		RowsPerBank: cfg.geom.Rows,
+		RowBytes:    cfg.geom.RowBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case cfg.identityMap:
+		cfg.mapper = rowmap.Identity{NumRows: cfg.geom.Rows}
+	case cfg.mapper == nil:
+		cfg.mapper = rowmap.BitSwizzle{NumRows: cfg.geom.Rows, Salt: prof.Seed}
+	}
 	if err := cfg.timing.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.mapper.Rows() != NumRows {
-		return nil, fmt.Errorf("hbm: mapper covers %d rows, want %d", cfg.mapper.Rows(), NumRows)
+	if cfg.mapper.Rows() != cfg.geom.Rows {
+		return nil, fmt.Errorf("hbm: mapper covers %d rows, want %d", cfg.mapper.Rows(), cfg.geom.Rows)
 	}
 	if err := cfg.trrCfg.Validate(); err != nil {
 		return nil, err
 	}
 
 	c := &Chip{
-		prof:   prof,
-		model:  model,
-		mapper: cfg.mapper,
-		timing: cfg.timing,
+		geom:     cfg.geom,
+		prof:     prof,
+		model:    model,
+		mapper:   cfg.mapper,
+		timing:   cfg.timing,
+		channels: make([]*Channel, cfg.geom.Channels),
 	}
-	for i := 0; i < NumChannels; i++ {
+	for i := 0; i < cfg.geom.Channels; i++ {
 		ch := &Channel{
 			chip:       c,
+			geom:       cfg.geom,
+			fp:         model.Floorplan(),
 			index:      i,
 			autoTiming: cfg.autoTiming,
 			lastRefEnd: math.MinInt64 / 2,
+			banks:      make([][]*bank, cfg.geom.PseudoChannels),
 		}
-		for pc := 0; pc < NumPseudoChannels; pc++ {
-			for bi := 0; bi < NumBanks; bi++ {
+		for pc := 0; pc < cfg.geom.PseudoChannels; pc++ {
+			ch.banks[pc] = make([]*bank, cfg.geom.Banks)
+			for bi := 0; bi < cfg.geom.Banks; bi++ {
 				b, err := newBank(pc, bi, cfg.trrCfg)
 				if err != nil {
 					return nil, err
@@ -122,13 +175,16 @@ func NewBuiltin(index int, opts ...Option) (*Chip, error) {
 	return New(prof, opts...)
 }
 
-// Channel returns channel i (0-7).
+// Channel returns channel i (0 .. Geometry().Channels-1).
 func (c *Chip) Channel(i int) (*Channel, error) {
-	if i < 0 || i >= NumChannels {
-		return nil, fmt.Errorf("hbm: channel %d out of [0,%d)", i, NumChannels)
+	if i < 0 || i >= len(c.channels) {
+		return nil, fmt.Errorf("hbm: channel %d out of [0,%d)", i, len(c.channels))
 	}
 	return c.channels[i], nil
 }
+
+// Geometry returns the chip's organization.
+func (c *Chip) Geometry() Geometry { return c.geom }
 
 // Profile returns the fault-model profile the chip was built from.
 func (c *Chip) Profile() disturb.Profile { return c.prof }

@@ -110,6 +110,7 @@ func TestColumnRangeValidation(t *testing.T) {
 }
 
 func TestHammerRowsTRRSeesFirstComeOrder(t *testing.T) {
+	t.Parallel()
 	// The batched HammerRows must present rows to the TRR tracker in
 	// first-occurrence order: with a 4-entry tracker, the first four rows
 	// of the burst are the tracked ones. We observe this behaviourally:

@@ -7,9 +7,9 @@ import (
 )
 
 // updateParityColumn recomputes the SECDED check bytes for the 64-bit words
-// covered by a column write at byte offset off.
-func updateParityColumn(data, parity []byte, off int) {
-	for w := off / ecc.WordBytes; w < (off+ColBytes)/ecc.WordBytes; w++ {
+// covered by a colBytes-wide column write at byte offset off.
+func updateParityColumn(data, parity []byte, off, colBytes int) {
+	for w := off / ecc.WordBytes; w < (off+colBytes)/ecc.WordBytes; w++ {
 		word := binary.LittleEndian.Uint64(data[w*ecc.WordBytes:])
 		parity[w] = ecc.Encode(word).Check
 	}
@@ -20,8 +20,11 @@ func updateParityColumn(data, parity []byte, off int) {
 // row (used to find the matching parity bytes). Single-bit errors are
 // corrected in place; double-bit errors are left as read (real hardware
 // would raise an uncorrectable-error signal to the host).
-func correctColumn(buf, parity []byte, off int) {
-	for i := 0; i+ecc.WordBytes <= len(buf); i += ecc.WordBytes {
+func correctColumn(buf, parity []byte, off, colBytes int) {
+	if colBytes > len(buf) {
+		colBytes = len(buf)
+	}
+	for i := 0; i+ecc.WordBytes <= colBytes; i += ecc.WordBytes {
 		w := (off + i) / ecc.WordBytes
 		cw := ecc.Codeword{
 			Data:  binary.LittleEndian.Uint64(buf[i:]),

@@ -1,16 +1,20 @@
-// Package hbm implements a command-level device model of the HBM2 DRAM
-// chips the paper characterizes: 8 channels x 2 pseudo channels x 16 banks
-// x 16384 rows of 1 KiB (§3). The chip is driven exclusively through the
-// JEDEC command interface (ACT/PRE/RD/WR/REF) with picosecond timestamps,
-// exactly as the paper's FPGA-based DRAM Bender platform drives real
-// silicon. Read-disturbance behaviour comes from the calibrated fault model
-// in internal/disturb; the undocumented TRR engine from internal/trr runs
-// inside every bank.
+// Package hbm implements a command-level device model of the HBM DRAM
+// chips the paper characterizes. The default organization is the paper's
+// HBM2 part: 8 channels x 2 pseudo channels x 16 banks x 16384 rows of
+// 1 KiB (§3); other organizations (HBM2E- and HBM3-like) are available
+// through the preset registry (see preset.go). The chip is driven
+// exclusively through the JEDEC command interface (ACT/PRE/RD/WR/REF) with
+// picosecond timestamps, exactly as the paper's FPGA-based DRAM Bender
+// platform drives real silicon. Read-disturbance behaviour comes from the
+// calibrated fault model in internal/disturb; the undocumented TRR engine
+// from internal/trr runs inside every bank.
 package hbm
 
 import "fmt"
 
-// Geometry of the tested HBM2 chips (identical across all six).
+// Geometry of the paper's tested HBM2 chips (identical across all six).
+// These constants define the default organization; chips built with a
+// non-default preset carry their own Geometry instead (see Chip.Geometry).
 const (
 	// NumChannels is the number of independent HBM2 channels per stack.
 	NumChannels = 8
@@ -30,6 +34,97 @@ const (
 	NumCols = RowBytes / ColBytes
 )
 
+// Geometry describes one chip organization: how many channels, pseudo
+// channels, banks and rows a stack has, and how large a row is. Every Chip
+// carries a Geometry; the zero value is invalid — use DefaultGeometry or a
+// preset from Presets.
+type Geometry struct {
+	// Name labels the organization (e.g. "HBM2_8Gb").
+	Name string
+	// Channels is the number of independent channels per stack.
+	Channels int
+	// PseudoChannels is the number of pseudo channels per channel.
+	PseudoChannels int
+	// Banks is the number of banks per pseudo channel.
+	Banks int
+	// Rows is the number of rows per bank.
+	Rows int
+	// RowBytes is the size of one row in bytes.
+	RowBytes int
+	// ColBytes is the data transferred by one RD/WR command (one column).
+	ColBytes int
+}
+
+// DefaultGeometry returns the paper's HBM2 organization (the HBM2_8Gb
+// preset's geometry), matching the package constants exactly.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Name:           "HBM2_8Gb",
+		Channels:       NumChannels,
+		PseudoChannels: NumPseudoChannels,
+		Banks:          NumBanks,
+		Rows:           NumRows,
+		RowBytes:       RowBytes,
+		ColBytes:       ColBytes,
+	}
+}
+
+// RowBits returns the number of cells (bits) in one row.
+func (g Geometry) RowBits() int { return g.RowBytes * 8 }
+
+// Cols returns the number of columns per row.
+func (g Geometry) Cols() int { return g.RowBytes / g.ColBytes }
+
+// BanksPerStack returns the total bank count across the whole stack.
+func (g Geometry) BanksPerStack() int { return g.Channels * g.PseudoChannels * g.Banks }
+
+// TotalBytes returns the stack's total capacity in bytes.
+func (g Geometry) TotalBytes() int64 {
+	return int64(g.BanksPerStack()) * int64(g.Rows) * int64(g.RowBytes)
+}
+
+// Validate reports an inconsistent geometry.
+func (g Geometry) Validate() error {
+	type check struct {
+		name string
+		v    int
+	}
+	for _, c := range []check{
+		{"Channels", g.Channels}, {"PseudoChannels", g.PseudoChannels},
+		{"Banks", g.Banks}, {"Rows", g.Rows},
+		{"RowBytes", g.RowBytes}, {"ColBytes", g.ColBytes},
+	} {
+		if c.v <= 0 {
+			return fmt.Errorf("hbm: geometry %s must be positive, got %d", c.name, c.v)
+		}
+	}
+	if g.RowBytes%g.ColBytes != 0 {
+		return fmt.Errorf("hbm: RowBytes (%d) not a multiple of ColBytes (%d)", g.RowBytes, g.ColBytes)
+	}
+	if g.RowBytes%8 != 0 {
+		return fmt.Errorf("hbm: RowBytes (%d) must be a multiple of 8 (ECC words)", g.RowBytes)
+	}
+	if g.Rows%8 != 0 {
+		return fmt.Errorf("hbm: Rows (%d) must be a multiple of 8 (row swizzle blocks)", g.Rows)
+	}
+	return nil
+}
+
+// Contains reports whether the address is within this geometry.
+func (g Geometry) Contains(a Addr) error {
+	switch {
+	case a.Channel < 0 || a.Channel >= g.Channels:
+		return fmt.Errorf("hbm: channel %d out of [0,%d)", a.Channel, g.Channels)
+	case a.Pseudo < 0 || a.Pseudo >= g.PseudoChannels:
+		return fmt.Errorf("hbm: pseudo channel %d out of [0,%d)", a.Pseudo, g.PseudoChannels)
+	case a.Bank < 0 || a.Bank >= g.Banks:
+		return fmt.Errorf("hbm: bank %d out of [0,%d)", a.Bank, g.Banks)
+	case a.Row < 0 || a.Row >= g.Rows:
+		return fmt.Errorf("hbm: row %d out of [0,%d)", a.Row, g.Rows)
+	}
+	return nil
+}
+
 // Addr identifies a row through the command interface. Row is a logical
 // (memory-controller-visible) row number; the chip applies its internal
 // logical-to-physical mapping.
@@ -40,20 +135,9 @@ type Addr struct {
 	Row     int
 }
 
-// Validate reports whether the address is within the chip's geometry.
-func (a Addr) Validate() error {
-	switch {
-	case a.Channel < 0 || a.Channel >= NumChannels:
-		return fmt.Errorf("hbm: channel %d out of [0,%d)", a.Channel, NumChannels)
-	case a.Pseudo < 0 || a.Pseudo >= NumPseudoChannels:
-		return fmt.Errorf("hbm: pseudo channel %d out of [0,%d)", a.Pseudo, NumPseudoChannels)
-	case a.Bank < 0 || a.Bank >= NumBanks:
-		return fmt.Errorf("hbm: bank %d out of [0,%d)", a.Bank, NumBanks)
-	case a.Row < 0 || a.Row >= NumRows:
-		return fmt.Errorf("hbm: row %d out of [0,%d)", a.Row, NumRows)
-	}
-	return nil
-}
+// Validate reports whether the address is within the default (paper HBM2)
+// geometry. Use Geometry.Contains to validate against another organization.
+func (a Addr) Validate() error { return DefaultGeometry().Contains(a) }
 
 // String implements fmt.Stringer.
 func (a Addr) String() string {

@@ -1,0 +1,366 @@
+package hbm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hbmrd/internal/rowmap"
+)
+
+// TestHBM2PresetPinsPaperConstants is the regression pin: the HBM2_8Gb
+// preset must stay byte-for-byte identical to the paper's part (§3), which
+// the package constants and DefaultTiming encode.
+func TestHBM2PresetPinsPaperConstants(t *testing.T) {
+	t.Parallel()
+	p, err := LookupPreset(PresetHBM2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Geometry
+	pins := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"Channels", g.Channels, 8},
+		{"PseudoChannels", g.PseudoChannels, 2},
+		{"Banks", g.Banks, 16},
+		{"Rows", g.Rows, 16384},
+		{"RowBytes", g.RowBytes, 1024},
+		{"ColBytes", g.ColBytes, 32},
+		{"RowBits", g.RowBits(), RowBits},
+		{"Cols", g.Cols(), NumCols},
+	}
+	for _, pin := range pins {
+		if pin.got != pin.want {
+			t.Errorf("HBM2_8Gb %s = %d, want %d", pin.name, pin.got, pin.want)
+		}
+	}
+	if g != DefaultGeometry() {
+		t.Errorf("HBM2_8Gb geometry %+v differs from DefaultGeometry", g)
+	}
+	if p.Timing != DefaultTiming() {
+		t.Errorf("HBM2_8Gb timing %+v differs from DefaultTiming", p.Timing)
+	}
+}
+
+func TestPresetRegistry(t *testing.T) {
+	t.Parallel()
+	ps := Presets()
+	if len(ps) < 3 {
+		t.Fatalf("only %d presets registered, want at least 3", len(ps))
+	}
+	if ps[0].Name != PresetHBM2 {
+		t.Errorf("first preset is %q, want the default %q", ps[0].Name, PresetHBM2)
+	}
+	for _, p := range ps {
+		if err := p.Geometry.Validate(); err != nil {
+			t.Errorf("preset %s: invalid geometry: %v", p.Name, err)
+		}
+		if err := p.Timing.Validate(); err != nil {
+			t.Errorf("preset %s: invalid timing: %v", p.Name, err)
+		}
+		if p.Description == "" {
+			t.Errorf("preset %s: empty description", p.Name)
+		}
+		if p.Geometry.Name != p.Name {
+			t.Errorf("preset %s: geometry labelled %q", p.Name, p.Geometry.Name)
+		}
+		// Lookup is case-insensitive and returns the same preset.
+		got, err := LookupPreset(strings.ToLower(p.Name))
+		if err != nil {
+			t.Errorf("LookupPreset(%q): %v", strings.ToLower(p.Name), err)
+		} else if got.Name != p.Name {
+			t.Errorf("LookupPreset(%q) = %s", strings.ToLower(p.Name), got.Name)
+		}
+	}
+	if _, err := LookupPreset("DDR5_who_knows"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if names := PresetNames(); len(names) != len(ps) || names[0] != PresetHBM2 {
+		t.Errorf("PresetNames() = %v", names)
+	}
+}
+
+func TestGeometryValidateErrors(t *testing.T) {
+	t.Parallel()
+	base := DefaultGeometry()
+	cases := []struct {
+		name   string
+		mutate func(*Geometry)
+	}{
+		{"zero channels", func(g *Geometry) { g.Channels = 0 }},
+		{"negative pseudo", func(g *Geometry) { g.PseudoChannels = -1 }},
+		{"zero banks", func(g *Geometry) { g.Banks = 0 }},
+		{"zero rows", func(g *Geometry) { g.Rows = 0 }},
+		{"zero row bytes", func(g *Geometry) { g.RowBytes = 0 }},
+		{"zero col bytes", func(g *Geometry) { g.ColBytes = 0 }},
+		{"row not multiple of col", func(g *Geometry) { g.ColBytes = 33 }},
+		{"row bytes not ecc-word aligned", func(g *Geometry) { g.RowBytes = 1028; g.ColBytes = 4 }},
+		{"rows not swizzle-block aligned", func(g *Geometry) { g.Rows = 16381 }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := base
+			tc.mutate(&g)
+			if err := g.Validate(); err == nil {
+				t.Errorf("geometry %+v validated", g)
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("default geometry invalid: %v", err)
+	}
+}
+
+// TestGeometryContains validates addresses against every preset, including
+// addresses that are legal in one organization and out of range in another.
+func TestGeometryContains(t *testing.T) {
+	t.Parallel()
+	for _, p := range Presets() {
+		g := p.Geometry
+		good := []Addr{
+			{0, 0, 0, 0},
+			{g.Channels - 1, g.PseudoChannels - 1, g.Banks - 1, g.Rows - 1},
+			{g.Channels / 2, 0, g.Banks / 2, g.Rows / 2},
+		}
+		for _, a := range good {
+			if err := g.Contains(a); err != nil {
+				t.Errorf("%s: %v should be valid: %v", p.Name, a, err)
+			}
+		}
+		bad := []Addr{
+			{-1, 0, 0, 0},
+			{g.Channels, 0, 0, 0},
+			{0, g.PseudoChannels, 0, 0},
+			{0, 0, g.Banks, 0},
+			{0, 0, 0, g.Rows},
+			{0, 0, 0, -1},
+		}
+		for _, a := range bad {
+			if err := g.Contains(a); err == nil {
+				t.Errorf("%s: %v should be rejected", p.Name, a)
+			}
+		}
+	}
+	// The HBM3 preset has channels the HBM2 organization does not.
+	h3, err := LookupPreset(PresetHBM3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := Addr{Channel: 12}
+	if err := h3.Geometry.Contains(wide); err != nil {
+		t.Errorf("channel 12 should exist on %s: %v", PresetHBM3, err)
+	}
+	if err := wide.Validate(); err == nil {
+		t.Error("channel 12 should be out of range for the default geometry")
+	}
+	// The HBM2E preset has rows the others do not.
+	h2e, err := LookupPreset(PresetHBM2E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := Addr{Row: 20000}
+	if err := h2e.Geometry.Contains(deep); err != nil {
+		t.Errorf("row 20000 should exist on %s: %v", PresetHBM2E, err)
+	}
+	if err := DefaultGeometry().Contains(deep); err == nil {
+		t.Error("row 20000 should be out of range for the default geometry")
+	}
+}
+
+// TestPresetMappingRoundTrips checks the logical<->physical row mapping per
+// preset: the default BitSwizzle mapper of a chip built with each preset
+// must be a verified bijection over that preset's row count, with exact
+// round-trips.
+func TestPresetMappingRoundTrips(t *testing.T) {
+	t.Parallel()
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			chip, err := NewBuiltin(1, WithGeometry(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := chip.Mapper()
+			if m.Rows() != p.Geometry.Rows {
+				t.Fatalf("mapper covers %d rows, want %d", m.Rows(), p.Geometry.Rows)
+			}
+			if err := rowmap.Verify(m); err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range []int{0, 1, p.Geometry.Rows / 2, p.Geometry.Rows - 1} {
+				phys := m.ToPhysical(l)
+				if back := m.ToLogical(phys); back != l {
+					t.Errorf("row %d -> %d -> %d", l, phys, back)
+				}
+			}
+		})
+	}
+}
+
+// TestPresetChipsTakeBitflips drives a double-sided hammer on a chip built
+// from every preset: each organization must produce disturbance bitflips
+// end to end (this guards the whole geometry plumbing; a row-size buffer
+// bug, for example, silently suppresses all flips).
+func TestPresetChipsTakeBitflips(t *testing.T) {
+	t.Parallel()
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			chip, err := NewBuiltin(0, WithGeometry(p), WithIdentityMapping())
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := chip.Geometry()
+			ch, err := chip.Channel(g.Channels - 1) // also exercises non-HBM2 channel indices
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range []int{999, 1000, 1001} {
+				fill := byte(0xAA)
+				if r != 1000 {
+					fill = 0x55
+				}
+				if err := ch.FillRow(0, g.Banks-1, r, fill); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ch.HammerDoubleSided(0, g.Banks-1, 999, 1001, 300_000, 0); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, g.RowBytes)
+			if err := ch.ReadRow(0, g.Banks-1, 1000, buf); err != nil {
+				t.Fatal(err)
+			}
+			flips := 0
+			for _, b := range buf {
+				for x := b ^ byte(0xAA); x != 0; x &= x - 1 {
+					flips++
+				}
+			}
+			if flips == 0 {
+				t.Errorf("%s: no bitflips after 300K double-sided hammers", p.Name)
+			}
+			t.Logf("%s: %d flips", p.Name, flips)
+		})
+	}
+}
+
+// TestDefaultChipIdenticalToHBM2Preset verifies the refactor is
+// behavior-preserving: a chip built with no geometry options and one built
+// with the explicit HBM2_8Gb preset produce bit-identical hammer results.
+func TestDefaultChipIdenticalToHBM2Preset(t *testing.T) {
+	t.Parallel()
+	run := func(opts ...Option) []byte {
+		chip, err := NewBuiltin(3, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := chip.Channel(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []int{511, 512, 513} {
+			fill := byte(0x55)
+			if r != 512 {
+				fill = 0xAA
+			}
+			if err := ch.FillRow(1, 3, r, fill); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ch.HammerDoubleSided(1, 3, 511, 513, 280_000, 0); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, RowBytes)
+		if err := ch.ReadRow(1, 3, 512, buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	plain := run()
+	preset := run(WithGeometry(DefaultPreset()))
+	if !bytes.Equal(plain, preset) {
+		t.Error("default chip and explicit HBM2_8Gb preset chip disagree")
+	}
+}
+
+// TestWithGeometryTimingPrecedence: an explicit WithTiming wins over the
+// preset's timing table regardless of option order.
+func TestWithGeometryTimingPrecedence(t *testing.T) {
+	t.Parallel()
+	h3, err := LookupPreset(PresetHBM3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := DefaultTiming()
+	custom.TRC = 50_000
+
+	before, err := NewBuiltin(0, WithTiming(custom), WithGeometry(h3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := before.Timing(); got != custom {
+		t.Errorf("WithTiming before WithGeometry lost: %+v", got)
+	}
+	after, err := NewBuiltin(0, WithGeometry(h3), WithTiming(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := after.Timing(); got != custom {
+		t.Errorf("WithTiming after WithGeometry lost: %+v", got)
+	}
+	bare, err := NewBuiltin(0, WithGeometry(h3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bare.Timing(); got != h3.Timing {
+		t.Errorf("preset timing not applied: %+v", got)
+	}
+}
+
+// TestChipGeometryAccessors: channels and geometry exposed by a non-default
+// chip are consistent.
+func TestChipGeometryAccessors(t *testing.T) {
+	t.Parallel()
+	h3, err := LookupPreset(PresetHBM3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := NewBuiltin(0, WithGeometry(h3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := chip.Geometry()
+	if g.Channels != 16 {
+		t.Fatalf("geometry channels = %d", g.Channels)
+	}
+	if _, err := chip.Channel(15); err != nil {
+		t.Errorf("channel 15: %v", err)
+	}
+	if _, err := chip.Channel(16); err == nil {
+		t.Error("channel 16 accepted on a 16-channel stack")
+	}
+	ch, err := chip.Channel(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Geometry() != g {
+		t.Error("channel geometry differs from chip geometry")
+	}
+	// A mapper sized for the wrong row count is rejected.
+	if _, err := NewBuiltin(0, WithGeometry(h3), WithMapper(rowmap.Identity{NumRows: 8})); err == nil {
+		t.Error("wrong-size mapper accepted")
+	}
+	// An invalid geometry is rejected at construction.
+	bad := h3
+	bad.Geometry.Rows = 0
+	if _, err := NewBuiltin(0, WithGeometry(bad)); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}

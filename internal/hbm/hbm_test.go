@@ -87,7 +87,7 @@ func TestTimingDefaults(t *testing.T) {
 	if got := tm.ActBudgetPerREFI(); got != 78 {
 		t.Errorf("ACT budget per tREFI = %d, paper computes 78", got)
 	}
-	if got := tm.RowsPerREF(); got != 2 {
+	if got := tm.RowsPerREF(NumRows); got != 2 {
 		t.Errorf("rows per REF = %d, want 2 (16384 rows / 8205 REFs per window)", got)
 	}
 	if tm.MaxOpen != 9*tm.TREFI {
@@ -283,6 +283,7 @@ func TestHammerRestoreSemantics(t *testing.T) {
 }
 
 func TestBatchedHammerMatchesExplicitLoop(t *testing.T) {
+	t.Parallel()
 	// The O(1) hammer path must produce the exact same victim bitflips as
 	// the command-by-command loop.
 	const (
@@ -381,6 +382,7 @@ func TestSubarrayBoundaryBlocksCoupling(t *testing.T) {
 }
 
 func TestRetentionFailuresAfterLongWait(t *testing.T) {
+	t.Parallel()
 	c := newTestChip(t, 0) // 82C chip
 	ch := channelOf(t, c, 0)
 	if err := ch.FillRow(0, 0, 123, 0xAA); err != nil {
@@ -413,6 +415,7 @@ func TestRetentionFailuresAfterLongWait(t *testing.T) {
 }
 
 func TestECCModeCorrectsSingleBitWords(t *testing.T) {
+	t.Parallel()
 	hammerAndRead := func(eccOn bool) int {
 		c := newTestChip(t, 4)
 		c.SetECC(eccOn)
@@ -440,6 +443,7 @@ func TestECCModeCorrectsSingleBitWords(t *testing.T) {
 }
 
 func TestTRRProtectsPlainDoubleSidedHammering(t *testing.T) {
+	t.Parallel()
 	// With periodic refresh running and no dummy rows, the undocumented
 	// TRR identifies the aggressors and protects the victim; with the TRR
 	// engine disabled the same pattern flips bits.
@@ -456,6 +460,12 @@ func TestTRRProtectsPlainDoubleSidedHammering(t *testing.T) {
 		budget := c.Timing().ActBudgetPerREFI()
 		agg := budget / 2 // 39 ACTs per aggressor per tREFI
 		windows := 2 * int(c.Timing().TREFW/c.Timing().TREFI)
+		if testing.Short() {
+			// One refresh window still accumulates ~200K activations after
+			// the victim's periodic-refresh slot: enough to flip unprotected
+			// rows while TRR-protected rows stay clean.
+			windows /= 2
+		}
 		for w := 0; w < windows; w++ {
 			if err := ch.HammerRows(0, 0, []int{victim - 1, victim + 1}, []int{agg, agg - 1}, 0); err != nil {
 				t.Fatal(err)

@@ -11,47 +11,57 @@ import "fmt"
 // instructions of the real DRAM Bender platform.
 
 // WriteRow activates a logical row, writes all its columns from data
-// (RowBytes bytes), and precharges.
+// (Geometry().RowBytes bytes), and precharges.
 func (ch *Channel) WriteRow(pc, bankIdx, row int, data []byte) error {
-	if len(data) < RowBytes {
-		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, RowBytes)
+	if len(data) < ch.geom.RowBytes {
+		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, ch.geom.RowBytes)
 	}
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
+	return ch.writeRowLocked(pc, bankIdx, row, data)
+}
+
+func (ch *Channel) writeRowLocked(pc, bankIdx, row int, data []byte) error {
 	if err := ch.activateLocked(pc, bankIdx, row); err != nil {
 		return err
 	}
-	for col := 0; col < NumCols; col++ {
-		if err := ch.writeLocked(pc, bankIdx, col, data[col*ColBytes:]); err != nil {
+	for col := 0; col < ch.geom.Cols(); col++ {
+		if err := ch.writeLocked(pc, bankIdx, col, data[col*ch.geom.ColBytes:]); err != nil {
 			return err
 		}
 	}
 	return ch.prechargeLocked(pc, bankIdx)
 }
 
-// FillRow writes the same byte to every cell of a logical row.
+// FillRow writes the same byte to every cell of a logical row. The fill
+// data is staged in a per-channel buffer reused across calls, so hot loops
+// (pattern initialization before every hammer) do not allocate.
 func (ch *Channel) FillRow(pc, bankIdx, row int, fill byte) error {
-	buf := make([]byte, RowBytes)
-	for i := range buf {
-		buf[i] = fill
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.fillBuf == nil {
+		ch.fillBuf = make([]byte, ch.geom.RowBytes)
 	}
-	return ch.WriteRow(pc, bankIdx, row, buf)
+	for i := range ch.fillBuf {
+		ch.fillBuf[i] = fill
+	}
+	return ch.writeRowLocked(pc, bankIdx, row, ch.fillBuf)
 }
 
 // ReadRow activates a logical row, reads all its columns into buf
-// (RowBytes bytes), and precharges. Activation materializes any pending
-// disturbance first, so this is how experiments observe bitflips.
+// (Geometry().RowBytes bytes), and precharges. Activation materializes any
+// pending disturbance first, so this is how experiments observe bitflips.
 func (ch *Channel) ReadRow(pc, bankIdx, row int, buf []byte) error {
-	if len(buf) < RowBytes {
-		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, RowBytes)
+	if len(buf) < ch.geom.RowBytes {
+		return fmt.Errorf("%w: need %d bytes", ErrShortBuffer, ch.geom.RowBytes)
 	}
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
 	if err := ch.activateLocked(pc, bankIdx, row); err != nil {
 		return err
 	}
-	for col := 0; col < NumCols; col++ {
-		if err := ch.readLocked(pc, bankIdx, col, buf[col*ColBytes:]); err != nil {
+	for col := 0; col < ch.geom.Cols(); col++ {
+		if err := ch.readLocked(pc, bankIdx, col, buf[col*ch.geom.ColBytes:]); err != nil {
 			return err
 		}
 	}
@@ -87,7 +97,7 @@ func (ch *Channel) hammer(pc, bankIdx int, rows, counts []int, tOn TimePS, exclu
 		return fmt.Errorf("hbm: %d rows but %d counts", len(rows), len(counts))
 	}
 	for i, r := range rows {
-		if r < 0 || r >= NumRows {
+		if r < 0 || r >= ch.geom.Rows {
 			return fmt.Errorf("hbm: row %d out of range", r)
 		}
 		if counts[i] < 0 {

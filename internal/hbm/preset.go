@@ -1,0 +1,146 @@
+package hbm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Preset bundles a chip organization with the timing table that matches it,
+// in the style of Ramulator's device presets. The HBM2_8Gb preset is the
+// paper's tested part; the HBM2E and HBM3 presets model plausible
+// next-generation organizations so experiments can sweep read-disturbance
+// behaviour across device generations.
+type Preset struct {
+	// Name is the registry key (e.g. "HBM2_8Gb").
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+	// Geometry is the preset's organization.
+	Geometry Geometry
+	// Timing is the preset's default timing table (overridable per chip
+	// with WithTiming).
+	Timing Timing
+}
+
+// PresetHBM2 is the name of the paper's HBM2 part (the default).
+const PresetHBM2 = "HBM2_8Gb"
+
+// PresetHBM2E is the name of the HBM2E-like preset: a 16 Gb die with twice
+// the rows per bank and a faster interface clock.
+const PresetHBM2E = "HBM2E_16Gb"
+
+// PresetHBM3 is the name of the HBM3-like preset: twice the channels (each
+// half as wide, so rows as seen by one pseudo channel are smaller) at a
+// higher command clock.
+const PresetHBM3 = "HBM3_16Gb"
+
+// builtinPresets constructs the preset registry. A fresh value is built on
+// every call so callers can mutate their copy freely.
+func builtinPresets() []Preset {
+	return []Preset{
+		{
+			Name:        PresetHBM2,
+			Description: "the paper's HBM2 part: 8ch x 2pc x 16 banks x 16384 rows of 1 KiB",
+			Geometry:    DefaultGeometry(),
+			Timing:      DefaultTiming(),
+		},
+		{
+			Name:        PresetHBM2E,
+			Description: "HBM2E-like 16 Gb die: 32768 rows per bank, ~800 MHz command clock",
+			Geometry: Geometry{
+				Name:           PresetHBM2E,
+				Channels:       8,
+				PseudoChannels: 2,
+				Banks:          16,
+				Rows:           32768,
+				RowBytes:       1024,
+				ColBytes:       32,
+			},
+			Timing: Timing{
+				TCK:     1_250,
+				TRCD:    14_000,
+				TRAS:    28_000,
+				TRP:     15_000,
+				TRC:     43_000,
+				TRFC:    450_000, // 16 Gb die: longer refresh cycle
+				TREFI:   3_900_000,
+				TREFW:   32 * MS,
+				TCCDL:   3_750,
+				TRTP:    7_500,
+				TWR:     15_000,
+				MaxOpen: 9 * 3_900_000,
+			},
+		},
+		{
+			Name:        PresetHBM3,
+			Description: "HBM3-like stack: 16 narrower channels, 512 B rows, ~1.6 GHz command clock",
+			Geometry: Geometry{
+				Name:           PresetHBM3,
+				Channels:       16,
+				PseudoChannels: 2,
+				Banks:          16,
+				Rows:           16384,
+				RowBytes:       512,
+				ColBytes:       32,
+			},
+			Timing: Timing{
+				TCK:     625,
+				TRCD:    13_000,
+				TRAS:    27_000,
+				TRP:     14_000,
+				TRC:     41_000,
+				TRFC:    410_000,
+				TREFI:   3_900_000,
+				TREFW:   32 * MS,
+				TCCDL:   2_500,
+				TRTP:    5_000,
+				TWR:     14_000,
+				MaxOpen: 9 * 3_900_000,
+			},
+		},
+	}
+}
+
+// Presets returns the built-in preset registry, sorted by name with the
+// default (HBM2_8Gb) first.
+func Presets() []Preset {
+	ps := builtinPresets()
+	sort.Slice(ps, func(i, j int) bool {
+		if (ps[i].Name == PresetHBM2) != (ps[j].Name == PresetHBM2) {
+			return ps[i].Name == PresetHBM2
+		}
+		return ps[i].Name < ps[j].Name
+	})
+	return ps
+}
+
+// PresetNames returns the registered preset names in Presets order.
+func PresetNames() []string {
+	ps := Presets()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// LookupPreset finds a preset by name (case-insensitive).
+func LookupPreset(name string) (Preset, error) {
+	for _, p := range builtinPresets() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("hbm: unknown geometry preset %q (have: %s)",
+		name, strings.Join(PresetNames(), ", "))
+}
+
+// DefaultPreset returns the paper's HBM2 preset.
+func DefaultPreset() Preset {
+	p, err := LookupPreset(PresetHBM2)
+	if err != nil {
+		panic(err) // unreachable: the default preset is always registered
+	}
+	return p
+}

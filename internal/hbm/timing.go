@@ -106,15 +106,15 @@ func (t Timing) ActBudgetPerREFI() int {
 	return int((t.TREFI - t.TRFC) / t.TRC)
 }
 
-// RowsPerREF is how many rows of each bank one REF command refreshes from
-// the internal refresh counter, so that a full bank is covered once per
-// refresh window.
-func (t Timing) RowsPerREF() int {
+// RowsPerREF is how many rows of each numRows-row bank one REF command
+// refreshes from the internal refresh counter, so that a full bank is
+// covered once per refresh window.
+func (t Timing) RowsPerREF(numRows int) int {
 	refsPerWindow := t.TREFW / t.TREFI
 	if refsPerWindow <= 0 {
-		return NumRows
+		return numRows
 	}
-	n := (NumRows + int(refsPerWindow) - 1) / int(refsPerWindow)
+	n := (numRows + int(refsPerWindow) - 1) / int(refsPerWindow)
 	if n < 1 {
 		n = 1
 	}

@@ -42,7 +42,7 @@ func (p *Profiler) RowRetention(row int, maxT hbm.TimePS) (hbm.TimePS, error) {
 	if p.Chan == nil {
 		return 0, fmt.Errorf("retention: profiler has no channel")
 	}
-	buf := make([]byte, hbm.RowBytes)
+	buf := make([]byte, p.Chan.Geometry().RowBytes)
 	for t := p.step(); t <= maxT; t += p.step() {
 		flips, err := p.probe(row, t, buf)
 		if err != nil {
@@ -58,7 +58,7 @@ func (p *Profiler) RowRetention(row int, maxT hbm.TimePS) (hbm.TimePS, error) {
 // FailsAt reports whether the row exhibits any retention bitflip after
 // being left unrefreshed for t.
 func (p *Profiler) FailsAt(row int, t hbm.TimePS) (bool, error) {
-	buf := make([]byte, hbm.RowBytes)
+	buf := make([]byte, p.Chan.Geometry().RowBytes)
 	flips, err := p.probe(row, t, buf)
 	return flips > 0, err
 }
@@ -123,7 +123,8 @@ func (p *Profiler) MeasureRetentionBER(startRow, count int, t hbm.TimePS) (float
 		}
 	}
 	p.Chan.Wait(t)
-	buf := make([]byte, hbm.RowBytes)
+	g := p.Chan.Geometry()
+	buf := make([]byte, g.RowBytes)
 	flips := 0
 	for r := startRow; r < startRow+count; r++ {
 		if err := p.Chan.ReadRow(p.PC, p.Bank, r, buf); err != nil {
@@ -137,7 +138,7 @@ func (p *Profiler) MeasureRetentionBER(startRow, count int, t hbm.TimePS) (float
 			}
 		}
 	}
-	return float64(flips) / float64(count*hbm.RowBits), nil
+	return float64(flips) / float64(count*g.RowBits()), nil
 }
 
 // RetentionMask returns the per-bit retention-failure mask of a row after
@@ -145,8 +146,9 @@ func (p *Profiler) MeasureRetentionBER(startRow, count int, t hbm.TimePS) (float
 // measurements exactly as the paper does: a cell counts as a retention
 // failure if it fails in any of `reps` repetitions).
 func (p *Profiler) RetentionMask(row int, t hbm.TimePS, reps int) ([]byte, error) {
-	mask := make([]byte, hbm.RowBytes)
-	buf := make([]byte, hbm.RowBytes)
+	g := p.Chan.Geometry()
+	mask := make([]byte, g.RowBytes)
+	buf := make([]byte, g.RowBytes)
 	for rep := 0; rep < reps; rep++ {
 		if err := p.Chan.FillRow(p.PC, p.Bank, row, p.Fill); err != nil {
 			return nil, err

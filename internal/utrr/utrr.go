@@ -60,6 +60,7 @@ type Prober struct {
 	MaxProbeREFs int
 
 	refsIssued int
+	rowBuf     []byte // scratch row for side-channel reads
 }
 
 func (p *Prober) refresh() error {
@@ -96,7 +97,10 @@ func (p *Prober) initSide(sc sideChannel) error {
 }
 
 func (p *Prober) readSideClean(sc sideChannel) (bool, error) {
-	buf := make([]byte, hbm.RowBytes)
+	if p.rowBuf == nil {
+		p.rowBuf = make([]byte, p.Chan.Geometry().RowBytes)
+	}
+	buf := p.rowBuf
 	if err := p.Chan.ReadRow(p.PC, p.Bank, p.Mapper.ToLogical(sc.phys), buf); err != nil {
 		return false, err
 	}
@@ -115,8 +119,9 @@ func (p *Prober) findSideChannels(startPhys, n int, minT, maxT hbm.TimePS) ([]si
 		return nil, fmt.Errorf("utrr: minT below twice the retention profiling step")
 	}
 	prof := &retention.Profiler{Chan: p.Chan, PC: p.PC, Bank: p.Bank, Fill: p.Fill}
+	numRows := p.Chan.Geometry().Rows
 	var out []sideChannel
-	for phys := startPhys; phys < hbm.NumRows && len(out) < n; phys++ {
+	for phys := startPhys; phys < numRows && len(out) < n; phys++ {
 		t, err := prof.RowRetention(p.Mapper.ToLogical(phys), maxT)
 		if err != nil {
 			return nil, err
@@ -127,7 +132,7 @@ func (p *Prober) findSideChannels(startPhys, n int, minT, maxT hbm.TimePS) ([]si
 		}
 	}
 	if len(out) < n {
-		return nil, fmt.Errorf("utrr: found only %d of %d side-channel rows in [%d, %d)", len(out), n, startPhys, hbm.NumRows)
+		return nil, fmt.Errorf("utrr: found only %d of %d side-channel rows in [%d, %d)", len(out), n, startPhys, numRows)
 	}
 	return out, nil
 }
