@@ -5,61 +5,86 @@
 //
 // Usage:
 //
-//	hbmrd [-full] [-chips 0,1,...] [-geometry PRESET] <artifact>
+//	hbmrd [-full] [-chips 0,1,...] [-geometry PRESET] [-jobs N] [-progress] [-out results.jsonl] <artifact>
 //
 // -geometry selects a chip organization preset (HBM2_8Gb, the paper's
 // part and the default; HBM2E_16Gb; HBM3_16Gb). The "geometries" artifact
 // lists them.
+//
+// Sweep execution flags: -jobs bounds the worker pool (default
+// GOMAXPROCS), -progress reports live sweep progress on stderr, and -out
+// streams every experiment record to a JSON Lines file as it is measured
+// (one JSON object per line, in deterministic plan order, so an
+// interrupted run leaves a valid prefix of the full result set).
+// Interrupting with Ctrl-C cancels the in-flight sweep promptly.
 //
 // Artifacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15 fig16 fig17 trr attack defense all
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hbmrd"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// The first signal cancels sweeps gracefully; restoring the default
+	// handler right after means a second Ctrl-C (or a signal during a
+	// non-sweep artifact) terminates the process immediately.
+	context.AfterFunc(ctx, stop)
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "hbmrd:", err)
 		os.Exit(1)
 	}
 }
 
 type runCtx struct {
-	full    bool
-	chips   []int
-	geomSet bool
-	geom    hbmrd.GeometryPreset
+	full     bool
+	chips    []int
+	geomSet  bool
+	geom     hbmrd.GeometryPreset
+	jobs     int
+	progress bool
+	out      *hbmrd.JSONLSink
+	// label is the artifact name, used for progress-sink lines.
+	label string
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hbmrd", flag.ContinueOnError)
 	full := fs.Bool("full", false, "run at the paper's Table 2 scale instead of demo scale")
 	chipsFlag := fs.String("chips", "", "comma-separated chip indices (default: the artifact's paper chips)")
 	geomFlag := fs.String("geometry", "", "chip geometry preset (default HBM2_8Gb; see the geometries artifact)")
+	jobs := fs.Int("jobs", 0, "max concurrent sweep workers (default: GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report live sweep progress on stderr")
+	outFlag := fs.String("out", "", "stream experiment records to this JSON Lines file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: hbmrd [-full] [-chips 0,1] [-geometry PRESET] <artifact>; artifacts: %s", strings.Join(artifactNames(), " "))
+		return fmt.Errorf("usage: hbmrd [-full] [-chips 0,1] [-geometry PRESET] [-jobs N] [-progress] [-out FILE] <artifact>; artifacts: %s", strings.Join(artifactNames(), " "))
 	}
-	ctx := runCtx{full: *full}
+	c := runCtx{full: *full, jobs: *jobs, progress: *progress}
 	if *geomFlag != "" {
 		preset, err := hbmrd.LookupPreset(*geomFlag)
 		if err != nil {
 			return err
 		}
-		ctx.geom = preset
-		ctx.geomSet = true
+		c.geom = preset
+		c.geomSet = true
 	}
 	if *chipsFlag != "" {
 		for _, part := range strings.Split(*chipsFlag, ",") {
@@ -67,32 +92,73 @@ func run(args []string) error {
 			if err != nil {
 				return fmt.Errorf("bad -chips value %q: %w", part, err)
 			}
-			ctx.chips = append(ctx.chips, idx)
+			c.chips = append(c.chips, idx)
+		}
+	}
+	// Reject unknown artifacts before -out truncates an existing results
+	// file over a typo.
+	name := fs.Arg(0)
+	if _, known := artifacts()[name]; !known && name != "all" {
+		return fmt.Errorf("unknown artifact %q (have: %s)", name, strings.Join(artifactNames(), " "))
+	}
+
+	// closeOut finalizes the -out stream; encode, flush, and close errors
+	// all fail the run (a silently truncated results file must not exit 0).
+	closeOut := func() error { return nil }
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		c.out = hbmrd.NewJSONLSink(w)
+		closeOut = func() error {
+			err := c.out.Err()
+			if ferr := w.Flush(); err == nil {
+				err = ferr
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("writing %s: %w", *outFlag, err)
+			}
+			return nil
 		}
 	}
 
-	name := fs.Arg(0)
+	err := runArtifacts(ctx, name, c)
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func runArtifacts(ctx context.Context, name string, c runCtx) error {
 	if name == "all" {
 		for _, a := range artifactNames() {
 			if a == "all" {
 				continue
 			}
-			if err := runOne(a, ctx); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runOne(ctx, a, c); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return runOne(name, ctx)
+	return runOne(ctx, name, c)
 }
 
-func runOne(name string, ctx runCtx) error {
+func runOne(ctx context.Context, name string, c runCtx) error {
 	fn, ok := artifacts()[name]
 	if !ok {
 		return fmt.Errorf("unknown artifact %q (have: %s)", name, strings.Join(artifactNames(), " "))
 	}
 	start := time.Now()
-	out, err := fn(ctx)
+	out, err := fn(ctx, c.labelled(name))
 	if err != nil {
 		return fmt.Errorf("%s: %w", name, err)
 	}
@@ -100,7 +166,7 @@ func runOne(name string, ctx runCtx) error {
 	return nil
 }
 
-type artifactFn func(runCtx) (string, error)
+type artifactFn func(ctx context.Context, c runCtx) (string, error)
 
 func artifactNames() []string {
 	m := artifacts()
@@ -130,6 +196,36 @@ func (c runCtx) chipOpts() []hbmrd.ChipOption {
 	return []hbmrd.ChipOption{hbmrd.WithGeometry(c.geom)}
 }
 
+// labelled stamps the artifact name into the progress sink label.
+func (c runCtx) labelled(name string) runCtx {
+	c.label = name
+	return c
+}
+
+// runOpts translates the execution flags into sweep options for one
+// runner invocation.
+func (c runCtx) runOpts() []hbmrd.RunOption {
+	var opts []hbmrd.RunOption
+	if c.jobs > 0 {
+		opts = append(opts, hbmrd.WithJobs(c.jobs))
+	}
+	var sinks []hbmrd.Sink
+	if c.progress {
+		sinks = append(sinks, hbmrd.NewProgressSink(os.Stderr, c.label))
+	}
+	if c.out != nil {
+		sinks = append(sinks, c.out)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		opts = append(opts, hbmrd.WithSink(sinks[0]))
+	default:
+		opts = append(opts, hbmrd.WithSink(hbmrd.MultiSink(sinks...)))
+	}
+	return opts
+}
+
 func (c runCtx) pick(demo, full int) int {
 	if c.full {
 		return full
@@ -137,11 +233,9 @@ func (c runCtx) pick(demo, full int) int {
 	return demo
 }
 
-func allChips() []int { return []int{0, 1, 2, 3, 4, 5} }
-
 func artifacts() map[string]artifactFn {
 	return map[string]artifactFn{
-		"geometries": func(runCtx) (string, error) {
+		"geometries": func(context.Context, runCtx) (string, error) {
 			var b strings.Builder
 			fmt.Fprintf(&b, "%-12s %3s %3s %5s %6s %8s %8s  %s\n",
 				"preset", "ch", "pc", "banks", "rows", "rowB", "size", "description")
@@ -154,10 +248,10 @@ func artifacts() map[string]artifactFn {
 			return b.String(), nil
 		},
 
-		"table1": func(runCtx) (string, error) { return hbmrd.RenderTable1(), nil },
-		"table2": func(runCtx) (string, error) { return hbmrd.RenderTable2(), nil },
+		"table1": func(context.Context, runCtx) (string, error) { return hbmrd.RenderTable1(), nil },
+		"table2": func(context.Context, runCtx) (string, error) { return hbmrd.RenderTable2(), nil },
 
-		"fig3": func(c runCtx) (string, error) {
+		"fig3": func(_ context.Context, c runCtx) (string, error) {
 			dur := 2.0 * 3600
 			if c.full {
 				dur = 24 * 3600 // the paper's 24-hour window
@@ -169,77 +263,77 @@ func artifacts() map[string]artifactFn {
 			return hbmrd.RenderFig3(names, traces), nil
 		},
 
-		"fig4": func(c runCtx) (string, error) {
-			fleet, err := c.fleet(allChips())
+		"fig4": func(ctx context.Context, c runCtx) (string, error) {
+			fleet, err := c.fleet(hbmrd.AllChips())
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+			recs, err := hbmrd.RunBERContext(ctx, fleet, hbmrd.BERConfig{
 				Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(48, 16384)),
 				Reps: c.pick(2, 5),
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig4(recs), nil
 		},
 
-		"fig5": func(c runCtx) (string, error) {
-			fleet, err := c.fleet(allChips())
+		"fig5": func(ctx context.Context, c runCtx) (string, error) {
+			fleet, err := c.fleet(hbmrd.AllChips())
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
+			recs, err := hbmrd.RunHCFirstContext(ctx, fleet, hbmrd.HCFirstConfig{
 				Rows:    hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(12, 3072)),
 				Pseudos: pick2(c.full),
 				Reps:    c.pick(2, 5),
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig5(recs), nil
 		},
 
-		"fig6": func(c runCtx) (string, error) {
-			fleet, err := c.fleet(allChips())
+		"fig6": func(ctx context.Context, c runCtx) (string, error) {
+			fleet, err := c.fleet(hbmrd.AllChips())
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+			recs, err := hbmrd.RunBERContext(ctx, fleet, hbmrd.BERConfig{
 				Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(32, 16384)),
 				Reps: c.pick(2, 5),
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig6(recs), nil
 		},
 
-		"fig7": func(c runCtx) (string, error) {
-			fleet, err := c.fleet(allChips())
+		"fig7": func(ctx context.Context, c runCtx) (string, error) {
+			fleet, err := c.fleet(hbmrd.AllChips())
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
+			recs, err := hbmrd.RunHCFirstContext(ctx, fleet, hbmrd.HCFirstConfig{
 				Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(10, 3072)),
 				Reps: c.pick(2, 5),
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig7(recs), nil
 		},
 
-		"fig8": func(c runCtx) (string, error) {
+		"fig8": func(ctx context.Context, c runCtx) (string, error) {
 			fleet, err := c.fleet([]int{0})
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+			recs, err := hbmrd.RunBERContext(ctx, fleet, hbmrd.BERConfig{
 				Channels: []int{0, 1, 2},
 				Rows:     hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(256, 16384)),
 				Reps:     1,
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
@@ -254,54 +348,57 @@ func artifacts() map[string]artifactFn {
 			return hbmrd.RenderFig8CSV(recs, bounds), nil
 		},
 
-		"fig9": func(c runCtx) (string, error) {
+		"fig9": func(ctx context.Context, c runCtx) (string, error) {
 			fleet, err := c.fleet([]int{0}) // the paper's Fig 9 is Chip 0
 			if err != nil {
 				return "", err
 			}
-			banks := make([]int, 16)
+			// Sweep every bank and pseudo channel the chip actually has
+			// (16 banks on the paper's HBM2 part; 32 on HBM2E/HBM3 parts).
+			g := fleet[0].Chip.Geometry()
+			banks := make([]int, g.Banks)
 			for i := range banks {
 				banks[i] = i
 			}
-			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
-				Pseudos: []int{0, 1},
+			recs, err := hbmrd.RunBERContext(ctx, fleet, hbmrd.BERConfig{
+				Pseudos: channelsN(g.PseudoChannels),
 				Banks:   banks,
-				Rows:    hbmrd.RegionRowsIn(fleet[0].Chip.Geometry(), c.pick(4, 100)),
+				Rows:    hbmrd.RegionRowsIn(g, c.pick(4, 100)),
 				Reps:    c.pick(1, 5),
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig9(recs), nil
 		},
 
-		"fig10": func(c runCtx) (string, error) {
+		"fig10": func(ctx context.Context, c runCtx) (string, error) {
 			fleet, err := c.fleet([]int{2, 3, 4, 5}) // the same-age chips
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunAging(fleet, hbmrd.AgingConfig{
+			recs, err := hbmrd.RunAgingContext(ctx, fleet, hbmrd.AgingConfig{
 				BER: hbmrd.BERConfig{
 					Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(64, 1024)),
 					Reps: 1,
 				},
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig10(hbmrd.SummarizeAging(recs)), nil
 		},
 
-		"fig11": func(c runCtx) (string, error) {
-			recs, err := runHCNth(c)
+		"fig11": func(ctx context.Context, c runCtx) (string, error) {
+			recs, err := runHCNth(ctx, c)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig11(recs), nil
 		},
 
-		"fig12": func(c runCtx) (string, error) {
-			recs, err := runHCNth(c)
+		"fig12": func(ctx context.Context, c runCtx) (string, error) {
+			recs, err := runHCNth(ctx, c)
 			if err != nil {
 				return "", err
 			}
@@ -312,52 +409,52 @@ func artifacts() map[string]artifactFn {
 			return hbmrd.RenderFig12(st), nil
 		},
 
-		"fig13": func(c runCtx) (string, error) {
-			fleet, err := c.fleet(allChips())
+		"fig13": func(ctx context.Context, c runCtx) (string, error) {
+			fleet, err := c.fleet(hbmrd.AllChips())
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunVariability(fleet, hbmrd.VariabilityConfig{
+			recs, err := hbmrd.RunVariabilityContext(ctx, fleet, hbmrd.VariabilityConfig{
 				Rows:       hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(8, 768)),
 				Iterations: c.pick(20, 50),
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig13(recs), nil
 		},
 
-		"fig14": func(c runCtx) (string, error) {
-			fleet, err := c.fleet(allChips())
+		"fig14": func(ctx context.Context, c runCtx) (string, error) {
+			fleet, err := c.fleet(hbmrd.AllChips())
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunRowPressBER(fleet, hbmrd.RowPressBERConfig{
+			recs, err := hbmrd.RunRowPressBERContext(ctx, fleet, hbmrd.RowPressBERConfig{
 				Channels: channelsN(c.pick(2, 8)),
 				Rows:     hbmrd.RegionRowsIn(fleet[0].Chip.Geometry(), c.pick(4, 128)),
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig14(recs), nil
 		},
 
-		"fig15": func(c runCtx) (string, error) {
-			fleet, err := c.fleet(allChips())
+		"fig15": func(ctx context.Context, c runCtx) (string, error) {
+			fleet, err := c.fleet(hbmrd.AllChips())
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunRowPressHC(fleet, hbmrd.RowPressHCConfig{
+			recs, err := hbmrd.RunRowPressHCContext(ctx, fleet, hbmrd.RowPressHCConfig{
 				Channels: channelsN(c.pick(1, 3)),
 				Rows:     hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(8, 384)),
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig15(recs), nil
 		},
 
-		"fig16": func(c runCtx) (string, error) {
+		"fig16": func(ctx context.Context, c runCtx) (string, error) {
 			fleet, err := c.fleet([]int{0}) // the paper's TRR chip
 			if err != nil {
 				return "", err
@@ -372,24 +469,24 @@ func artifacts() map[string]artifactFn {
 			if c.full {
 				cfg.AggActs = []int{18, 20, 22, 24, 26, 28, 30, 32, 34}
 			}
-			recs, err := hbmrd.RunBypass(fleet, cfg)
+			recs, err := hbmrd.RunBypassContext(ctx, fleet, cfg, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
 			return hbmrd.RenderFig16(recs), nil
 		},
 
-		"fig17": func(c runCtx) (string, error) {
+		"fig17": func(ctx context.Context, c runCtx) (string, error) {
 			fleet, err := c.fleet([]int{4}) // the paper's Fig 17 is Chip 4
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunBER(fleet, hbmrd.BERConfig{
+			recs, err := hbmrd.RunBERContext(ctx, fleet, hbmrd.BERConfig{
 				Channels:     channelsN(c.pick(2, 8)),
 				Rows:         hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(96, 16384)),
 				Reps:         1,
 				CollectMasks: true,
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
@@ -400,7 +497,7 @@ func artifacts() map[string]artifactFn {
 			return hbmrd.RenderFig17(hists), nil
 		},
 
-		"attack": func(c runCtx) (string, error) {
+		"attack": func(_ context.Context, c runCtx) (string, error) {
 			budget := 40_000
 			target := c.pick(16, 64)
 			chipA, err := hbmrd.NewChip(0, append(c.chipOpts(), hbmrd.WithIdentityMapping())...)
@@ -427,15 +524,15 @@ func artifacts() map[string]artifactFn {
 			return hbmrd.RenderTemplating(naive, targeted), nil
 		},
 
-		"defense": func(c runCtx) (string, error) {
+		"defense": func(ctx context.Context, c runCtx) (string, error) {
 			fleet, err := c.fleet([]int{4})
 			if err != nil {
 				return "", err
 			}
-			recs, err := hbmrd.RunHCFirst(fleet, hbmrd.HCFirstConfig{
+			recs, err := hbmrd.RunHCFirstContext(ctx, fleet, hbmrd.HCFirstConfig{
 				Rows: hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(8, 64)),
 				Reps: c.pick(2, 5),
-			})
+			}, c.runOpts()...)
 			if err != nil {
 				return "", err
 			}
@@ -446,7 +543,7 @@ func artifacts() map[string]artifactFn {
 			return hbmrd.RenderDefense(rep), nil
 		},
 
-		"trr": func(c runCtx) (string, error) {
+		"trr": func(_ context.Context, c runCtx) (string, error) {
 			chip, err := hbmrd.NewChip(0, c.chipOpts()...)
 			if err != nil {
 				return "", err
@@ -458,7 +555,7 @@ func artifacts() map[string]artifactFn {
 			return hbmrd.RenderTRRFindings(f), nil
 		},
 
-		"retention": func(c runCtx) (string, error) {
+		"retention": func(_ context.Context, c runCtx) (string, error) {
 			// The §6 baselines: the three experiment durations that exceed
 			// the 32 ms refresh window (34.8 ms, 1.17 s, 10.53 s).
 			chip, err := hbmrd.NewChip(3, c.chipOpts()...)
@@ -477,8 +574,8 @@ func artifacts() map[string]artifactFn {
 	}
 }
 
-func runHCNth(c runCtx) ([]hbmrd.HCNthRecord, error) {
-	fleet, err := c.fleet(allChips())
+func runHCNth(ctx context.Context, c runCtx) ([]hbmrd.HCNthRecord, error) {
+	fleet, err := c.fleet(hbmrd.AllChips())
 	if err != nil {
 		return nil, err
 	}
@@ -488,7 +585,7 @@ func runHCNth(c runCtx) ([]hbmrd.HCNthRecord, error) {
 	if !c.full {
 		cfg.Patterns = []hbmrd.Pattern{hbmrd.Rowstripe0, hbmrd.Checkered0}
 	}
-	return hbmrd.RunHCNth(fleet, cfg)
+	return hbmrd.RunHCNthContext(ctx, fleet, cfg, c.runOpts()...)
 }
 
 func channelsN(n int) []int {

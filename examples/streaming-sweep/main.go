@@ -1,0 +1,71 @@
+// Example streaming-sweep demonstrates the sweep engine's execution
+// controls on a fleet-wide BER experiment: a context deadline bounds the
+// run, -jobs style worker control pins determinism, live progress goes to
+// stderr, and every record streams to a JSON Lines file while the sweep is
+// still running - so even an interrupted run leaves a usable, plan-order
+// prefix of the results on disk.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"hbmrd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "streaming-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// All six chips of the study, swizzle disabled for clarity.
+	fleet, err := hbmrd.NewFleet(hbmrd.AllChips(), hbmrd.WithIdentityMapping())
+	if err != nil {
+		return err
+	}
+
+	out, err := os.Create("ber.jsonl")
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	jsonl := hbmrd.NewJSONLSink(w)
+	sink := hbmrd.MultiSink(hbmrd.NewProgressSink(os.Stderr, "ber"), jsonl)
+
+	// A generous deadline: if the sweep somehow outruns it, the engine
+	// stops queued cells promptly and returns context.DeadlineExceeded -
+	// with everything measured so far already persisted in ber.jsonl.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	recs, err := hbmrd.RunBERContext(ctx, fleet, hbmrd.BERConfig{
+		Channels: []int{0, 1},
+		Rows:     hbmrd.SampleRows(8),
+		Reps:     1,
+	}, hbmrd.WithJobs(4), hbmrd.WithSink(sink))
+	if err != nil {
+		return err
+	}
+	if err := jsonl.Err(); err != nil {
+		return err
+	}
+
+	wcdp := 0
+	for _, r := range recs {
+		if r.WCDP {
+			wcdp++
+		}
+	}
+	fmt.Printf("measured %d records (%d WCDP rows) across %d chips; streamed to ber.jsonl\n",
+		len(recs), wcdp, len(fleet))
+	return nil
+}

@@ -17,10 +17,15 @@
 //
 // The experiment runners (RunBER, RunHCFirst, RunRowPressBER, RunBypass,
 // UncoverTRR, ...) reproduce the paper's Figs 4-17; the Render* helpers
-// print them in the shape of the corresponding table or figure.
+// print them in the shape of the corresponding table or figure. Every
+// runner also has a Run*Context form that adds cancellation, worker-count
+// control (WithJobs), and live streaming of progress and records
+// (WithSink) on the shared sweep engine; results are deterministic - plan
+// order - regardless of worker count.
 package hbmrd
 
 import (
+	"context"
 	"io"
 
 	"hbmrd/internal/bender"
@@ -94,6 +99,37 @@ type (
 	AgingSummary       = core.AgingSummary
 	SubarrayScanConfig = core.SubarrayScanConfig
 )
+
+// Sweep-engine execution types: every Run*Context entry point accepts
+// RunOptions, and a Sink observes a sweep while it runs (progress in
+// completion order, records streamed strictly in plan order).
+type (
+	RunOption    = core.RunOption
+	Sink         = core.Sink
+	JSONLSink    = core.JSONLSink
+	ProgressSink = core.ProgressSink
+)
+
+// WithJobs bounds a sweep's worker pool at n concurrently executing
+// channel groups (default GOMAXPROCS; 1 runs fully serial).
+func WithJobs(n int) RunOption { return core.WithJobs(n) }
+
+// WithSink streams a sweep's progress and records to s while it runs.
+func WithSink(s Sink) RunOption { return core.WithSink(s) }
+
+// NewJSONLSink streams every record to w as one JSON object per line, in
+// plan order, so a truncated file is a valid prefix of the full result
+// set.
+func NewJSONLSink(w io.Writer) *JSONLSink { return core.NewJSONLSink(w) }
+
+// NewProgressSink reports whole-percent sweep progress for the labelled
+// experiment to w.
+func NewProgressSink(w io.Writer, label string) *ProgressSink {
+	return core.NewProgressSink(w, label)
+}
+
+// MultiSink fans sink callbacks out to several sinks in order.
+func MultiSink(sinks ...Sink) Sink { return core.MultiSink(sinks...) }
 
 // Geometry constants of the default (paper HBM2) organization, and time
 // units. Chips built with a non-default preset report their organization
@@ -190,6 +226,9 @@ func NewFullFleet(opts ...ChipOption) ([]*TestChip, error) {
 	return core.NewFullFleet(opts...)
 }
 
+// AllChips lists the paper's six chip indices.
+func AllChips() []int { return core.AllChips() }
+
 // SampleRows spreads n victim rows evenly across a bank of the default
 // geometry.
 func SampleRows(n int) []int { return core.SampleRows(n) }
@@ -205,15 +244,32 @@ func RegionRows(count int) []int { return core.RegionRows(count) }
 // bank of geometry g.
 func RegionRowsIn(g Geometry, count int) []int { return core.RegionRowsIn(g, count) }
 
-// Experiment runners (one per paper artifact; see DESIGN.md §5).
+// Experiment runners (one per paper artifact; see DESIGN.md §5). Each
+// runner has two entry points: the plain form runs to completion on a
+// background context, while the Context form adds cancellation and
+// execution options (WithJobs, WithSink). All of them execute on the
+// shared sweep engine, so results are deterministic - plan order -
+// regardless of worker count.
 func RunBER(fleet []*TestChip, cfg BERConfig) ([]BERRecord, error) { return core.RunBER(fleet, cfg) }
+
+func RunBERContext(ctx context.Context, fleet []*TestChip, cfg BERConfig, opts ...RunOption) ([]BERRecord, error) {
+	return core.RunBERContext(ctx, fleet, cfg, opts...)
+}
 
 func RunHCFirst(fleet []*TestChip, cfg HCFirstConfig) ([]HCFirstRecord, error) {
 	return core.RunHCFirst(fleet, cfg)
 }
 
+func RunHCFirstContext(ctx context.Context, fleet []*TestChip, cfg HCFirstConfig, opts ...RunOption) ([]HCFirstRecord, error) {
+	return core.RunHCFirstContext(ctx, fleet, cfg, opts...)
+}
+
 func RunHCNth(fleet []*TestChip, cfg HCNthConfig) ([]HCNthRecord, error) {
 	return core.RunHCNth(fleet, cfg)
+}
+
+func RunHCNthContext(ctx context.Context, fleet []*TestChip, cfg HCNthConfig, opts ...RunOption) ([]HCNthRecord, error) {
+	return core.RunHCNthContext(ctx, fleet, cfg, opts...)
 }
 
 func ComputeFig12(recs []HCNthRecord) ([]Fig12Stats, error) { return core.ComputeFig12(recs) }
@@ -222,20 +278,40 @@ func RunVariability(fleet []*TestChip, cfg VariabilityConfig) ([]VariabilityReco
 	return core.RunVariability(fleet, cfg)
 }
 
+func RunVariabilityContext(ctx context.Context, fleet []*TestChip, cfg VariabilityConfig, opts ...RunOption) ([]VariabilityRecord, error) {
+	return core.RunVariabilityContext(ctx, fleet, cfg, opts...)
+}
+
 func RunRowPressBER(fleet []*TestChip, cfg RowPressBERConfig) ([]RowPressBERRecord, error) {
 	return core.RunRowPressBER(fleet, cfg)
+}
+
+func RunRowPressBERContext(ctx context.Context, fleet []*TestChip, cfg RowPressBERConfig, opts ...RunOption) ([]RowPressBERRecord, error) {
+	return core.RunRowPressBERContext(ctx, fleet, cfg, opts...)
 }
 
 func RunRowPressHC(fleet []*TestChip, cfg RowPressHCConfig) ([]RowPressHCRecord, error) {
 	return core.RunRowPressHC(fleet, cfg)
 }
 
+func RunRowPressHCContext(ctx context.Context, fleet []*TestChip, cfg RowPressHCConfig, opts ...RunOption) ([]RowPressHCRecord, error) {
+	return core.RunRowPressHCContext(ctx, fleet, cfg, opts...)
+}
+
 func RunBypass(fleet []*TestChip, cfg BypassConfig) ([]BypassRecord, error) {
 	return core.RunBypass(fleet, cfg)
 }
 
+func RunBypassContext(ctx context.Context, fleet []*TestChip, cfg BypassConfig, opts ...RunOption) ([]BypassRecord, error) {
+	return core.RunBypassContext(ctx, fleet, cfg, opts...)
+}
+
 func RunAging(fleet []*TestChip, cfg AgingConfig) ([]AgingRecord, error) {
 	return core.RunAging(fleet, cfg)
+}
+
+func RunAgingContext(ctx context.Context, fleet []*TestChip, cfg AgingConfig, opts ...RunOption) ([]AgingRecord, error) {
+	return core.RunAgingContext(ctx, fleet, cfg, opts...)
 }
 
 func SummarizeAging(recs []AgingRecord) AgingSummary { return core.SummarizeAging(recs) }

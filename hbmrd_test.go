@@ -1,8 +1,12 @@
 package hbmrd_test
 
 import (
+	"bufio"
 	"bytes"
+	"context"
+	"encoding/json"
 	"math/bits"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -73,6 +77,51 @@ func TestFacadeExperimentAndRender(t *testing.T) {
 	out := hbmrd.RenderFig4(recs)
 	if !strings.Contains(out, "Chip 5") || !strings.Contains(out, "WCDP") {
 		t.Errorf("render output malformed:\n%s", out)
+	}
+}
+
+// TestFacadeStreamingSweep drives the sweep engine through the public API:
+// AllChips, a context-aware runner, worker-count control, and a JSONL sink
+// whose stream must match the returned records line for line.
+func TestFacadeStreamingSweep(t *testing.T) {
+	if got := hbmrd.AllChips(); len(got) != 6 || got[0] != 0 || got[5] != 5 {
+		t.Fatalf("AllChips() = %v", got)
+	}
+	fleet, err := hbmrd.NewFleet([]int{3}, hbmrd.WithIdentityMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	jsonl := hbmrd.NewJSONLSink(&buf)
+	recs, err := hbmrd.RunBERContext(context.Background(), fleet, hbmrd.BERConfig{
+		Channels: []int{0, 1},
+		Rows:     hbmrd.SampleRows(3),
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0},
+		Reps:     1,
+	}, hbmrd.WithJobs(2), hbmrd.WithSink(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec hbmrd.BERRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if !reflect.DeepEqual(rec, recs[lines]) {
+			t.Fatalf("line %d diverges from returned record", lines)
+		}
+		if !rec.WCDP && rec.Pattern != hbmrd.Checkered0 {
+			t.Fatalf("line %d: pattern %v did not round-trip", lines, rec.Pattern)
+		}
+		lines++
+	}
+	if lines != len(recs) {
+		t.Fatalf("streamed %d lines, returned %d records", lines, len(recs))
 	}
 }
 

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"hbmrd/internal/pattern"
 	"hbmrd/internal/stats"
@@ -30,6 +30,17 @@ type AgingRecord struct {
 // RunAging measures BER, advances each chip's powered-on age, and measures
 // again. The chips' ages are restored afterwards.
 func RunAging(fleet []*TestChip, cfg AgingConfig) ([]AgingRecord, error) {
+	return RunAgingContext(context.Background(), fleet, cfg)
+}
+
+// RunAgingContext is RunAging with cancellation and execution options: it
+// composes two RunBERContext sweeps. A caller's sink sees one combined
+// lifecycle - Start once with both sweeps' cell total, progress spanning
+// both, and exactly the returned AgingRecords streamed at the end (the
+// intermediate BER records of the two passes are not emitted, since the
+// joined record only exists once both passes finish) - honoring the Sink
+// contract that a stream mirrors the returned slice.
+func RunAgingContext(ctx context.Context, fleet []*TestChip, cfg AgingConfig, opts ...RunOption) ([]AgingRecord, error) {
 	if cfg.AdditionalMonths == 0 {
 		cfg.AdditionalMonths = 7
 	}
@@ -40,21 +51,47 @@ func RunAging(fleet []*TestChip, cfg AgingConfig) ([]AgingRecord, error) {
 		cfg.BER.Channels = []int{0, 1, 2}
 	}
 
-	before, err := RunBER(fleet, cfg.BER)
+	o := applyOpts(opts)
+	var innerOpts []RunOption
+	if o.jobs > 0 {
+		innerOpts = append(innerOpts, WithJobs(o.jobs))
+	}
+	var agg *agingSink
+	if o.sink != nil {
+		cfg.BER.fill(fleetGeometry(fleet))
+		perSweep := len(newPlan(fleet, cfg.BER.Channels, cfg.BER.Pseudos, cfg.BER.Banks, len(cfg.BER.Rows)).cells)
+		agg = &agingSink{inner: o.sink, total: 2 * perSweep}
+		innerOpts = append(innerOpts, WithSink(agg))
+		o.sink.Start(agg.total)
+	}
+	finish := func(err error) {
+		if agg != nil {
+			agg.inner.Finish(err)
+		}
+	}
+
+	before, err := RunBERContext(ctx, fleet, cfg.BER, innerOpts...)
 	if err != nil {
-		return nil, fmt.Errorf("core: aging baseline: %w", err)
+		err = fmt.Errorf("core: aging baseline: %w", err)
+		finish(err)
+		return nil, err
+	}
+	if agg != nil {
+		agg.offset = agg.total / 2
 	}
 	for _, tc := range fleet {
 		m := tc.Chip.Model()
 		m.SetAgeMonths(m.AgeMonths() + cfg.AdditionalMonths)
 	}
-	after, err := RunBER(fleet, cfg.BER)
+	after, err := RunBERContext(ctx, fleet, cfg.BER, innerOpts...)
 	for _, tc := range fleet {
 		m := tc.Chip.Model()
 		m.SetAgeMonths(m.AgeMonths() - cfg.AdditionalMonths)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("core: aged measurement: %w", err)
+		err = fmt.Errorf("core: aged measurement: %w", err)
+		finish(err)
+		return nil, err
 	}
 
 	type key struct{ chip, ch, pc, bank, row int }
@@ -65,6 +102,8 @@ func RunAging(fleet []*TestChip, cfg AgingConfig) ([]AgingRecord, error) {
 		}
 		oldBER[key{r.Chip, r.Channel, r.Pseudo, r.Bank, r.Row}] = r.BERPercent
 	}
+	// The join iterates the aged sweep, which the engine already returns
+	// in plan order, so the paired records inherit that determinism.
 	var out []AgingRecord
 	for _, r := range after {
 		if r.WCDP {
@@ -79,18 +118,40 @@ func RunAging(fleet []*TestChip, cfg AgingConfig) ([]AgingRecord, error) {
 			OldBERPercent: old, NewBERPercent: r.BERPercent,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		switch {
-		case a.Chip != b.Chip:
-			return a.Chip < b.Chip
-		case a.Channel != b.Channel:
-			return a.Channel < b.Channel
-		default:
-			return a.Row < b.Row
+	if agg != nil {
+		for _, r := range out {
+			agg.inner.Record(r)
 		}
-	})
+		agg.inner.Finish(nil)
+	}
 	return out, nil
+}
+
+// agingSink adapts the caller's sink to the aging experiment's two inner
+// BER sweeps: inner lifecycle calls and intermediate records are absorbed
+// (RunAgingContext owns Start/Record/Finish on the real sink), and
+// progress is re-based so the two passes read as one 0..total sweep.
+type agingSink struct {
+	inner  Sink
+	total  int
+	offset int
+}
+
+func (s *agingSink) Start(int) {}
+
+func (s *agingSink) Progress(done, _ int) { s.inner.Progress(s.offset+done, s.total) }
+
+func (s *agingSink) Record(any) {}
+
+func (s *agingSink) Finish(error) {}
+
+// Err forwards the real sink's write-failure state so the engine's
+// abort-on-dead-stream poll still works through the adapter.
+func (s *agingSink) Err() error {
+	if f, ok := s.inner.(interface{ Err() error }); ok {
+		return f.Err()
+	}
+	return nil
 }
 
 // AgingSummary aggregates Fig 10's two panels: the distribution of

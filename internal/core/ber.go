@@ -1,9 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"sync"
 
 	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
@@ -75,42 +74,22 @@ type BERRecord struct {
 }
 
 // RunBER executes the BER experiment across the fleet, parallelized per
-// channel. Results are deterministic and sorted.
+// channel on the shared sweep engine. Results are deterministic.
 func RunBER(fleet []*TestChip, cfg BERConfig) ([]BERRecord, error) {
+	return RunBERContext(context.Background(), fleet, cfg)
+}
+
+// RunBERContext is RunBER with cancellation and execution options. Records
+// are in plan order - (chip, channel, pseudo, bank, row), each row
+// contributing its patterns in config order with the derived WCDP record
+// last - deterministically, independent of worker count.
+func RunBERContext(ctx context.Context, fleet []*TestChip, cfg BERConfig, opts ...RunOption) ([]BERRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
-	var (
-		mu  sync.Mutex
-		out []BERRecord
-	)
-	var jobs []chanJob
-	for _, tc := range fleet {
-		for _, chIdx := range cfg.Channels {
-			jobs = append(jobs, chanJob{tc: tc, channel: chIdx, run: func(tc *TestChip, ch *hbm.Channel) error {
-				var local []BERRecord
-				for _, pc := range cfg.Pseudos {
-					for _, bank := range cfg.Banks {
-						ref := newBankRef(tc, ch, pc, bank)
-						for _, row := range cfg.Rows {
-							recs, err := berForRow(ref, ch.Index(), row, cfg)
-							if err != nil {
-								return err
-							}
-							local = append(local, recs...)
-						}
-					}
-				}
-				mu.Lock()
-				out = append(out, local...)
-				mu.Unlock()
-				return nil
-			}})
-		}
-	}
-	if err := runJobs(jobs); err != nil {
-		return nil, err
-	}
-	sortBER(out)
-	return out, nil
+	p := newPlan(fleet, cfg.Channels, cfg.Pseudos, cfg.Banks, len(cfg.Rows))
+	return runSweep(ctx, p, applyOpts(opts), func(_ context.Context, env *cellEnv, c Cell) ([]BERRecord, error) {
+		ref := env.bank(c.Pseudo, c.Bank)
+		return berForRow(ref, c.Channel, cfg.Rows[c.Point], cfg)
+	})
 }
 
 func berForRow(ref bankRef, chIdx, row int, cfg BERConfig) ([]BERRecord, error) {
@@ -144,28 +123,6 @@ func berForRow(ref bankRef, chIdx, row int, cfg BERConfig) ([]BERRecord, error) 
 		recs = append(recs, w)
 	}
 	return recs, nil
-}
-
-func sortBER(recs []BERRecord) {
-	sort.Slice(recs, func(i, j int) bool {
-		a, b := recs[i], recs[j]
-		switch {
-		case a.Chip != b.Chip:
-			return a.Chip < b.Chip
-		case a.Channel != b.Channel:
-			return a.Channel < b.Channel
-		case a.Pseudo != b.Pseudo:
-			return a.Pseudo < b.Pseudo
-		case a.Bank != b.Bank:
-			return a.Bank < b.Bank
-		case a.Row != b.Row:
-			return a.Row < b.Row
-		case a.WCDP != b.WCDP:
-			return !a.WCDP
-		default:
-			return a.Pattern < b.Pattern
-		}
-	})
 }
 
 // FilterBER returns the records matching the predicate.

@@ -1,9 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"sync"
 
 	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
@@ -60,65 +59,45 @@ type BypassRecord struct {
 }
 
 // RunBypass executes the TRR bypass sweep on each chip of the fleet
-// (the paper runs it on Chip 0). Victim rows are processed in parallel
-// across configurations only per chip-channel, to keep device access
-// serialized.
+// (the paper runs it on Chip 0). Chips run in parallel; the sweep on each
+// chip-channel is serialized to keep device access single-threaded.
 func RunBypass(fleet []*TestChip, cfg BypassConfig) ([]BypassRecord, error) {
-	var (
-		mu  sync.Mutex
-		out []BypassRecord
-	)
-	var jobs []chanJob
-	for _, tc := range fleet {
-		jobs = append(jobs, chanJob{tc: tc, channel: cfg.Channel, run: func(tc *TestChip, ch *hbm.Channel) error {
-			c := cfg
-			c.fill(tc.Chip.Geometry(), tc.Chip.Timing())
-			budget := tc.Chip.Timing().ActBudgetPerREFI()
-			var local []BypassRecord
-			for _, aggActs := range c.AggActs {
-				if 2*aggActs > budget {
-					return fmt.Errorf("core: aggressor activations %d exceed the %d-ACT budget", aggActs, budget)
-				}
-				for _, dummies := range c.DummyCounts {
-					for _, victim := range c.Victims {
-						ber, err := runBypassPattern(tc, ch, c, victim, dummies, aggActs, budget)
-						if err != nil {
-							return err
-						}
-						local = append(local, BypassRecord{
-							Chip: tc.Index, Row: victim, Dummies: dummies, AggActs: aggActs,
-							BERPercent: ber,
-						})
-					}
-				}
-			}
-			mu.Lock()
-			out = append(out, local...)
-			mu.Unlock()
-			return nil
-		}})
-	}
-	if err := runJobs(jobs); err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		switch {
-		case a.Chip != b.Chip:
-			return a.Chip < b.Chip
-		case a.Dummies != b.Dummies:
-			return a.Dummies < b.Dummies
-		case a.AggActs != b.AggActs:
-			return a.AggActs < b.AggActs
-		default:
-			return a.Row < b.Row
-		}
-	})
-	return out, nil
+	return RunBypassContext(context.Background(), fleet, cfg)
 }
 
-func runBypassPattern(tc *TestChip, ch *hbm.Channel, cfg BypassConfig, victim, dummies, aggActs, budget int) (float64, error) {
-	ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
+// RunBypassContext is RunBypass with cancellation and execution options.
+// Records are in plan order: (chip, dummies, aggActs, victim). Defaults
+// derive from the first chip's geometry and timing; mixed fleets should
+// set Victims and Windows explicitly.
+func RunBypassContext(ctx context.Context, fleet []*TestChip, cfg BypassConfig, opts ...RunOption) ([]BypassRecord, error) {
+	cfg.fill(fleetGeometry(fleet), fleetTiming(fleet))
+	p := newPlan(fleet, []int{cfg.Channel}, []int{cfg.Pseudo}, []int{cfg.Bank},
+		len(cfg.DummyCounts)*len(cfg.AggActs)*len(cfg.Victims))
+	return runSweep(ctx, p, applyOpts(opts), func(ctx context.Context, env *cellEnv, c Cell) ([]BypassRecord, error) {
+		pt := c.Point
+		victim := cfg.Victims[pt%len(cfg.Victims)]
+		pt /= len(cfg.Victims)
+		aggActs := cfg.AggActs[pt%len(cfg.AggActs)]
+		dummies := cfg.DummyCounts[pt/len(cfg.AggActs)]
+
+		budget := env.tc.Chip.Timing().ActBudgetPerREFI()
+		if 2*aggActs > budget {
+			return nil, fmt.Errorf("core: aggressor activations %d exceed the %d-ACT budget", aggActs, budget)
+		}
+		ber, err := runBypassPattern(ctx, env, cfg, victim, dummies, aggActs, budget)
+		if err != nil {
+			return nil, err
+		}
+		return []BypassRecord{{
+			Chip: env.tc.Index, Row: victim, Dummies: dummies, AggActs: aggActs,
+			BERPercent: ber,
+		}}, nil
+	})
+}
+
+func runBypassPattern(ctx context.Context, env *cellEnv, cfg BypassConfig, victim, dummies, aggActs, budget int) (float64, error) {
+	ch := env.ch
+	ref := env.bank(cfg.Pseudo, cfg.Bank)
 	if err := ref.initPattern(victim, cfg.Pattern); err != nil {
 		return 0, err
 	}
@@ -145,7 +124,13 @@ func runBypassPattern(tc *TestChip, ch *hbm.Channel, cfg BypassConfig, victim, d
 	rows = append(rows, ref.logical(victim-1), ref.logical(victim+1))
 	counts = append(counts, aggActs, aggActs)
 
+	// One cell spans up to 2*tREFW/tREFI intervals, so this loop is the
+	// longest uninterruptible stretch of any experiment; poll ctx to keep
+	// cancellation prompt.
 	for w := 0; w < cfg.Windows; w++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if err := ch.HammerRows(cfg.Pseudo, cfg.Bank, rows, counts, 0); err != nil {
 			return 0, err
 		}

@@ -1,1 +1,28 @@
+// Package core is the characterization engine: it reproduces every
+// experiment in the paper's evaluation (Figs 3-17, Tables 1-2) by driving
+// simulated HBM2 chips through their command interface, exactly following
+// the methodology of §3 (double-sided patterns, disabled refresh and ECC,
+// per-row repetition policy, retention filtering, WCDP selection).
+//
+// Every experiment is the same shape - fan out over chip x channel x
+// pseudo channel x bank x inner point, measure, collect deterministically -
+// so all runners execute on one generic sweep engine (engine.go):
+//
+//   - A runner builds an explicit plan of Cells up front; the plan order is
+//     the record order, so results are deterministic by construction (each
+//     cell writes into its own preallocated slot - no result mutex, no
+//     post-hoc sort).
+//   - Cells are grouped by (chip, channel), the unit of device-lock
+//     freedom: groups run concurrently on a bounded worker pool (WithJobs)
+//     while cells within a group run serially in plan order.
+//   - Each Run*Context entry point threads a context.Context through the
+//     sweep; cancellation drops queued work promptly and returns ctx.Err().
+//     The Run* forms are thin Background-context wrappers.
+//   - A Sink (WithSink) observes the sweep live: progress per completed
+//     cell and records streamed strictly in plan order, so partial output
+//     (e.g. a JSON Lines file from a cancelled -full run) is a valid prefix
+//     of the complete result set.
+//
+// Adding a new sweep-shaped experiment therefore costs a config struct, a
+// plan, and a measurement closure rather than a hand-rolled worker pool.
 package core

@@ -60,6 +60,67 @@ func TestRegionRows(t *testing.T) {
 	}
 }
 
+// TestRegionRowsInGeometries pins RegionRowsIn across organizations, down
+// to geometries so small that the beginning/middle/end windows collide or
+// would (without clamping) leave the valid victim range [2, Rows-3].
+func TestRegionRowsInGeometries(t *testing.T) {
+	cases := []struct {
+		name  string
+		rows  int
+		count int
+		want  []int // nil means "only check the invariants"
+	}{
+		{name: "paper-hbm2", rows: hbm.NumRows, count: 4},
+		{name: "paper-hbm2-large-count", rows: hbm.NumRows, count: 128},
+		{name: "mid", rows: 1024, count: 8},
+		{name: "windows-collide", rows: 24, count: 8},
+		{name: "tiny", rows: 10, count: 8, want: []int{2, 3, 4, 5, 6, 7}},
+		{name: "one-victim", rows: 5, count: 3, want: []int{2}},
+		{name: "no-victims", rows: 4, count: 2, want: nil},
+		{name: "zero-count", rows: 1024, count: 0, want: nil},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := hbm.Geometry{Rows: tc.rows}
+			got := RegionRowsIn(g, tc.count)
+			if tc.want != nil || tc.rows < 5 || tc.count <= 0 {
+				if !reflect.DeepEqual(got, tc.want) {
+					t.Fatalf("RegionRowsIn(%d rows, %d) = %v, want %v", tc.rows, tc.count, got, tc.want)
+				}
+				return
+			}
+			if len(got) == 0 {
+				t.Fatalf("RegionRowsIn(%d rows, %d) returned no rows", tc.rows, tc.count)
+			}
+			for i, r := range got {
+				if r < 2 || r > tc.rows-3 {
+					t.Errorf("row %d outside the valid victim range [2, %d]", r, tc.rows-3)
+				}
+				if i > 0 && got[i-1] >= r {
+					t.Error("rows not strictly increasing")
+				}
+			}
+			if got[0] != 2 {
+				t.Errorf("first window does not start at row 2: %v", got[0])
+			}
+		})
+	}
+}
+
+// TestSampleRowsInTinyGeometry: a geometry with no valid victim rows must
+// yield nil, not out-of-range rows.
+func TestSampleRowsInTinyGeometry(t *testing.T) {
+	if got := SampleRowsIn(hbm.Geometry{Rows: 4}, 8); got != nil {
+		t.Errorf("SampleRowsIn on a 4-row bank = %v, want nil", got)
+	}
+	for _, r := range SampleRowsIn(hbm.Geometry{Rows: 8}, 8) {
+		if r < 2 || r > 5 {
+			t.Errorf("row %d outside [2, 5]", r)
+		}
+	}
+}
+
 func TestNewFleetErrors(t *testing.T) {
 	if _, err := NewFleet(nil); err == nil {
 		t.Error("empty fleet accepted")

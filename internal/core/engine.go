@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hbmrd/internal/hbm"
+)
+
+// Cell is one schedulable unit of a sweep. Everything a cell touches lives
+// on one channel of one chip, so cells on different channels execute in
+// parallel while cells sharing a channel execute serially in plan order.
+type Cell struct {
+	// TC is the chip under test.
+	TC *TestChip
+	// Channel, Pseudo and Bank locate the cell's bank.
+	Channel, Pseudo, Bank int
+	// Point indexes the runner-specific inner dimension(s): a victim row,
+	// a (row, pattern) pair, a tAggON, a (dummies, aggActs, victim)
+	// triple. The runner's measure closure decodes it against its config.
+	Point int
+}
+
+// plan is an explicit, ordered enumeration of cells. The record order of a
+// sweep is exactly the plan order, so building the plan fixes the output
+// layout before any work runs: results are deterministic by construction,
+// with no result mutex and no post-hoc sort.
+type plan struct {
+	cells []Cell
+}
+
+// newPlan enumerates chip x channel x pseudo x bank x point in that
+// nesting order (the coordinate order every runner used to sort by).
+func newPlan(fleet []*TestChip, channels, pseudos, banks []int, points int) plan {
+	cells := make([]Cell, 0, len(fleet)*len(channels)*len(pseudos)*len(banks)*points)
+	for _, tc := range fleet {
+		for _, ch := range channels {
+			for _, pc := range pseudos {
+				for _, bnk := range banks {
+					for pt := 0; pt < points; pt++ {
+						cells = append(cells, Cell{TC: tc, Channel: ch, Pseudo: pc, Bank: bnk, Point: pt})
+					}
+				}
+			}
+		}
+	}
+	return plan{cells: cells}
+}
+
+// runOpts collects the execution tuning shared by every runner.
+type runOpts struct {
+	jobs int
+	sink Sink
+}
+
+// RunOption tunes how a runner executes its sweep. Every Run*Context entry
+// point accepts options.
+type RunOption func(*runOpts)
+
+// WithJobs bounds the worker pool at n concurrently executing channel
+// groups (default: GOMAXPROCS). n=1 yields fully serial execution.
+func WithJobs(n int) RunOption { return func(o *runOpts) { o.jobs = n } }
+
+// WithSink streams progress and records to s while the sweep runs.
+func WithSink(s Sink) RunOption { return func(o *runOpts) { o.sink = s } }
+
+func applyOpts(opts []RunOption) runOpts {
+	var o runOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// cellEnv is the per-group execution environment: the chip, its open
+// channel, and a scratch row buffer reused across the group's cells so
+// per-cell allocations stay off the hot path.
+type cellEnv struct {
+	tc  *TestChip
+	ch  *hbm.Channel
+	buf []byte
+}
+
+// bank builds a bankRef that shares the group's scratch buffer.
+func (e *cellEnv) bank(pc, bnk int) bankRef {
+	return bankRef{tc: e.tc, ch: e.ch, pc: pc, bnk: bnk, geom: e.tc.Chip.Geometry(), buf: e.buf}
+}
+
+// runSweep executes a plan's cells on a bounded worker pool and collects
+// each cell's records into its own preallocated, plan-indexed slot. The
+// returned slice is the concatenation of slots in plan order.
+//
+// Cells are grouped by (chip, channel) - the unit of device-lock freedom -
+// and each group's cells run serially in plan order, so a sweep never
+// contends on a channel.
+//
+// Cancellation is honored at cell granularity (long-running measure
+// closures additionally poll ctx themselves): once ctx is done, queued
+// cells and queued groups are dropped instead of drained, and the sweep
+// returns ctx.Err(). On any error the partial results are discarded from
+// the return value, but everything already streamed to the sink remains
+// valid: the sink receives records strictly in plan order, so a truncated
+// stream is a prefix of the full result set.
+func runSweep[R any](ctx context.Context, p plan, o runOpts, measure func(ctx context.Context, env *cellEnv, c Cell) ([]R, error)) ([]R, error) {
+	cells := p.cells
+	if o.sink != nil {
+		o.sink.Start(len(cells))
+	}
+	if len(cells) == 0 {
+		err := ctx.Err()
+		if o.sink != nil {
+			o.sink.Finish(err)
+		}
+		return nil, err
+	}
+
+	// Group consecutive same-(chip, channel) cells; plan enumeration nests
+	// the channel outside pseudo/bank/point, so groups are contiguous runs.
+	type group struct{ start, end int } // cells[start:end)
+	var groups []group
+	for i := 0; i < len(cells); {
+		j := i + 1
+		for j < len(cells) && cells[j].TC == cells[i].TC && cells[j].Channel == cells[i].Channel {
+			j++
+		}
+		groups = append(groups, group{i, j})
+		i = j
+	}
+
+	workers := o.jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+
+	slots := make([][]R, len(cells))
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			first = err
+			cancel()
+		})
+	}
+
+	// Sink bookkeeping: progress fires in completion order; records are
+	// replayed in plan order by advancing a frontier over completed slots.
+	// A sink that reports persistent write failure (Err) aborts the sweep
+	// instead of letting a -full run compute for hours into a dead stream.
+	var (
+		sinkMu    sync.Mutex
+		completed []bool
+		doneCells int
+		frontier  int
+	)
+	sinkErr, _ := o.sink.(interface{ Err() error })
+	if o.sink != nil {
+		completed = make([]bool, len(cells))
+	}
+	cellDone := func(i int) {
+		if o.sink == nil {
+			return
+		}
+		sinkMu.Lock()
+		defer sinkMu.Unlock()
+		completed[i] = true
+		doneCells++
+		o.sink.Progress(doneCells, len(cells))
+		for frontier < len(cells) && completed[frontier] {
+			for _, r := range slots[frontier] {
+				o.sink.Record(r)
+			}
+			frontier++
+		}
+		if sinkErr != nil {
+			if err := sinkErr.Err(); err != nil {
+				fail(fmt.Errorf("core: streaming records: %w", err))
+			}
+		}
+	}
+
+	next := make(chan group)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range next {
+				if cctx.Err() != nil {
+					continue // drop, don't drain
+				}
+				c0 := cells[g.start]
+				ch, err := c0.TC.Chip.Channel(c0.Channel)
+				if err != nil {
+					fail(fmt.Errorf("core: chip %d channel %d: %w", c0.TC.Index, c0.Channel, err))
+					continue
+				}
+				env := &cellEnv{tc: c0.TC, ch: ch, buf: make([]byte, c0.TC.Chip.Geometry().RowBytes)}
+				for i := g.start; i < g.end; i++ {
+					if cctx.Err() != nil {
+						break
+					}
+					recs, err := measure(cctx, env, cells[i])
+					if err != nil {
+						fail(fmt.Errorf("core: chip %d channel %d: %w", c0.TC.Index, c0.Channel, err))
+						break
+					}
+					slots[i] = recs
+					cellDone(i)
+				}
+			}
+		}()
+	}
+	for _, g := range groups {
+		next <- g
+	}
+	close(next)
+	wg.Wait()
+
+	// External cancellation wins: a measure closure that noticed cctx was
+	// done may have wrapped the context error, but the caller should see
+	// the plain ctx.Err() it caused.
+	err := ctx.Err()
+	if err == nil {
+		err = first
+	}
+	if o.sink != nil {
+		o.sink.Finish(err)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	n := 0
+	for _, s := range slots {
+		n += len(s)
+	}
+	out := make([]R, 0, n)
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+	"hbmrd/internal/rowmap"
+)
+
+// synthRecords fabricates a row's worth of records without touching the
+// device, so the benchmark isolates the collection machinery itself.
+func synthRecords(chip, ch, pc, bnk, pt int) []BERRecord {
+	recs := make([]BERRecord, 4)
+	for i := range recs {
+		recs[i] = BERRecord{
+			Chip: chip, Channel: ch, Pseudo: pc, Bank: bnk, Row: pt,
+			Pattern: pattern.Pattern(i + 1), BERPercent: float64(pt * i),
+		}
+	}
+	return recs
+}
+
+// BenchmarkSweepCollect pits the engine's slot-based, sort-free result
+// collection against the pre-engine skeleton every runner used to carry
+// (per-channel goroutines, a global mutex-guarded append, and a full
+// post-hoc sort). The measurement closure is synthetic so the difference
+// is purely the fan-out/collection overhead that multiplies at -full
+// scale (hundreds of thousands of cells).
+func BenchmarkSweepCollect(b *testing.B) {
+	fleet, err := NewFleet([]int{0}, hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	channels := Channels(8)
+	pseudos := []int{0, 1}
+	banks := []int{0, 1, 2, 3}
+	const points = 64
+	wantRecs := len(channels) * len(pseudos) * len(banks) * points * 4
+
+	b.Run("engine-slots", func(b *testing.B) {
+		p := newPlan(fleet, channels, pseudos, banks, points)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := runSweep(context.Background(), p, runOpts{},
+				func(_ context.Context, env *cellEnv, c Cell) ([]BERRecord, error) {
+					return synthRecords(env.tc.Index, c.Channel, c.Pseudo, c.Bank, c.Point), nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != wantRecs {
+				b.Fatalf("%d records, want %d", len(out), wantRecs)
+			}
+		}
+	})
+
+	b.Run("mutex-sort-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var (
+				mu  sync.Mutex
+				out []BERRecord
+				wg  sync.WaitGroup
+			)
+			next := make(chan int)
+			workers := runtime.GOMAXPROCS(0)
+			if workers > len(channels) {
+				workers = len(channels)
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for chIdx := range next {
+						var local []BERRecord
+						for _, pc := range pseudos {
+							for _, bnk := range banks {
+								for pt := 0; pt < points; pt++ {
+									local = append(local, synthRecords(fleet[0].Index, chIdx, pc, bnk, pt)...)
+								}
+							}
+						}
+						mu.Lock()
+						out = append(out, local...)
+						mu.Unlock()
+					}
+				}()
+			}
+			for _, chIdx := range channels {
+				next <- chIdx
+			}
+			close(next)
+			wg.Wait()
+			baselineSortBER(out)
+			if len(out) != wantRecs {
+				b.Fatalf("%d records, want %d", len(out), wantRecs)
+			}
+		}
+	})
+}
+
+// baselineSortBER is the global sort the runners performed before the
+// sweep engine made record order deterministic by construction.
+func baselineSortBER(recs []BERRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		switch {
+		case a.Chip != b.Chip:
+			return a.Chip < b.Chip
+		case a.Channel != b.Channel:
+			return a.Channel < b.Channel
+		case a.Pseudo != b.Pseudo:
+			return a.Pseudo < b.Pseudo
+		case a.Bank != b.Bank:
+			return a.Bank < b.Bank
+		case a.Row != b.Row:
+			return a.Row < b.Row
+		case a.WCDP != b.WCDP:
+			return !a.WCDP
+		default:
+			return a.Pattern < b.Pattern
+		}
+	})
+}

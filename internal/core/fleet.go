@@ -1,15 +1,8 @@
-// Package core is the characterization engine: it reproduces every
-// experiment in the paper's evaluation (Figs 3-17, Tables 1-2) by driving
-// simulated HBM2 chips through their command interface, exactly following
-// the methodology of §3 (double-sided patterns, disabled refresh and ECC,
-// per-row repetition policy, retention filtering, WCDP selection).
 package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"hbmrd/internal/hbm"
 )
@@ -48,57 +41,6 @@ func NewFullFleet(opts ...hbm.Option) ([]*TestChip, error) {
 	return NewFleet(AllChips(), opts...)
 }
 
-// chanJob is one unit of parallel work: everything a job touches lives on
-// one channel of one chip, so jobs never contend on device locks.
-type chanJob struct {
-	tc      *TestChip
-	channel int
-	run     func(tc *TestChip, ch *hbm.Channel) error
-}
-
-// runJobs executes channel jobs on a bounded worker pool and returns the
-// first error (after all workers drain).
-func runJobs(jobs []chanJob) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-	)
-	next := make(chan chanJob)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range next {
-				ch, err := job.tc.Chip.Channel(job.channel)
-				if err == nil {
-					err = job.run(job.tc, ch)
-				}
-				if err != nil {
-					mu.Lock()
-					if first == nil {
-						first = fmt.Errorf("core: chip %d channel %d: %w", job.tc.Index, job.channel, err)
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for _, j := range jobs {
-		next <- j
-	}
-	close(next)
-	wg.Wait()
-	return first
-}
-
 // SampleRows returns n physical victim rows spread evenly across a bank of
 // the default (paper HBM2) geometry; see SampleRowsIn.
 func SampleRows(n int) []int { return SampleRowsIn(hbm.DefaultGeometry(), n) }
@@ -107,9 +49,10 @@ func SampleRows(n int) []int { return SampleRowsIn(hbm.DefaultGeometry(), n) }
 // of geometry g, clamped away from the bank edges (victims need two
 // physical neighbours on each side). The first, middle, and last regions of
 // the bank are always represented, matching how the paper samples rows.
+// Geometries too small to hold even one valid victim yield nil.
 func SampleRowsIn(g hbm.Geometry, n int) []int {
 	lo, hi := 2, g.Rows-3
-	if n <= 0 {
+	if n <= 0 || hi < lo {
 		return nil
 	}
 	if n == 1 {
@@ -130,13 +73,31 @@ func RegionRows(count int) []int { return RegionRowsIn(hbm.DefaultGeometry(), co
 
 // RegionRowsIn returns count physical rows from each of the beginning,
 // middle, and end of a bank of geometry g (the paper's "first, middle, and
-// last N rows" sampling for Figs 9, 11, and 14).
+// last N rows" sampling for Figs 9, 11, and 14). Every returned row lies in
+// the valid victim range [2, Rows-3]; on geometries too small to hold three
+// disjoint windows the count is clamped and colliding windows merge (the
+// result is then shorter than 3*count but never empty, unless no valid
+// victim row exists at all).
 func RegionRowsIn(g hbm.Geometry, count int) []int {
+	lo, hi := 2, g.Rows-3
+	if count <= 0 || hi < lo {
+		return nil
+	}
+	if avail := hi - lo + 1; count > avail {
+		count = avail
+	}
+	starts := []int{lo, g.Rows/2 - count/2, g.Rows - 3 - count}
 	rows := make([]int, 0, 3*count)
-	for i := 0; i < count; i++ {
-		rows = append(rows, 2+i)
-		rows = append(rows, g.Rows/2-count/2+i)
-		rows = append(rows, g.Rows-3-count+i)
+	for _, s := range starts {
+		if s < lo {
+			s = lo
+		}
+		if s > hi-count+1 {
+			s = hi - count + 1
+		}
+		for i := 0; i < count; i++ {
+			rows = append(rows, s+i)
+		}
 	}
 	return dedupSorted(rows)
 }
@@ -149,6 +110,16 @@ func fleetGeometry(fleet []*TestChip) hbm.Geometry {
 		return fleet[0].Chip.Geometry()
 	}
 	return hbm.DefaultGeometry()
+}
+
+// fleetTiming returns the timing table experiment defaults derive from
+// (the first chip's; mixed-timing fleets should set explicit config
+// fields).
+func fleetTiming(fleet []*TestChip) hbm.Timing {
+	if len(fleet) > 0 {
+		return fleet[0].Chip.Timing()
+	}
+	return hbm.DefaultTiming()
 }
 
 func dedupSorted(rows []int) []int {

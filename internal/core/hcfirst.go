@@ -1,9 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"sync"
 
 	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
@@ -70,40 +69,20 @@ type HCFirstRecord struct {
 
 // RunHCFirst executes the HCfirst experiment across the fleet.
 func RunHCFirst(fleet []*TestChip, cfg HCFirstConfig) ([]HCFirstRecord, error) {
+	return RunHCFirstContext(context.Background(), fleet, cfg)
+}
+
+// RunHCFirstContext is RunHCFirst with cancellation and execution options.
+// Records are in plan order - (chip, channel, pseudo, bank, row), each row
+// contributing its patterns in config order with the derived WCDP record
+// last - deterministically, independent of worker count.
+func RunHCFirstContext(ctx context.Context, fleet []*TestChip, cfg HCFirstConfig, opts ...RunOption) ([]HCFirstRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
-	var (
-		mu  sync.Mutex
-		out []HCFirstRecord
-	)
-	var jobs []chanJob
-	for _, tc := range fleet {
-		for _, chIdx := range cfg.Channels {
-			jobs = append(jobs, chanJob{tc: tc, channel: chIdx, run: func(tc *TestChip, ch *hbm.Channel) error {
-				var local []HCFirstRecord
-				for _, pc := range cfg.Pseudos {
-					for _, bank := range cfg.Banks {
-						ref := newBankRef(tc, ch, pc, bank)
-						for _, row := range cfg.Rows {
-							recs, err := hcFirstForRow(ref, ch.Index(), row, cfg)
-							if err != nil {
-								return err
-							}
-							local = append(local, recs...)
-						}
-					}
-				}
-				mu.Lock()
-				out = append(out, local...)
-				mu.Unlock()
-				return nil
-			}})
-		}
-	}
-	if err := runJobs(jobs); err != nil {
-		return nil, err
-	}
-	sortHCFirst(out)
-	return out, nil
+	p := newPlan(fleet, cfg.Channels, cfg.Pseudos, cfg.Banks, len(cfg.Rows))
+	return runSweep(ctx, p, applyOpts(opts), func(_ context.Context, env *cellEnv, c Cell) ([]HCFirstRecord, error) {
+		ref := env.bank(c.Pseudo, c.Bank)
+		return hcFirstForRow(ref, c.Channel, cfg.Rows[c.Point], cfg)
+	})
 }
 
 func hcFirstForRow(ref bankRef, chIdx, row int, cfg HCFirstConfig) ([]HCFirstRecord, error) {
@@ -128,28 +107,6 @@ func hcFirstForRow(ref bankRef, chIdx, row int, cfg HCFirstConfig) ([]HCFirstRec
 		recs = append(recs, w)
 	}
 	return recs, nil
-}
-
-func sortHCFirst(recs []HCFirstRecord) {
-	sort.Slice(recs, func(i, j int) bool {
-		a, b := recs[i], recs[j]
-		switch {
-		case a.Chip != b.Chip:
-			return a.Chip < b.Chip
-		case a.Channel != b.Channel:
-			return a.Channel < b.Channel
-		case a.Pseudo != b.Pseudo:
-			return a.Pseudo < b.Pseudo
-		case a.Bank != b.Bank:
-			return a.Bank < b.Bank
-		case a.Row != b.Row:
-			return a.Row < b.Row
-		case a.WCDP != b.WCDP:
-			return !a.WCDP
-		default:
-			return a.Pattern < b.Pattern
-		}
-	})
 }
 
 // FilterHCFirst returns records matching the predicate.

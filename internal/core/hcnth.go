@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
@@ -84,50 +84,24 @@ func (r HCNthRecord) Additional() int {
 // Searches for successive k reuse the k-1 result as the lower bound
 // (HC_k is monotonically non-decreasing in k).
 func RunHCNth(fleet []*TestChip, cfg HCNthConfig) ([]HCNthRecord, error) {
+	return RunHCNthContext(context.Background(), fleet, cfg)
+}
+
+// RunHCNthContext is RunHCNth with cancellation and execution options.
+// Records are in plan order: (chip, channel, row, pattern).
+func RunHCNthContext(ctx context.Context, fleet []*TestChip, cfg HCNthConfig, opts ...RunOption) ([]HCNthRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
-	var (
-		mu  sync.Mutex
-		out []HCNthRecord
-	)
-	var jobs []chanJob
-	for _, tc := range fleet {
-		for _, chIdx := range cfg.Channels {
-			jobs = append(jobs, chanJob{tc: tc, channel: chIdx, run: func(tc *TestChip, ch *hbm.Channel) error {
-				ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
-				var local []HCNthRecord
-				for _, row := range cfg.Rows {
-					for _, p := range cfg.Patterns {
-						rec, err := hcNthForRow(ref, ch.Index(), row, p, cfg)
-						if err != nil {
-							return err
-						}
-						local = append(local, rec)
-					}
-				}
-				mu.Lock()
-				out = append(out, local...)
-				mu.Unlock()
-				return nil
-			}})
+	p := newPlan(fleet, cfg.Channels, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.Rows)*len(cfg.Patterns))
+	return runSweep(ctx, p, applyOpts(opts), func(_ context.Context, env *cellEnv, c Cell) ([]HCNthRecord, error) {
+		row := cfg.Rows[c.Point/len(cfg.Patterns)]
+		pat := cfg.Patterns[c.Point%len(cfg.Patterns)]
+		ref := env.bank(c.Pseudo, c.Bank)
+		rec, err := hcNthForRow(ref, c.Channel, row, pat, cfg)
+		if err != nil {
+			return nil, err
 		}
-	}
-	if err := runJobs(jobs); err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		switch {
-		case a.Chip != b.Chip:
-			return a.Chip < b.Chip
-		case a.Channel != b.Channel:
-			return a.Channel < b.Channel
-		case a.Row != b.Row:
-			return a.Row < b.Row
-		default:
-			return a.Pattern < b.Pattern
-		}
+		return []HCNthRecord{rec}, nil
 	})
-	return out, nil
 }
 
 func hcNthForRow(ref bankRef, chIdx, row int, p pattern.Pattern, cfg HCNthConfig) (HCNthRecord, error) {

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sort"
-	"sync"
+	"context"
 
 	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
@@ -77,49 +76,25 @@ type RowPressBERRecord struct {
 
 // RunRowPressBER executes the Fig 14 sweep.
 func RunRowPressBER(fleet []*TestChip, cfg RowPressBERConfig) ([]RowPressBERRecord, error) {
-	cfg.fill(fleetGeometry(fleet))
-	var (
-		mu  sync.Mutex
-		out []RowPressBERRecord
-	)
-	var jobs []chanJob
-	for _, tc := range fleet {
-		for _, chIdx := range cfg.Channels {
-			jobs = append(jobs, chanJob{tc: tc, channel: chIdx, run: func(tc *TestChip, ch *hbm.Channel) error {
-				ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
-				var local []RowPressBERRecord
-				for _, tOn := range cfg.TAggONs {
-					rec, err := rowPressBERPoint(ref, ch, chIdx, tOn, cfg)
-					if err != nil {
-						return err
-					}
-					local = append(local, rec)
-				}
-				mu.Lock()
-				out = append(out, local...)
-				mu.Unlock()
-				return nil
-			}})
-		}
-	}
-	if err := runJobs(jobs); err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		switch {
-		case a.Chip != b.Chip:
-			return a.Chip < b.Chip
-		case a.Channel != b.Channel:
-			return a.Channel < b.Channel
-		default:
-			return a.TAggON < b.TAggON
-		}
-	})
-	return out, nil
+	return RunRowPressBERContext(context.Background(), fleet, cfg)
 }
 
-func rowPressBERPoint(ref bankRef, ch *hbm.Channel, chIdx int, tOn hbm.TimePS, cfg RowPressBERConfig) (RowPressBERRecord, error) {
+// RunRowPressBERContext is RunRowPressBER with cancellation and execution
+// options. Records are in plan order: (chip, channel, tAggON).
+func RunRowPressBERContext(ctx context.Context, fleet []*TestChip, cfg RowPressBERConfig, opts ...RunOption) ([]RowPressBERRecord, error) {
+	cfg.fill(fleetGeometry(fleet))
+	p := newPlan(fleet, cfg.Channels, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.TAggONs))
+	return runSweep(ctx, p, applyOpts(opts), func(ctx context.Context, env *cellEnv, c Cell) ([]RowPressBERRecord, error) {
+		ref := env.bank(c.Pseudo, c.Bank)
+		rec, err := rowPressBERPoint(ctx, ref, env.ch, c.Channel, cfg.TAggONs[c.Point], cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []RowPressBERRecord{rec}, nil
+	})
+}
+
+func rowPressBERPoint(ctx context.Context, ref bankRef, ch *hbm.Channel, chIdx int, tOn hbm.TimePS, cfg RowPressBERConfig) (RowPressBERRecord, error) {
 	rec := RowPressBERRecord{Chip: ref.tc.Index, Channel: chIdx, TAggON: tOn, Rows: len(cfg.Rows)}
 
 	// Experiment duration per row: 2*count activations of (tOn + tRP)-ish
@@ -136,6 +111,9 @@ func rowPressBERPoint(ref bankRef, ch *hbm.Channel, chIdx int, tOn hbm.TimePS, c
 	totalFlips, totalRetFlips := 0, 0
 	mask := make([]byte, ref.geom.RowBytes)
 	for _, row := range cfg.Rows {
+		if err := ctx.Err(); err != nil {
+			return rec, err
+		}
 		for i := range mask {
 			mask[i] = 0
 		}
@@ -213,61 +191,34 @@ type RowPressHCRecord struct {
 
 // RunRowPressHC executes the Fig 15 sweep.
 func RunRowPressHC(fleet []*TestChip, cfg RowPressHCConfig) ([]RowPressHCRecord, error) {
+	return RunRowPressHCContext(context.Background(), fleet, cfg)
+}
+
+// RunRowPressHCContext is RunRowPressHC with cancellation and execution
+// options. Records are in plan order: (chip, channel, row, tAggON).
+func RunRowPressHCContext(ctx context.Context, fleet []*TestChip, cfg RowPressHCConfig, opts ...RunOption) ([]RowPressHCRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
-	var (
-		mu  sync.Mutex
-		out []RowPressHCRecord
-	)
-	var jobs []chanJob
-	for _, tc := range fleet {
-		for _, chIdx := range cfg.Channels {
-			jobs = append(jobs, chanJob{tc: tc, channel: chIdx, run: func(tc *TestChip, ch *hbm.Channel) error {
-				ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
-				t := tc.Chip.Timing()
-				var local []RowPressHCRecord
-				for _, row := range cfg.Rows {
-					for _, tOn := range cfg.TAggONs {
-						hc, found, err := ref.hcSearch(row, pattern.Checkered0, 1, 1, cfg.MaxHammer, tOn)
-						if err != nil {
-							return err
-						}
-						// Window accounting uses the open time itself: the
-						// paper's extreme 16 ms point is chosen so each
-						// aggressor activates exactly once per tREFW
-						// (2 x 16 ms = the window).
-						tOnEff := tOn
-						if tOnEff < t.TRAS {
-							tOnEff = t.TRAS
-						}
-						local = append(local, RowPressHCRecord{
-							Chip: tc.Index, Channel: chIdx, Row: row, TAggON: tOn,
-							HCFirst: hc, Found: found,
-							WithinWindow: found && hbm.TimePS(2*hc)*tOnEff <= t.TREFW,
-						})
-					}
-				}
-				mu.Lock()
-				out = append(out, local...)
-				mu.Unlock()
-				return nil
-			}})
+	p := newPlan(fleet, cfg.Channels, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.Rows)*len(cfg.TAggONs))
+	return runSweep(ctx, p, applyOpts(opts), func(_ context.Context, env *cellEnv, c Cell) ([]RowPressHCRecord, error) {
+		row := cfg.Rows[c.Point/len(cfg.TAggONs)]
+		tOn := cfg.TAggONs[c.Point%len(cfg.TAggONs)]
+		ref := env.bank(c.Pseudo, c.Bank)
+		t := env.tc.Chip.Timing()
+		hc, found, err := ref.hcSearch(row, pattern.Checkered0, 1, 1, cfg.MaxHammer, tOn)
+		if err != nil {
+			return nil, err
 		}
-	}
-	if err := runJobs(jobs); err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		switch {
-		case a.Chip != b.Chip:
-			return a.Chip < b.Chip
-		case a.Channel != b.Channel:
-			return a.Channel < b.Channel
-		case a.Row != b.Row:
-			return a.Row < b.Row
-		default:
-			return a.TAggON < b.TAggON
+		// Window accounting uses the open time itself: the paper's extreme
+		// 16 ms point is chosen so each aggressor activates exactly once
+		// per tREFW (2 x 16 ms = the window).
+		tOnEff := tOn
+		if tOnEff < t.TRAS {
+			tOnEff = t.TRAS
 		}
+		return []RowPressHCRecord{{
+			Chip: env.tc.Index, Channel: c.Channel, Row: row, TAggON: tOn,
+			HCFirst: hc, Found: found,
+			WithinWindow: found && hbm.TimePS(2*hc)*tOnEff <= t.TREFW,
+		}}, nil
 	})
-	return out, nil
 }

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink observes a sweep while it runs: Start once with the cell count,
+// Progress after every completed cell (in completion order), Record for
+// every emitted record (strictly in plan order - the same order as the
+// runner's returned slice), and Finish exactly once with the sweep's
+// outcome. The engine serializes all calls, so implementations need no
+// locking. A sweep that is cancelled or fails still emits the plan-order
+// prefix of records it completed, which is what makes streamed output
+// usable as a partial result.
+//
+// A sink may additionally implement Err() error (as JSONLSink does): the
+// engine polls it after each completed cell and aborts the sweep on the
+// first reported failure, so a long run does not keep computing into a
+// dead stream.
+type Sink interface {
+	Start(totalCells int)
+	Progress(doneCells, totalCells int)
+	Record(rec any)
+	Finish(err error)
+}
+
+// JSONLSink streams every record as one JSON object per line (JSON Lines).
+// Because the engine emits records in plan order, a truncated file is a
+// valid prefix of the full result set.
+type JSONLSink struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink writes records to w, one JSON object per line.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+func (s *JSONLSink) Start(int)         {}
+func (s *JSONLSink) Progress(int, int) {}
+
+func (s *JSONLSink) Record(rec any) {
+	if s.err == nil {
+		s.err = s.enc.Encode(rec)
+	}
+}
+
+func (s *JSONLSink) Finish(error) {}
+
+// Err reports the first encode/write error, if any occurred.
+func (s *JSONLSink) Err() error { return s.err }
+
+// ProgressSink prints a progress line to W whenever the sweep crosses a
+// whole-percent boundary (at most ~100 lines per sweep, plus start and
+// finish lines).
+type ProgressSink struct {
+	W     io.Writer
+	Label string
+
+	lastPct int
+}
+
+// NewProgressSink reports progress of the labelled sweep to w.
+func NewProgressSink(w io.Writer, label string) *ProgressSink {
+	return &ProgressSink{W: w, Label: label, lastPct: -1}
+}
+
+func (s *ProgressSink) Start(total int) {
+	s.lastPct = -1
+	fmt.Fprintf(s.W, "%s: sweeping %d cells\n", s.Label, total)
+}
+
+func (s *ProgressSink) Progress(done, total int) {
+	pct := done * 100 / total
+	if pct == s.lastPct {
+		return
+	}
+	s.lastPct = pct
+	fmt.Fprintf(s.W, "%s: %3d%% (%d/%d cells)\n", s.Label, pct, done, total)
+}
+
+func (s *ProgressSink) Record(any) {}
+
+func (s *ProgressSink) Finish(err error) {
+	if err != nil {
+		fmt.Fprintf(s.W, "%s: stopped: %v\n", s.Label, err)
+	}
+}
+
+// MultiSink fans every callback out to each sink in order.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) Start(total int) {
+	for _, s := range m {
+		s.Start(total)
+	}
+}
+
+func (m multiSink) Progress(done, total int) {
+	for _, s := range m {
+		s.Progress(done, total)
+	}
+}
+
+func (m multiSink) Record(rec any) {
+	for _, s := range m {
+		s.Record(rec)
+	}
+}
+
+func (m multiSink) Finish(err error) {
+	for _, s := range m {
+		s.Finish(err)
+	}
+}
+
+// Err surfaces the first failure of any member sink that tracks one.
+func (m multiSink) Err() error {
+	for _, s := range m {
+		if f, ok := s.(interface{ Err() error }); ok {
+			if err := f.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

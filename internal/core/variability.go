@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sort"
-	"sync"
+	"context"
 
 	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
@@ -60,50 +59,37 @@ func (r VariabilityRecord) Ratio() float64 {
 // RunVariability measures HCfirst Iterations times per row and records the
 // extremes.
 func RunVariability(fleet []*TestChip, cfg VariabilityConfig) ([]VariabilityRecord, error) {
+	return RunVariabilityContext(context.Background(), fleet, cfg)
+}
+
+// RunVariabilityContext is RunVariability with cancellation and execution
+// options. Records are in plan order: (chip, row).
+func RunVariabilityContext(ctx context.Context, fleet []*TestChip, cfg VariabilityConfig, opts ...RunOption) ([]VariabilityRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
-	var (
-		mu  sync.Mutex
-		out []VariabilityRecord
-	)
-	var jobs []chanJob
-	for _, tc := range fleet {
-		jobs = append(jobs, chanJob{tc: tc, channel: cfg.Channel, run: func(tc *TestChip, ch *hbm.Channel) error {
-			ref := newBankRef(tc, ch, cfg.Pseudo, cfg.Bank)
-			var local []VariabilityRecord
-			for _, row := range cfg.Rows {
-				rec := VariabilityRecord{Chip: tc.Index, Row: row, Iterations: cfg.Iterations}
-				for it := 0; it < cfg.Iterations; it++ {
-					hc, found, err := ref.hcSearch(row, cfg.Pattern, 1, cfg.MinHammer, cfg.MaxHammer, cfg.TOn)
-					if err != nil {
-						return err
-					}
-					if !found {
-						continue
-					}
-					if !rec.MeasuredRatios || hc < rec.MinHC {
-						rec.MinHC = hc
-					}
-					if hc > rec.MaxHC {
-						rec.MaxHC = hc
-					}
-					rec.MeasuredRatios = true
-				}
-				local = append(local, rec)
+	p := newPlan(fleet, []int{cfg.Channel}, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.Rows))
+	return runSweep(ctx, p, applyOpts(opts), func(ctx context.Context, env *cellEnv, c Cell) ([]VariabilityRecord, error) {
+		ref := env.bank(c.Pseudo, c.Bank)
+		row := cfg.Rows[c.Point]
+		rec := VariabilityRecord{Chip: env.tc.Index, Row: row, Iterations: cfg.Iterations}
+		for it := 0; it < cfg.Iterations; it++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			mu.Lock()
-			out = append(out, local...)
-			mu.Unlock()
-			return nil
-		}})
-	}
-	if err := runJobs(jobs); err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Chip != out[j].Chip {
-			return out[i].Chip < out[j].Chip
+			hc, found, err := ref.hcSearch(row, cfg.Pattern, 1, cfg.MinHammer, cfg.MaxHammer, cfg.TOn)
+			if err != nil {
+				return nil, err
+			}
+			if !found {
+				continue
+			}
+			if !rec.MeasuredRatios || hc < rec.MinHC {
+				rec.MinHC = hc
+			}
+			if hc > rec.MaxHC {
+				rec.MaxHC = hc
+			}
+			rec.MeasuredRatios = true
 		}
-		return out[i].Row < out[j].Row
+		return []VariabilityRecord{rec}, nil
 	})
-	return out, nil
 }

@@ -7,7 +7,10 @@
 // surrounding rows V±[2:8], exactly as Table 1 specifies.
 package pattern
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Pattern identifies one of the four data patterns from Table 1. WCDP is a
 // per-row derived pattern, not a fill on its own; see the core package for
@@ -41,6 +44,25 @@ func (p Pattern) String() string {
 	default:
 		return fmt.Sprintf("Pattern(%d)", int(p))
 	}
+}
+
+// MarshalJSON emits the pattern's figure-axis label, so streamed JSONL
+// records are self-describing instead of carrying a bare enum number.
+func (p Pattern) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON accepts the labels MarshalJSON emits.
+func (p *Pattern) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for _, cand := range All() {
+		if cand.String() == name {
+			*p = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("pattern: unknown pattern %q", name)
 }
 
 // VictimByte returns the fill byte written to the victim row (and to

@@ -1,6 +1,7 @@
 package pattern
 
 import (
+	"encoding/json"
 	"testing"
 	"testing/quick"
 )
@@ -94,5 +95,30 @@ func TestFillProperty(t *testing.T) {
 func TestStringUnknown(t *testing.T) {
 	if got := Pattern(42).String(); got != "Pattern(42)" {
 		t.Errorf("Pattern(42).String() = %q", got)
+	}
+}
+
+// TestJSONRoundTrip: patterns marshal as their figure-axis labels and
+// unmarshal back, so streamed JSONL records are self-describing.
+func TestJSONRoundTrip(t *testing.T) {
+	for _, p := range All() {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + p.String() + `"`; string(data) != want {
+			t.Errorf("marshal %s = %s, want %s", p, data, want)
+		}
+		var back Pattern
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != p {
+			t.Errorf("round trip %s -> %s", p, back)
+		}
+	}
+	var p Pattern
+	if err := json.Unmarshal([]byte(`"Plaid"`), &p); err == nil {
+		t.Error("unknown pattern name accepted")
 	}
 }
