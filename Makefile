@@ -1,0 +1,21 @@
+# Convenience targets; CI runs the same commands directly.
+
+.PHONY: test short bench race
+
+test:
+	go build ./... && go test ./...
+
+short:
+	go test -short ./...
+
+race:
+	go test -race -short ./...
+
+# bench records the hot-path benchmark trajectory in BENCH_<date>.json
+# (op time, allocs/op, headline metrics). Run it before and after a perf
+# change — repeated runs on one day append to the same file — so future
+# PRs can see the curve. Tag data points with LABEL=..., e.g.
+#   make bench LABEL=after-cellstate-cache
+LABEL ?=
+bench:
+	go run ./tools/bench -label '$(LABEL)'

@@ -1,0 +1,122 @@
+package hbmrd_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"testing"
+
+	"hbmrd"
+)
+
+// The fault model's determinism contract says the per-cell hash stream is
+// the spec: optimizations may reorder evaluation but must leave every
+// sweep's record stream byte-identical. This test enforces the contract in
+// CI by hashing the full JSON record stream of a small multi-preset sweep
+// (BER + HCfirst + retention) and pinning the digest. The same sweep runs
+// with -jobs 1, 2 and 8 and must digest identically regardless of worker
+// count (the engine emits records in plan order by construction).
+//
+// The pinned digests were produced by the pre-optimization scalar kernel
+// (commit 2e63887); any model or device change that alters them is a
+// behaviour change, not a refactor, and needs a deliberate re-pin with an
+// explanation in the commit message.
+var goldenSweepDigests = map[string]string{
+	"HBM2_8Gb":   "fde3b7d82bb2d843ffe9f26d91b6e21502b33fece7b12cb22a2b637a8c7a1aa4",
+	"HBM2E_16Gb": "904de82bfacedc58ce3d9cb39799207aa0fc8cbfeac98a47d8f220c51d6fdfdd",
+	"HBM3_16Gb":  "ec8803efe514260f8139321970859c4634c59f51720e430768de36ff52f80a64",
+}
+
+// goldenSweep runs the digest workload for one preset at one worker count
+// and feeds every record, in order, into h.
+func goldenSweep(t *testing.T, preset hbmrd.GeometryPreset, jobs int, h hash.Hash) {
+	t.Helper()
+	fleet, err := hbmrd.NewFleet([]int{0, 5}, hbmrd.WithGeometry(preset), hbmrd.WithIdentityMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(h)
+	record := func(stream string, rec any) {
+		fmt.Fprintf(h, "%s:", stream)
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g := fleet[0].Chip.Geometry()
+	rows := hbmrd.SampleRowsIn(g, 2)
+
+	bers, err := hbmrd.RunBERContext(context.Background(), fleet, hbmrd.BERConfig{
+		Channels:    []int{0, 3},
+		Rows:        rows,
+		HammerCount: 150_000,
+		Reps:        1,
+	}, hbmrd.WithJobs(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range bers {
+		record("ber", r)
+	}
+
+	hcs, err := hbmrd.RunHCFirstContext(context.Background(), fleet, hbmrd.HCFirstConfig{
+		Channels: []int{0, 4},
+		Rows:     rows[:1],
+		Patterns: []hbmrd.Pattern{hbmrd.Checkered0, hbmrd.Rowstripe0},
+		Reps:     1,
+	}, hbmrd.WithJobs(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range hcs {
+		record("hcfirst", r)
+	}
+
+	// Retention is independent of the sweep engine (single channel, no
+	// workers) but exercises the model's retention path and so belongs in
+	// the byte-identity contract.
+	chip, err := hbmrd.NewChip(2, hbmrd.WithGeometry(preset), hbmrd.WithIdentityMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rets, err := hbmrd.MeasureRetentionBaselines(chip, 0, 64,
+		[]hbmrd.TimePS{120 * hbmrd.MS, 4 * hbmrd.SEC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("retention", rets)
+}
+
+// No testing.Short() skip: CI's test and race jobs run the short suite,
+// and the digest contract is only worth anything if CI actually checks
+// it. The sweep takes well under a second per preset on the cached
+// kernel.
+func TestGoldenSweepDigest(t *testing.T) {
+	for _, preset := range hbmrd.Presets() {
+		preset := preset
+		t.Run(preset.Name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := goldenSweepDigests[preset.Name]
+			digests := map[int]string{}
+			for _, jobs := range []int{1, 2, 8} {
+				h := sha256.New()
+				goldenSweep(t, preset, jobs, h)
+				digests[jobs] = hex.EncodeToString(h.Sum(nil))
+			}
+			if digests[2] != digests[1] || digests[8] != digests[1] {
+				t.Fatalf("record stream depends on worker count: jobs1=%s jobs2=%s jobs8=%s",
+					digests[1], digests[2], digests[8])
+			}
+			if !ok {
+				t.Fatalf("no pinned digest for preset %s (got %s)", preset.Name, digests[1])
+			}
+			if digests[1] != want {
+				t.Errorf("record stream digest changed:\n got %s\nwant %s\n"+
+					"(byte-identity contract: re-pin only for deliberate model changes)", digests[1], want)
+			}
+		})
+	}
+}

@@ -1,0 +1,335 @@
+package disturb
+
+import (
+	"math"
+	"sync"
+)
+
+// This file implements the model's per-row state cache: the derived
+// calibration parameters plus the materialized per-cell randomness
+// (per-cell hash draws, orientation bitmask, word-cluster factors) that
+// FlipMask and calibration previously both recomputed from scratch on
+// every call. The cache is sharded by bank so concurrent sweep workers on
+// different channels never contend on one lock, and the bulky per-cell
+// arrays sit behind a per-model byte budget with LRU eviction (the tiny
+// per-row calibration stays cached forever, exactly like the old
+// map[RowLoc]rowCalib).
+//
+// Determinism contract: the per-cell hash stream (splitmix64 of
+// rowSeed + cellIndex*cellStride, plus the documented salts) is the spec.
+// Cached values are pure functions of that stream, so materializing them
+// once — or evicting and rebuilding them — can never change a flip mask.
+
+const (
+	// cacheShards is the number of independent lock domains. Shards are
+	// selected by (channel, pseudo, bank), so all rows of one bank share a
+	// shard while different banks — and in particular different channels,
+	// the sweep engine's unit of parallelism — almost always use different
+	// locks.
+	cacheShards = 64
+
+	// defaultCellCacheBytes bounds the materialized per-cell arrays per
+	// model. At the paper's 1 KiB rows one row costs ~68 KiB (8 B/cell of
+	// hash draws plus four per-word arrays), so the default keeps ~960
+	// rows' cell state live; evicted rows rebuild deterministically on
+	// next touch.
+	defaultCellCacheBytes = 64 << 20
+
+	// cacheMinRowsPerShard keeps eviction from thrashing the active
+	// working set (a double-sided hammer touches a victim and four
+	// neighbours) even under an adversarially small budget.
+	cacheMinRowsPerShard = 8
+)
+
+// cellArrays is the materialized per-cell randomness of one row. All
+// fields are immutable once built (builds happen under the shard lock;
+// readers that observed the build under the same lock may use the arrays
+// lock-free afterwards).
+type cellArrays struct {
+	// h holds the per-cell splitmix64 draw h(idx) the model derives every
+	// per-cell quantity from: the threshold uniform u = (h>>11 + 0.5)/2^53,
+	// the orientation bit h&0x7FF, and the retention uniform
+	// unit(splitmix64(h ^ saltRetention)).
+	h []uint64
+	// wf is the per-64-bit-word cluster factor (mean-one log-normal).
+	wf []float64
+	// maxWF is max(wf), used for the conservative word-skip ceiling.
+	maxWF float64
+	// wordMinU is the minimum threshold uniform of each word: a whole word
+	// provably produces no hammer flips when its minimum u is at or above
+	// the call's effective-probability ceiling.
+	wordMinU []float64
+	// orient is the orientation bitmask (bit set = true cell, stores
+	// charge for logical 1). Built lazily because the true-cell fraction
+	// comes from the row's calibration; it never depends on temperature or
+	// age, so it survives calibration invalidation.
+	orient   []uint64
+	orientOK bool
+	// retMinU is the per-word minimum retention uniform, built lazily on
+	// the first retention-active evaluation of the row.
+	retMinU []float64
+	retOK   bool
+	// bytes is the cache charge for this row (all arrays, including the
+	// lazily built ones, so eviction accounting never moves).
+	bytes int64
+}
+
+// rowEntry is the cached state of one row. The entry itself (seed, trial
+// sigma, weakest-cell quantile, calibration) is small and lives forever;
+// only the cellArrays behind it are subject to the LRU byte budget.
+type rowEntry struct {
+	loc        RowLoc
+	rowSeed    uint64
+	trialSigma float64
+
+	// minU is the row's realized minimum threshold uniform, the anchor of
+	// the calibration curve. It is derived during the first cell build and
+	// kept after eviction so re-calibration (e.g. a temperature sweep)
+	// never pays the full-row scan again.
+	minU     float64
+	haveMinU bool
+
+	calib rowCalib
+	// calibGen is model.gen+1 when calib is valid for the model's current
+	// temperature/age generation; 0 means never computed.
+	calibGen uint64
+
+	cells      *cellArrays
+	prev, next *rowEntry // LRU links, meaningful only while cells != nil
+}
+
+// calibShard is one lock domain of the row cache.
+type calibShard struct {
+	mu   sync.Mutex
+	rows map[RowLoc]*rowEntry
+
+	// Intrusive LRU over entries with live cell arrays, most recent first.
+	lruHead, lruTail *rowEntry
+	liveBytes        int64
+	liveCount        int
+}
+
+func (s *calibShard) lruUnlink(e *rowEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *calibShard) lruPushFront(e *rowEntry) {
+	e.prev, e.next = nil, s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.prev = e
+	}
+	s.lruHead = e
+	if s.lruTail == nil {
+		s.lruTail = e
+	}
+}
+
+func (s *calibShard) lruTouch(e *rowEntry) {
+	if s.lruHead == e {
+		return
+	}
+	s.lruUnlink(e)
+	s.lruPushFront(e)
+}
+
+// evictShardLocked drops the shard's least-recently-used cell arrays
+// until it fits its budget share (but never below the working-set
+// floor). The byte budget is divided among the shards that have ever
+// held live arrays — not statically by shard count — so a sweep
+// concentrated on one bank can use the entire budget while an all-bank
+// sweep splits it evenly. A shard never returns to inactive (the floor
+// keeps its hottest rows resident), so the share only shrinks as the
+// workload touches more banks. Evicted rows keep their calibration and
+// minU; the arrays rebuild deterministically.
+func (m *Model) evictShardLocked(s *calibShard) {
+	active := m.activeShards.Load()
+	if active < 1 {
+		active = 1
+	}
+	budget := m.cacheBudget / active
+	for s.liveBytes > budget && s.liveCount > cacheMinRowsPerShard && s.lruTail != nil {
+		e := s.lruTail
+		s.lruUnlink(e)
+		s.liveBytes -= e.cells.bytes
+		s.liveCount--
+		e.cells = nil
+	}
+}
+
+// shardOf selects the lock domain for a row's bank.
+func (m *Model) shardOf(loc RowLoc) *calibShard {
+	h := splitmix64(uint64(loc.Channel)<<40 ^ uint64(loc.Pseudo)<<32 ^ uint64(loc.Bank))
+	return &m.shards[h&(cacheShards-1)]
+}
+
+// lockEntry returns the row's cache entry with its shard lock held,
+// creating the entry (seed + trial-jitter spread, both cheap) on first
+// touch. The caller must unlock the returned shard.
+func (m *Model) lockEntry(loc RowLoc) (*calibShard, *rowEntry) {
+	s := m.shardOf(loc)
+	s.mu.Lock()
+	e := s.rows[loc]
+	if e == nil {
+		rowSeed := hashN(m.prof.Seed, saltRow, uint64(loc.Channel), uint64(loc.Pseudo), uint64(loc.Bank), uint64(loc.Row))
+		sigma := trialTightSigma
+		if u := unit(mix(rowSeed, saltTrial)); u >= 0.9 {
+			sigma = trialLooseBase + (u-0.9)/0.1*trialLooseSpan
+		}
+		e = &rowEntry{loc: loc, rowSeed: rowSeed, trialSigma: sigma}
+		s.rows[loc] = e
+	}
+	return s, e
+}
+
+// ensureCellsLocked materializes (or LRU-refreshes) the row's cell
+// arrays: one pass over the per-cell hash stream filling h, the per-word
+// minima, and the word-cluster factors. Also derives the row's minU
+// anchor the first time.
+func (m *Model) ensureCellsLocked(s *calibShard, e *rowEntry) *cellArrays {
+	if e.cells != nil {
+		s.lruTouch(e)
+		return e.cells
+	}
+	words := (m.rowBits + 63) / 64
+	ca := &cellArrays{
+		h:        make([]uint64, m.rowBits),
+		wf:       make([]float64, words),
+		wordMinU: make([]float64, words),
+		bytes:    int64(m.rowBits)*8 + int64(words)*8*4,
+	}
+	for w := range ca.wordMinU {
+		ca.wordMinU[w] = 1
+	}
+	minU := 1.0
+	for idx := 0; idx < m.rowBits; idx++ {
+		h := splitmix64(e.rowSeed + uint64(idx)*cellStride)
+		ca.h[idx] = h
+		u := (float64(h>>11) + 0.5) / (1 << 53)
+		if u < ca.wordMinU[idx>>6] {
+			ca.wordMinU[idx>>6] = u
+		}
+		if u < minU {
+			minU = u
+		}
+	}
+	for w := 0; w < words; w++ {
+		wf := math.Exp(wordClusterSigma*normal(hashN(e.rowSeed, saltWord, uint64(w))) - wordClusterSigma*wordClusterSigma/2)
+		ca.wf[w] = wf
+		if wf > ca.maxWF {
+			ca.maxWF = wf
+		}
+	}
+	if !e.haveMinU {
+		e.minU, e.haveMinU = minU, true
+	}
+	e.cells = ca
+	s.lruPushFront(e)
+	s.liveBytes += ca.bytes
+	if s.liveCount++; s.liveCount == 1 {
+		m.activeShards.Add(1)
+	}
+	m.evictShardLocked(s)
+	return ca
+}
+
+// ensureCalibLocked returns the row's calibration for the model's current
+// temperature/age generation, recomputing it from the cached minU anchor
+// when stale. The full-row scan is only ever paid once per row (inside
+// ensureCellsLocked), no matter how often temperature or age changes.
+func (m *Model) ensureCalibLocked(s *calibShard, e *rowEntry) rowCalib {
+	if e.calibGen == m.gen+1 {
+		return e.calib
+	}
+	if !e.haveMinU {
+		m.ensureCellsLocked(s, e)
+	}
+	e.calib = m.computeCalib(e.loc, e.rowSeed, e.minU)
+	e.calibGen = m.gen + 1
+	return e.calib
+}
+
+// ensureOrientLocked builds the orientation bitmask from the cached hash
+// draws. The true-cell cut depends only on the chip seed and the row's
+// die (never on temperature or age), so the mask is built at most once
+// per cellArrays.
+func ensureOrientLocked(ca *cellArrays, rc rowCalib) {
+	if ca.orientOK {
+		return
+	}
+	cut := uint64(rc.pTrue * (1 << 11))
+	orient := make([]uint64, len(ca.wordMinU))
+	for idx, h := range ca.h {
+		if h&0x7FF < cut {
+			orient[idx>>6] |= 1 << (uint(idx) & 63)
+		}
+	}
+	ca.orient = orient
+	ca.orientOK = true
+}
+
+// ensureRetMinsLocked builds the per-word minimum retention uniforms,
+// letting retention-active evaluations skip whole words the same way the
+// hammer path does.
+func ensureRetMinsLocked(ca *cellArrays) {
+	if ca.retOK {
+		return
+	}
+	rm := make([]float64, len(ca.wordMinU))
+	for w := range rm {
+		rm[w] = 1
+	}
+	for idx, h := range ca.h {
+		if u := unit(splitmix64(h ^ saltRetention)); u < rm[idx>>6] {
+			rm[idx>>6] = u
+		}
+	}
+	ca.retMinU = rm
+	ca.retOK = true
+}
+
+// prepareRow returns everything FlipMask's fast path needs in one trip
+// through the shard lock: a current calibration and the row's immutable
+// cell arrays (with orientation, and retention minima when needed).
+func (m *Model) prepareRow(loc RowLoc, needRet bool) (rowCalib, *cellArrays) {
+	s, e := m.lockEntry(loc)
+	ca := m.ensureCellsLocked(s, e)
+	rc := m.ensureCalibLocked(s, e)
+	ensureOrientLocked(ca, rc)
+	if needRet {
+		ensureRetMinsLocked(ca)
+	}
+	s.mu.Unlock()
+	return rc, ca
+}
+
+// SetCellCacheBytes bounds the memory the model spends on materialized
+// per-cell state (default 64 MiB). The bound is approximate (the budget
+// is shared among the shards currently holding live arrays, each with a
+// small working-set floor); rows beyond it are evicted LRU and rebuilt
+// deterministically on next touch, so the setting trades memory for
+// rebuild time and can never change results. Not safe concurrently with
+// evaluation.
+func (m *Model) SetCellCacheBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	m.cacheBudget = n
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		if s.liveCount > 0 {
+			m.evictShardLocked(s)
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,9 +1,11 @@
 package disturb
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
-	"sync"
+	"math/bits"
+	"sync/atomic"
 
 	"hbmrd/internal/stats"
 )
@@ -206,8 +208,18 @@ type Model struct {
 	// the weakest and the 10th weakest eligible cell.
 	zJunction, zEligGap, zTenthGap float64
 
-	mu    sync.RWMutex
-	calib map[RowLoc]rowCalib
+	// gen is the calibration generation, bumped by SetTempC/SetAgeMonths;
+	// cached per-row calibrations are lazily recomputed when stale. The
+	// per-cell state (hash draws, orientation, word factors) never depends
+	// on temperature or age and survives generation bumps.
+	gen uint64
+
+	// Per-bank sharded row cache (see cellstate.go): calibration plus the
+	// materialized per-cell randomness behind cacheBudget bytes of LRU,
+	// split among the shards that currently hold live arrays.
+	cacheBudget  int64
+	activeShards atomic.Int64
+	shards       [cacheShards]calibShard
 }
 
 // NewModel validates the profile and builds a fault model for it with the
@@ -229,7 +241,7 @@ func NewModelFor(p Profile, org Org) (*Model, error) {
 		return nil, err
 	}
 	rowBits := org.RowBytes * 8
-	return &Model{
+	m := &Model{
 		prof:      p,
 		org:       org,
 		fp:        NewFloorplan(org.RowsPerBank),
@@ -241,8 +253,12 @@ func NewModelFor(p Profile, org Org) (*Model, error) {
 			stats.Probit(1.0/(float64(rowBits)+1)),
 		zTenthGap: stats.Probit(10.0/(float64(rowBits)*eligibleFrac+1)) -
 			stats.Probit(1.0/(float64(rowBits)*eligibleFrac+1)),
-		calib: make(map[RowLoc]rowCalib),
-	}, nil
+		cacheBudget: defaultCellCacheBytes,
+	}
+	for i := range m.shards {
+		m.shards[i].rows = make(map[RowLoc]*rowEntry)
+	}
+	return m, nil
 }
 
 // Floorplan returns the model's subarray layout.
@@ -274,10 +290,11 @@ func (m *Model) SetAgeMonths(months float64) {
 	m.resetCalib()
 }
 
+// resetCalib invalidates every cached per-row calibration by bumping the
+// generation; entries recalibrate lazily from their cached minU anchor on
+// next touch (no full-row rescan, no cache clear).
 func (m *Model) resetCalib() {
-	m.mu.Lock()
-	m.calib = make(map[RowLoc]rowCalib)
-	m.mu.Unlock()
+	m.gen++
 }
 
 // rowCalib holds the derived per-row threshold-curve parameters.
@@ -295,35 +312,22 @@ type rowCalib struct {
 }
 
 func (m *Model) calibRow(loc RowLoc) rowCalib {
-	m.mu.RLock()
-	rc, ok := m.calib[loc]
-	m.mu.RUnlock()
-	if ok {
-		return rc
-	}
-	rc = m.computeCalib(loc)
-	m.mu.Lock()
-	m.calib[loc] = rc
-	m.mu.Unlock()
+	s, e := m.lockEntry(loc)
+	rc := m.ensureCalibLocked(s, e)
+	s.mu.Unlock()
 	return rc
 }
 
-func (m *Model) computeCalib(loc RowLoc) rowCalib {
+// computeCalib derives the row's threshold-curve parameters. minU is the
+// row's realized weakest-cell uniform (the minimum of the per-cell hash
+// stream, materialized once by the cell cache).
+func (m *Model) computeCalib(loc RowLoc, rowSeed uint64, minU float64) rowCalib {
 	seed := m.prof.Seed
 	die := dieOfN(loc.Channel, m.org.Channels)
-	rowSeed := hashN(seed, saltRow, uint64(loc.Channel), uint64(loc.Pseudo), uint64(loc.Bank), uint64(loc.Row))
 
 	// ---- Realized weakest-cell quantile. Anchoring the threshold curve
 	// at the row's actual minimum keeps the realized HCfirst pinned to the
 	// calibration target instead of drifting with extreme-value noise. ----
-	minU := 1.0
-	for idx := 0; idx < m.rowBits; idx++ {
-		h := splitmix64(rowSeed + uint64(idx)*cellStride)
-		u := (float64(h>>11) + 0.5) / (1 << 53)
-		if u < minU {
-			minU = u
-		}
-	}
 	zAnchor := stats.Probit(minU) + m.zEligGap
 	if zAnchor > m.zJunction-0.3 {
 		zAnchor = m.zJunction - 0.3
@@ -453,12 +457,9 @@ func (m *Model) thresholdCDF(rc rowCalib, lnDc float64) float64 {
 // varies across repeated experiments: most rows stay within ~9%, a minority
 // swings up to ~2.2x.
 func (m *Model) TrialJitter(loc RowLoc, epoch uint64) float64 {
-	rowSeed := hashN(m.prof.Seed, saltRow, uint64(loc.Channel), uint64(loc.Pseudo), uint64(loc.Bank), uint64(loc.Row))
-	u := unit(mix(rowSeed, saltTrial))
-	sigma := trialTightSigma
-	if u >= 0.9 {
-		sigma = trialLooseBase + (u-0.9)/0.1*trialLooseSpan
-	}
+	s, e := m.lockEntry(loc)
+	rowSeed, sigma := e.rowSeed, e.trialSigma
+	s.mu.Unlock()
 	return lognormal(hashN(rowSeed, saltEpoch, epoch), 0, sigma)
 }
 
@@ -468,6 +469,12 @@ func (m *Model) TrialJitter(loc RowLoc, epoch uint64) float64 {
 // of the physically adjacent rows (nil means never written, treated as
 // all-zero). The flip mask is OR-ed into dst (which must have len(victim)
 // bytes) and the number of newly set mask bits is returned.
+//
+// Determinism contract: the flip decision of every cell is a fixed
+// function of the per-cell hash stream (see cellstate.go); evaluation
+// order is unspecified. The word-level fast path below and the scalar
+// fallback produce byte-identical masks (enforced by TestFlipMaskMatchesScalar
+// and the repo-level golden-digest test).
 func (m *Model) FlipMask(loc RowLoc, victim, above, below []byte, dose Dose, retElapsedSec float64, dst []byte) (int, error) {
 	if len(dst) != len(victim) {
 		return 0, fmt.Errorf("disturb: dst length %d != victim length %d", len(dst), len(victim))
@@ -477,8 +484,171 @@ func (m *Model) FlipMask(loc RowLoc, victim, above, below []byte, dose Dose, ret
 	if !hammer && !retention {
 		return 0, nil
 	}
+	// The word-at-a-time path wants whole 64-bit words of the organization's
+	// row size, with neighbour images that cover the victim; anything else
+	// (odd buffer lengths, short neighbours) takes the scalar path.
+	if len(victim) != m.org.RowBytes || m.rowBits&63 != 0 ||
+		(above != nil && len(above) < len(victim)) ||
+		(below != nil && len(below) < len(victim)) {
+		return m.flipMaskScalar(m.calibRow(loc), victim, above, below, dose, retElapsedSec, dst)
+	}
 
-	rc := m.calibRow(loc)
+	rc, ca := m.prepareRow(loc, retention)
+
+	// Per-combo flip-probability cutoffs. Combo index bits:
+	// bit0 aggressor-above opposite, bit1 aggressor-below opposite,
+	// bit2 intra-row neighbour differs, bit3 orientation (1 = true cell).
+	var pcrit [16]float64
+	maxP := 0.0
+	if hammer {
+		patJit := lognormal(hashN(rc.rowSeed, saltPatJit, uint64(victim[0])), 0, patJitterSigma)
+		aggF := [2]float64{coupleAggrSame, coupleAggrOpp}
+		intraF := [2]float64{coupleIntraSame, coupleIntraDiff}
+		for combo := 0; combo < 16; combo++ {
+			deff := dose.Above*aggF[combo&1] + dose.Below*aggF[(combo>>1)&1]
+			if deff <= 0 {
+				continue
+			}
+			couple := intraF[(combo>>2)&1] * rc.orientC[(combo>>3)&1] * patJit
+			p := m.thresholdCDF(rc, math.Log(deff*couple))
+			pcrit[combo] = p
+			if p > maxP {
+				maxP = p
+			}
+		}
+	}
+
+	var pRet float64
+	if retention {
+		pRet = stats.NormalCDF((math.Log(retElapsedSec) - rc.lnRet) / retSigma)
+		if pRet <= 0 {
+			retention = false
+		}
+	}
+	// Early exit when every combo cutoff underflowed to zero (doses far
+	// below the row's tail regime) and retention is inactive: no cell can
+	// flip, so skip the row entirely.
+	if !retention && maxP <= 0 {
+		return 0, nil
+	}
+
+	// Conservative ceiling on any cell's effective flip probability this
+	// call: pEff = 1-(1-p)^wf is increasing in both p and wf, so
+	// 1-(1-maxP)^maxWF bounds every (combo, word) pair. Nudged up a few
+	// ulps so math.Pow rounding can never rank a word's exact pEff above
+	// the ceiling used to skip it.
+	pEffCeil := 0.0
+	if maxP > 0 {
+		if maxP >= 1 {
+			pEffCeil = 1
+		} else {
+			pEffCeil = 1 - math.Pow(1-maxP, ca.maxWF)
+			for i := 0; i < 4; i++ {
+				pEffCeil = math.Nextafter(pEffCeil, 2)
+			}
+		}
+	}
+
+	words := len(victim) >> 3
+	flips := 0
+	var pEff [16]float64
+	var pEffOK [16]bool
+	for w := 0; w < words; w++ {
+		// Whole-word skips: a word provably holds no hammer flip when its
+		// minimum uniform clears the probability ceiling, and no retention
+		// flip when it clears pRet. In near-threshold sweeps (HCfirst
+		// searches) virtually every word skips, making the row O(words).
+		hamW := pEffCeil > 0 && ca.wordMinU[w] < pEffCeil
+		retW := retention && pRet > ca.retMinU[w]
+		if !hamW && !retW {
+			continue
+		}
+		off := w << 3
+		v := binary.LittleEndian.Uint64(victim[off:])
+		orient := ca.orient[w]
+		// Eligible: only a cell stored in its charged state can lose
+		// charge. True cells (orient bit 1) store charge for logical 1.
+		elig := ^(v ^ orient)
+		if elig == 0 {
+			continue
+		}
+		var oppA, oppB, intra uint64
+		if hamW {
+			var a, bw uint64
+			if above != nil {
+				a = binary.LittleEndian.Uint64(above[off:])
+			}
+			if below != nil {
+				bw = binary.LittleEndian.Uint64(below[off:])
+			}
+			oppA = v ^ a
+			oppB = v ^ bw
+			// Intra-row neighbours: shifted victim images with row edges
+			// patched to the cell's own bit (edge cells have one fewer
+			// neighbour) and word edges patched from the adjacent word.
+			left := v << 1
+			if w > 0 {
+				left |= binary.LittleEndian.Uint64(victim[off-8:]) >> 63
+			} else {
+				left |= v & 1
+			}
+			right := v >> 1
+			if w < words-1 {
+				right |= binary.LittleEndian.Uint64(victim[off+8:]) << 63
+			} else {
+				right |= v & (1 << 63)
+			}
+			intra = (left ^ v) | (right ^ v)
+			pEffOK = [16]bool{}
+		}
+		wfW := ca.wf[w]
+		var maskW uint64
+		for e := elig; e != 0; e &= e - 1 {
+			k := uint(bits.TrailingZeros64(e))
+			flip := false
+			if hamW {
+				combo := int(((oppA >> k) & 1) | ((oppB>>k)&1)<<1 | ((intra>>k)&1)<<2 | ((orient>>k)&1)<<3)
+				if !pEffOK[combo] {
+					// Word-vulnerability transform p -> 1-(1-p)^wf preserves
+					// small-probability scaling (~p*wf) and saturation.
+					switch p := pcrit[combo]; {
+					case p <= 0:
+						pEff[combo] = 0
+					case p >= 1:
+						pEff[combo] = 1
+					default:
+						pEff[combo] = 1 - math.Pow(1-p, wfW)
+					}
+					pEffOK[combo] = true
+				}
+				if pe := pEff[combo]; pe > 0 {
+					u := (float64(ca.h[w<<6|int(k)]>>11) + 0.5) / (1 << 53)
+					flip = u < pe
+				}
+			}
+			if !flip && retW {
+				flip = unit(splitmix64(ca.h[w<<6|int(k)]^saltRetention)) < pRet
+			}
+			if flip {
+				maskW |= 1 << k
+			}
+		}
+		if maskW != 0 {
+			old := binary.LittleEndian.Uint64(dst[off:])
+			flips += bits.OnesCount64(maskW &^ old)
+			binary.LittleEndian.PutUint64(dst[off:], old|maskW)
+		}
+	}
+	return flips, nil
+}
+
+// flipMaskScalar is the reference per-cell evaluation: one hash, one
+// classification and one compare per bit, in index order. It handles any
+// buffer length and is the executable specification the word-level fast
+// path must match bit-for-bit.
+func (m *Model) flipMaskScalar(rc rowCalib, victim, above, below []byte, dose Dose, retElapsedSec float64, dst []byte) (int, error) {
+	hammer := dose.Above > 0 || dose.Below > 0
+	retention := retElapsedSec > retMinElapsedSec
 
 	// Per-combo flip-probability cutoffs. Combo index bits:
 	// bit0 aggressor-above opposite, bit1 aggressor-below opposite,
@@ -599,7 +769,7 @@ func (m *Model) FlipMask(loc RowLoc, victim, above, below []byte, dose Dose, ret
 		}
 		if maskByte != 0 {
 			newBits := maskByte &^ dst[i]
-			flips += popcount(newBits)
+			flips += bits.OnesCount8(newBits)
 			dst[i] |= maskByte
 		}
 	}
@@ -626,13 +796,4 @@ func bitAt(cur, adjacent byte, j int) byte {
 	default:
 		return (cur >> j) & 1
 	}
-}
-
-func popcount(b byte) int {
-	n := 0
-	for b != 0 {
-		b &= b - 1
-		n++
-	}
-	return n
 }

@@ -7,6 +7,31 @@
 // simulated chips the two properties the methodology depends on: behaviour
 // is stable across repeated experiments (like silicon), yet every chip,
 // die, bank, row, and cell differs (like process variation).
+//
+// # Determinism contract
+//
+// The per-cell hash stream is the specification: cell idx of a row draws
+// h(idx) = splitmix64(rowSeed + idx*cellStride), and every per-cell
+// quantity (threshold uniform, orientation, retention uniform) is a fixed
+// pure function of that draw and the documented salts. Evaluation order is
+// NOT part of the contract — FlipMask may visit cells in any order, skip
+// whole words it can prove flip-free, or consult cached intermediates, but
+// the resulting mask must be byte-identical to a naive per-cell sweep.
+// TestFlipMaskMatchesScalar and the repository-level golden-digest test
+// enforce this.
+//
+// # Cell-state cache
+//
+// Model caches, per touched row and sharded by bank (so concurrent sweep
+// workers on different channels never share a lock): the derived
+// calibration curve, and the materialized per-cell randomness — hash
+// draws, orientation bitmask, per-word cluster factors and per-word
+// minimum uniforms — that FlipMask's word-at-a-time fast path consumes.
+// Calibrations are tiny and cached forever; the per-cell arrays
+// (~8 B/cell, ~68 KiB per 1 KiB row) are bounded by a per-model byte
+// budget (default 64 MiB, see Model.SetCellCacheBytes) with LRU eviction.
+// Eviction only costs a deterministic rebuild on next touch; it can never
+// change results.
 package disturb
 
 import (

@@ -1,0 +1,70 @@
+package hbm
+
+import "testing"
+
+// TestRowOpsZeroAlloc pins the allocation-freedom of the per-trial device
+// hot path: after warm-up (row states, per-channel scratch, model cell
+// cache), pattern init (FillRow), batched hammering (the former per-call
+// phys slice and exclude map now live on the channel), and victim
+// read-back must not allocate at all.
+func TestRowOpsZeroAlloc(t *testing.T) {
+	chip, err := NewBuiltin(0, WithIdentityMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := chip.Channel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, chip.Geometry().RowBytes)
+	warm := func() {
+		for d := -2; d <= 2; d++ {
+			fill := byte(0x55)
+			if d == -1 || d == 1 {
+				fill = 0xAA
+			}
+			if err := ch.FillRow(0, 0, 1000+d, fill); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ch.HammerDoubleSided(0, 0, 999, 1001, 4096, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.ReadRow(0, 0, 1000, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+
+	if allocs := testing.AllocsPerRun(20, func() {
+		if err := ch.FillRow(0, 0, 1000, 0x55); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.ReadRow(0, 0, 1000, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("FillRow+ReadRow allocates %.1f times per op, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(20, func() {
+		if err := ch.HammerDoubleSided(0, 0, 999, 1001, 4096, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.ReadRow(0, 0, 1000, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("HammerDoubleSided+ReadRow allocates %.1f times per op, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(20, func() {
+		rows := [3]int{800, 1800, 2800}
+		counts := [3]int{64, 64, 64}
+		if err := ch.HammerRows(0, 0, rows[:], counts[:], 0); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("HammerRows allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -41,6 +41,7 @@ type rowState struct {
 // bank models one DRAM bank: a row-state store, the open-row state machine,
 // per-bank timing history, and the in-DRAM TRR engine.
 type bank struct {
+	ch            *Channel
 	pseudo, index int
 
 	open        bool
@@ -57,12 +58,13 @@ type bank struct {
 	trr  *trr.Engine
 }
 
-func newBank(pseudo, index int, trrCfg trr.Config) (*bank, error) {
+func newBank(ch *Channel, pseudo, index int, trrCfg trr.Config) (*bank, error) {
 	eng, err := trr.NewEngine(trrCfg)
 	if err != nil {
 		return nil, err
 	}
 	return &bank{
+		ch:      ch,
 		pseudo:  pseudo,
 		index:   index,
 		lastAct: math.MinInt64 / 2,
@@ -76,11 +78,14 @@ func newBank(pseudo, index int, trrCfg trr.Config) (*bank, error) {
 // row returns the state for a physical row, creating it on first touch. A
 // freshly created row is considered refreshed "now" (its content is
 // undefined until written, so there is nothing older to corrupt).
-func (b *bank) row(phys int, now TimePS, jitter func(phys int, epoch uint64) float64) *rowState {
+func (b *bank) row(phys int, now TimePS) *rowState {
 	if rs, ok := b.rows[phys]; ok {
 		return rs
 	}
-	rs := &rowState{lastRestore: now, jitter: jitter(phys, 0)}
+	rs := &rowState{
+		lastRestore: now,
+		jitter:      b.ch.chip.model.TrialJitter(b.ch.rowLoc(b.pseudo, b.index, phys), 0),
+	}
 	b.rows[phys] = rs
 	return rs
 }

@@ -2,6 +2,7 @@ package hbm
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"hbmrd/internal/disturb"
@@ -32,8 +33,14 @@ type Channel struct {
 	// to validate hand-written programs.
 	autoTiming bool
 
-	scratch []byte // flip-mask scratch buffer, guarded by mu
-	fillBuf []byte // FillRow data buffer, guarded by mu
+	// Per-channel scratch reused across calls so the row-op and hammer hot
+	// paths stay allocation-free. All guarded by mu.
+	scratch  []byte // flip-mask scratch buffer
+	fillBuf  []byte // FillRow data buffer
+	fillByte byte   // current fillBuf content (valid when fillOK)
+	fillOK   bool
+	physBuf  []int // hammer: translated physical rows
+	exclBuf  []int // hammer: self-excluded victims
 }
 
 // SetAutoTiming selects between auto-delayed commands (true, default) and
@@ -90,12 +97,6 @@ func (ch *Channel) bank(pc, b int) (*bank, error) {
 	return ch.banks[pc][b], nil
 }
 
-func (ch *Channel) jitterFn(pc, bankIdx int) func(phys int, epoch uint64) float64 {
-	return func(phys int, epoch uint64) float64 {
-		return ch.chip.model.TrialJitter(ch.rowLoc(pc, bankIdx, phys), epoch)
-	}
-}
-
 func (ch *Channel) rowLoc(pc, bankIdx, phys int) disturb.RowLoc {
 	return disturb.RowLoc{Channel: ch.index, Pseudo: pc, Bank: bankIdx, Row: phys}
 }
@@ -132,7 +133,7 @@ func (ch *Channel) activateLocked(pc, bankIdx, logicalRow int) error {
 	}
 
 	phys := ch.chip.mapper.ToPhysical(logicalRow)
-	rs := b.row(phys, ch.now, ch.jitterFn(pc, bankIdx))
+	rs := b.row(phys, ch.now)
 	ch.restoreLocked(pc, bankIdx, b, phys, rs)
 
 	b.open = true
@@ -192,8 +193,8 @@ func (ch *Channel) prechargeLocked(pc, bankIdx int) error {
 // aggressor physRow to its physical neighbours. Rows listed in exclude
 // receive no dose (used by the batched hammer path for rows that are
 // themselves re-activated every iteration, which continually resets their
-// accumulation).
-func (ch *Channel) applyDoseLocked(pc, bankIdx int, b *bank, physRow, count int, onTime TimePS, exclude map[int]bool) {
+// accumulation; at most a handful of rows, so a slice scan beats a map).
+func (ch *Channel) applyDoseLocked(pc, bankIdx int, b *bank, physRow, count int, onTime TimePS, exclude []int) {
 	amp := disturb.AggOnAmp(float64(onTime) / float64(NS))
 	base := float64(count) * amp
 	for _, d := range [...]struct {
@@ -202,13 +203,13 @@ func (ch *Channel) applyDoseLocked(pc, bankIdx int, b *bank, physRow, count int,
 	}{{1, coupleDist1}, {2, coupleDist2}} {
 		for _, sign := range [...]int{+1, -1} {
 			victim := physRow + sign*d.dist
-			if victim < 0 || victim >= ch.geom.Rows || exclude[victim] {
+			if victim < 0 || victim >= ch.geom.Rows || slices.Contains(exclude, victim) {
 				continue
 			}
 			if !ch.fp.SameSubarray(physRow, victim) {
 				continue
 			}
-			vrs := b.row(victim, ch.now, ch.jitterFn(pc, bankIdx))
+			vrs := b.row(victim, ch.now)
 			dose := base * d.weight * vrs.jitter
 			if sign > 0 {
 				// Aggressor is above... no: victim = physRow + dist means
@@ -338,7 +339,7 @@ func (ch *Channel) writeLocked(pc, bankIdx, col int, data []byte) error {
 		return err
 	}
 
-	rs := b.row(b.openPhys, ch.now, ch.jitterFn(pc, bankIdx))
+	rs := b.row(b.openPhys, ch.now)
 	if rs.data == nil {
 		rs.data = make([]byte, ch.geom.RowBytes)
 	}

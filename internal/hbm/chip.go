@@ -154,7 +154,7 @@ func New(prof disturb.Profile, opts ...Option) (*Chip, error) {
 		for pc := 0; pc < cfg.geom.PseudoChannels; pc++ {
 			ch.banks[pc] = make([]*bank, cfg.geom.Banks)
 			for bi := 0; bi < cfg.geom.Banks; bi++ {
-				b, err := newBank(pc, bi, cfg.trrCfg)
+				b, err := newBank(ch, pc, bi, cfg.trrCfg)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,10 @@
 package hbm
 
-import "fmt"
+import (
+	"fmt"
+
+	"hbmrd/internal/ecc"
+)
 
 // This file provides the row-level convenience operations experiments use:
 // whole-row writes and reads (composed of JEDEC commands with automatic
@@ -25,25 +29,95 @@ func (ch *Channel) writeRowLocked(pc, bankIdx, row int, data []byte) error {
 	if err := ch.activateLocked(pc, bankIdx, row); err != nil {
 		return err
 	}
-	for col := 0; col < ch.geom.Cols(); col++ {
-		if err := ch.writeLocked(pc, bankIdx, col, data[col*ch.geom.ColBytes:]); err != nil {
-			return err
-		}
+	if err := ch.writeColumnsLocked(pc, bankIdx, data); err != nil {
+		return err
 	}
 	return ch.prechargeLocked(pc, bankIdx)
 }
 
+// writeColumnsLocked writes every column of the open row in one burst:
+// the bounds, bank and timing checks of the per-column loop are hoisted
+// out (tRCD and tCCD_L gate the first WR, every later WR lands exactly
+// max(tCK, tCCD_L) after its predecessor — the same schedule the
+// per-command loop converges to), and the data moves with one copy. In
+// strict-timing mode the burst falls back to per-command issue so timing
+// violations surface exactly as a hand-written column loop would report
+// them.
+func (ch *Channel) writeColumnsLocked(pc, bankIdx int, data []byte) error {
+	if !ch.autoTiming {
+		for col := 0; col < ch.geom.Cols(); col++ {
+			if err := ch.writeLocked(pc, bankIdx, col, data[col*ch.geom.ColBytes:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b, step, err := ch.burstGateLocked("WR", pc, bankIdx)
+	if err != nil {
+		return err
+	}
+	rs := b.row(b.openPhys, ch.now)
+	if rs.data == nil {
+		rs.data = make([]byte, ch.geom.RowBytes)
+	}
+	copy(rs.data, data[:ch.geom.RowBytes])
+	if ch.chip.modeRegs.ECCEnabled {
+		if rs.parity == nil {
+			rs.parity = make([]byte, ch.geom.RowBytes/ecc.WordBytes)
+		}
+		cb := ch.geom.ColBytes
+		for col := 0; col < ch.geom.Cols(); col++ {
+			updateParityColumn(rs.data, rs.parity, col*cb, cb)
+		}
+	}
+	b.lastRW = ch.now + TimePS(ch.geom.Cols()-1)*step
+	b.wrote = true
+	ch.now = b.lastRW + ch.chip.timing.TCK
+	return nil
+}
+
+// burstGateLocked runs the shared preamble of a bulk column burst: bank
+// lookup, open-row check, the tRCD and tCCD_L gates of the burst's first
+// command, and the per-column step the per-command loop converges to
+// (each command advances the clock by tCK, the next is gated on tCCD_L).
+func (ch *Channel) burstGateLocked(cmd string, pc, bankIdx int) (*bank, TimePS, error) {
+	b, err := ch.bank(pc, bankIdx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !b.open {
+		return nil, 0, ErrBankClosed
+	}
+	t := ch.chip.timing
+	if err := ch.timingGate(cmd, "tRCD", b.actAt+t.TRCD); err != nil {
+		return nil, 0, err
+	}
+	if err := ch.timingGate(cmd, "tCCD_L", b.lastRW+t.TCCDL); err != nil {
+		return nil, 0, err
+	}
+	step := t.TCK
+	if t.TCCDL > step {
+		step = t.TCCDL
+	}
+	return b, step, nil
+}
+
 // FillRow writes the same byte to every cell of a logical row. The fill
-// data is staged in a per-channel buffer reused across calls, so hot loops
-// (pattern initialization before every hammer) do not allocate.
+// data is staged in a per-channel buffer reused across calls (and kept
+// when consecutive fills use the same byte), so hot loops (pattern
+// initialization before every hammer) do not allocate.
 func (ch *Channel) FillRow(pc, bankIdx, row int, fill byte) error {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
 	if ch.fillBuf == nil {
 		ch.fillBuf = make([]byte, ch.geom.RowBytes)
+		ch.fillOK = false
 	}
-	for i := range ch.fillBuf {
-		ch.fillBuf[i] = fill
+	if !ch.fillOK || ch.fillByte != fill {
+		for i := range ch.fillBuf {
+			ch.fillBuf[i] = fill
+		}
+		ch.fillByte, ch.fillOK = fill, true
 	}
 	return ch.writeRowLocked(pc, bankIdx, row, ch.fillBuf)
 }
@@ -60,12 +134,45 @@ func (ch *Channel) ReadRow(pc, bankIdx, row int, buf []byte) error {
 	if err := ch.activateLocked(pc, bankIdx, row); err != nil {
 		return err
 	}
-	for col := 0; col < ch.geom.Cols(); col++ {
-		if err := ch.readLocked(pc, bankIdx, col, buf[col*ch.geom.ColBytes:]); err != nil {
-			return err
-		}
+	if err := ch.readColumnsLocked(pc, bankIdx, buf); err != nil {
+		return err
 	}
 	return ch.prechargeLocked(pc, bankIdx)
+}
+
+// readColumnsLocked is the read half of the bulk column path; see
+// writeColumnsLocked for the timing reasoning.
+func (ch *Channel) readColumnsLocked(pc, bankIdx int, buf []byte) error {
+	if !ch.autoTiming {
+		for col := 0; col < ch.geom.Cols(); col++ {
+			if err := ch.readLocked(pc, bankIdx, col, buf[col*ch.geom.ColBytes:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b, step, err := ch.burstGateLocked("RD", pc, bankIdx)
+	if err != nil {
+		return err
+	}
+	n := ch.geom.RowBytes
+	rs := b.peek(b.openPhys)
+	if rs == nil || rs.data == nil {
+		for i := 0; i < n; i++ {
+			buf[i] = 0
+		}
+	} else {
+		copy(buf[:n], rs.data[:n])
+		if ch.chip.modeRegs.ECCEnabled && rs.parity != nil {
+			cb := ch.geom.ColBytes
+			for col := 0; col < ch.geom.Cols(); col++ {
+				correctColumn(buf[col*cb:(col+1)*cb], rs.parity, col*cb, cb)
+			}
+		}
+	}
+	b.lastRW = ch.now + TimePS(ch.geom.Cols()-1)*step
+	ch.now = b.lastRW + ch.chip.timing.TCK
+	return nil
 }
 
 // HammerDoubleSided performs the paper's double-sided access pattern: it
@@ -73,14 +180,18 @@ func (ch *Channel) ReadRow(pc, bankIdx, row int, buf []byte) error {
 // each activation open for tOn (clamped up to tRAS). Equivalent to the
 // explicit ACT/wait/PRE loop, in O(1).
 func (ch *Channel) HammerDoubleSided(pc, bankIdx, rowA, rowB, count int, tOn TimePS) error {
-	return ch.hammer(pc, bankIdx, []int{rowA, rowB}, []int{count, count}, tOn, true)
+	rows := [2]int{rowA, rowB}
+	counts := [2]int{count, count}
+	return ch.hammer(pc, bankIdx, rows[:], counts[:], tOn, true)
 }
 
 // HammerSingleSided activates one aggressor row `count` times. Single-sided
 // hammering is the paper's tool for discovering subarray boundaries and
 // physical adjacency.
 func (ch *Channel) HammerSingleSided(pc, bankIdx, row, count int, tOn TimePS) error {
-	return ch.hammer(pc, bankIdx, []int{row}, []int{count}, tOn, true)
+	rows := [1]int{row}
+	counts := [1]int{count}
+	return ch.hammer(pc, bankIdx, rows[:], counts[:], tOn, true)
 }
 
 // HammerRows activates each rows[i] counts[i] times in order (rows[0]
@@ -125,19 +236,21 @@ func (ch *Channel) hammer(pc, bankIdx int, rows, counts []int, tOn TimePS, exclu
 	}
 
 	// Translate to physical rows; each hammered row's own charge restores
-	// at its first activation of the burst.
-	phys := make([]int, len(rows))
-	var exclude map[int]bool
-	if excludeSelf {
-		exclude = make(map[int]bool, len(rows))
+	// at its first activation of the burst. Both scratch slices live on
+	// the channel so paper-scale hammer loops never allocate.
+	phys := ch.physBuf[:0]
+	for _, r := range rows {
+		phys = append(phys, ch.chip.mapper.ToPhysical(r))
 	}
-	for i, r := range rows {
-		phys[i] = ch.chip.mapper.ToPhysical(r)
-		if excludeSelf {
-			exclude[phys[i]] = true
-		}
-		rs := b.row(phys[i], ch.now, ch.jitterFn(pc, bankIdx))
-		ch.restoreLocked(pc, bankIdx, b, phys[i], rs)
+	ch.physBuf = phys
+	var exclude []int
+	if excludeSelf {
+		exclude = append(ch.exclBuf[:0], phys...)
+		ch.exclBuf = exclude
+	}
+	for _, p := range phys {
+		rs := b.row(p, ch.now)
+		ch.restoreLocked(pc, bankIdx, b, p, rs)
 	}
 
 	// TRR sees the first occurrence of each row in order, then the bulk.

@@ -1,0 +1,177 @@
+// Command bench runs the repository's hot-path benchmarks and appends the
+// results to a dated JSON file (BENCH_<date>.json by default), so the
+// performance trajectory of the simulator survives across PRs: each entry
+// records op time, allocs/op, and every custom metric a benchmark reports
+// (headline figures like minHCfirst or flips/op).
+//
+// Usage:
+//
+//	go run ./tools/bench                      # default benchmark set
+//	go run ./tools/bench -label after-opt     # tag the data point
+//	go run ./tools/bench -bench 'FlipMask' -benchtime 2s
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench selects the kernels that bound sweep throughput plus one
+// end-to-end figure benchmark.
+const defaultBench = "FlipMaskHot|FlipMaskRetention|CalibFirstTouch|TrialJitter|Fig5HCFirstAcrossChips|RowInitReadHotPath|HammerReadHotPath|HammerThroughput|SweepJobsScaling"
+
+// Result is one benchmark data point.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one invocation of the benchmark suite.
+type Run struct {
+	Date       string   `json:"date"`
+	Label      string   `json:"label,omitempty"`
+	Commit     string   `json:"commit,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	Bench      string   `json:"bench"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "1s", "value for go test -benchtime")
+		label     = flag.String("label", "", "label stored with this data point")
+		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		pkgs      = flag.String("pkgs", "./...", "packages to benchmark")
+	)
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, *pkgs}
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: go test failed:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(buf.Bytes())
+
+	results := parse(&buf)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	run := Run{
+		Date:       date,
+		Label:      *label,
+		Commit:     gitCommit(),
+		GoVersion:  runtime.Version(),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Benchmarks: results,
+	}
+
+	// Append to any runs already recorded for the day, so before/after
+	// pairs land in one file.
+	var runs []Run
+	if prev, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(prev, &runs)
+	}
+	runs = append(runs, run)
+	enc, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(results), path)
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName-8   123  456.7 ns/op  8 B/op  1 allocs/op  2.5 flips/op
+func parse(buf *bytes.Buffer) []Result {
+	var results []Result
+	sc := bufio.NewScanner(buf)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{
+			Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.NumCPU())),
+			Iterations: iters,
+		}
+		if i := strings.LastIndex(r.Name, "-"); i > 0 {
+			// Strip any -N GOMAXPROCS suffix runtime.NumCPU didn't match.
+			if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+				r.Name = r.Name[:i]
+			}
+		}
+		// Value/unit pairs follow the iteration count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
