@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands directly.
 
-.PHONY: test short bench race
+.PHONY: test short bench race ci bench-check golden
 
 test:
 	go build ./... && go test ./...
@@ -19,3 +19,24 @@ race:
 LABEL ?=
 bench:
 	go run ./tools/bench -label '$(LABEL)'
+
+# bench-check is the regression tripwire CI runs: re-measure the recorded
+# benchmark set briefly and fail only on order-of-magnitude (>3x)
+# regressions against the newest committed BENCH_*.json. Noise at this
+# margin means a fast path got disabled, not that a run was unlucky.
+bench-check:
+	go run ./tools/bench -check -benchtime 200ms
+
+# golden runs the byte-identity contract at full scale: the pinned sweep
+# digests plus the checkpoint/resume byte-identity tests.
+golden:
+	go test -count=1 -run 'TestGoldenSweepDigest|ResumeByteIdentity' ./...
+
+# ci mirrors the full CI gate locally.
+ci:
+	gofmt -l . | (! grep .) || (echo "gofmt needed" && exit 1)
+	go vet ./...
+	go build ./...
+	go test -short ./...
+	$(MAKE) golden
+	$(MAKE) bench-check

@@ -14,16 +14,18 @@
 // Sweep execution flags: -jobs bounds the worker pool (default
 // GOMAXPROCS), -progress reports live sweep progress on stderr, and -out
 // streams every experiment record to a JSON Lines file as it is measured
-// (one JSON object per line, in deterministic plan order, so an
-// interrupted run leaves a valid prefix of the full result set).
-// Interrupting with Ctrl-C cancels the in-flight sweep promptly.
+// (a fingerprint header line, then one JSON object per line in
+// deterministic plan order, so an interrupted run leaves a valid prefix
+// of the full result set). Interrupting with Ctrl-C cancels the in-flight
+// sweep promptly; -resume FILE picks a cancelled -out run back up from
+// its valid prefix and completes the file byte-identically to an
+// uninterrupted run.
 //
 // Artifacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15 fig16 fig17 trr attack defense all
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -58,7 +60,8 @@ type runCtx struct {
 	geom     hbmrd.GeometryPreset
 	jobs     int
 	progress bool
-	out      *hbmrd.JSONLSink
+	out      *hbmrd.JSONLFileSink
+	resume   *hbmrd.Checkpoint
 	// label is the artifact name, used for progress-sink lines.
 	label string
 }
@@ -71,11 +74,15 @@ func run(ctx context.Context, args []string) error {
 	jobs := fs.Int("jobs", 0, "max concurrent sweep workers (default: GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "report live sweep progress on stderr")
 	outFlag := fs.String("out", "", "stream experiment records to this JSON Lines file")
+	resumeFlag := fs.String("resume", "", "resume a cancelled -out run from this JSON Lines file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: hbmrd [-full] [-chips 0,1] [-geometry PRESET] [-jobs N] [-progress] [-out FILE] <artifact>; artifacts: %s", strings.Join(artifactNames(), " "))
+		return fmt.Errorf("usage: hbmrd [-full] [-chips 0,1] [-geometry PRESET] [-jobs N] [-progress] [-out FILE | -resume FILE] <artifact>; artifacts: %s", strings.Join(artifactNames(), " "))
+	}
+	if *resumeFlag != "" && *outFlag != "" {
+		return fmt.Errorf("-resume continues an existing file; use it instead of -out, not with it")
 	}
 	c := runCtx{full: *full, jobs: *jobs, progress: *progress}
 	if *geomFlag != "" {
@@ -102,26 +109,50 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("unknown artifact %q (have: %s)", name, strings.Join(artifactNames(), " "))
 	}
 
-	// closeOut finalizes the -out stream; encode, flush, and close errors
-	// all fail the run (a silently truncated results file must not exit 0).
+	// closeOut finalizes the -out/-resume stream; encode, sync, and close
+	// errors all fail the run (a silently truncated results file must not
+	// exit 0).
 	closeOut := func() error { return nil }
-	if *outFlag != "" {
+	outPath := *outFlag
+	var outFile *os.File
+	switch {
+	case *outFlag != "":
 		f, err := os.Create(*outFlag)
 		if err != nil {
 			return err
 		}
-		w := bufio.NewWriter(f)
-		c.out = hbmrd.NewJSONLSink(w)
+		outFile = f
+	case *resumeFlag != "":
+		if name == "all" {
+			return fmt.Errorf("-resume needs the single artifact the file was produced by, not \"all\"")
+		}
+		outPath = *resumeFlag
+		f, err := os.OpenFile(*resumeFlag, os.O_RDWR, 0)
+		if err != nil {
+			return err
+		}
+		cp, err := hbmrd.ResumeFrom(f)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("resuming %s: %w", *resumeFlag, err)
+		}
+		fmt.Fprintf(os.Stderr, "hbmrd: resuming %s sweep from %d checkpointed records\n",
+			cp.Header.Kind, cp.Records())
+		c.resume = cp
+		outFile = f
+	}
+	if outFile != nil {
+		c.out = hbmrd.NewJSONLFileSink(outFile)
 		closeOut = func() error {
 			err := c.out.Err()
-			if ferr := w.Flush(); err == nil {
-				err = ferr
+			if serr := outFile.Sync(); err == nil {
+				err = serr
 			}
-			if cerr := f.Close(); err == nil {
+			if cerr := outFile.Close(); err == nil {
 				err = cerr
 			}
 			if err != nil {
-				return fmt.Errorf("writing %s: %w", *outFlag, err)
+				return fmt.Errorf("writing %s: %w", outPath, err)
 			}
 			return nil
 		}
@@ -222,6 +253,9 @@ func (c runCtx) runOpts() []hbmrd.RunOption {
 		opts = append(opts, hbmrd.WithSink(sinks[0]))
 	default:
 		opts = append(opts, hbmrd.WithSink(hbmrd.MultiSink(sinks...)))
+	}
+	if c.resume != nil {
+		opts = append(opts, hbmrd.WithResume(c.resume))
 	}
 	return opts
 }

@@ -1,0 +1,92 @@
+// Command hbmrdd serves sweeps over HTTP: POST a sweep spec, stream its
+// records live as NDJSON, and get identical finished sweeps straight from
+// the content-addressed result store instead of re-executing them.
+//
+// Usage:
+//
+//	hbmrdd [-addr :8344] [-store DIR] [-workers N] [-jobs N]
+//
+// Endpoints:
+//
+//	POST /sweeps            submit {"kind":"ber","chips":[0],"config":{...}}
+//	GET  /sweeps            list jobs and stored sweeps
+//	GET  /sweeps/<fp>       stream NDJSON (live tail, or instant store hit)
+//	GET  /sweeps/<fp>/status
+//	GET  /healthz
+//
+// On SIGTERM/SIGINT the service drains: in-flight sweeps are cancelled
+// and their spool files keep a valid checkpoint prefix (fingerprint
+// header plus complete records), so resubmitting the same spec after a
+// restart resumes instead of starting over.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hbmrd/internal/serve"
+	"hbmrd/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hbmrdd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hbmrdd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8344", "listen address")
+	storeDir := fs.String("store", "hbmrd-store", "result store directory")
+	workers := fs.Int("workers", 1, "max concurrently executing sweeps")
+	jobs := fs.Int("jobs", 0, "per-sweep engine workers (default GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{Store: st, Workers: *workers, Jobs: *jobs})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("hbmrdd: serving on %s (store %s, %d workers)", *addr, *storeDir, *workers)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, checkpoint in-flight sweeps, then leave.
+	log.Print("hbmrdd: draining (in-flight sweeps checkpoint to the spool)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutErr := httpSrv.Shutdown(shutCtx)
+	srv.Drain()
+	if shutErr != nil && !errors.Is(shutErr, context.DeadlineExceeded) {
+		return shutErr
+	}
+	log.Print("hbmrdd: drained")
+	return nil
+}

@@ -1,12 +1,15 @@
 package hbmrd_test
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"hash"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"hbmrd"
@@ -88,6 +91,81 @@ func goldenSweep(t *testing.T, preset hbmrd.GeometryPreset, jobs int, h hash.Has
 		t.Fatal(err)
 	}
 	record("retention", rets)
+}
+
+// TestGoldenResumeByteIdentity extends the byte-identity contract to
+// checkpoint/resume through the public API: the golden workload's BER
+// sweep, streamed to a file, cancelled mid-run, and resumed with
+// -resume's exact flow (ResumeFrom + WithResume + a file sink) must
+// finish byte-identical to an uninterrupted run - at every worker count,
+// on every preset. The record bytes themselves are pinned transitively:
+// TestGoldenSweepDigest hashes the same sweep's record stream against the
+// golden digests, so this test only needs equality, not its own pin.
+func TestGoldenResumeByteIdentity(t *testing.T) {
+	for _, preset := range hbmrd.Presets() {
+		preset := preset
+		t.Run(preset.Name, func(t *testing.T) {
+			t.Parallel()
+			newFleet := func() []*hbmrd.TestChip {
+				fleet, err := hbmrd.NewFleet([]int{0, 5}, hbmrd.WithGeometry(preset), hbmrd.WithIdentityMapping())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fleet
+			}
+			cfg := hbmrd.BERConfig{
+				Channels:    []int{0, 3},
+				Rows:        hbmrd.SampleRowsIn(newFleet()[0].Chip.Geometry(), 2),
+				HammerCount: 150_000,
+				Reps:        1,
+			}
+
+			fullPath := filepath.Join(t.TempDir(), "full.jsonl")
+			ff, err := os.Create(fullPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := hbmrd.RunBERContext(context.Background(), newFleet(), cfg,
+				hbmrd.WithJobs(1), hbmrd.WithSink(hbmrd.NewJSONLFileSink(ff))); err != nil {
+				t.Fatal(err)
+			}
+			ff.Close()
+			full, err := os.ReadFile(fullPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, jobs := range []int{1, 2, 8} {
+				// Cut mid-stream: an arbitrary offset, not a line boundary.
+				cut := len(full) * 2 / 3
+				path := filepath.Join(t.TempDir(), fmt.Sprintf("part-%d.jsonl", jobs))
+				if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				f, err := os.OpenFile(path, os.O_RDWR, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cp, err := hbmrd.ResumeFrom(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := hbmrd.RunBERContext(context.Background(), newFleet(), cfg,
+					hbmrd.WithJobs(jobs), hbmrd.WithSink(hbmrd.NewJSONLFileSink(f)), hbmrd.WithResume(cp)); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+				got, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, full) {
+					t.Errorf("jobs %d: resumed file diverges from uninterrupted run (%d vs %d bytes)",
+						jobs, len(got), len(full))
+				}
+			}
+		})
+	}
 }
 
 // No testing.Short() skip: CI's test and race jobs run the short suite,

@@ -27,6 +27,7 @@ package hbmrd
 import (
 	"context"
 	"io"
+	"os"
 
 	"hbmrd/internal/bender"
 	"hbmrd/internal/core"
@@ -36,6 +37,7 @@ import (
 	"hbmrd/internal/pattern"
 	"hbmrd/internal/report"
 	"hbmrd/internal/retention"
+	"hbmrd/internal/store"
 	"hbmrd/internal/thermal"
 	"hbmrd/internal/trr"
 	"hbmrd/internal/utrr"
@@ -104,11 +106,43 @@ type (
 // RunOptions, and a Sink observes a sweep while it runs (progress in
 // completion order, records streamed strictly in plan order).
 type (
-	RunOption    = core.RunOption
-	Sink         = core.Sink
-	JSONLSink    = core.JSONLSink
-	ProgressSink = core.ProgressSink
+	RunOption     = core.RunOption
+	Sink          = core.Sink
+	JSONLSink     = core.JSONLSink
+	JSONLFileSink = core.JSONLFileSink
+	ProgressSink  = core.ProgressSink
 )
+
+// Checkpoint/resume and sweep-identity types: every streamed sweep file
+// starts with a SweepHeader whose fingerprint is a stable content hash of
+// (experiment kind, canonical config, geometry, timing, chip set, code
+// generation); ResumeFrom reads the valid prefix of a partial file back
+// as a Checkpoint, and WithResume warm-starts the identical sweep from
+// it. SweepKind names an experiment runner in headers, fingerprints, and
+// hbmrdd sweep specs.
+type (
+	SweepHeader = core.SweepHeader
+	Checkpoint  = core.Checkpoint
+	SweepKind   = core.Kind
+)
+
+// The experiment kinds, one per sweep-shaped runner.
+const (
+	KindBER         = core.KindBER
+	KindHCFirst     = core.KindHCFirst
+	KindHCNth       = core.KindHCNth
+	KindVariability = core.KindVariability
+	KindRowPressBER = core.KindRowPressBER
+	KindRowPressHC  = core.KindRowPressHC
+	KindBypass      = core.KindBypass
+	KindAging       = core.KindAging
+)
+
+// CodeGeneration is the fault-model behaviour generation stamped into
+// every sweep fingerprint; it is bumped whenever the golden sweep digests
+// are deliberately re-pinned, invalidating stored and checkpointed
+// results from the old behaviour.
+const CodeGeneration = core.CodeGeneration
 
 // WithJobs bounds a sweep's worker pool at n concurrently executing
 // channel groups (default GOMAXPROCS; 1 runs fully serial).
@@ -117,10 +151,51 @@ func WithJobs(n int) RunOption { return core.WithJobs(n) }
 // WithSink streams a sweep's progress and records to s while it runs.
 func WithSink(s Sink) RunOption { return core.WithSink(s) }
 
-// NewJSONLSink streams every record to w as one JSON object per line, in
-// plan order, so a truncated file is a valid prefix of the full result
-// set.
+// WithResume warm-starts a sweep from a checkpoint read by ResumeFrom:
+// the checkpointed cells' records pre-fill the result set, only the
+// remainder executes, and a file-backed sink continues the stream
+// byte-identically to an uninterrupted run. The runner rejects
+// checkpoints whose fingerprint does not match its own sweep.
+func WithResume(cp *Checkpoint) RunOption { return core.WithResume(cp) }
+
+// ResumeFrom reads the valid prefix (fingerprint header plus complete
+// record lines) of a partially written sweep file.
+func ResumeFrom(r io.Reader) (*Checkpoint, error) { return core.ResumeFrom(r) }
+
+// SweepFingerprint computes the fingerprint a Run*Context call with this
+// kind, fleet, and config would stamp into its header, without running
+// anything - the key for deduplicating finished sweeps.
+func SweepFingerprint(kind SweepKind, fleet []*TestChip, cfg any) (string, error) {
+	return core.FingerprintFor(kind, fleet, cfg)
+}
+
+// NewJSONLSink streams every record to w as one JSON object per line -
+// the sweep's fingerprint header first, then records in plan order, so a
+// truncated file is a valid prefix of the full result set and a
+// resumable checkpoint.
 func NewJSONLSink(w io.Writer) *JSONLSink { return core.NewJSONLSink(w) }
+
+// NewJSONLFileSink is NewJSONLSink over a file, adding the resume
+// contract: on a resumed sweep the file is truncated to the checkpoint
+// boundary and appended from there. The caller closes f after checking
+// Err.
+func NewJSONLFileSink(f *os.File) *JSONLFileSink { return core.NewJSONLFileSink(f) }
+
+// SweepStore is a content-addressed, on-disk store of finished sweeps:
+// the fingerprint is the address, the completed JSONL stream the value.
+// Since equal fingerprints mean byte-identical record streams, a hit can
+// be served in place of re-running the sweep - this is the durability
+// layer under the hbmrdd service.
+type SweepStore = store.Store
+
+// SweepStoreMeta describes one stored sweep.
+type SweepStoreMeta = store.Meta
+
+// ErrSweepNotFound reports a fingerprint with no finished sweep stored.
+var ErrSweepNotFound = store.ErrNotFound
+
+// OpenSweepStore opens (creating if needed) a sweep store rooted at dir.
+func OpenSweepStore(dir string) (*SweepStore, error) { return store.Open(dir) }
 
 // NewProgressSink reports whole-percent sweep progress for the labelled
 // experiment to w.

@@ -105,8 +105,19 @@ func TestFacadeStreamingSweep(t *testing.T) {
 	if err := jsonl.Err(); err != nil {
 		t.Fatal(err)
 	}
-	lines := 0
+	// The stream opens with the sweep's fingerprint header line.
 	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty stream")
+	}
+	var header hbmrd.SweepHeader
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil || header.Format == 0 {
+		t.Fatalf("first line is not a sweep header: %s (err %v)", sc.Bytes(), err)
+	}
+	if header.Kind != string(hbmrd.KindBER) || header.Fingerprint == "" || header.Cells != 2*3 {
+		t.Fatalf("header = %+v", header)
+	}
+	lines := 0
 	for sc.Scan() {
 		var rec hbmrd.BERRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
 	"hbmrd/internal/stats"
 )
@@ -18,6 +19,21 @@ type AgingConfig struct {
 	// AdditionalMonths is the powered-on time between the two
 	// measurements (default 7).
 	AdditionalMonths float64
+}
+
+// fill resolves the aging defaults and the inner BER sweep's, so the
+// config is canonical before fingerprinting.
+func (c *AgingConfig) fill(g hbm.Geometry) {
+	if c.AdditionalMonths == 0 {
+		c.AdditionalMonths = 7
+	}
+	if len(c.BER.Patterns) == 0 {
+		c.BER.Patterns = []pattern.Pattern{pattern.Checkered1}
+	}
+	if len(c.BER.Channels) == 0 {
+		c.BER.Channels = []int{0, 1, 2}
+	}
+	c.BER.fill(g)
 }
 
 // AgingRecord pairs one row's BER before and after aging.
@@ -41,28 +57,34 @@ func RunAging(fleet []*TestChip, cfg AgingConfig) ([]AgingRecord, error) {
 // joined record only exists once both passes finish) - honoring the Sink
 // contract that a stream mirrors the returned slice.
 func RunAgingContext(ctx context.Context, fleet []*TestChip, cfg AgingConfig, opts ...RunOption) ([]AgingRecord, error) {
-	if cfg.AdditionalMonths == 0 {
-		cfg.AdditionalMonths = 7
-	}
-	if len(cfg.BER.Patterns) == 0 {
-		cfg.BER.Patterns = []pattern.Pattern{pattern.Checkered1}
-	}
-	if len(cfg.BER.Channels) == 0 {
-		cfg.BER.Channels = []int{0, 1, 2}
-	}
+	cfg.fill(fleetGeometry(fleet))
 
 	o := applyOpts(opts)
+	// Aging streams its joined records only once both passes finish, so a
+	// truncated aging file holds no per-cell progress worth warm-starting.
+	if o.resume != nil {
+		return nil, fmt.Errorf("core: aging sweeps stream no resumable prefix; re-run from scratch")
+	}
 	var innerOpts []RunOption
 	if o.jobs > 0 {
 		innerOpts = append(innerOpts, WithJobs(o.jobs))
 	}
 	var agg *agingSink
 	if o.sink != nil {
-		cfg.BER.fill(fleetGeometry(fleet))
+		fp, err := fingerprintSweep(KindAging, fleet, cfg)
+		if err != nil {
+			return nil, err
+		}
 		perSweep := len(newPlan(fleet, cfg.BER.Channels, cfg.BER.Pseudos, cfg.BER.Banks, len(cfg.BER.Rows)).cells)
 		agg = &agingSink{inner: o.sink, total: 2 * perSweep}
 		innerOpts = append(innerOpts, WithSink(agg))
 		o.sink.Start(agg.total)
+		// The combined stream carries the aging fingerprint; the inner BER
+		// sweeps' headers are absorbed by the adapter below.
+		if hs, ok := o.sink.(HeaderSink); ok {
+			hs.Header(SweepHeader{Format: sweepFormat, Kind: string(KindAging), Fingerprint: fp,
+				Cells: agg.total, Generation: CodeGeneration})
+		}
 	}
 	finish := func(err error) {
 		if agg != nil {

@@ -86,7 +86,13 @@ func RunBER(fleet []*TestChip, cfg BERConfig) ([]BERRecord, error) {
 func RunBERContext(ctx context.Context, fleet []*TestChip, cfg BERConfig, opts ...RunOption) ([]BERRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, cfg.Channels, cfg.Pseudos, cfg.Banks, len(cfg.Rows))
-	return runSweep(ctx, p, applyOpts(opts), func(_ context.Context, env *cellEnv, c Cell) ([]BERRecord, error) {
+	o := applyOpts(opts)
+	// Every cell emits one record per pattern plus the derived WCDP record.
+	st, err := prepareSweep[BERRecord](KindBER, fleet, cfg, p, o, fixedSpan(len(cfg.Patterns)+1))
+	if err != nil {
+		return nil, err
+	}
+	return runSweep(ctx, p, o, st, func(_ context.Context, env *cellEnv, c Cell) ([]BERRecord, error) {
 		ref := env.bank(c.Pseudo, c.Bank)
 		return berForRow(ref, c.Channel, cfg.Rows[c.Point], cfg)
 	})

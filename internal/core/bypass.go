@@ -73,7 +73,12 @@ func RunBypassContext(ctx context.Context, fleet []*TestChip, cfg BypassConfig, 
 	cfg.fill(fleetGeometry(fleet), fleetTiming(fleet))
 	p := newPlan(fleet, []int{cfg.Channel}, []int{cfg.Pseudo}, []int{cfg.Bank},
 		len(cfg.DummyCounts)*len(cfg.AggActs)*len(cfg.Victims))
-	return runSweep(ctx, p, applyOpts(opts), func(ctx context.Context, env *cellEnv, c Cell) ([]BypassRecord, error) {
+	o := applyOpts(opts)
+	st, err := prepareSweep[BypassRecord](KindBypass, fleet, cfg, p, o, fixedSpan(1))
+	if err != nil {
+		return nil, err
+	}
+	return runSweep(ctx, p, o, st, func(ctx context.Context, env *cellEnv, c Cell) ([]BypassRecord, error) {
 		pt := c.Point
 		victim := cfg.Victims[pt%len(cfg.Victims)]
 		pt /= len(cfg.Victims)

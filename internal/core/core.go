@@ -22,7 +22,16 @@
 //     cell and records streamed strictly in plan order, so partial output
 //     (e.g. a JSON Lines file from a cancelled -full run) is a valid prefix
 //     of the complete result set.
+//   - Every sweep carries a fingerprint (fingerprint.go): a stable content
+//     hash of (kind, canonical config, geometry, timing, chip set,
+//     CodeGeneration), stamped as the header line of streamed files. Equal
+//     fingerprints mean byte-identical record streams, which makes
+//     truncated files resumable (ResumeFrom + WithResume warm-start the
+//     identical sweep from its valid prefix, finishing byte-identically)
+//     and finished files content-addressable (internal/store serves a
+//     repeat sweep from disk instead of re-running it).
 //
 // Adding a new sweep-shaped experiment therefore costs a config struct, a
-// plan, and a measurement closure rather than a hand-rolled worker pool.
+// plan, a record-span rule for resume, and a measurement closure rather
+// than a hand-rolled worker pool.
 package core

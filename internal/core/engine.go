@@ -51,8 +51,9 @@ func newPlan(fleet []*TestChip, channels, pseudos, banks []int, points int) plan
 
 // runOpts collects the execution tuning shared by every runner.
 type runOpts struct {
-	jobs int
-	sink Sink
+	jobs   int
+	sink   Sink
+	resume *Checkpoint
 }
 
 // RunOption tunes how a runner executes its sweep. Every Run*Context entry
@@ -65,6 +66,16 @@ func WithJobs(n int) RunOption { return func(o *runOpts) { o.jobs = n } }
 
 // WithSink streams progress and records to s while the sweep runs.
 func WithSink(s Sink) RunOption { return func(o *runOpts) { o.sink = s } }
+
+// WithResume warm-starts the sweep from a checkpoint read by ResumeFrom:
+// the runner validates the checkpoint's fingerprint against its own
+// config, pre-fills the result slots of every plan cell the checkpoint
+// already covers, and executes only the remainder. A sink implementing
+// ResumableSink is first truncated to the end of the last complete cell,
+// so the resumed stream continues byte-identically to an uninterrupted
+// run. The returned record slice is always the complete result set,
+// checkpointed and fresh cells alike.
+func WithResume(cp *Checkpoint) RunOption { return func(o *runOpts) { o.resume = cp } }
 
 func applyOpts(opts []RunOption) runOpts {
 	var o runOpts
@@ -103,10 +114,27 @@ func (e *cellEnv) bank(pc, bnk int) bankRef {
 // the return value, but everything already streamed to the sink remains
 // valid: the sink receives records strictly in plan order, so a truncated
 // stream is a prefix of the full result set.
-func runSweep[R any](ctx context.Context, p plan, o runOpts, measure func(ctx context.Context, env *cellEnv, c Cell) ([]R, error)) ([]R, error) {
+func runSweep[R any](ctx context.Context, p plan, o runOpts, st *sweepState[R], measure func(ctx context.Context, env *cellEnv, c Cell) ([]R, error)) ([]R, error) {
+	if st == nil {
+		st = &sweepState[R]{}
+	}
 	cells := p.cells
 	if o.sink != nil {
 		o.sink.Start(len(cells))
+		// Stamp fresh streams with the sweep's identity; position resumed
+		// ones at the end of their last complete cell (cutting off any torn
+		// tail) so appended records continue the stream byte-identically.
+		if st.resumed {
+			if rs, ok := o.sink.(ResumableSink); ok {
+				if err := rs.ResumeAt(st.truncAt); err != nil {
+					err = fmt.Errorf("core: positioning resumed sink: %w", err)
+					o.sink.Finish(err)
+					return nil, err
+				}
+			}
+		} else if hs, ok := o.sink.(HeaderSink); ok && st.header.Fingerprint != "" {
+			hs.Header(st.header)
+		}
 	}
 	if len(cells) == 0 {
 		err := ctx.Err()
@@ -118,9 +146,11 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, measure func(ctx co
 
 	// Group consecutive same-(chip, channel) cells; plan enumeration nests
 	// the channel outside pseudo/bank/point, so groups are contiguous runs.
+	// Cells the checkpoint already covers are never grouped, so a resumed
+	// sweep spends no worker time before its first incomplete cell.
 	type group struct{ start, end int } // cells[start:end)
 	var groups []group
-	for i := 0; i < len(cells); {
+	for i := st.skip; i < len(cells); {
 		j := i + 1
 		for j < len(cells) && cells[j].TC == cells[i].TC && cells[j].Channel == cells[i].Channel {
 			j++
@@ -138,6 +168,7 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, measure func(ctx co
 	}
 
 	slots := make([][]R, len(cells))
+	copy(slots, st.prefill)
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -167,6 +198,12 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, measure func(ctx co
 	sinkErr, _ := o.sink.(interface{ Err() error })
 	if o.sink != nil {
 		completed = make([]bool, len(cells))
+		// Checkpointed cells count as done: the frontier starts past them,
+		// so their records are never re-emitted to the sink.
+		for i := 0; i < st.skip; i++ {
+			completed[i] = true
+		}
+		doneCells, frontier = st.skip, st.skip
 	}
 	cellDone := func(i int) {
 		if o.sink == nil {

@@ -47,7 +47,7 @@ func BenchmarkSweepCollect(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			out, err := runSweep(context.Background(), p, runOpts{},
+			out, err := runSweep(context.Background(), p, runOpts{}, nil,
 				func(_ context.Context, env *cellEnv, c Cell) ([]BERRecord, error) {
 					return synthRecords(env.tc.Index, c.Channel, c.Pseudo, c.Bank, c.Point), nil
 				})

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"hbmrd/internal/hbm"
+)
+
+// Kind identifies one experiment runner. It appears in sweep fingerprints,
+// in the header line of streamed JSONL files, and in hbmrdd sweep specs.
+type Kind string
+
+// The experiment kinds, one per sweep-shaped runner.
+const (
+	KindBER         Kind = "ber"
+	KindHCFirst     Kind = "hcfirst"
+	KindHCNth       Kind = "hcnth"
+	KindVariability Kind = "variability"
+	KindRowPressBER Kind = "rowpress-ber"
+	KindRowPressHC  Kind = "rowpress-hc"
+	KindBypass      Kind = "bypass"
+	KindAging       Kind = "aging"
+)
+
+// Kinds lists every experiment kind, in a stable order.
+func Kinds() []Kind {
+	return []Kind{KindBER, KindHCFirst, KindHCNth, KindVariability,
+		KindRowPressBER, KindRowPressHC, KindBypass, KindAging}
+}
+
+// CodeGeneration is the fault-model behaviour generation baked into every
+// sweep fingerprint. The golden sweep digests (golden_test.go at the repo
+// root) pin the model's byte-level behaviour; whenever those digests are
+// deliberately re-pinned, bump this constant in the same commit so stored
+// and checkpointed results from the old behaviour stop matching new runs
+// instead of being silently resumed or served from cache.
+const CodeGeneration = 1
+
+// chipIdentity is the per-chip component of a fingerprint: the study index
+// plus the row-mapping in effect (identity vs. the vendor swizzle changes
+// every physical-row measurement).
+type chipIdentity struct {
+	Index  int
+	Mapper string
+}
+
+// fingerprintSweep computes the stable content hash identifying one sweep:
+// the experiment kind, the canonical (defaults-resolved) config, the
+// fleet's geometry and timing, the chip set with its row mappings, and the
+// code-determinism generation. Two runs with equal fingerprints produce
+// byte-identical record streams; anything that could change a record must
+// feed the hash. cfg must already be filled - struct JSON encoding is
+// canonical (declaration-order fields), so filled configs that would run
+// identical plans hash identically.
+func fingerprintSweep(kind Kind, fleet []*TestChip, cfg any) (string, error) {
+	chips := make([]chipIdentity, 0, len(fleet))
+	for _, tc := range fleet {
+		m := tc.Chip.Mapper()
+		chips = append(chips, chipIdentity{Index: tc.Index, Mapper: fmt.Sprintf("%T%+v", m, m)})
+	}
+	in := struct {
+		Format     int
+		Kind       Kind
+		Generation int
+		Geometry   hbm.Geometry
+		Timing     hbm.Timing
+		Chips      []chipIdentity
+		Config     any
+	}{sweepFormat, kind, CodeGeneration, fleetGeometry(fleet), fleetTiming(fleet), chips, cfg}
+	b, err := json.Marshal(in)
+	if err != nil {
+		return "", fmt.Errorf("core: fingerprinting %s sweep: %w", kind, err)
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// FingerprintFor computes the fingerprint a Run*Context call with this
+// kind, fleet and config would stamp into its sweep header, without
+// running anything. It resolves the config's defaults on a copy, exactly
+// as the runner would, so a caller (the hbmrdd service, a store lookup)
+// can decide whether an identical sweep already finished. cfg must be the
+// kind's config type, passed by value.
+func FingerprintFor(kind Kind, fleet []*TestChip, cfg any) (string, error) {
+	g := fleetGeometry(fleet)
+	bad := func() (string, error) {
+		return "", fmt.Errorf("core: kind %s wants %s, got %T", kind, configTypeName(kind), cfg)
+	}
+	switch kind {
+	case KindBER:
+		c, ok := cfg.(BERConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return fingerprintSweep(kind, fleet, c)
+	case KindHCFirst:
+		c, ok := cfg.(HCFirstConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return fingerprintSweep(kind, fleet, c)
+	case KindHCNth:
+		c, ok := cfg.(HCNthConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return fingerprintSweep(kind, fleet, c)
+	case KindVariability:
+		c, ok := cfg.(VariabilityConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return fingerprintSweep(kind, fleet, c)
+	case KindRowPressBER:
+		c, ok := cfg.(RowPressBERConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return fingerprintSweep(kind, fleet, c)
+	case KindRowPressHC:
+		c, ok := cfg.(RowPressHCConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return fingerprintSweep(kind, fleet, c)
+	case KindBypass:
+		c, ok := cfg.(BypassConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g, fleetTiming(fleet))
+		return fingerprintSweep(kind, fleet, c)
+	case KindAging:
+		c, ok := cfg.(AgingConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return fingerprintSweep(kind, fleet, c)
+	}
+	return "", fmt.Errorf("core: unknown experiment kind %q", kind)
+}
+
+func configTypeName(kind Kind) string {
+	switch kind {
+	case KindBER:
+		return "BERConfig"
+	case KindHCFirst:
+		return "HCFirstConfig"
+	case KindHCNth:
+		return "HCNthConfig"
+	case KindVariability:
+		return "VariabilityConfig"
+	case KindRowPressBER:
+		return "RowPressBERConfig"
+	case KindRowPressHC:
+		return "RowPressHCConfig"
+	case KindBypass:
+		return "BypassConfig"
+	case KindAging:
+		return "AgingConfig"
+	}
+	return "unknown config"
+}

@@ -79,7 +79,12 @@ func RunHCFirst(fleet []*TestChip, cfg HCFirstConfig) ([]HCFirstRecord, error) {
 func RunHCFirstContext(ctx context.Context, fleet []*TestChip, cfg HCFirstConfig, opts ...RunOption) ([]HCFirstRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, cfg.Channels, cfg.Pseudos, cfg.Banks, len(cfg.Rows))
-	return runSweep(ctx, p, applyOpts(opts), func(_ context.Context, env *cellEnv, c Cell) ([]HCFirstRecord, error) {
+	o := applyOpts(opts)
+	st, err := prepareSweep[HCFirstRecord](KindHCFirst, fleet, cfg, p, o, hcFirstSpan(len(cfg.Patterns)))
+	if err != nil {
+		return nil, err
+	}
+	return runSweep(ctx, p, o, st, func(_ context.Context, env *cellEnv, c Cell) ([]HCFirstRecord, error) {
 		ref := env.bank(c.Pseudo, c.Bank)
 		return hcFirstForRow(ref, c.Channel, cfg.Rows[c.Point], cfg)
 	})

@@ -92,7 +92,12 @@ func RunHCNth(fleet []*TestChip, cfg HCNthConfig) ([]HCNthRecord, error) {
 func RunHCNthContext(ctx context.Context, fleet []*TestChip, cfg HCNthConfig, opts ...RunOption) ([]HCNthRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, cfg.Channels, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.Rows)*len(cfg.Patterns))
-	return runSweep(ctx, p, applyOpts(opts), func(_ context.Context, env *cellEnv, c Cell) ([]HCNthRecord, error) {
+	o := applyOpts(opts)
+	st, err := prepareSweep[HCNthRecord](KindHCNth, fleet, cfg, p, o, fixedSpan(1))
+	if err != nil {
+		return nil, err
+	}
+	return runSweep(ctx, p, o, st, func(_ context.Context, env *cellEnv, c Cell) ([]HCNthRecord, error) {
 		row := cfg.Rows[c.Point/len(cfg.Patterns)]
 		pat := cfg.Patterns[c.Point%len(cfg.Patterns)]
 		ref := env.bank(c.Pseudo, c.Bank)

@@ -84,7 +84,12 @@ func RunRowPressBER(fleet []*TestChip, cfg RowPressBERConfig) ([]RowPressBERReco
 func RunRowPressBERContext(ctx context.Context, fleet []*TestChip, cfg RowPressBERConfig, opts ...RunOption) ([]RowPressBERRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, cfg.Channels, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.TAggONs))
-	return runSweep(ctx, p, applyOpts(opts), func(ctx context.Context, env *cellEnv, c Cell) ([]RowPressBERRecord, error) {
+	o := applyOpts(opts)
+	st, err := prepareSweep[RowPressBERRecord](KindRowPressBER, fleet, cfg, p, o, fixedSpan(1))
+	if err != nil {
+		return nil, err
+	}
+	return runSweep(ctx, p, o, st, func(ctx context.Context, env *cellEnv, c Cell) ([]RowPressBERRecord, error) {
 		ref := env.bank(c.Pseudo, c.Bank)
 		rec, err := rowPressBERPoint(ctx, ref, env.ch, c.Channel, cfg.TAggONs[c.Point], cfg)
 		if err != nil {
@@ -199,7 +204,12 @@ func RunRowPressHC(fleet []*TestChip, cfg RowPressHCConfig) ([]RowPressHCRecord,
 func RunRowPressHCContext(ctx context.Context, fleet []*TestChip, cfg RowPressHCConfig, opts ...RunOption) ([]RowPressHCRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, cfg.Channels, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.Rows)*len(cfg.TAggONs))
-	return runSweep(ctx, p, applyOpts(opts), func(_ context.Context, env *cellEnv, c Cell) ([]RowPressHCRecord, error) {
+	o := applyOpts(opts)
+	st, err := prepareSweep[RowPressHCRecord](KindRowPressHC, fleet, cfg, p, o, fixedSpan(1))
+	if err != nil {
+		return nil, err
+	}
+	return runSweep(ctx, p, o, st, func(_ context.Context, env *cellEnv, c Cell) ([]RowPressHCRecord, error) {
 		row := cfg.Rows[c.Point/len(cfg.TAggONs)]
 		tOn := cfg.TAggONs[c.Point%len(cfg.TAggONs)]
 		ref := env.bank(c.Pseudo, c.Bank)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 )
 
 // Sink observes a sweep while it runs: Start once with the cell count,
@@ -26,9 +27,26 @@ type Sink interface {
 	Finish(err error)
 }
 
-// JSONLSink streams every record as one JSON object per line (JSON Lines).
-// Because the engine emits records in plan order, a truncated file is a
-// valid prefix of the full result set.
+// HeaderSink is implemented by sinks that persist the sweep's identity.
+// The engine calls Header once per fresh (non-resumed) sweep, before any
+// Record, with the fingerprint header that makes the stream resumable and
+// content-addressable.
+type HeaderSink interface {
+	Header(h SweepHeader)
+}
+
+// ResumableSink is implemented by sinks whose destination can be cut back
+// to a checkpoint: on a resumed sweep the engine calls ResumeAt once,
+// before any Record, with the byte offset ending the last complete cell.
+// The sink must discard everything past it and append from there.
+type ResumableSink interface {
+	ResumeAt(offset int64) error
+}
+
+// JSONLSink streams every record as one JSON object per line (JSON Lines),
+// preceded by the sweep's fingerprint header. Because the engine emits
+// records in plan order, a truncated file is a valid prefix of the full
+// result set - and, with the header, a resumable checkpoint.
 type JSONLSink struct {
 	enc *json.Encoder
 	err error
@@ -42,6 +60,13 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 func (s *JSONLSink) Start(int)         {}
 func (s *JSONLSink) Progress(int, int) {}
 
+// Header writes the sweep's fingerprint header line.
+func (s *JSONLSink) Header(h SweepHeader) {
+	if s.err == nil {
+		s.err = s.enc.Encode(h)
+	}
+}
+
 func (s *JSONLSink) Record(rec any) {
 	if s.err == nil {
 		s.err = s.enc.Encode(rec)
@@ -52,6 +77,34 @@ func (s *JSONLSink) Finish(error) {}
 
 // Err reports the first encode/write error, if any occurred.
 func (s *JSONLSink) Err() error { return s.err }
+
+// JSONLFileSink is JSONLSink over an *os.File, plus the resume contract:
+// on a resumed sweep it truncates the file to the checkpoint boundary and
+// appends from there, so the finished file is byte-identical to one from
+// an uninterrupted run. Writes are unbuffered - every record is one
+// complete line on disk the moment it is emitted - which is what lets a
+// crashed or killed run leave nothing worse than one torn final line, and
+// lets hbmrdd tail the file live. The caller keeps ownership of the file
+// and closes it after checking Err.
+type JSONLFileSink struct {
+	JSONLSink
+	f *os.File
+}
+
+// NewJSONLFileSink streams records (and the sweep header) to f.
+func NewJSONLFileSink(f *os.File) *JSONLFileSink {
+	return &JSONLFileSink{JSONLSink: JSONLSink{enc: json.NewEncoder(f)}, f: f}
+}
+
+// ResumeAt truncates the file to the checkpoint boundary and positions
+// the writer there.
+func (s *JSONLFileSink) ResumeAt(offset int64) error {
+	if err := s.f.Truncate(offset); err != nil {
+		return err
+	}
+	_, err := s.f.Seek(offset, io.SeekStart)
+	return err
+}
 
 // ProgressSink prints a progress line to W whenever the sweep crosses a
 // whole-percent boundary (at most ~100 lines per sweep, plus start and
@@ -74,7 +127,12 @@ func (s *ProgressSink) Start(total int) {
 }
 
 func (s *ProgressSink) Progress(done, total int) {
-	pct := done * 100 / total
+	// A zero-cell plan still has a lifecycle (Start/Finish), and external
+	// drivers may report against it; an empty sweep is 100% done.
+	pct := 100
+	if total > 0 {
+		pct = done * 100 / total
+	}
 	if pct == s.lastPct {
 		return
 	}
@@ -111,6 +169,28 @@ func (m multiSink) Record(rec any) {
 	for _, s := range m {
 		s.Record(rec)
 	}
+}
+
+// Header forwards the sweep header to every member that persists one.
+func (m multiSink) Header(h SweepHeader) {
+	for _, s := range m {
+		if hs, ok := s.(HeaderSink); ok {
+			hs.Header(h)
+		}
+	}
+}
+
+// ResumeAt forwards the resume point to every member whose destination
+// needs truncating, failing on the first error.
+func (m multiSink) ResumeAt(offset int64) error {
+	for _, s := range m {
+		if rs, ok := s.(ResumableSink); ok {
+			if err := rs.ResumeAt(offset); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (m multiSink) Finish(err error) {

@@ -67,7 +67,12 @@ func RunVariability(fleet []*TestChip, cfg VariabilityConfig) ([]VariabilityReco
 func RunVariabilityContext(ctx context.Context, fleet []*TestChip, cfg VariabilityConfig, opts ...RunOption) ([]VariabilityRecord, error) {
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, []int{cfg.Channel}, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.Rows))
-	return runSweep(ctx, p, applyOpts(opts), func(ctx context.Context, env *cellEnv, c Cell) ([]VariabilityRecord, error) {
+	o := applyOpts(opts)
+	st, err := prepareSweep[VariabilityRecord](KindVariability, fleet, cfg, p, o, fixedSpan(1))
+	if err != nil {
+		return nil, err
+	}
+	return runSweep(ctx, p, o, st, func(ctx context.Context, env *cellEnv, c Cell) ([]VariabilityRecord, error) {
 		ref := env.bank(c.Pseudo, c.Bank)
 		row := cfg.Rows[c.Point]
 		rec := VariabilityRecord{Chip: env.tc.Index, Row: row, Iterations: cfg.Iterations}

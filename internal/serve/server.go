@@ -1,0 +1,509 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"hbmrd/internal/core"
+	"hbmrd/internal/store"
+)
+
+// Job states, as reported by the status endpoint.
+const (
+	StatusQueued        = "queued"
+	StatusRunning       = "running"
+	StatusDone          = "done"
+	StatusFailed        = "failed"
+	StatusCheckpointed  = "checkpointed"
+	statusQueueCapacity = 256
+)
+
+// job is one enqueued sweep execution. A fingerprint has at most one live
+// job; repeated submissions of the same spec attach to it (or to the
+// store, once finished).
+type job struct {
+	sweep *Sweep
+
+	mu     sync.Mutex
+	status string
+	errMsg string
+	// done is closed when the job reaches a terminal state for this
+	// enqueue (done, failed, or checkpointed).
+	done chan struct{}
+}
+
+func (j *job) state() (string, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.errMsg
+}
+
+func (j *job) setState(status, errMsg string) {
+	j.mu.Lock()
+	j.status, j.errMsg = status, errMsg
+	j.mu.Unlock()
+}
+
+// Server executes submitted sweeps on a bounded worker pool, spools their
+// records to disk as they stream, finalizes finished spools into the
+// content-addressed store, and serves results - finished or in flight -
+// as NDJSON.
+type Server struct {
+	store    *store.Store
+	spoolDir string
+	workers  int
+	jobsOpt  int
+	logf     func(format string, args ...any)
+
+	queue chan *job
+
+	mu   sync.Mutex
+	jobs map[string]*job
+
+	runCtx context.Context
+	drain  context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the result store (required).
+	Store *store.Store
+	// Workers bounds concurrently executing sweeps (default 1).
+	Workers int
+	// Jobs is the per-sweep engine worker bound (core.WithJobs; default
+	// GOMAXPROCS).
+	Jobs int
+	// Logf receives service log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// New builds a Server and starts its workers. Stop with Drain.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("serve: config needs a store")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	spoolDir := filepath.Join(cfg.Store.Root(), "spool")
+	if err := os.MkdirAll(spoolDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		store:    cfg.Store,
+		spoolDir: spoolDir,
+		workers:  workers,
+		jobsOpt:  cfg.Jobs,
+		logf:     logf,
+		queue:    make(chan *job, statusQueueCapacity),
+		jobs:     make(map[string]*job),
+		runCtx:   ctx,
+		drain:    cancel,
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Drain stops the service gracefully: in-flight sweeps are cancelled,
+// their sinks left as valid checkpoint prefixes on disk, and the workers
+// joined. A restarted server resumes checkpointed spools from where they
+// stopped when their specs are resubmitted.
+func (s *Server) Drain() {
+	s.drain()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Handler returns the service's HTTP interface:
+//
+//	POST /sweeps            submit a spec; replies with fingerprint+status
+//	GET  /sweeps            list jobs and stored sweeps
+//	GET  /sweeps/<fp>       stream the sweep's NDJSON (live or stored)
+//	GET  /sweeps/<fp>/status  job/store status for the fingerprint
+//	GET  /healthz           liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			s.handleSubmit(w, r)
+		case http.MethodGet:
+			s.handleList(w, r)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/sweeps/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/sweeps/")
+		if fp, ok := strings.CutSuffix(rest, "/status"); ok {
+			s.handleStatus(w, r, fp)
+			return
+		}
+		s.handleStream(w, r, rest)
+	})
+	return mux
+}
+
+// submitResponse is the reply to POST /sweeps.
+type submitResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	Kind        string `json:"kind"`
+	Status      string `json:"status"`
+	Error       string `json:"error,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad sweep spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sweep, err := Resolve(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fp := sweep.Fingerprint
+	resp := submitResponse{Fingerprint: fp, Kind: string(sweep.Kind)}
+
+	// A finished identical sweep is served from the store, never re-run.
+	if s.store.Has(fp) {
+		resp.Status = "cached"
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	s.mu.Lock()
+	j, exists := s.jobs[fp]
+	if exists {
+		status, _ := j.state()
+		if status == StatusQueued || status == StatusRunning {
+			s.mu.Unlock()
+			resp.Status = status
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		// Terminal but not stored (failed or checkpointed): re-enqueue; a
+		// checkpointed spool resumes from its valid prefix.
+	}
+	j = &job{sweep: sweep, status: StatusQueued, done: make(chan struct{})}
+	select {
+	case s.queue <- j:
+		s.jobs[fp] = j
+		s.mu.Unlock()
+		resp.Status = StatusQueued
+		writeJSON(w, http.StatusAccepted, resp)
+	default:
+		s.mu.Unlock()
+		http.Error(w, "sweep queue full", http.StatusServiceUnavailable)
+	}
+}
+
+// listResponse is the reply to GET /sweeps.
+type listResponse struct {
+	Jobs   []submitResponse `json:"jobs"`
+	Stored []store.Meta     `json:"stored"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	var out listResponse
+	s.mu.Lock()
+	for fp, j := range s.jobs {
+		status, errMsg := j.state()
+		out.Jobs = append(out.Jobs, submitResponse{
+			Fingerprint: fp, Kind: string(j.sweep.Kind), Status: status, Error: errMsg,
+		})
+	}
+	s.mu.Unlock()
+	stored, err := s.store.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out.Stored = stored
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, fp string) {
+	if _, meta, err := s.store.Path(fp); err == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"fingerprint": fp, "status": "cached", "kind": meta.Kind,
+			"cells": meta.Cells, "records": meta.Records, "bytes": meta.Bytes,
+		})
+		return
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[fp]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	status, errMsg := j.state()
+	writeJSON(w, http.StatusOK, submitResponse{
+		Fingerprint: fp, Kind: string(j.sweep.Kind), Status: status, Error: errMsg,
+	})
+}
+
+// handleStream serves a sweep's NDJSON: instantly from the store on a
+// fingerprint hit, otherwise by tailing the live spool until the job
+// reaches a terminal state.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, fp string) {
+	if path, _, err := s.store.Path(fp); err == nil {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		f, err := os.Open(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer f.Close()
+		_, _ = io.Copy(w, f)
+		return
+	}
+
+	s.mu.Lock()
+	j, ok := s.jobs[fp]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	// Tail the spool: emit whatever is on disk, flush, wait for growth.
+	// The writer emits whole lines per record, so the client always holds
+	// a valid NDJSON prefix. The open descriptor stays readable even after
+	// the finished spool is finalized into the store and unlinked.
+	emit := func() error {
+		if f == nil {
+			var err error
+			f, err = os.Open(s.spoolPath(fp))
+			if err != nil {
+				return nil // not spooled yet; keep waiting
+			}
+		}
+		if _, err := io.Copy(w, f); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	for {
+		if err := emit(); err != nil {
+			return // client went away
+		}
+		select {
+		case <-j.done:
+			if err := emit(); err != nil { // drain the tail landed before done
+				return
+			}
+			if f == nil {
+				// The spool never became visible to this tailer: either the
+				// job finished and was finalized (spool unlinked) before our
+				// first poll - serve the store copy - or it never ran at all
+				// (e.g. left queued by a drain).
+				if path, _, err := s.store.Path(fp); err == nil {
+					if sf, err := os.Open(path); err == nil {
+						defer sf.Close()
+						_, _ = io.Copy(w, sf)
+						return
+					}
+				}
+				http.Error(w, "sweep did not run", http.StatusServiceUnavailable)
+			}
+			return
+		case <-r.Context().Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) spoolPath(fp string) string {
+	return filepath.Join(s.spoolDir, strings.TrimPrefix(fp, "sha256:")+".jsonl")
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if s.runCtx.Err() != nil {
+			// Draining: leave the job queued; its spool (if any) already
+			// holds a valid checkpoint for the next submission.
+			close(j.done)
+			continue
+		}
+		s.runJob(j)
+		// A long-lived daemon must not pin every fleet it ever built:
+		// finished jobs leave the map (status and streaming come from the
+		// store now), and terminal jobs of any flavour drop their runner
+		// closure - the only reference to the simulated chips.
+		if status, _ := j.state(); status == StatusDone {
+			s.mu.Lock()
+			if s.jobs[j.sweep.Fingerprint] == j {
+				delete(s.jobs, j.sweep.Fingerprint)
+			}
+			s.mu.Unlock()
+		}
+		j.sweep.release()
+		close(j.done)
+	}
+}
+
+// runJob executes one sweep into its spool file, resuming a previous
+// checkpoint when one is on disk, and finalizes the finished spool into
+// the store.
+func (s *Server) runJob(j *job) {
+	fp := j.sweep.Fingerprint
+	j.setState(StatusRunning, "")
+	s.logf("serve: %s sweep %s running", j.sweep.Kind, fp)
+
+	spool := s.spoolPath(fp)
+	runErr, resumed := s.execute(j, spool, true)
+	if runErr != nil && resumed && !errors.Is(runErr, context.Canceled) && s.runCtx.Err() == nil {
+		// The runner rejected the checkpoint (a kind that cannot resume,
+		// or a spool from before a code-generation bump whose fingerprint
+		// no longer matches). A stale spool must not poison its
+		// fingerprint forever: restart the sweep from scratch.
+		s.logf("serve: sweep %s checkpoint rejected (%v); restarting fresh", fp, runErr)
+		runErr, _ = s.execute(j, spool, false)
+	}
+	switch {
+	case runErr == nil:
+		if err := s.finalize(j, spool); err != nil {
+			j.setState(StatusFailed, err.Error())
+			s.logf("serve: sweep %s finalize failed: %v", fp, err)
+			return
+		}
+		j.setState(StatusDone, "")
+		s.logf("serve: sweep %s done", fp)
+	case errors.Is(runErr, context.Canceled):
+		j.setState(StatusCheckpointed, "")
+		s.logf("serve: sweep %s checkpointed at %s", fp, spool)
+	default:
+		j.setState(StatusFailed, runErr.Error())
+		s.logf("serve: sweep %s failed: %v", fp, runErr)
+	}
+}
+
+// execute performs one attempt at a job's sweep: open the spool, resume
+// its checkpoint when allowed and present (otherwise start the file
+// over), and run. It reports whether a checkpoint was attached, so the
+// caller can distinguish "the checkpoint was rejected" from "the sweep
+// failed".
+func (s *Server) execute(j *job, spool string, allowResume bool) (runErr error, resumed bool) {
+	f, err := os.OpenFile(spool, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err, false
+	}
+	opts := []core.RunOption{core.WithSink(core.NewJSONLFileSink(f))}
+	if s.jobsOpt > 0 {
+		opts = append(opts, core.WithJobs(s.jobsOpt))
+	}
+	if allowResume {
+		if cp, err := core.ResumeFrom(f); err == nil {
+			opts = append(opts, core.WithResume(cp))
+			resumed = true
+			s.logf("serve: sweep %s resuming from %d checkpointed records", j.sweep.Fingerprint, cp.Records())
+		}
+	}
+	if !resumed {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return err, false
+		}
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return err, resumed
+	}
+	runErr = j.sweep.Run(s.runCtx, opts...)
+	if cerr := f.Close(); runErr == nil {
+		runErr = cerr
+	}
+	return runErr, resumed
+}
+
+// finalize moves a completed spool into the store and removes it.
+func (s *Server) finalize(j *job, spool string) error {
+	header, records, err := inspectSpool(spool)
+	if err != nil {
+		return err
+	}
+	meta := store.Meta{
+		Fingerprint: j.sweep.Fingerprint,
+		Kind:        string(j.sweep.Kind),
+		Cells:       header.Cells,
+		Records:     records,
+	}
+	if err := s.store.PutFile(meta, spool); err != nil {
+		return err
+	}
+	return os.Remove(spool)
+}
+
+// inspectSpool reads a completed spool's header and counts its records.
+func inspectSpool(path string) (core.SweepHeader, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.SweepHeader{}, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return core.SweepHeader{}, 0, fmt.Errorf("serve: empty spool %s", path)
+	}
+	var h core.SweepHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Format == 0 {
+		return core.SweepHeader{}, 0, fmt.Errorf("serve: spool %s has no sweep header", path)
+	}
+	records := 0
+	for sc.Scan() {
+		records++
+	}
+	return h, records, sc.Err()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,200 @@
+// Package serve is the hbmrdd sweep service: sweeps are submitted as
+// specs over HTTP, executed on the bounded sweep engine, streamed live as
+// NDJSON, checkpointed on shutdown, and deduplicated through the
+// content-addressed result store - a finished sweep with the same
+// fingerprint is served from disk instead of re-executed.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"hbmrd/internal/core"
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/rowmap"
+)
+
+// SweepSpec is the wire form of one sweep request: which experiment to
+// run, on which chips and geometry, with which runner config. Everything
+// that feeds the fingerprint is in the spec, so identical specs hit the
+// store.
+type SweepSpec struct {
+	// Kind selects the experiment ("ber", "hcfirst", "hcnth",
+	// "variability", "rowpress-ber", "rowpress-hc", "bypass", "aging").
+	Kind string `json:"kind"`
+	// Chips are the study chip indices (default: all six).
+	Chips []int `json:"chips,omitempty"`
+	// Geometry is a preset name (default: the paper's HBM2_8Gb).
+	Geometry string `json:"geometry,omitempty"`
+	// IdentityMapping disables the vendor row swizzle, as experiments that
+	// reason in physical rows do.
+	IdentityMapping bool `json:"identity_mapping,omitempty"`
+	// Config is the runner config for Kind (core.BERConfig and friends),
+	// with unset fields taking the runner's defaults. Unknown fields are
+	// rejected so a typo cannot silently run the wrong sweep.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// Sweep is a resolved spec: the fleet is built, the config decoded and
+// bound to its runner, and the fingerprint computed - ready to look up in
+// the store or execute.
+type Sweep struct {
+	Spec        SweepSpec
+	Kind        core.Kind
+	Fingerprint string
+
+	run func(ctx context.Context, opts ...core.RunOption) error
+}
+
+// Run executes the sweep. Records and progress flow exclusively through
+// the caller's sink options; the in-memory result slice is discarded.
+func (s *Sweep) Run(ctx context.Context, opts ...core.RunOption) error {
+	if s.run == nil {
+		return fmt.Errorf("serve: sweep %s was released after execution", s.Fingerprint)
+	}
+	return s.run(ctx, opts...)
+}
+
+// release drops the runner closure - and with it the built chip fleet -
+// once the sweep has executed. Identity fields (Kind, Fingerprint, Spec)
+// stay usable for status reporting.
+func (s *Sweep) release() { s.run = nil }
+
+// Resolve validates the spec and binds it to a runner.
+func Resolve(spec SweepSpec) (*Sweep, error) {
+	kind := core.Kind(spec.Kind)
+	chips := spec.Chips
+	if len(chips) == 0 {
+		chips = core.AllChips()
+	}
+	var chipOpts []hbm.Option
+	g := hbm.DefaultGeometry()
+	if spec.Geometry != "" {
+		preset, err := hbm.LookupPreset(spec.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		chipOpts = append(chipOpts, hbm.WithGeometry(preset))
+		g = preset.Geometry
+	}
+	if spec.IdentityMapping {
+		chipOpts = append(chipOpts, hbm.WithMapper(rowmap.Identity{NumRows: g.Rows}))
+	}
+	fleet, err := core.NewFleet(chips, chipOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Sweep{Spec: spec, Kind: kind}
+	var cfg any
+	switch kind {
+	case core.KindBER:
+		c := core.BERConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunBERContext(ctx, fleet, c, opts...)
+			return err
+		}
+	case core.KindHCFirst:
+		c := core.HCFirstConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunHCFirstContext(ctx, fleet, c, opts...)
+			return err
+		}
+	case core.KindHCNth:
+		c := core.HCNthConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunHCNthContext(ctx, fleet, c, opts...)
+			return err
+		}
+	case core.KindVariability:
+		c := core.VariabilityConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunVariabilityContext(ctx, fleet, c, opts...)
+			return err
+		}
+	case core.KindRowPressBER:
+		c := core.RowPressBERConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunRowPressBERContext(ctx, fleet, c, opts...)
+			return err
+		}
+	case core.KindRowPressHC:
+		c := core.RowPressHCConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunRowPressHCContext(ctx, fleet, c, opts...)
+			return err
+		}
+	case core.KindBypass:
+		c := core.BypassConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunBypassContext(ctx, fleet, c, opts...)
+			return err
+		}
+	case core.KindAging:
+		c := core.AgingConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunAgingContext(ctx, fleet, c, opts...)
+			return err
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown sweep kind %q (have: %v)", spec.Kind, core.Kinds())
+	}
+
+	fp, err := core.FingerprintFor(kind, fleet, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Fingerprint = fp
+	return s, nil
+}
+
+// decodeConfig decodes a spec's runner config strictly: unknown fields
+// are errors, and trailing garbage is rejected.
+func decodeConfig(raw json.RawMessage, into any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("serve: bad sweep config: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("serve: trailing data after sweep config")
+	}
+	return nil
+}

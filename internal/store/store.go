@@ -1,0 +1,245 @@
+// Package store is a content-addressed, on-disk result store for finished
+// sweeps: the sweep fingerprint (see internal/core) is the address, the
+// value is the completed JSONL record stream plus a small metadata
+// document. Because equal fingerprints mean byte-identical record
+// streams, a hit can be served instantly in place of re-running the sweep
+// - the durability layer under hbmrdd and any future batch tooling.
+//
+// Layout under the root:
+//
+//	objects/<aa>/<rest-of-fingerprint>/results.jsonl
+//	objects/<aa>/<rest-of-fingerprint>/meta.json
+//	tmp/  (staging for atomic finalize)
+//
+// Finalize is atomic: an object is staged under tmp/ and renamed into
+// objects/ in one step, so a crashed writer can never leave a half-object
+// at an address. Losing a race to another writer is success - the content
+// is identical by construction.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNotFound reports a fingerprint with no finished sweep in the store.
+var ErrNotFound = errors.New("store: sweep not found")
+
+// Meta describes one stored sweep.
+type Meta struct {
+	// Fingerprint is the sweep's content address.
+	Fingerprint string `json:"fingerprint"`
+	// Kind is the experiment kind ("ber", "hcfirst", ...).
+	Kind string `json:"kind"`
+	// Cells is the sweep's plan cell count.
+	Cells int `json:"cells"`
+	// Records is the number of record lines (excluding the header).
+	Records int `json:"records"`
+	// Bytes is the size of results.jsonl.
+	Bytes int64 `json:"bytes"`
+}
+
+// Store is a content-addressed result store rooted at one directory.
+// All methods are safe for concurrent use across goroutines and
+// processes; atomicity comes from staged writes and rename.
+type Store struct {
+	root string
+}
+
+// Open prepares a store rooted at dir, creating the layout if needed.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"objects", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// objectDir maps a fingerprint to its object directory, two-level sharded
+// so no single directory grows unbounded. The "sha256:" scheme prefix is
+// folded into the hex portion's directory name.
+func (s *Store) objectDir(fingerprint string) (string, error) {
+	hex := strings.TrimPrefix(fingerprint, "sha256:")
+	if hex == fingerprint || len(hex) < 8 {
+		return "", fmt.Errorf("store: malformed fingerprint %q", fingerprint)
+	}
+	for _, c := range hex {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("store: malformed fingerprint %q", fingerprint)
+		}
+	}
+	return filepath.Join(s.root, "objects", hex[:2], hex[2:]), nil
+}
+
+// Has reports whether a finished sweep is stored at the fingerprint.
+func (s *Store) Has(fingerprint string) bool {
+	dir, err := s.objectDir(fingerprint)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(dir, "meta.json"))
+	return err == nil
+}
+
+// Get opens the stored record stream (header line first) and its
+// metadata. The caller closes the reader. Returns ErrNotFound when the
+// fingerprint has no finished sweep.
+func (s *Store) Get(fingerprint string) (io.ReadCloser, *Meta, error) {
+	dir, err := s.objectDir(fingerprint)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, err := readMeta(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, ErrNotFound
+		}
+		return nil, nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, ErrNotFound
+		}
+		return nil, nil, err
+	}
+	return f, meta, nil
+}
+
+// Path returns the on-disk path of the stored record stream, for callers
+// that serve the file directly (http.ServeFile). Returns ErrNotFound when
+// absent.
+func (s *Store) Path(fingerprint string) (string, *Meta, error) {
+	dir, err := s.objectDir(fingerprint)
+	if err != nil {
+		return "", nil, err
+	}
+	meta, err := readMeta(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil, ErrNotFound
+		}
+		return "", nil, err
+	}
+	return filepath.Join(dir, "results.jsonl"), meta, nil
+}
+
+// PutFile finalizes the completed sweep file at path into the store by
+// copying it into a staging object and atomically renaming the object
+// into place. The source file is left untouched. If the fingerprint is
+// already stored, the existing object wins (identical content) and the
+// staged copy is discarded.
+func (s *Store) PutFile(meta Meta, path string) error {
+	src, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer src.Close()
+	return s.put(meta, src)
+}
+
+// Put finalizes a completed sweep read from r, as PutFile does for files.
+func (s *Store) Put(meta Meta, r io.Reader) error {
+	return s.put(meta, r)
+}
+
+func (s *Store) put(meta Meta, r io.Reader) error {
+	dir, err := s.objectDir(meta.Fingerprint)
+	if err != nil {
+		return err
+	}
+	if meta.Kind == "" {
+		return fmt.Errorf("store: meta has no kind")
+	}
+
+	stage, err := os.MkdirTemp(filepath.Join(s.root, "tmp"), "put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.RemoveAll(stage)
+
+	dst, err := os.Create(filepath.Join(stage, "results.jsonl"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	n, err := io.Copy(dst, r)
+	if err == nil {
+		err = dst.Sync()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: staging %s: %w", meta.Fingerprint, err)
+	}
+	meta.Bytes = n
+
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(stage, "meta.json"), append(mb, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(stage, dir); err != nil {
+		if s.Has(meta.Fingerprint) {
+			// Lost a finalize race; the winner's content is identical.
+			return nil
+		}
+		return fmt.Errorf("store: finalizing %s: %w", meta.Fingerprint, err)
+	}
+	return nil
+}
+
+// List returns the metadata of every stored sweep, sorted by fingerprint.
+func (s *Store) List() ([]Meta, error) {
+	var out []Meta
+	shards, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		objs, err := os.ReadDir(filepath.Join(s.root, "objects", shard.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, obj := range objs {
+			meta, err := readMeta(filepath.Join(s.root, "objects", shard.Name(), obj.Name(), "meta.json"))
+			if err != nil {
+				continue // half-visible entry; skip rather than fail the listing
+			}
+			out = append(out, *meta)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out, nil
+}
+
+func readMeta(path string) (*Meta, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Meta
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("store: corrupt meta %s: %w", path, err)
+	}
+	return &m, nil
+}

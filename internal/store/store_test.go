@@ -1,0 +1,152 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const testFP = "sha256:0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func testContent() string {
+	return `{"hbmrd_sweep":1,"kind":"ber","fingerprint":"` + testFP + `","cells":2,"generation":1}` + "\n" +
+		`{"Chip":0}` + "\n" + `{"Chip":1}` + "\n"
+}
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStorePutGet(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+
+	if s.Has(testFP) {
+		t.Error("empty store claims the fingerprint")
+	}
+	if _, _, err := s.Get(testFP); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get on empty store: err = %v, want ErrNotFound", err)
+	}
+
+	meta := Meta{Fingerprint: testFP, Kind: "ber", Cells: 2, Records: 2}
+	if err := s.Put(meta, strings.NewReader(testContent())); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(testFP) {
+		t.Error("stored sweep not found")
+	}
+	rc, got, err := s.Get(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != testContent() {
+		t.Error("stored content diverges")
+	}
+	if got.Kind != "ber" || got.Cells != 2 || got.Records != 2 || got.Bytes != int64(len(testContent())) {
+		t.Errorf("meta = %+v", got)
+	}
+
+	path, _, err := s.Path(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := os.ReadFile(path); err != nil || string(b) != testContent() {
+		t.Errorf("Path read: %v", err)
+	}
+
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Fingerprint != testFP {
+		t.Errorf("List = %+v", list)
+	}
+}
+
+func TestStorePutFileLeavesSource(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	src := filepath.Join(t.TempDir(), "spool.jsonl")
+	if err := os.WriteFile(src, []byte(testContent()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutFile(Meta{Fingerprint: testFP, Kind: "ber"}, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Errorf("PutFile consumed the source: %v", err)
+	}
+	if !s.Has(testFP) {
+		t.Error("stored sweep not found")
+	}
+}
+
+// TestStorePutRace: concurrent finalizes of the same fingerprint all
+// succeed, and exactly one object survives with the full content (losing
+// a rename race is success - the content is identical by construction).
+func TestStorePutRace(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Put(Meta{Fingerprint: testFP, Kind: "ber", Cells: 2, Records: 2},
+				strings.NewReader(testContent()))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("putter %d: %v", i, err)
+		}
+	}
+	rc, _, err := s.Get(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if b, _ := io.ReadAll(rc); string(b) != testContent() {
+		t.Error("raced store content diverges")
+	}
+	// No staging debris left behind.
+	ents, err := os.ReadDir(filepath.Join(s.Root(), "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("%d staging directories left in tmp", len(ents))
+	}
+}
+
+func TestStoreRejectsMalformedFingerprints(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	for _, fp := range []string{"", "sha256:", "sha256:xyz", "md5:aabbccdd", "sha256:AABBCCDD11223344", "sha256:../../../etc/passwd"} {
+		if err := s.Put(Meta{Fingerprint: fp, Kind: "ber"}, strings.NewReader("x")); err == nil {
+			t.Errorf("Put accepted fingerprint %q", fp)
+		}
+		if s.Has(fp) {
+			t.Errorf("Has accepted fingerprint %q", fp)
+		}
+	}
+	if err := s.Put(Meta{Fingerprint: testFP}, strings.NewReader("x")); err == nil {
+		t.Error("Put accepted meta without a kind")
+	}
+}

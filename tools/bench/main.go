@@ -9,6 +9,13 @@
 //	go run ./tools/bench                      # default benchmark set
 //	go run ./tools/bench -label after-opt     # tag the data point
 //	go run ./tools/bench -bench 'FlipMask' -benchtime 2s
+//	go run ./tools/bench -check               # regression tripwire (CI)
+//
+// -check compares the fresh results against the newest committed
+// BENCH_*.json instead of recording them, and fails only on
+// order-of-magnitude regressions (> -factor, default 3x, per benchmark).
+// The wide margin makes it a tripwire for accidentally disabling a fast
+// path, not a flaky micro-perf gate.
 package main
 
 import (
@@ -19,7 +26,9 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -57,6 +66,9 @@ func main() {
 		label     = flag.String("label", "", "label stored with this data point")
 		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
 		pkgs      = flag.String("pkgs", "./...", "packages to benchmark")
+		check     = flag.Bool("check", false, "compare against the newest committed BENCH_*.json and fail on >factor regressions instead of recording")
+		against   = flag.String("against", "", "baseline file for -check (default: newest BENCH_*.json)")
+		factor    = flag.Float64("factor", 3, "ns/op regression factor that fails -check")
 	)
 	flag.Parse()
 
@@ -82,6 +94,14 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "bench: no benchmark results parsed")
 		os.Exit(1)
+	}
+
+	if *check {
+		if err := checkRegressions(results, *against, *factor); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := Run{
@@ -166,6 +186,69 @@ func parse(buf *bytes.Buffer) []Result {
 		results = append(results, r)
 	}
 	return results
+}
+
+// checkRegressions compares fresh results against the latest run recorded
+// in the baseline file. Only benchmarks present in both are compared, on
+// ns/op alone; a fresh value more than factor times the baseline fails.
+// Renamed or new benchmarks never fail the check - the tripwire guards
+// committed trajectories, not coverage.
+func checkRegressions(fresh []Result, baselinePath string, factor float64) error {
+	if baselinePath == "" {
+		var err error
+		baselinePath, err = newestBenchFile()
+		if err != nil {
+			return err
+		}
+	}
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var runs []Run
+	if err := json.Unmarshal(b, &runs); err != nil || len(runs) == 0 {
+		return fmt.Errorf("baseline %s holds no runs (%v)", baselinePath, err)
+	}
+	base := map[string]Result{}
+	for _, r := range runs[len(runs)-1].Benchmarks {
+		base[r.Name] = r
+	}
+
+	compared, failures := 0, 0
+	for _, r := range fresh {
+		old, ok := base[r.Name]
+		if !ok || old.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := r.NsPerOp / old.NsPerOp
+		status := "ok"
+		if ratio > factor {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(os.Stderr, "bench: %-60s %12.1f -> %12.1f ns/op (%5.2fx) %s\n",
+			r.Name, old.NsPerOp, r.NsPerOp, ratio, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks in common with baseline %s", baselinePath)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed more than %.1fx vs %s", failures, compared, factor, baselinePath)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d benchmarks within %.1fx of %s\n", compared, factor, baselinePath)
+	return nil
+}
+
+// newestBenchFile finds the lexically newest committed BENCH_<date>.json
+// (the dates are ISO, so lexical order is chronological).
+func newestBenchFile() (string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baseline found (run make bench first)")
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
 }
 
 func gitCommit() string {
