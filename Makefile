@@ -28,9 +28,19 @@ bench-check:
 	go run ./tools/bench -check -benchtime 200ms
 
 # golden runs the byte-identity contract at full scale: the pinned sweep
-# digests plus the checkpoint/resume byte-identity tests.
+# digests, the checkpoint/resume byte-identity tests, and the decode
+# layer's encode->decode->re-encode round trip for every record type on
+# every preset (guards internal/core's DecodeRecords against sink drift).
 golden:
-	go test -count=1 -run 'TestGoldenSweepDigest|ResumeByteIdentity' ./...
+	go test -count=1 -run 'TestGoldenSweepDigest|ResumeByteIdentity|RoundTripByteIdentity' ./...
+
+# query-smoke runs a tiny sweep into a temp store, executes one query per
+# aggregation reducer through the content-addressed query engine, and
+# diffs the canonical output against the committed golden
+# (tools/querysmoke/testdata/smoke.golden). Deliberate changes re-pin with
+#   go run ./tools/querysmoke -update
+query-smoke:
+	go run ./tools/querysmoke
 
 # ci mirrors the full CI gate locally.
 ci:
@@ -39,4 +49,5 @@ ci:
 	go build ./...
 	go test -short ./...
 	$(MAKE) golden
+	$(MAKE) query-smoke
 	$(MAKE) bench-check

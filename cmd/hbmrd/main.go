@@ -23,10 +23,23 @@
 //
 // Artifacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15 fig16 fig17 trr attack defense all
+//
+// The query verb works against a local sweep store instead of running
+// experiments: `hbmrd query -ingest FILE` finalizes a completed -out file
+// into the store, `hbmrd query` lists the catalog, and `hbmrd query -spec
+// JSON` (or -figure fig5 -sweep FP) runs an aggregation - the same specs
+// hbmrdd's POST /query accepts, with the same content-addressed caching,
+// so the CLI and the service produce byte-identical aggregates.
+//
+//	hbmrd query [-store DIR] [-ingest FILE]
+//	hbmrd query [-store DIR] [-kind KIND]                # list the catalog
+//	hbmrd query [-store DIR] -spec JSON [-format table|csv|json]
+//	hbmrd query [-store DIR] -figure fig5 -sweep FP [-format ...]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -67,6 +80,9 @@ type runCtx struct {
 }
 
 func run(ctx context.Context, args []string) error {
+	if len(args) > 0 && args[0] == "query" {
+		return runQuery(args[1:])
+	}
 	fs := flag.NewFlagSet("hbmrd", flag.ContinueOnError)
 	full := fs.Bool("full", false, "run at the paper's Table 2 scale instead of demo scale")
 	chipsFlag := fs.String("chips", "", "comma-separated chip indices (default: the artifact's paper chips)")
@@ -161,6 +177,101 @@ func run(ctx context.Context, args []string) error {
 	err := runArtifacts(ctx, name, c)
 	if cerr := closeOut(); err == nil {
 		err = cerr
+	}
+	return err
+}
+
+// runQuery is the `hbmrd query` verb: ingest completed -out files into a
+// local sweep store, list its catalog, and run aggregation specs against
+// it through the same content-addressed query engine hbmrdd serves.
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("hbmrd query", flag.ContinueOnError)
+	storeDir := fs.String("store", "hbmrd-store", "sweep store directory")
+	ingest := fs.String("ingest", "", "finalize a completed -out JSONL file into the store")
+	specJSON := fs.String("spec", "", "aggregation query spec (JSON; see README for the grammar)")
+	figure := fs.String("figure", "", "predefined figure spec (fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15 fig16); needs -sweep")
+	sweep := fs.String("sweep", "", "sweep fingerprint for -figure")
+	kind := fs.String("kind", "", "filter the catalog listing by experiment kind")
+	format := fs.String("format", "table", "query output format: table, csv, or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: hbmrd query [-store DIR] [-ingest FILE | -spec JSON | -figure FIG -sweep FP] [-format table|csv|json]")
+	}
+	st, err := hbmrd.OpenSweepStore(*storeDir)
+	if err != nil {
+		return err
+	}
+
+	if *ingest != "" {
+		meta, err := hbmrd.IngestSweep(st, *ingest)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ingested %s: %s sweep, %d cells, %d records, %d bytes\n",
+			meta.Fingerprint, meta.Kind, meta.Cells, meta.Records, meta.Bytes)
+		return nil
+	}
+
+	var spec hbmrd.QuerySpec
+	switch {
+	case *specJSON != "":
+		if err := json.Unmarshal([]byte(*specJSON), &spec); err != nil {
+			return fmt.Errorf("bad -spec: %w", err)
+		}
+	case *figure != "":
+		if *sweep == "" {
+			return fmt.Errorf("-figure needs -sweep FINGERPRINT (run `hbmrd query` to list the catalog)")
+		}
+		spec, err = hbmrd.QueryFigureSpec(*figure, *sweep)
+		if err != nil {
+			return err
+		}
+	default:
+		// No query: list the catalog.
+		cat, err := hbmrd.NewSweepCatalog(st)
+		if err != nil {
+			return err
+		}
+		entries := cat.List()
+		if *kind != "" {
+			entries = cat.Find(hbmrd.CatalogByKind(*kind))
+		}
+		if len(entries) == 0 {
+			fmt.Printf("store %s holds no finished sweeps\n", *storeDir)
+			return nil
+		}
+		for _, m := range entries {
+			line := fmt.Sprintf("%s  %-12s %6d cells %8d records %10d bytes", m.Fingerprint, m.Kind, m.Cells, m.Records, m.Bytes)
+			if m.Geometry != "" {
+				line += "  " + m.Geometry
+			}
+			if len(m.Chips) > 0 {
+				line += fmt.Sprintf("  chips %v", m.Chips)
+			}
+			fmt.Println(line)
+		}
+		return nil
+	}
+
+	eng := hbmrd.NewQueryEngine(st)
+	res, err := eng.Run(spec)
+	if err != nil {
+		return err
+	}
+	if res.CacheHit {
+		fmt.Fprintln(os.Stderr, "hbmrd: query served from the derived-result cache")
+	}
+	switch *format {
+	case "json":
+		_, err = os.Stdout.Write(res.JSON)
+	case "csv":
+		_, err = fmt.Print(res.Aggregate.CSV())
+	case "table":
+		_, err = fmt.Print(hbmrd.RenderAggregate(&res.Aggregate))
+	default:
+		err = fmt.Errorf("unknown -format %q (have table, csv, json)", *format)
 	}
 	return err
 }

@@ -1,23 +1,30 @@
 // Command hbmrdd serves sweeps over HTTP: POST a sweep spec, stream its
-// records live as NDJSON, and get identical finished sweeps straight from
-// the content-addressed result store instead of re-executing them.
+// records live as NDJSON, get identical finished sweeps straight from the
+// content-addressed result store instead of re-executing them, and run
+// aggregation queries over stored sweeps - repeated identical queries are
+// served from the store's derived-result cache.
 //
 // Usage:
 //
-//	hbmrdd [-addr :8344] [-store DIR] [-workers N] [-jobs N]
+//	hbmrdd [-addr :8344] [-store DIR] [-workers N] [-jobs N] [-drain-timeout 10s]
 //
 // Endpoints:
 //
 //	POST /sweeps            submit {"kind":"ber","chips":[0],"config":{...}}
-//	GET  /sweeps            list jobs and stored sweeps
+//	GET  /sweeps            catalog: jobs plus stored sweeps (?kind= filters)
 //	GET  /sweeps/<fp>       stream NDJSON (live tail, or instant store hit)
 //	GET  /sweeps/<fp>/status
-//	GET  /healthz
+//	GET  /sweeps/<fp>/records  typed decoded records of a stored sweep
+//	POST /query             run an aggregation spec (?format=csv for CSV)
+//	GET  /healthz           store path, live jobs, catalog size
 //
 // On SIGTERM/SIGINT the service drains: in-flight sweeps are cancelled
 // and their spool files keep a valid checkpoint prefix (fingerprint
 // header plus complete records), so resubmitting the same spec after a
-// restart resumes instead of starting over.
+// restart resumes instead of starting over. -drain-timeout bounds how
+// long shutdown waits for that checkpointing; past it the process exits
+// anyway (the spool still holds the last completed cells - unbuffered
+// writes mean at most one torn line, which resume drops).
 package main
 
 import (
@@ -49,6 +56,7 @@ func run(args []string) error {
 	storeDir := fs.String("store", "hbmrd-store", "result store directory")
 	workers := fs.Int("workers", 1, "max concurrently executing sweeps")
 	jobs := fs.Int("jobs", 0, "per-sweep engine workers (default GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max time to wait on shutdown for in-flight sweeps to checkpoint")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,15 +86,32 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 
-	// Drain: stop accepting, checkpoint in-flight sweeps, then leave.
-	log.Print("hbmrdd: draining (in-flight sweeps checkpoint to the spool)")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Drain: stop accepting, checkpoint in-flight sweeps, then leave. The
+	// whole shutdown - HTTP drain plus sweep checkpointing - is bounded by
+	// -drain-timeout instead of waiting indefinitely: if a worker wedges,
+	// the process exits anyway, and the unbuffered spool still holds every
+	// completed cell for the next run to resume.
+	log.Printf("hbmrdd: draining (in-flight sweeps checkpoint to the spool; bounded at %s)", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	// Drain first (concurrently with the HTTP shutdown): it cancels the
+	// in-flight sweeps, which is what ends the live NDJSON streams that
+	// would otherwise keep Shutdown - and with it the whole budget -
+	// blocked on active connections.
+	drained := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(drained)
+	}()
 	shutErr := httpSrv.Shutdown(shutCtx)
-	srv.Drain()
+	select {
+	case <-drained:
+		log.Print("hbmrdd: drained")
+	case <-shutCtx.Done():
+		log.Printf("hbmrdd: drain exceeded %s; exiting with spools as-is", *drainTimeout)
+	}
 	if shutErr != nil && !errors.Is(shutErr, context.DeadlineExceeded) {
 		return shutErr
 	}
-	log.Print("hbmrdd: drained")
 	return nil
 }

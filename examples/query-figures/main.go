@@ -1,0 +1,114 @@
+// Command query-figures walks the query subsystem end to end - the read
+// side of the sweep store that makes one characterization run serve
+// unlimited analysis traffic:
+//
+//  1. run a small HCfirst sweep once, streaming it to a JSONL file (the
+//     `hbmrd -out` flow),
+//  2. ingest the finished file into a content-addressed sweep store,
+//  3. reproduce the paper's Fig 5 and Fig 7 aggregations from the stored
+//     records alone - no re-execution - via predefined figure specs,
+//  4. run a custom spec (per-channel HCfirst percentiles), and
+//  5. re-run a query to show the derived-result cache answering it
+//     without re-reading the raw records.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hbmrd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "query-figures-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. One small characterization run, streamed to disk as it measures.
+	fleet, err := hbmrd.NewFleet([]int{0, 3}, hbmrd.WithIdentityMapping())
+	if err != nil {
+		return err
+	}
+	outPath := filepath.Join(dir, "hcfirst.jsonl")
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	sink := hbmrd.NewJSONLFileSink(f)
+	_, err = hbmrd.RunHCFirstContext(context.Background(), fleet, hbmrd.HCFirstConfig{
+		Channels: []int{0, 1, 2},
+		Rows:     hbmrd.SampleRows(4),
+		Reps:     1,
+	}, hbmrd.WithSink(sink))
+	if err == nil {
+		err = sink.Err()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	// 2. Finalize the finished file into the store under its fingerprint.
+	st, err := hbmrd.OpenSweepStore(filepath.Join(dir, "store"))
+	if err != nil {
+		return err
+	}
+	meta, err := hbmrd.IngestSweep(st, outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %s sweep %s (%d records, %d bytes)\n\n",
+		meta.Kind, meta.Fingerprint, meta.Records, meta.Bytes)
+
+	// 3. Paper figures from stored data alone.
+	eng := hbmrd.NewQueryEngine(st)
+	for _, fig := range []string{"fig5", "fig7"} {
+		spec, err := hbmrd.QueryFigureSpec(fig, meta.Fingerprint)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Run(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== %s from the store ====\n%s\n", fig, hbmrd.RenderAggregate(&res.Aggregate))
+	}
+
+	// 4. A custom spec: per-channel HCfirst tail percentiles of the
+	// worst-case data pattern.
+	custom := hbmrd.QuerySpec{
+		Sweep:       meta.Fingerprint,
+		GroupBy:     []string{"channel"},
+		Metric:      "hcfirst",
+		Where:       []hbmrd.QueryCond{{Dim: "wcdp", Value: "true"}, {Dim: "found", Value: "true"}},
+		Reducers:    []string{"count", "median", "percentiles"},
+		Percentiles: []float64{10, 50, 90},
+	}
+	res, err := eng.Run(custom)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==== per-channel WCDP HCfirst percentiles ====\n%s\n", hbmrd.RenderAggregate(&res.Aggregate))
+
+	// 5. The identical spec again: a derived-cache hit, raw records unread.
+	again, err := eng.Run(custom)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("re-run: cache hit = %v, aggregate bytes identical = %v\n",
+		again.CacheHit, string(again.JSON) == string(res.JSON))
+	return nil
+}

@@ -26,6 +26,7 @@ package hbmrd
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"os"
 
@@ -35,6 +36,7 @@ import (
 	"hbmrd/internal/ecc"
 	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
+	"hbmrd/internal/query"
 	"hbmrd/internal/report"
 	"hbmrd/internal/retention"
 	"hbmrd/internal/store"
@@ -196,6 +198,78 @@ var ErrSweepNotFound = store.ErrNotFound
 
 // OpenSweepStore opens (creating if needed) a sweep store rooted at dir.
 func OpenSweepStore(dir string) (*SweepStore, error) { return store.Open(dir) }
+
+// Query subsystem: decode stored sweeps back into typed records, catalog
+// what a store holds, and run aggregation pipelines (group-by over the
+// sweep's dimensions with reducers built on the study's statistics) whose
+// results are content-addressed into the store's derived cache - so every
+// paper figure is reproducible from stored data without re-execution, and
+// repeated identical queries never re-read the raw records.
+type (
+	// QuerySpec is one aggregation query over one stored sweep.
+	QuerySpec = query.Spec
+	// QueryCond is one record filter of a query spec.
+	QueryCond = query.Cond
+	// QueryAggregate is the typed result of one query.
+	QueryAggregate = query.Aggregate
+	// QueryResult is one executed query: aggregate, canonical JSON, and
+	// whether the derived cache answered it.
+	QueryResult = query.Result
+	// QueryEngine executes query specs against a sweep store.
+	QueryEngine = query.Engine
+	// SweepCatalog indexes the finished sweeps a store holds.
+	SweepCatalog = query.Catalog
+	// CatalogFilter is one catalog predicate for SweepCatalog.Find.
+	CatalogFilter = query.Filter
+)
+
+// NewQueryEngine builds a query engine over a sweep store.
+func NewQueryEngine(s *SweepStore) *QueryEngine { return query.NewEngine(s) }
+
+// NewSweepCatalog indexes a store's finished sweeps.
+func NewSweepCatalog(s *SweepStore) (*SweepCatalog, error) { return query.NewCatalog(s) }
+
+// Catalog filters for SweepCatalog.Find.
+func CatalogByKind(kind string) CatalogFilter       { return query.ByKind(kind) }
+func CatalogByGeometry(preset string) CatalogFilter { return query.ByGeometry(preset) }
+func CatalogByChips(chips ...int) CatalogFilter     { return query.ByChips(chips...) }
+func CatalogByConfig(pred func(json.RawMessage) bool) CatalogFilter {
+	return query.ByConfig(pred)
+}
+
+// QueryFigureSpec returns the predefined spec reproducing one of the
+// paper's figure aggregations (fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15
+// fig16) from the stored sweep at the fingerprint.
+func QueryFigureSpec(fig, sweep string) (QuerySpec, error) { return query.FigureSpec(fig, sweep) }
+
+// QueryDimensions and QueryMetrics list a kind's group-by/filter and
+// aggregation vocabularies.
+func QueryDimensions(kind SweepKind) []string { return query.Dimensions(kind) }
+func QueryMetrics(kind SweepKind) []string    { return query.Metrics(kind) }
+
+// IngestSweep finalizes a completed `-out` sweep JSONL file into the
+// store under its header fingerprint. Torn or incomplete files are
+// rejected (resume them instead).
+func IngestSweep(s *SweepStore, path string) (SweepStoreMeta, error) { return query.Ingest(s, path) }
+
+// DecodeSweepRecords parses a stored sweep stream back into its kind's
+// concrete record type ([]BERRecord, []HCFirstRecord, ...), the exact
+// inverse of the JSONL sink encoding. Pass kind "" to accept whatever the
+// header declares.
+func DecodeSweepRecords(kind SweepKind, r io.Reader) (SweepHeader, any, error) {
+	return core.DecodeRecords(kind, r)
+}
+
+// EncodeSweepRecords writes a sweep stream exactly as a live JSONL sink
+// would; composed with DecodeSweepRecords it reproduces the input byte
+// for byte.
+func EncodeSweepRecords(w io.Writer, h SweepHeader, records any) error {
+	return core.EncodeRecords(w, h, records)
+}
+
+// RenderAggregate prints a query aggregate as an aligned text table, the
+// same presentation the figure renderers use.
+func RenderAggregate(a *QueryAggregate) string { return report.AggregateTable(a) }
 
 // NewProgressSink reports whole-percent sweep progress for the labelled
 // experiment to w.

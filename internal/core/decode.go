@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+)
+
+// DecodeRecords parses a stored sweep stream - the JSONL a JSONLSink
+// produced: one header line, then one record per line in plan order - back
+// into the concrete record type of its kind. It is the exact inverse of
+// the sink encoding: EncodeRecords over the returned header and records
+// reproduces the input byte for byte (the round-trip contract the golden
+// CI job enforces for every record type on every preset).
+//
+// kind names the expected experiment; pass "" to accept whatever the
+// header declares. The returned records value is a typed slice -
+// []BERRecord for KindBER, []HCFirstRecord for KindHCFirst, and so on for
+// all eight kinds. Record lines are decoded strictly (unknown fields and
+// trailing garbage are errors), so drift between the sink encoding and
+// the record structs cannot pass silently.
+func DecodeRecords(kind Kind, r io.Reader) (SweepHeader, any, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	h, _, err := readSweepHeader(br)
+	if err != nil {
+		return SweepHeader{}, nil, err
+	}
+	if kind == "" {
+		kind = Kind(h.Kind)
+	}
+	if h.Kind != string(kind) {
+		return SweepHeader{}, nil, fmt.Errorf("core: stream holds a %s sweep, not %s", h.Kind, kind)
+	}
+	var recs any
+	switch kind {
+	case KindBER:
+		recs, err = decodeAll[BERRecord](br)
+	case KindHCFirst:
+		recs, err = decodeAll[HCFirstRecord](br)
+	case KindHCNth:
+		recs, err = decodeAll[HCNthRecord](br)
+	case KindVariability:
+		recs, err = decodeAll[VariabilityRecord](br)
+	case KindRowPressBER:
+		recs, err = decodeAll[RowPressBERRecord](br)
+	case KindRowPressHC:
+		recs, err = decodeAll[RowPressHCRecord](br)
+	case KindBypass:
+		recs, err = decodeAll[BypassRecord](br)
+	case KindAging:
+		recs, err = decodeAll[AgingRecord](br)
+	default:
+		return SweepHeader{}, nil, fmt.Errorf("core: unknown experiment kind %q", kind)
+	}
+	if err != nil {
+		return SweepHeader{}, nil, err
+	}
+	return h, recs, nil
+}
+
+// decodeAll decodes every remaining line of the stream into R, strictly:
+// each line must be one complete JSON object with no unknown fields and no
+// trailing data, and the final line must be newline-terminated (a missing
+// newline is the signature of a torn write - such files are checkpoints to
+// resume, not finished sweeps to decode).
+func decodeAll[R any](br *bufio.Reader) ([]R, error) {
+	var out []R
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			if len(line) == 0 {
+				return out, nil
+			}
+			return nil, fmt.Errorf("core: record %d is a torn final line; resume the sweep instead of decoding it", len(out)+1)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading record %d: %w", len(out)+1, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var rec R
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("core: decoding record %d: %w", len(out)+1, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("core: record %d has trailing data", len(out)+1)
+		}
+		out = append(out, rec)
+	}
+}
+
+// EncodeRecords writes a sweep stream - header line, then one record per
+// line - exactly as a JSONLSink would during the live run. records must be
+// a slice of one of the eight record types (the shape DecodeRecords
+// returns); EncodeRecords(w, DecodeRecords(kind, r)) reproduces r byte for
+// byte.
+func EncodeRecords(w io.Writer, h SweepHeader, records any) error {
+	v := reflect.ValueOf(records)
+	if !v.IsValid() || v.Kind() != reflect.Slice {
+		return fmt.Errorf("core: EncodeRecords wants a record slice, got %T", records)
+	}
+	sink := NewJSONLSink(w)
+	sink.Header(h)
+	for i := 0; i < v.Len(); i++ {
+		sink.Record(v.Index(i).Interface())
+	}
+	return sink.Err()
+}
+
+// RecordCount reports the length of a typed record slice as returned by
+// DecodeRecords, without the caller having to type-switch.
+func RecordCount(records any) int {
+	v := reflect.ValueOf(records)
+	if !v.IsValid() || v.Kind() != reflect.Slice {
+		return 0
+	}
+	return v.Len()
+}
+
+// VerifyComplete checks that a decoded record stream covers its header's
+// whole plan - the gate that keeps an interrupted sweep (a clean-prefix
+// checkpoint) from being mistaken for a finished one. It needs no config:
+// plan cells appear in the stream as runs of records sharing one cell
+// identity, so coverage is countable from the records themselves, and the
+// two kinds with multi-record cells (BER, HCFirst) carry enough structure
+// to validate the final run too - every complete cell's records end with
+// its derived WCDP record (BER always; HCFirst whenever a pattern
+// flipped), and all cells of one sweep share one per-cell pattern count.
+//
+// Aging streams no per-cell records (the joined records flush only after
+// both passes), so its completeness cannot be established from the file;
+// VerifyComplete rejects it, and aging results should enter a store only
+// through a path that witnessed the run finish (as hbmrdd's finalize
+// does).
+func VerifyComplete(h SweepHeader, records any) error {
+	incomplete := func(covered int) error {
+		return fmt.Errorf("core: incomplete sweep: records cover %d of %d plan cells", covered, h.Cells)
+	}
+	switch recs := records.(type) {
+	case []BERRecord:
+		return verifyWCDPRuns(h, len(recs), func(i int) (key [5]int, wcdp, found bool) {
+			r := recs[i]
+			return [5]int{r.Chip, r.Channel, r.Pseudo, r.Bank, r.Row}, r.WCDP, true
+		})
+	case []HCFirstRecord:
+		return verifyWCDPRuns(h, len(recs), func(i int) (key [5]int, wcdp, found bool) {
+			r := recs[i]
+			return [5]int{r.Chip, r.Channel, r.Pseudo, r.Bank, r.Row}, r.WCDP, r.Found
+		})
+	case []HCNthRecord, []VariabilityRecord, []RowPressBERRecord, []RowPressHCRecord, []BypassRecord:
+		// One record per plan cell.
+		if n := RecordCount(records); n != h.Cells {
+			return incomplete(n)
+		}
+		return nil
+	case []AgingRecord:
+		return fmt.Errorf("core: aging sweeps stream their records only on completion; a file alone cannot prove the run finished")
+	}
+	return fmt.Errorf("core: unsupported record slice %T", records)
+}
+
+// verifyWCDPRuns validates the BER/HCFirst cell structure: records group
+// into runs by cell identity; a run whose measurements found a flip must
+// end with exactly one WCDP record (the derived worst-case row, always
+// emitted last); every run carries the same number of measurement
+// (non-WCDP) records, one per configured pattern; and the run count must
+// equal the header's plan cell count.
+func verifyWCDPRuns(h SweepHeader, n int, at func(i int) (key [5]int, wcdp, found bool)) error {
+	runs := 0
+	patterns := -1
+	i := 0
+	for i < n {
+		key, _, _ := at(i)
+		runs++
+		measured, anyFound, sawWCDP := 0, false, false
+		j := i
+		for ; j < n; j++ {
+			k, wcdp, found := at(j)
+			if k != key {
+				break
+			}
+			if sawWCDP {
+				return fmt.Errorf("core: malformed sweep: records after cell %v's WCDP record", key)
+			}
+			if wcdp {
+				sawWCDP = true
+				continue
+			}
+			measured++
+			if found {
+				anyFound = found
+			}
+		}
+		if anyFound && !sawWCDP {
+			return fmt.Errorf("core: incomplete sweep: cell %v is missing its WCDP record", key)
+		}
+		if patterns == -1 {
+			patterns = measured
+		} else if measured != patterns {
+			return fmt.Errorf("core: incomplete sweep: cell %v has %d of %d pattern records", key, measured, patterns)
+		}
+		i = j
+	}
+	if runs != h.Cells {
+		return fmt.Errorf("core: incomplete sweep: records cover %d of %d plan cells", runs, h.Cells)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+)
+
+// roundTripFleet builds a small two-chip fleet on one preset with the
+// identity mapping (matching the golden-digest workload's construction).
+func roundTripFleet(t *testing.T, preset hbm.Preset) []*TestChip {
+	t.Helper()
+	fleet, err := NewFleet([]int{0, 5}, hbm.WithGeometry(preset), hbm.WithIdentityMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+// roundTripSweeps enumerates one tiny sweep per experiment kind - every
+// record type the sink can emit. Each closure runs its sweep with the
+// given options and returns the in-memory record slice as `any`, the
+// same shape DecodeRecords returns.
+func roundTripSweeps(t *testing.T, preset hbm.Preset) map[Kind]func(opts ...RunOption) (any, error) {
+	t.Helper()
+	ctx := context.Background()
+	g := preset.Geometry
+	rows := SampleRowsIn(g, 2)
+	pats := []pattern.Pattern{pattern.Rowstripe0, pattern.Checkered0}
+	return map[Kind]func(opts ...RunOption) (any, error){
+		KindBER: func(opts ...RunOption) (any, error) {
+			return RunBERContext(ctx, roundTripFleet(t, preset), BERConfig{
+				Channels: []int{0}, Rows: rows, Patterns: pats,
+				HammerCount: 30_000, Reps: 1, CollectMasks: true,
+			}, opts...)
+		},
+		KindHCFirst: func(opts ...RunOption) (any, error) {
+			return RunHCFirstContext(ctx, roundTripFleet(t, preset), HCFirstConfig{
+				Channels: []int{0}, Rows: rows[:1], Patterns: pats, Reps: 1,
+			}, opts...)
+		},
+		KindHCNth: func(opts ...RunOption) (any, error) {
+			return RunHCNthContext(ctx, roundTripFleet(t, preset), HCNthConfig{
+				Channels: []int{0}, Rows: rows[:1], Patterns: pats[:1], MaxFlips: 3,
+			}, opts...)
+		},
+		KindVariability: func(opts ...RunOption) (any, error) {
+			return RunVariabilityContext(ctx, roundTripFleet(t, preset), VariabilityConfig{
+				Rows: rows[:1], Iterations: 3,
+			}, opts...)
+		},
+		KindRowPressBER: func(opts ...RunOption) (any, error) {
+			return RunRowPressBERContext(ctx, roundTripFleet(t, preset), RowPressBERConfig{
+				Channels: []int{0}, Rows: rows,
+				TAggONs:     []hbm.TimePS{29 * hbm.NS, 3_900 * hbm.NS},
+				HammerCount: 2_000, RetentionReps: 1,
+			}, opts...)
+		},
+		KindRowPressHC: func(opts ...RunOption) (any, error) {
+			return RunRowPressHCContext(ctx, roundTripFleet(t, preset), RowPressHCConfig{
+				Channels: []int{0}, Rows: rows[:1],
+				TAggONs:   []hbm.TimePS{29 * hbm.NS, 3_900 * hbm.NS},
+				MaxHammer: 60_000,
+			}, opts...)
+		},
+		KindBypass: func(opts ...RunOption) (any, error) {
+			return RunBypassContext(ctx, roundTripFleet(t, preset), BypassConfig{
+				Victims: rows[:1], DummyCounts: []int{1}, AggActs: []int{18}, Windows: 32,
+			}, opts...)
+		},
+		KindAging: func(opts ...RunOption) (any, error) {
+			return RunAgingContext(ctx, roundTripFleet(t, preset), AgingConfig{
+				BER: BERConfig{Channels: []int{0}, Rows: rows, Patterns: pats[:1], Reps: 1},
+			}, opts...)
+		},
+	}
+}
+
+// TestSweepRoundTripByteIdentity is the decode layer's contract: for
+// every experiment kind, the streamed JSONL of a sweep decodes into the
+// kind's concrete record type and re-encodes byte-identically - on every
+// preset - so the decode layer cannot drift from the sink encoding
+// without CI noticing. Wired into the golden-digest CI job (make golden)
+// alongside the sweep digests and the resume byte-identity tests.
+func TestSweepRoundTripByteIdentity(t *testing.T) {
+	t.Parallel()
+	presets := hbm.Presets()
+	if testing.Short() {
+		presets = presets[:1]
+	}
+	for _, preset := range presets {
+		preset := preset
+		t.Run(preset.Name, func(t *testing.T) {
+			t.Parallel()
+			for kind, runSweep := range roundTripSweeps(t, preset) {
+				kind, runSweep := kind, runSweep
+				t.Run(string(kind), func(t *testing.T) {
+					t.Parallel()
+					var buf bytes.Buffer
+					sink := NewJSONLSink(&buf)
+					recs, err := runSweep(WithSink(sink))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sink.Err(); err != nil {
+						t.Fatal(err)
+					}
+					streamed := buf.Bytes()
+					if len(streamed) == 0 {
+						t.Fatal("sweep streamed no bytes")
+					}
+
+					h, decoded, err := DecodeRecords(kind, bytes.NewReader(streamed))
+					if err != nil {
+						t.Fatalf("DecodeRecords: %v", err)
+					}
+					if h.Kind != string(kind) {
+						t.Fatalf("decoded header kind %q", h.Kind)
+					}
+					if !reflect.DeepEqual(decoded, recs) {
+						t.Fatalf("decoded records differ from the runner's in-memory records")
+					}
+
+					var re bytes.Buffer
+					if err := EncodeRecords(&re, h, decoded); err != nil {
+						t.Fatalf("EncodeRecords: %v", err)
+					}
+					if !bytes.Equal(re.Bytes(), streamed) {
+						t.Fatalf("re-encoded stream is not byte-identical: %d bytes vs %d",
+							re.Len(), len(streamed))
+					}
+
+					// Kind mismatch must be rejected, not mis-typed.
+					wrong := KindBER
+					if kind == KindBER {
+						wrong = KindHCFirst
+					}
+					if _, _, err := DecodeRecords(wrong, bytes.NewReader(streamed)); err == nil ||
+						!strings.Contains(err.Error(), "sweep") {
+						t.Fatalf("DecodeRecords(%s) on a %s stream: %v", wrong, kind, err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsTornTail: a stream whose final line lacks its newline
+// is an interrupted write and must not decode as a finished sweep.
+func TestDecodeRejectsTornTail(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	recs, err := RunBERContext(context.Background(), smallFleet(t, 0), BERConfig{
+		Channels: []int{0}, Rows: SampleRows(1),
+		Patterns: []pattern.Pattern{pattern.Rowstripe0}, Reps: 1,
+	}, WithSink(sink))
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("sweep: %v (%d records)", err, len(recs))
+	}
+	torn := buf.Bytes()[:buf.Len()-1]
+	if _, _, err := DecodeRecords(KindBER, bytes.NewReader(torn)); err == nil ||
+		!strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn tail decoded: %v", err)
+	}
+}

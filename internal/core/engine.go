@@ -119,8 +119,13 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, st *sweepState[R], 
 		st = &sweepState[R]{}
 	}
 	cells := p.cells
+	// Progress reports live cells only: a resumed sweep's checkpointed
+	// cells are already done and must appear in neither the numerator nor
+	// the denominator (counting them in both made -resume -progress start
+	// at a false percentage over an inflated total).
+	liveTotal := len(cells) - st.skip
 	if o.sink != nil {
-		o.sink.Start(len(cells))
+		o.sink.Start(liveTotal)
 		// Stamp fresh streams with the sweep's identity; position resumed
 		// ones at the end of their last complete cell (cutting off any torn
 		// tail) so appended records continue the stream byte-identically.
@@ -198,12 +203,14 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, st *sweepState[R], 
 	sinkErr, _ := o.sink.(interface{ Err() error })
 	if o.sink != nil {
 		completed = make([]bool, len(cells))
-		// Checkpointed cells count as done: the frontier starts past them,
-		// so their records are never re-emitted to the sink.
+		// Checkpointed cells are done for record-replay purposes: the
+		// frontier starts past them, so their records are never re-emitted
+		// to the sink. They stay out of the progress counters, which track
+		// only the cells this run executes.
 		for i := 0; i < st.skip; i++ {
 			completed[i] = true
 		}
-		doneCells, frontier = st.skip, st.skip
+		frontier = st.skip
 	}
 	cellDone := func(i int) {
 		if o.sink == nil {
@@ -213,7 +220,7 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, st *sweepState[R], 
 		defer sinkMu.Unlock()
 		completed[i] = true
 		doneCells++
-		o.sink.Progress(doneCells, len(cells))
+		o.sink.Progress(doneCells, liveTotal)
 		for frontier < len(cells) && completed[frontier] {
 			for _, r := range slots[frontier] {
 				o.sink.Record(r)

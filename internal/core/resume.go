@@ -73,6 +73,31 @@ func (cp *Checkpoint) ValidBytes() int64 {
 // (it predates checkpointing, or is not a sweep file at all).
 var ErrNoHeader = errors.New("core: stream has no sweep header")
 
+// readSweepHeader reads and validates the header line of a sweep stream,
+// returning it plus the byte offset just past its terminating newline.
+// Shared by ResumeFrom (checkpoint parsing) and DecodeRecords (typed
+// decode of finished sweeps), so the two readers cannot drift.
+func readSweepHeader(br *bufio.Reader) (SweepHeader, int64, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF {
+			return SweepHeader{}, 0, ErrNoHeader
+		}
+		return SweepHeader{}, 0, fmt.Errorf("core: reading sweep header: %w", err)
+	}
+	var h SweepHeader
+	if err := json.Unmarshal(line, &h); err != nil || h.Format == 0 {
+		return SweepHeader{}, 0, ErrNoHeader
+	}
+	if h.Format != sweepFormat {
+		return SweepHeader{}, 0, fmt.Errorf("core: sweep file format %d, this build reads %d", h.Format, sweepFormat)
+	}
+	if h.Fingerprint == "" {
+		return SweepHeader{}, 0, fmt.Errorf("core: sweep header has no fingerprint")
+	}
+	return h, int64(len(line)), nil
+}
+
 // ResumeFrom reads a partially written sweep stream - typically the JSONL
 // file left behind by a cancelled run - validates its header, and counts
 // the valid record prefix: every complete line of syntactically valid
@@ -82,24 +107,9 @@ var ErrNoHeader = errors.New("core: stream has no sweep header")
 // to resume.
 func ResumeFrom(r io.Reader) (*Checkpoint, error) {
 	br := bufio.NewReader(r)
-	offset := int64(0)
-	line, err := br.ReadBytes('\n')
+	h, offset, err := readSweepHeader(br)
 	if err != nil {
-		if err == io.EOF {
-			return nil, ErrNoHeader
-		}
-		return nil, fmt.Errorf("core: reading sweep header: %w", err)
-	}
-	offset += int64(len(line))
-	var h SweepHeader
-	if err := json.Unmarshal(line, &h); err != nil || h.Format == 0 {
-		return nil, ErrNoHeader
-	}
-	if h.Format != sweepFormat {
-		return nil, fmt.Errorf("core: sweep file format %d, this build reads %d", h.Format, sweepFormat)
-	}
-	if h.Fingerprint == "" {
-		return nil, fmt.Errorf("core: sweep header has no fingerprint")
+		return nil, err
 	}
 	cp := &Checkpoint{Header: h, headerEnd: offset}
 

@@ -372,6 +372,74 @@ func TestZeroCellSweepProgress(t *testing.T) {
 	}
 }
 
+// progressSink records the Start total and every Progress pair.
+type progressSink struct {
+	total    int
+	progress [][2]int
+}
+
+func (s *progressSink) Start(total int) { s.total = total }
+func (s *progressSink) Progress(done, total int) {
+	s.progress = append(s.progress, [2]int{done, total})
+}
+func (s *progressSink) Record(any)   {}
+func (s *progressSink) Finish(error) {}
+
+// TestResumeProgressCountsLiveCellsOnly is the regression test for the
+// -resume -progress double count: checkpointed cells used to inflate both
+// the Start total and the running done count, so a resumed run opened at
+// a false percentage over the full plan. Progress must cover only the
+// cells the resumed run actually executes.
+func TestResumeProgressCountsLiveCellsOnly(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	cfg := resumeBERConfig()
+	path := filepath.Join(dir, "part.jsonl")
+
+	// Cancel after 2 completed cells (jobs=1 makes completion order plan
+	// order), leaving a checkpoint covering exactly those cells.
+	if _, err := runBERToFile(t, path, cfg, 1, 2); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cp, err := ResumeFrom(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each BER cell spans len(Patterns)+1 records.
+	covered := cp.Records() / (len(cfg.Patterns) + 1)
+	if covered == 0 {
+		t.Fatal("checkpoint covers no cells")
+	}
+	totalCells := len(cfg.Channels) * len(cfg.Rows)
+
+	sink := &progressSink{}
+	if _, err := RunBERContext(context.Background(), smallFleet(t, 0), cfg,
+		WithJobs(1), WithSink(MultiSink(NewJSONLFileSink(f), sink)), WithResume(cp)); err != nil {
+		t.Fatal(err)
+	}
+	live := totalCells - covered
+	if sink.total != live {
+		t.Errorf("Start total = %d, want %d live cells (%d total - %d checkpointed)",
+			sink.total, live, totalCells, covered)
+	}
+	if len(sink.progress) != live {
+		t.Fatalf("%d Progress calls, want %d", len(sink.progress), live)
+	}
+	for i, p := range sink.progress {
+		if p[1] != live {
+			t.Fatalf("Progress denominator %d, want %d", p[1], live)
+		}
+		if p[0] != i+1 {
+			t.Fatalf("Progress numerator %d at call %d, want %d", p[0], i, i+1)
+		}
+	}
+}
+
 // TestFingerprintStability: fingerprints are equal exactly when the sweep
 // is; each input dimension moves the hash.
 func TestFingerprintFor(t *testing.T) {

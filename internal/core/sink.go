@@ -11,7 +11,10 @@ import (
 // Progress after every completed cell (in completion order), Record for
 // every emitted record (strictly in plan order - the same order as the
 // runner's returned slice), and Finish exactly once with the sweep's
-// outcome. The engine serializes all calls, so implementations need no
+// outcome. On a resumed sweep, Start and Progress cover only the live
+// cells this run executes - checkpointed cells are already paid for and
+// appear in neither count - while Record still replays the full
+// plan-order stream from the first fresh cell onward. The engine serializes all calls, so implementations need no
 // locking. A sweep that is cancelled or fails still emits the plan-order
 // prefix of records it completed, which is what makes streamed output
 // usable as a partial result.

@@ -1,0 +1,28 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"hbmrd/internal/query"
+)
+
+// AggregateTable renders a query aggregate as an aligned text table, the
+// same presentation the figure renderers use - so a stored sweep queried
+// through internal/query prints in the shape of the paper's artifacts
+// without re-running the experiment. Column layout comes from the
+// aggregate's own Table form (group-by columns, count, then the spec's
+// reducers), so the table, the CSV form, and the cached JSON all present
+// one deterministic result.
+func AggregateTable(a *query.Aggregate) string {
+	header, rows := a.Table()
+	body := table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, strings.Join(header, "\t"))
+		for _, r := range rows {
+			fmt.Fprintln(w, strings.Join(r, "\t"))
+		}
+	})
+	return fmt.Sprintf("sweep %s  kind %s  (%d records, %d matched)\n%s",
+		a.Sweep, a.Kind, a.Records, a.Matched, body)
+}

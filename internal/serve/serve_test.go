@@ -16,6 +16,9 @@ import (
 	"time"
 
 	"hbmrd/internal/core"
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/query"
+	"hbmrd/internal/rowmap"
 	"hbmrd/internal/store"
 )
 
@@ -353,4 +356,236 @@ func intsJSON(xs []int) string {
 		parts[i] = fmt.Sprint(x)
 	}
 	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// TestServiceHealthz: the health endpoint reports the operational gauges
+// a deployment watches - store path, live jobs, catalog size.
+func TestServiceHealthz(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	_, ts := newTestService(t, dir)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		OK           bool   `json:"ok"`
+		Store        string `json:"store"`
+		LiveJobs     int    `json:"live_jobs"`
+		StoredSweeps int    `json:"stored_sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Store != dir {
+		t.Errorf("healthz = %+v, want ok with store %s", h, dir)
+	}
+	if h.LiveJobs != 0 || h.StoredSweeps != 0 {
+		t.Errorf("fresh service healthz = %+v, want zero jobs and sweeps", h)
+	}
+}
+
+// ingestTinySweep runs the -out flow into the server's store and returns
+// the stored fingerprint: the acceptance path where a CLI-produced sweep
+// is finalized into the store the service queries.
+func ingestTinySweep(t *testing.T, dir string) string {
+	t.Helper()
+	fleet, err := core.NewFleet([]int{0}, hbm.WithMapper(rowmap.Identity{NumRows: hbm.NumRows}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := core.NewJSONLFileSink(f)
+	if _, err := core.RunHCFirstContext(context.Background(), fleet, core.HCFirstConfig{
+		Channels: []int{0, 1}, Rows: core.SampleRows(2), Reps: 1,
+	}, core.WithSink(sink)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := query.Ingest(st, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta.Fingerprint
+}
+
+// TestServiceQueryFig5CacheHit is the acceptance criterion end to end: a
+// sweep produced by the -out file sink and finalized into the store
+// reproduces the Fig 5 HCfirst distribution via POST /query; the hbmrd
+// query CLI path (a query.Engine over the same store) returns
+// byte-identical aggregate output; and the second identical POST /query
+// is served from the derived-result cache without re-reading the raw
+// records.
+func TestServiceQueryFig5CacheHit(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	srv, ts := newTestService(t, dir)
+	fp := ingestTinySweep(t, dir)
+
+	spec, err := query.FigureSpec("fig5", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (string, []byte) {
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(specJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /query: %d %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Hbmrd-Query-Cache"), body
+	}
+
+	cache1, body1 := post()
+	if cache1 != "miss" {
+		t.Errorf("first query cache = %q, want miss", cache1)
+	}
+	var agg query.Aggregate
+	if err := json.Unmarshal(body1, &agg); err != nil {
+		t.Fatalf("aggregate JSON: %v", err)
+	}
+	if agg.Kind != "hcfirst" || len(agg.Groups) == 0 {
+		t.Fatalf("fig5 aggregate = kind %q, %d groups", agg.Kind, len(agg.Groups))
+	}
+	rawAfterFirst := srv.queries.RawReads()
+	if rawAfterFirst != 1 {
+		t.Errorf("first query made %d raw reads, want 1", rawAfterFirst)
+	}
+
+	// The CLI path: an independent engine over the same store.
+	cliStore, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := query.NewEngine(cliStore)
+	res, err := cli.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.JSON, body1) {
+		t.Error("hbmrd query aggregate bytes differ from POST /query bytes")
+	}
+
+	cache2, body2 := post()
+	if cache2 != "hit" {
+		t.Errorf("second query cache = %q, want hit", cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cache hit returned different bytes")
+	}
+	if got := srv.queries.RawReads(); got != rawAfterFirst {
+		t.Errorf("cache hit re-read the raw records (%d raw reads)", got)
+	}
+
+	// CSV form is derived from the same aggregate deterministically.
+	resp, err := http.Post(ts.URL+"/query?format=csv", "application/json", bytes.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(csvBody), "chip,pattern_label,count,") {
+		t.Errorf("CSV query: %d %q", resp.StatusCode, csvBody)
+	}
+
+	// Bad specs are client errors; unknown sweeps are 404s.
+	resp, err = http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"sweep":"`+fp+`","metric":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad metric: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"sweep":"sha256:`+strings.Repeat("ef", 32)+`","metric":"hcfirst"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServiceRecordsAndCatalog: GET /sweeps/<fp>/records serves typed
+// decoded records, and GET /sweeps?kind= filters the catalog.
+func TestServiceRecordsAndCatalog(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	_, ts := newTestService(t, dir)
+	fp := ingestTinySweep(t, dir)
+
+	resp, err := http.Get(ts.URL + "/sweeps/" + fp + "/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET records: %d %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Header  core.SweepHeader     `json:"header"`
+		Records []core.HCFirstRecord `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Header.Fingerprint != fp || len(doc.Records) == 0 {
+		t.Fatalf("records doc: header %+v, %d records", doc.Header, len(doc.Records))
+	}
+	for _, r := range doc.Records {
+		if r.Chip != 0 {
+			t.Fatalf("decoded record has chip %d, want 0", r.Chip)
+		}
+	}
+
+	for _, tc := range []struct {
+		kind string
+		want int
+	}{{"hcfirst", 1}, {"ber", 0}} {
+		resp, err := http.Get(ts.URL + "/sweeps?kind=" + tc.kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list listResponse
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list.Stored) != tc.want {
+			t.Errorf("GET /sweeps?kind=%s: %d stored, want %d", tc.kind, len(list.Stored), tc.want)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/sweeps/sha256:" + strings.Repeat("99", 32) + "/records"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("records of unknown sweep: %d, want 404", resp.StatusCode)
+		}
+	}
 }

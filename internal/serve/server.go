@@ -11,11 +11,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"time"
 
 	"hbmrd/internal/core"
+	"hbmrd/internal/query"
 	"hbmrd/internal/store"
 )
 
@@ -61,6 +63,7 @@ func (j *job) setState(status, errMsg string) {
 // as NDJSON.
 type Server struct {
 	store    *store.Store
+	queries  *query.Engine
 	spoolDir string
 	workers  int
 	jobsOpt  int
@@ -109,6 +112,7 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		store:    cfg.Store,
+		queries:  query.NewEngine(cfg.Store),
 		spoolDir: spoolDir,
 		workers:  workers,
 		jobsOpt:  cfg.Jobs,
@@ -138,14 +142,22 @@ func (s *Server) Drain() {
 // Handler returns the service's HTTP interface:
 //
 //	POST /sweeps            submit a spec; replies with fingerprint+status
-//	GET  /sweeps            list jobs and stored sweeps
-//	GET  /sweeps/<fp>       stream the sweep's NDJSON (live or stored)
+//	GET  /sweeps            catalog: jobs plus stored sweeps (?kind= filters)
+//	GET  /sweeps/<fp>         stream the sweep's NDJSON (live or stored)
 //	GET  /sweeps/<fp>/status  job/store status for the fingerprint
-//	GET  /healthz           liveness
+//	GET  /sweeps/<fp>/records typed decoded records of a stored sweep
+//	POST /query             run an aggregation spec (?format=csv for CSV);
+//	                        repeated identical specs hit the derived cache
+//	GET  /healthz           liveness: store path, live jobs, catalog size
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleQuery(w, r)
 	})
 	mux.HandleFunc("/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
@@ -167,9 +179,34 @@ func (s *Server) Handler() http.Handler {
 			s.handleStatus(w, r, fp)
 			return
 		}
+		if fp, ok := strings.CutSuffix(rest, "/records"); ok {
+			s.handleRecords(w, r, fp)
+			return
+		}
 		s.handleStream(w, r, rest)
 	})
 	return mux
+}
+
+// handleHealthz reports liveness plus the operational gauges a deployment
+// watches: where the store lives, how many sweeps are queued or running,
+// and how many finished sweeps the catalog can serve.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	live := 0
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if status, _ := j.state(); status == StatusQueued || status == StatusRunning {
+			live++
+		}
+	}
+	s.mu.Unlock()
+	catalogSize, _ := s.store.Count()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":            true,
+		"store":         s.store.Root(),
+		"live_jobs":     live,
+		"stored_sweeps": catalogSize,
+	})
 }
 
 // submitResponse is the reply to POST /sweeps.
@@ -235,23 +272,111 @@ type listResponse struct {
 	Stored []store.Meta     `json:"stored"`
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	kindFilter := r.URL.Query().Get("kind")
 	var out listResponse
 	s.mu.Lock()
 	for fp, j := range s.jobs {
+		if kindFilter != "" && string(j.sweep.Kind) != kindFilter {
+			continue
+		}
 		status, errMsg := j.state()
 		out.Jobs = append(out.Jobs, submitResponse{
 			Fingerprint: fp, Kind: string(j.sweep.Kind), Status: status, Error: errMsg,
 		})
 	}
 	s.mu.Unlock()
-	stored, err := s.store.List()
+	cat, err := query.NewCatalog(s.store)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	out.Stored = stored
+	if kindFilter != "" {
+		out.Stored = cat.Find(query.ByKind(kindFilter))
+	} else {
+		out.Stored = cat.List()
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRecords serves a stored sweep's records as typed JSON - one
+// document, header plus record array, decoded through the kind's
+// concrete record type (proving it round-trips). The decoded slice is
+// held in memory but the response encodes record by record, so the
+// handler never buffers a second full copy of a large sweep.
+func (s *Server) handleRecords(w http.ResponseWriter, _ *http.Request, fp string) {
+	rc, meta, err := s.store.Get(fp)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			http.Error(w, "unknown sweep", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer rc.Close()
+	h, recs, err := core.DecodeRecords(core.Kind(meta.Kind), rc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	hb, err := json.Marshal(h)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_, _ = fmt.Fprintf(w, `{"header":%s,"records":[`, hb)
+	v := reflect.ValueOf(recs)
+	for i := 0; i < v.Len(); i++ {
+		if i > 0 {
+			_, _ = io.WriteString(w, ",")
+		}
+		rb, err := json.Marshal(v.Index(i).Interface())
+		if err != nil {
+			return // headers are sent; the truncated body signals the failure
+		}
+		_, _ = w.Write(rb)
+	}
+	_, _ = io.WriteString(w, "]}\n")
+}
+
+// handleQuery runs one aggregation spec against the store. The canonical
+// aggregate JSON is content-addressed into the store's derived cache, so
+// a repeated identical spec is answered without re-reading the raw
+// records; the X-Hbmrd-Query-Cache header reports which path served it.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var spec query.Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad query spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.queries.Run(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, query.ErrSpec):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		case errors.Is(err, store.ErrNotFound):
+			http.Error(w, "unknown sweep (only finished, stored sweeps can be queried)", http.StatusNotFound)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	cache := "miss"
+	if res.CacheHit {
+		cache = "hit"
+	}
+	w.Header().Set("X-Hbmrd-Query-Cache", cache)
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		_, _ = io.WriteString(w, res.Aggregate.CSV())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(res.JSON)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, fp string) {
@@ -461,9 +586,12 @@ func (s *Server) execute(j *job, spool string, allowResume bool) (runErr error, 
 	return runErr, resumed
 }
 
-// finalize moves a completed spool into the store and removes it.
+// finalize moves a completed spool into the store - stamped with the
+// sweep's catalog metadata (geometry, chip set, raw config) so the query
+// subsystem can filter on it - and removes the spool. Record and byte
+// counts are computed by the store while staging the copy.
 func (s *Server) finalize(j *job, spool string) error {
-	header, records, err := inspectSpool(spool)
+	header, err := spoolHeader(spool)
 	if err != nil {
 		return err
 	}
@@ -471,7 +599,10 @@ func (s *Server) finalize(j *job, spool string) error {
 		Fingerprint: j.sweep.Fingerprint,
 		Kind:        string(j.sweep.Kind),
 		Cells:       header.Cells,
-		Records:     records,
+		Generation:  header.Generation,
+		Geometry:    j.sweep.Geometry,
+		Chips:       j.sweep.Chips,
+		Config:      j.sweep.Spec.Config,
 	}
 	if err := s.store.PutFile(meta, spool); err != nil {
 		return err
@@ -479,27 +610,23 @@ func (s *Server) finalize(j *job, spool string) error {
 	return os.Remove(spool)
 }
 
-// inspectSpool reads a completed spool's header and counts its records.
-func inspectSpool(path string) (core.SweepHeader, int, error) {
+// spoolHeader reads a completed spool's header line.
+func spoolHeader(path string) (core.SweepHeader, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return core.SweepHeader{}, 0, err
+		return core.SweepHeader{}, err
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	if !sc.Scan() {
-		return core.SweepHeader{}, 0, fmt.Errorf("serve: empty spool %s", path)
+		return core.SweepHeader{}, fmt.Errorf("serve: empty spool %s", path)
 	}
 	var h core.SweepHeader
 	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Format == 0 {
-		return core.SweepHeader{}, 0, fmt.Errorf("serve: spool %s has no sweep header", path)
+		return core.SweepHeader{}, fmt.Errorf("serve: spool %s has no sweep header", path)
 	}
-	records := 0
-	for sc.Scan() {
-		records++
-	}
-	return h, records, sc.Err()
+	return h, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,7 +2,12 @@
 // specs over HTTP, executed on the bounded sweep engine, streamed live as
 // NDJSON, checkpointed on shutdown, and deduplicated through the
 // content-addressed result store - a finished sweep with the same
-// fingerprint is served from disk instead of re-executed.
+// fingerprint is served from disk instead of re-executed. The read side
+// rides the same store: the catalog lists finished sweeps with their
+// spec metadata, stored records decode back to typed JSON, and POST
+// /query runs internal/query aggregation specs whose results are
+// content-addressed into the store's derived cache, so repeated
+// identical queries never re-read the raw records.
 package serve
 
 import (
@@ -44,6 +49,11 @@ type Sweep struct {
 	Spec        SweepSpec
 	Kind        core.Kind
 	Fingerprint string
+	// Geometry is the resolved preset name and Chips the resolved chip
+	// indices (the spec's fields with defaults applied) - the catalog
+	// metadata recorded alongside the finished sweep in the store.
+	Geometry string
+	Chips    []int
 
 	run func(ctx context.Context, opts ...core.RunOption) error
 }
@@ -71,6 +81,7 @@ func Resolve(spec SweepSpec) (*Sweep, error) {
 	}
 	var chipOpts []hbm.Option
 	g := hbm.DefaultGeometry()
+	geomName := hbm.PresetHBM2
 	if spec.Geometry != "" {
 		preset, err := hbm.LookupPreset(spec.Geometry)
 		if err != nil {
@@ -78,6 +89,7 @@ func Resolve(spec SweepSpec) (*Sweep, error) {
 		}
 		chipOpts = append(chipOpts, hbm.WithGeometry(preset))
 		g = preset.Geometry
+		geomName = preset.Name
 	}
 	if spec.IdentityMapping {
 		chipOpts = append(chipOpts, hbm.WithMapper(rowmap.Identity{NumRows: g.Rows}))
@@ -87,7 +99,7 @@ func Resolve(spec SweepSpec) (*Sweep, error) {
 		return nil, err
 	}
 
-	s := &Sweep{Spec: spec, Kind: kind}
+	s := &Sweep{Spec: spec, Kind: kind, Geometry: geomName, Chips: chips}
 	var cfg any
 	switch kind {
 	case core.KindBER:

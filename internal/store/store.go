@@ -9,6 +9,7 @@
 //
 //	objects/<aa>/<rest-of-fingerprint>/results.jsonl
 //	objects/<aa>/<rest-of-fingerprint>/meta.json
+//	derived/<aa>/<rest-of-key>.json  (cached query results)
 //	tmp/  (staging for atomic finalize)
 //
 // Finalize is atomic: an object is staged under tmp/ and renamed into
@@ -18,6 +19,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,12 +28,17 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // ErrNotFound reports a fingerprint with no finished sweep in the store.
 var ErrNotFound = errors.New("store: sweep not found")
 
-// Meta describes one stored sweep.
+// Meta describes one stored sweep. Fingerprint, Kind and Cells identify
+// the sweep; Records and Bytes size it (Put computes both from the stream
+// itself, so callers never re-scan the JSONL); the remaining fields are
+// optional catalog metadata a submitting service fills from its sweep
+// spec - sweeps ingested from bare JSONL files leave them empty.
 type Meta struct {
 	// Fingerprint is the sweep's content address.
 	Fingerprint string `json:"fingerprint"`
@@ -40,9 +47,20 @@ type Meta struct {
 	// Cells is the sweep's plan cell count.
 	Cells int `json:"cells"`
 	// Records is the number of record lines (excluding the header).
+	// Computed by Put while staging the stream.
 	Records int `json:"records"`
-	// Bytes is the size of results.jsonl.
+	// Bytes is the size of results.jsonl. Computed by Put.
 	Bytes int64 `json:"bytes"`
+	// Generation is the producer's core.CodeGeneration (from the header).
+	Generation int `json:"generation,omitempty"`
+	// Geometry is the chip organization preset name the sweep ran on.
+	Geometry string `json:"geometry,omitempty"`
+	// Chips are the study chip indices of the sweep's fleet.
+	Chips []int `json:"chips,omitempty"`
+	// Config is the sweep's raw runner config as submitted (canonical
+	// identity lives in the fingerprint; this copy exists so catalog
+	// queries can filter on config fields without re-deriving them).
+	Config json.RawMessage `json:"config,omitempty"`
 }
 
 // Store is a content-addressed result store rooted at one directory.
@@ -54,7 +72,7 @@ type Store struct {
 
 // Open prepares a store rooted at dir, creating the layout if needed.
 func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"objects", "tmp"} {
+	for _, sub := range []string{"objects", "derived", "tmp"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -65,18 +83,28 @@ func Open(dir string) (*Store, error) {
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
+// shardedHex validates a "sha256:<hex>" address and returns its hex
+// portion, which keys the two-level sharded layout.
+func shardedHex(addr string) (string, error) {
+	hex := strings.TrimPrefix(addr, "sha256:")
+	if hex == addr || len(hex) < 8 {
+		return "", fmt.Errorf("store: malformed fingerprint %q", addr)
+	}
+	for _, c := range hex {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("store: malformed fingerprint %q", addr)
+		}
+	}
+	return hex, nil
+}
+
 // objectDir maps a fingerprint to its object directory, two-level sharded
 // so no single directory grows unbounded. The "sha256:" scheme prefix is
 // folded into the hex portion's directory name.
 func (s *Store) objectDir(fingerprint string) (string, error) {
-	hex := strings.TrimPrefix(fingerprint, "sha256:")
-	if hex == fingerprint || len(hex) < 8 {
-		return "", fmt.Errorf("store: malformed fingerprint %q", fingerprint)
-	}
-	for _, c := range hex {
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return "", fmt.Errorf("store: malformed fingerprint %q", fingerprint)
-		}
+	hex, err := shardedHex(fingerprint)
+	if err != nil {
+		return "", err
 	}
 	return filepath.Join(s.root, "objects", hex[:2], hex[2:]), nil
 }
@@ -113,6 +141,7 @@ func (s *Store) Get(fingerprint string) (io.ReadCloser, *Meta, error) {
 		}
 		return nil, nil, err
 	}
+	touch(filepath.Join(dir, "meta.json"))
 	return f, meta, nil
 }
 
@@ -131,7 +160,16 @@ func (s *Store) Path(fingerprint string) (string, *Meta, error) {
 		}
 		return "", nil, err
 	}
+	touch(filepath.Join(dir, "meta.json"))
 	return filepath.Join(dir, "results.jsonl"), meta, nil
+}
+
+// touch stamps a path's modification time to now - the access clock
+// Prune's LRU eviction runs on. Best-effort: a read-only store still
+// serves hits, it just stops refreshing recency.
+func touch(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 }
 
 // PutFile finalizes the completed sweep file at path into the store by
@@ -172,7 +210,10 @@ func (s *Store) put(meta Meta, r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	n, err := io.Copy(dst, r)
+	// Size the sweep while staging it: every line past the header is one
+	// record, so callers never have to re-scan the stored JSONL.
+	var lc lineCounter
+	n, err := io.Copy(dst, io.TeeReader(r, &lc))
 	if err == nil {
 		err = dst.Sync()
 	}
@@ -183,6 +224,10 @@ func (s *Store) put(meta Meta, r io.Reader) error {
 		return fmt.Errorf("store: staging %s: %w", meta.Fingerprint, err)
 	}
 	meta.Bytes = n
+	meta.Records = 0
+	if lc.lines > 0 {
+		meta.Records = lc.lines - 1
+	}
 
 	mb, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
@@ -232,6 +277,199 @@ func (s *Store) List() ([]Meta, error) {
 	return out, nil
 }
 
+// Count reports how many finished sweeps the store holds, by counting
+// object directories without opening any metadata - cheap enough for a
+// liveness probe to call on every poll.
+func (s *Store) Count() (int, error) {
+	shards, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	n := 0
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		objs, err := os.ReadDir(filepath.Join(s.root, "objects", shard.Name()))
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		n += len(objs)
+	}
+	return n, nil
+}
+
+// lineCounter counts newline-terminated lines flowing through a write.
+type lineCounter struct{ lines int }
+
+func (c *lineCounter) Write(p []byte) (int, error) {
+	c.lines += bytes.Count(p, []byte{'\n'})
+	return len(p), nil
+}
+
+// GetDerived returns a cached derived result (an aggregate computed from a
+// stored sweep) by its content key, "sha256:<hex>" like a fingerprint.
+// Returns ErrNotFound when the key has never been put or was pruned.
+func (s *Store) GetDerived(key string) ([]byte, error) {
+	path, err := s.derivedPath(key)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	touch(path)
+	return b, nil
+}
+
+// PutDerived caches a derived result under its content key, atomically
+// (staged write + rename). Losing a race to another writer is success: the
+// key is a content address over (sweep fingerprint, canonical query spec),
+// so concurrent writers stage identical bytes.
+func (s *Store) PutDerived(key string, data []byte) error {
+	path, err := s.derivedPath(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	stage, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "derived-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := stage.Write(data)
+	if serr := stage.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := stage.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(stage.Name())
+		return fmt.Errorf("store: staging derived %s: %w", key, werr)
+	}
+	if err := os.Rename(stage.Name(), path); err != nil {
+		os.Remove(stage.Name())
+		return fmt.Errorf("store: finalizing derived %s: %w", key, err)
+	}
+	return nil
+}
+
+func (s *Store) derivedPath(key string) (string, error) {
+	hex, err := shardedHex(key)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(s.root, "derived", hex[:2], hex[2:]+".json"), nil
+}
+
+// pruneEntry is one evictable unit: a whole sweep object or one derived
+// result, with the payload bytes it frees and the recency stamp it is
+// ranked by.
+type pruneEntry struct {
+	path     string // object dir, or derived file
+	isObject bool
+	bytes    int64
+	accessed time.Time
+}
+
+// Prune evicts least-recently-accessed content - stored sweeps and cached
+// derived results alike - until the store's payload is at most keepBytes,
+// and reports how many entries it removed. Recency is the meta.json (or
+// derived file) modification time, which Get, Path and GetDerived refresh
+// on every hit, so the store behaves as an LRU cache of bounded size.
+// Safe to run concurrently with readers: an open descriptor keeps serving
+// after its object is unlinked, and a later identical Put simply restores
+// the address.
+func (s *Store) Prune(keepBytes int64) (removed int, err error) {
+	var entries []pruneEntry
+	var total int64
+
+	shards, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		shardDir := filepath.Join(s.root, "objects", shard.Name())
+		objs, err := os.ReadDir(shardDir)
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		for _, obj := range objs {
+			dir := filepath.Join(shardDir, obj.Name())
+			metaInfo, err := os.Stat(filepath.Join(dir, "meta.json"))
+			if err != nil {
+				continue // half-visible entry; skip, as List does
+			}
+			var size int64
+			if files, err := os.ReadDir(dir); err == nil {
+				for _, f := range files {
+					if fi, err := f.Info(); err == nil {
+						size += fi.Size()
+					}
+				}
+			}
+			entries = append(entries, pruneEntry{path: dir, isObject: true, bytes: size, accessed: metaInfo.ModTime()})
+			total += size
+		}
+	}
+
+	derivedShards, err := os.ReadDir(filepath.Join(s.root, "derived"))
+	if err != nil && !os.IsNotExist(err) {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	for _, shard := range derivedShards {
+		if !shard.IsDir() {
+			continue
+		}
+		shardDir := filepath.Join(s.root, "derived", shard.Name())
+		files, err := os.ReadDir(shardDir)
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		for _, f := range files {
+			fi, err := f.Info()
+			if err != nil {
+				continue
+			}
+			entries = append(entries, pruneEntry{path: filepath.Join(shardDir, f.Name()), bytes: fi.Size(), accessed: fi.ModTime()})
+			total += fi.Size()
+		}
+	}
+
+	// Oldest access first; ties break on path so eviction is deterministic.
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].accessed.Equal(entries[j].accessed) {
+			return entries[i].accessed.Before(entries[j].accessed)
+		}
+		return entries[i].path < entries[j].path
+	})
+	for _, e := range entries {
+		if total <= keepBytes {
+			break
+		}
+		if e.isObject {
+			err = os.RemoveAll(e.path)
+		} else {
+			err = os.Remove(e.path)
+		}
+		if err != nil && !os.IsNotExist(err) {
+			return removed, fmt.Errorf("store: pruning %s: %w", e.path, err)
+		}
+		removed++
+		total -= e.bytes
+	}
+	return removed, nil
+}
+
 func readMeta(path string) (*Meta, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -240,6 +478,14 @@ func readMeta(path string) (*Meta, error) {
 	var m Meta
 	if err := json.Unmarshal(b, &m); err != nil {
 		return nil, fmt.Errorf("store: corrupt meta %s: %w", path, err)
+	}
+	// The meta document is stored indented; hand the raw config back
+	// compact so catalog consumers see one canonical byte form.
+	if len(m.Config) > 0 {
+		var cb bytes.Buffer
+		if json.Compact(&cb, m.Config) == nil {
+			m.Config = append(json.RawMessage(nil), cb.Bytes()...)
+		}
 	}
 	return &m, nil
 }

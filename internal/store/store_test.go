@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 const testFP = "sha256:0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
@@ -148,5 +149,190 @@ func TestStoreRejectsMalformedFingerprints(t *testing.T) {
 	}
 	if err := s.Put(Meta{Fingerprint: testFP}, strings.NewReader("x")); err == nil {
 		t.Error("Put accepted meta without a kind")
+	}
+}
+
+// TestStorePutCountsRecords: Put sizes the sweep itself - record count
+// and byte size come from the staged stream, not from the caller - so no
+// consumer ever re-scans the JSONL to size a sweep.
+func TestStorePutCountsRecords(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	// Deliberately wrong counts from the caller: Put must correct both.
+	meta := Meta{Fingerprint: testFP, Kind: "ber", Cells: 2, Records: 99, Bytes: 1}
+	if err := s.Put(meta, strings.NewReader(testContent())); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := s.Path(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Records != 2 {
+		t.Errorf("Records = %d, want 2 (header excluded)", got.Records)
+	}
+	if got.Bytes != int64(len(testContent())) {
+		t.Errorf("Bytes = %d, want %d", got.Bytes, len(testContent()))
+	}
+}
+
+// TestStoreCatalogMetaRoundTrips: the optional catalog fields (geometry,
+// chips, generation, raw config) persist through Put and List.
+func TestStoreCatalogMetaRoundTrips(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	meta := Meta{
+		Fingerprint: testFP, Kind: "ber", Cells: 2, Generation: 1,
+		Geometry: "HBM2_8Gb", Chips: []int{0, 5}, Config: []byte(`{"Reps":1}`),
+	}
+	if err := s.Put(meta, strings.NewReader(testContent())); err != nil {
+		t.Fatal(err)
+	}
+	list, err := s.List()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("List: %v (%d entries)", err, len(list))
+	}
+	got := list[0]
+	if got.Geometry != "HBM2_8Gb" || got.Generation != 1 ||
+		len(got.Chips) != 2 || got.Chips[0] != 0 || got.Chips[1] != 5 ||
+		string(got.Config) != `{"Reps":1}` {
+		t.Errorf("catalog meta = %+v", got)
+	}
+}
+
+// TestStoreDerived: derived results round-trip under their content key,
+// miss with ErrNotFound, and reject malformed keys.
+func TestStoreDerived(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	key := "sha256:aaaa567890abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	if _, err := s.GetDerived(key); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetDerived on empty store: %v, want ErrNotFound", err)
+	}
+	if err := s.PutDerived(key, []byte(`{"groups":[]}`+"\n")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.GetDerived(key)
+	if err != nil || string(b) != `{"groups":[]}`+"\n" {
+		t.Errorf("GetDerived = %q, %v", b, err)
+	}
+	if err := s.PutDerived("not-an-address", nil); err == nil {
+		t.Error("malformed derived key accepted")
+	}
+}
+
+// TestStorePruneLRU: Prune evicts least-recently-accessed entries - sweep
+// objects and derived results alike - until the payload fits the budget,
+// and a Get refreshes recency so hot sweeps survive.
+func TestStorePruneLRU(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	fps := []string{
+		"sha256:1111111111111111111111111111111111111111111111111111111111111111",
+		"sha256:2222222222222222222222222222222222222222222222222222222222222222",
+		"sha256:3333333333333333333333333333333333333333333333333333333333333333",
+	}
+	for _, fp := range fps {
+		content := strings.Replace(testContent(), testFP, fp, 1)
+		if err := s.Put(Meta{Fingerprint: fp, Kind: "ber", Cells: 2}, strings.NewReader(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dkey := "sha256:4444444444444444444444444444444444444444444444444444444444444444"
+	if err := s.PutDerived(dkey, []byte("{}\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Age the access stamps explicitly: fps[0] oldest, then the derived
+	// result, then fps[1]; fps[2] stays newest.
+	base := time.Now().Add(-time.Hour)
+	stamp := func(addr string, age time.Duration, derived bool) {
+		var path string
+		var err error
+		if derived {
+			path, err = s.derivedPath(addr)
+		} else {
+			var dir string
+			dir, err = s.objectDir(addr)
+			path = filepath.Join(dir, "meta.json")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, base.Add(age), base.Add(age)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stamp(fps[0], 0, false)
+	stamp(dkey, time.Minute, true)
+	stamp(fps[1], 2*time.Minute, false)
+	stamp(fps[2], 3*time.Minute, false)
+
+	// A Get on the oldest sweep refreshes it past everything else.
+	rc, _, err := s.Get(fps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+
+	// Budget for exactly one sweep object (results.jsonl + meta.json): the
+	// derived result and the two stale sweeps go, the refreshed one stays.
+	dir, err := s.objectDir(fps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keep int64
+	for _, name := range []string{"results.jsonl", "meta.json"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep += fi.Size()
+	}
+	removed, err := s.Prune(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Errorf("Prune removed %d entries, want 3", removed)
+	}
+	if !s.Has(fps[0]) {
+		t.Error("recently accessed sweep was evicted")
+	}
+	if s.Has(fps[1]) || s.Has(fps[2]) {
+		t.Error("stale sweep survived the budget")
+	}
+	if _, err := s.GetDerived(dkey); !errors.Is(err, ErrNotFound) {
+		t.Error("stale derived result survived the budget")
+	}
+
+	// A later identical Put restores a pruned address.
+	content := strings.Replace(testContent(), testFP, fps[1], 1)
+	if err := s.Put(Meta{Fingerprint: fps[1], Kind: "ber", Cells: 2}, strings.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(fps[1]) {
+		t.Error("re-put after prune not visible")
+	}
+}
+
+// TestStoreCount: the cheap catalog-size probe matches List without
+// reading metadata.
+func TestStoreCount(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	if n, err := s.Count(); err != nil || n != 0 {
+		t.Errorf("empty Count = %d, %v", n, err)
+	}
+	for _, fp := range []string{
+		"sha256:5555555555555555555555555555555555555555555555555555555555555555",
+		"sha256:6666666666666666666666666666666666666666666666666666666666666666",
+	} {
+		content := strings.Replace(testContent(), testFP, fp, 1)
+		if err := s.Put(Meta{Fingerprint: fp, Kind: "ber", Cells: 2}, strings.NewReader(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := s.Count(); err != nil || n != 2 {
+		t.Errorf("Count = %d, %v, want 2", n, err)
 	}
 }

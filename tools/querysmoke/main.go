@@ -1,0 +1,174 @@
+// Command querysmoke is the CI gate for the query subsystem: it runs a
+// tiny deterministic BER sweep into a temporary store, executes one query
+// per aggregation reducer, and diffs the combined canonical output
+// (aggregate JSON plus CSV per query, and a derived-cache hit check)
+// against the committed golden at tools/querysmoke/testdata/smoke.golden.
+//
+// The golden pins the whole path from fault-model bytes to aggregate
+// bytes, so it re-pins for the same reasons the golden sweep digests do
+// (deliberate fault-model changes, with a core.CodeGeneration bump) or
+// when the aggregate format changes (a query.FormatGeneration bump).
+// Re-pin with:
+//
+//	go run ./tools/querysmoke -update
+//
+// Run `make query-smoke` locally; CI runs it on every push.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hbmrd"
+)
+
+func main() {
+	update := flag.Bool("update", false, "re-pin the golden instead of diffing against it")
+	golden := flag.String("golden", "tools/querysmoke/testdata/smoke.golden", "golden file path (relative to the repo root)")
+	flag.Parse()
+	if err := run(*update, *golden); err != nil {
+		fmt.Fprintln(os.Stderr, "querysmoke:", err)
+		os.Exit(1)
+	}
+}
+
+// smokeQueries enumerates one query per reducer over the smoke sweep.
+func smokeQueries(fp string) []hbmrd.QuerySpec {
+	base := func(reducers ...string) hbmrd.QuerySpec {
+		return hbmrd.QuerySpec{
+			Sweep:    fp,
+			GroupBy:  []string{"channel"},
+			Metric:   "ber_percent",
+			Where:    []hbmrd.QueryCond{{Dim: "wcdp", Value: "false"}},
+			Reducers: reducers,
+		}
+	}
+	specs := []hbmrd.QuerySpec{
+		base("count"),
+		base("mean"),
+		base("stddev"),
+		base("cv"),
+		base("min"),
+		base("max"),
+		base("median"),
+	}
+	p := base("percentiles")
+	p.Percentiles = []float64{25, 50, 75}
+	specs = append(specs, p)
+	h := base("histogram")
+	h.Edges = []float64{0, 0.1, 0.5, 1, 5}
+	specs = append(specs, h)
+	specs = append(specs, base("box"))
+	return specs
+}
+
+func run(update bool, goldenPath string) error {
+	dir, err := os.MkdirTemp("", "querysmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// A tiny deterministic sweep through the -out flow.
+	fleet, err := hbmrd.NewFleet([]int{0}, hbmrd.WithIdentityMapping())
+	if err != nil {
+		return err
+	}
+	outPath := filepath.Join(dir, "ber.jsonl")
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	sink := hbmrd.NewJSONLFileSink(f)
+	_, err = hbmrd.RunBERContext(context.Background(), fleet, hbmrd.BERConfig{
+		Channels:    []int{0, 1},
+		Rows:        hbmrd.SampleRows(2),
+		Patterns:    []hbmrd.Pattern{hbmrd.Rowstripe0, hbmrd.Checkered0},
+		HammerCount: 100_000,
+		Reps:        1,
+	}, hbmrd.WithSink(sink))
+	if err == nil {
+		err = sink.Err()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	st, err := hbmrd.OpenSweepStore(filepath.Join(dir, "store"))
+	if err != nil {
+		return err
+	}
+	meta, err := hbmrd.IngestSweep(st, outPath)
+	if err != nil {
+		return err
+	}
+
+	var out bytes.Buffer
+	eng := hbmrd.NewQueryEngine(st)
+	specs := smokeQueries(meta.Fingerprint)
+	for _, spec := range specs {
+		res, err := eng.Run(spec)
+		if err != nil {
+			return fmt.Errorf("reducer %v: %w", spec.Reducers, err)
+		}
+		fmt.Fprintf(&out, "==== reducer %s ====\n", strings.Join(spec.Reducers, ","))
+		out.Write(res.JSON)
+		out.WriteString(res.Aggregate.CSV())
+	}
+	// The derived cache must answer a repeated spec without re-reading
+	// the raw records.
+	before := eng.RawReads()
+	again, err := eng.Run(specs[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&out, "==== cache ====\nrepeat hit=%v raw-reads-moved=%v\n",
+		again.CacheHit, eng.RawReads() != before)
+
+	// The sweep fingerprint inside the output already pins config and
+	// geometry; the golden therefore also catches accidental fingerprint
+	// drift.
+	if update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("querysmoke: pinned %d bytes to %s\n", out.Len(), goldenPath)
+		return nil
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("%w (run `go run ./tools/querysmoke -update` to pin it)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		gotLines := strings.Split(out.String(), "\n")
+		wantLines := strings.Split(string(want), "\n")
+		for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+			var g, w string
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if g != w {
+				return fmt.Errorf("output diverges from %s at line %d:\n  got:  %s\n  want: %s\n"+
+					"(deliberate change? re-pin with `go run ./tools/querysmoke -update` and explain in the commit)",
+					goldenPath, i+1, g, w)
+			}
+		}
+		return fmt.Errorf("output diverges from %s", goldenPath)
+	}
+	fmt.Printf("querysmoke: %d queries matched %s\n", len(specs), goldenPath)
+	return nil
+}
