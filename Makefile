@@ -32,7 +32,7 @@ bench-check:
 # layer's encode->decode->re-encode round trip for every record type on
 # every preset (guards internal/core's DecodeRecords against sink drift).
 golden:
-	go test -count=1 -run 'TestGoldenSweepDigest|ResumeByteIdentity|RoundTripByteIdentity' ./...
+	go test -count=1 -run 'TestGoldenSweepDigest|PresetMatrixGoldenDigest|ResumeByteIdentity|RoundTripByteIdentity' ./...
 
 # query-smoke runs a tiny sweep into a temp store, executes one query per
 # aggregation reducer through the content-addressed query engine, and

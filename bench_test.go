@@ -399,13 +399,74 @@ func BenchmarkHammerThroughput(b *testing.B) {
 	b.ReportMetric(float64(2*256*1024), "ACTs/op")
 }
 
+// benchPresets returns the organizations worth benchmarking separately:
+// the three legacy presets (distinct row sizes and densities) plus one
+// multi-rank entry of the ported HBM3 matrix. Benchmarking all ~20
+// registry organizations would only repeat the same row-size buckets.
+func benchPresets(b *testing.B) []hbmrd.GeometryPreset {
+	b.Helper()
+	ps := make([]hbmrd.GeometryPreset, 0, 4)
+	for _, name := range []string{"HBM2_8Gb", "HBM2E_16Gb", "HBM3_16Gb", "HBM3_16Gb_4R"} {
+		p, err := hbmrd.LookupPreset(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// BenchmarkStrictTimingRowOps pins the strict-timing fast path: the same
+// bulk-column row workload (pattern fill + victim read-back) in auto and
+// strict mode. Strict used to fall back to per-command issue and sat an
+// order of magnitude behind; with the precomputed gate table it rides the
+// same bulk path — one table probe for the ACT, forced-auto cadence for
+// the interior bursts — and should stay within ~2x of auto. Both modes
+// pay the same tRP wait between iterations (auto would jump the clock
+// anyway) so the comparison isolates the gate-check cost.
+func BenchmarkStrictTimingRowOps(b *testing.B) {
+	for _, mode := range []string{"auto", "strict"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := []hbmrd.ChipOption{hbmrd.WithIdentityMapping()}
+			if mode == "strict" {
+				opts = append(opts, hbmrd.WithStrictTiming())
+			}
+			chip, err := hbmrd.NewChip(0, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ch, err := chip.Channel(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			trp := chip.Timing().TRP
+			buf := make([]byte, hbmrd.RowBytes)
+			if err := ch.FillRow(0, 0, 1000, 0); err != nil { // warm row state + scratch
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch.Wait(trp)
+				if err := ch.FillRow(0, 0, 1000, byte(i)); err != nil {
+					b.Fatal(err)
+				}
+				ch.Wait(trp)
+				if err := ch.ReadRow(0, 0, 1000, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRowInitReadHotPath measures the per-trial row traffic every
 // experiment pays (pattern init via FillRow, victim read-back via ReadRow).
 // Both paths stage data in per-channel buffers reused across calls, so the
 // loop must not allocate per row regardless of the chip's row size — the
 // benchmark asserts 0 allocs/op outright instead of just reporting it.
 func BenchmarkRowInitReadHotPath(b *testing.B) {
-	for _, preset := range hbmrd.Presets() {
+	for _, preset := range benchPresets(b) {
 		b.Run(preset.Name, func(b *testing.B) {
 			chip, err := hbmrd.NewChip(0, hbmrd.WithGeometry(preset), hbmrd.WithIdentityMapping())
 			if err != nil {

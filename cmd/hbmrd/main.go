@@ -7,9 +7,11 @@
 //
 //	hbmrd [-full] [-chips 0,1,...] [-geometry PRESET] [-jobs N] [-progress] [-out results.jsonl] <artifact>
 //
-// -geometry selects a chip organization preset (HBM2_8Gb, the paper's
-// part and the default; HBM2E_16Gb; HBM3_16Gb). The "geometries" artifact
-// lists them.
+// -geometry selects a chip organization preset: HBM2_8Gb (the paper's
+// part and the default), the legacy HBM2E_16Gb/HBM3_16Gb organizations,
+// or any preset of the ported Ramulator2 matrix (HBM2 and HBM2E data-rate
+// rows, the twelve JESD238 HBM3 rank variants such as HBM3_16Gb_4R). The
+// "geometries" artifact lists them all with their timing columns.
 //
 // Sweep execution flags: -jobs bounds the worker pool (default
 // GOMAXPROCS), -progress reports live sweep progress on stderr, and -out
@@ -382,13 +384,20 @@ func artifacts() map[string]artifactFn {
 	return map[string]artifactFn{
 		"geometries": func(context.Context, runCtx) (string, error) {
 			var b strings.Builder
-			fmt.Fprintf(&b, "%-12s %3s %3s %5s %6s %8s %8s  %s\n",
-				"preset", "ch", "pc", "banks", "rows", "rowB", "size", "description")
+			fmt.Fprintf(&b, "%-18s %3s %3s %3s %5s %6s %8s %8s %6s %7s %5s  %s\n",
+				"preset", "ch", "pc", "rk", "banks", "rows", "rowB", "size",
+				"Gbps", "tRC/ns", "ACTs", "description")
 			for _, p := range hbmrd.Presets() {
 				g := p.Geometry
-				fmt.Fprintf(&b, "%-12s %3d %3d %5d %6d %8d %7dM  %s\n",
-					p.Name, g.Channels, g.PseudoChannels, g.Banks, g.Rows,
-					g.RowBytes, g.TotalBytes()>>20, p.Description)
+				rate := "-"
+				if p.DataRateMbps > 0 {
+					rate = fmt.Sprintf("%.1f", float64(p.DataRateMbps)/1000)
+				}
+				fmt.Fprintf(&b, "%-18s %3d %3d %3d %5d %6d %8d %7dM %6s %7.1f %5d  %s\n",
+					p.Name, g.Channels, g.PseudoChannels, g.NumRanks(), g.Banks, g.Rows,
+					g.RowBytes, g.TotalBytes()>>20, rate,
+					float64(p.Timing.TRC)/float64(hbmrd.NS),
+					p.Timing.ActBudgetPerREFI(), p.Description)
 			}
 			return b.String(), nil
 		},
@@ -499,9 +508,10 @@ func artifacts() map[string]artifactFn {
 				return "", err
 			}
 			// Sweep every bank and pseudo channel the chip actually has
-			// (16 banks on the paper's HBM2 part; 32 on HBM2E/HBM3 parts).
+			// (16 banks on the paper's HBM2 part; up to 64 across the ranks
+			// of the HBM3 multi-rank parts).
 			g := fleet[0].Chip.Geometry()
-			banks := make([]int, g.Banks)
+			banks := make([]int, g.BanksPerPC())
 			for i := range banks {
 				banks[i] = i
 			}

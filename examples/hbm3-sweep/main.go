@@ -1,8 +1,10 @@
-// Command hbm3-sweep runs the same HCfirst characterization against every
-// geometry preset (the paper's HBM2 part plus the HBM2E- and HBM3-like
-// organizations) and compares how the most vulnerable rows respond across
-// device generations. It is the multi-generation counterpart of the
-// quickstart example: identical methodology, swept chip organization.
+// Command hbm3-sweep runs the same HCfirst characterization across the
+// ported Ramulator2 preset matrix: every device generation (the paper's
+// HBM2 part, the HBM2E rows, the twelve JESD238 HBM3 rank variants) and,
+// for one HBM3 organization, every data rate of the HBM3 timing matrix
+// (4.8-6.4 Gbps). It is the multi-generation counterpart of the
+// quickstart example: identical methodology, swept chip organization and
+// timing table.
 package main
 
 import (
@@ -15,28 +17,56 @@ import (
 func main() {
 	fmt.Println("HCfirst across device generations (chip 0 profile, demo scale)")
 	fmt.Println()
-	fmt.Printf("%-12s %8s %6s %6s %10s %10s %8s\n",
-		"preset", "channels", "banks", "rows/K", "rowBytes", "minHC1st", "found")
+	fmt.Printf("%-18s %4s %3s %6s %6s %6s %10s %8s\n",
+		"preset", "Gbps", "rk", "banks", "rows/K", "tRC/ns", "minHC1st", "found")
 
-	for _, preset := range hbmrd.Presets() {
-		minHC, found, err := sweepPreset(preset)
+	for _, family := range []string{hbmrd.FamilyHBM2, hbmrd.FamilyHBM2E, hbmrd.FamilyHBM3} {
+		for _, preset := range hbmrd.PresetsByFamily(family) {
+			report(preset)
+		}
+	}
+
+	// Data-rate sensitivity: one HBM3 organization across its family's
+	// full timing matrix. Faster interfaces shrink tRC, so an attacker
+	// lands more activations per refresh interval on the same silicon.
+	fmt.Println()
+	fmt.Println("HBM3_16Gb_4R across the HBM3 data-rate matrix")
+	fmt.Println()
+	fmt.Printf("%-18s %4s %3s %6s %6s %6s %10s %8s\n",
+		"preset", "Gbps", "rk", "banks", "rows/K", "tRC/ns", "minHC1st", "found")
+	for _, rate := range hbmrd.FamilyRates(hbmrd.FamilyHBM3) {
+		preset, err := hbmrd.PresetAtRate("HBM3_16Gb_4R", rate)
 		if err != nil {
-			log.Fatalf("%s: %v", preset.Name, err)
+			log.Fatal(err)
 		}
-		g := preset.Geometry
-		min := "-"
-		if found > 0 {
-			min = fmt.Sprintf("%d", minHC)
-		}
-		fmt.Printf("%-12s %8d %6d %6d %10d %10s %8d\n",
-			preset.Name, g.Channels, g.Banks, g.Rows/1024, g.RowBytes, min, found)
+		report(preset)
 	}
 
 	fmt.Println()
 	fmt.Println("Same fault-model profile, same methodology; only the chip")
-	fmt.Println("organization and timing table change. Rows per bank, row size,")
-	fmt.Println("and channel count all shift where the weakest rows sit and how")
-	fmt.Println("fast an attacker reaches them.")
+	fmt.Println("organization and timing table change. Rows per bank, rank count,")
+	fmt.Println("and the interface data rate all shift where the weakest rows sit")
+	fmt.Println("and how fast an attacker reaches them.")
+}
+
+// report sweeps one preset and prints its result row.
+func report(preset hbmrd.GeometryPreset) {
+	minHC, found, err := sweepPreset(preset)
+	if err != nil {
+		log.Fatalf("%s: %v", preset.Name, err)
+	}
+	g := preset.Geometry
+	rate := "-"
+	if preset.DataRateMbps > 0 {
+		rate = fmt.Sprintf("%.1f", float64(preset.DataRateMbps)/1000)
+	}
+	min := "-"
+	if found > 0 {
+		min = fmt.Sprintf("%d", minHC)
+	}
+	fmt.Printf("%-18s %4s %3d %6d %6d %6.1f %10s %8d\n",
+		preset.Name, rate, g.NumRanks(), g.Banks, g.Rows/1024,
+		float64(preset.Timing.TRC)/float64(hbmrd.NS), min, found)
 }
 
 // sweepPreset builds one chip with the preset and measures HCfirst on a

@@ -297,19 +297,39 @@ const (
 	SEC = hbm.SEC
 )
 
-// Geometry preset names.
+// Geometry preset names and device families.
 const (
 	PresetHBM2  = hbm.PresetHBM2
 	PresetHBM2E = hbm.PresetHBM2E
 	PresetHBM3  = hbm.PresetHBM3
+
+	FamilyHBM2  = hbm.FamilyHBM2
+	FamilyHBM2E = hbm.FamilyHBM2E
+	FamilyHBM3  = hbm.FamilyHBM3
 )
 
-// Presets returns the built-in geometry presets (the paper's HBM2 part
-// first, then the HBM2E- and HBM3-like organizations).
+// Presets returns the geometry preset registry: the paper's HBM2 part
+// first, then the legacy HBM2E/HBM3 organizations and the ported
+// Ramulator2 matrix (HBM2/HBM2E data-rate rows, the twelve JESD238 HBM3
+// rank variants).
 func Presets() []GeometryPreset { return hbm.Presets() }
+
+// PresetsByFamily returns the registered presets of one device family
+// ("HBM2", "HBM2E", "HBM3").
+func PresetsByFamily(family string) []GeometryPreset { return hbm.PresetsByFamily(family) }
 
 // LookupPreset finds a geometry preset by name (case-insensitive).
 func LookupPreset(name string) (GeometryPreset, error) { return hbm.LookupPreset(name) }
+
+// PresetAtRate returns a ported preset rebound to another data rate of
+// its family's timing matrix (see FamilyRates).
+func PresetAtRate(name string, rateMbps int) (GeometryPreset, error) {
+	return hbm.PresetAtRate(name, rateMbps)
+}
+
+// FamilyRates returns the data rates (Mbps) a device family's ported
+// timing matrix covers.
+func FamilyRates(family string) []int { return hbm.FamilyRates(family) }
 
 // DefaultGeometry returns the paper's HBM2 organization.
 func DefaultGeometry() Geometry { return hbm.DefaultGeometry() }

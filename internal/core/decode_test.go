@@ -89,7 +89,17 @@ func roundTripSweeps(t *testing.T, preset hbm.Preset) map[Kind]func(opts ...RunO
 // alongside the sweep digests and the resume byte-identity tests.
 func TestSweepRoundTripByteIdentity(t *testing.T) {
 	t.Parallel()
-	presets := hbm.Presets()
+	// The encoding depends on the record schema, not the organization, so
+	// the three legacy presets plus one multi-rank matrix entry cover the
+	// contract without sweeping all ~20 registry organizations.
+	var presets []hbm.Preset
+	for _, name := range []string{hbm.PresetHBM2, hbm.PresetHBM2E, hbm.PresetHBM3, "HBM3_16Gb_4R"} {
+		p, err := hbm.LookupPreset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		presets = append(presets, p)
+	}
 	if testing.Short() {
 		presets = presets[:1]
 	}

@@ -37,7 +37,11 @@ func Kinds() []Kind {
 // deliberately re-pinned, bump this constant in the same commit so stored
 // and checkpointed results from the old behaviour stop matching new runs
 // instead of being silently resumed or served from cache.
-const CodeGeneration = 1
+// Generation 2: Geometry grew the rank dimension of the Ramulator2 preset
+// port, so canonical geometry JSON (and with it every fingerprint)
+// changed shape; record streams of the legacy rank=1 presets are
+// unchanged (their golden digests did not move).
+const CodeGeneration = 2
 
 // chipIdentity is the per-chip component of a fingerprint: the study index
 // plus the row-mapping in effect (identity vs. the vendor swizzle changes

@@ -126,6 +126,11 @@ type Org struct {
 	// Channels is the stack's channel count (die mapping folds channel
 	// pairs onto the four stacked dies).
 	Channels int
+	// Ranks is the number of ranks per pseudo channel (0 means 1). Rank
+	// only widens the flat bank address space the per-bank salts already
+	// cover, so it does not change any derived factor — it is carried for
+	// validation and so multi-rank organizations are explicit here too.
+	Ranks int
 	// RowsPerBank is the number of rows per bank (sizes the floorplan).
 	RowsPerBank int
 	// RowBytes is the size of one row.
@@ -134,13 +139,16 @@ type Org struct {
 
 // DefaultOrg returns the paper's HBM2 organization.
 func DefaultOrg() Org {
-	return Org{Channels: 8, RowsPerBank: RowsPerBank, RowBytes: RowBytes}
+	return Org{Channels: 8, Ranks: 1, RowsPerBank: RowsPerBank, RowBytes: RowBytes}
 }
 
 // Validate reports an unusable organization.
 func (o Org) Validate() error {
 	if o.Channels <= 0 || o.RowsPerBank <= 0 || o.RowBytes <= 0 {
 		return fmt.Errorf("disturb: org fields must be positive: %+v", o)
+	}
+	if o.Ranks < 0 {
+		return fmt.Errorf("disturb: org Ranks must be non-negative (0 means 1): %+v", o)
 	}
 	return nil
 }

@@ -1,8 +1,6 @@
 package hbm
 
 import (
-	"math"
-
 	"hbmrd/internal/trr"
 )
 
@@ -47,12 +45,11 @@ type bank struct {
 	open        bool
 	openLogical int
 	openPhys    int
-	actAt       TimePS
 
-	lastAct TimePS // previous ACT (for tRC)
-	lastPre TimePS // PRE issue time (for tRP)
-	lastRW  TimePS // last RD or WR (for tCCD_L / tRTP)
-	wrote   bool   // a WR happened in the current open interval (for tWR)
+	// ts holds the timing history the gate table indexes (see gates.go):
+	// ACT time of the open interval, previous ACT/PRE, last RD/WR, the
+	// write-recovery mark, and the channel's mirrored REF-cycle end.
+	ts [numStates]TimePS
 
 	rows map[int]*rowState
 	trr  *trr.Engine
@@ -63,16 +60,17 @@ func newBank(ch *Channel, pseudo, index int, trrCfg trr.Config) (*bank, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &bank{
-		ch:      ch,
-		pseudo:  pseudo,
-		index:   index,
-		lastAct: math.MinInt64 / 2,
-		lastPre: math.MinInt64 / 2,
-		lastRW:  math.MinInt64 / 2,
-		rows:    make(map[int]*rowState),
-		trr:     eng,
-	}, nil
+	b := &bank{
+		ch:     ch,
+		pseudo: pseudo,
+		index:  index,
+		rows:   make(map[int]*rowState),
+		trr:    eng,
+	}
+	for s := range b.ts {
+		b.ts[s] = tsFloor
+	}
+	return b, nil
 }
 
 // row returns the state for a physical row, creating it on first touch. A

@@ -23,7 +23,6 @@ type Channel struct {
 	index int
 
 	now        TimePS
-	lastRefEnd TimePS
 	refCounter int // internal refresh row counter, shared by all banks
 
 	banks [][]*bank
@@ -74,24 +73,11 @@ func (ch *Channel) Wait(d TimePS) {
 	ch.mu.Unlock()
 }
 
-// timingGate resolves a command's earliest legal time. In auto mode the
-// clock jumps forward; in strict mode a violation is returned.
-func (ch *Channel) timingGate(cmd, rule string, earliest TimePS) error {
-	if ch.now >= earliest {
-		return nil
-	}
-	if ch.autoTiming {
-		ch.now = earliest
-		return nil
-	}
-	return &TimingError{Cmd: cmd, Rule: rule, At: ch.now, Earliest: earliest}
-}
-
 func (ch *Channel) bank(pc, b int) (*bank, error) {
 	if pc < 0 || pc >= ch.geom.PseudoChannels {
 		return nil, fmt.Errorf("hbm: pseudo channel %d out of range", pc)
 	}
-	if b < 0 || b >= ch.geom.Banks {
+	if b < 0 || b >= ch.geom.BanksPerPC() {
 		return nil, fmt.Errorf("hbm: bank %d out of range", b)
 	}
 	return ch.banks[pc][b], nil
@@ -121,14 +107,7 @@ func (ch *Channel) activateLocked(pc, bankIdx, logicalRow int) error {
 	if b.open {
 		return fmt.Errorf("%w: %s", ErrBankOpen, Addr{ch.index, pc, bankIdx, b.openLogical})
 	}
-	t := ch.chip.timing
-	if err := ch.timingGate("ACT", "tRC", b.lastAct+t.TRC); err != nil {
-		return err
-	}
-	if err := ch.timingGate("ACT", "tRP", b.lastPre+t.TRP); err != nil {
-		return err
-	}
-	if err := ch.timingGate("ACT", "tRFC", ch.lastRefEnd); err != nil {
+	if err := ch.gateLocked(cmdACT, &b.ts, false); err != nil {
 		return err
 	}
 
@@ -139,12 +118,12 @@ func (ch *Channel) activateLocked(pc, bankIdx, logicalRow int) error {
 	b.open = true
 	b.openLogical = logicalRow
 	b.openPhys = phys
-	b.actAt = ch.now
-	b.lastAct = ch.now
-	b.wrote = false
+	b.ts[tsActAt] = ch.now
+	b.ts[tsLastAct] = ch.now
+	b.ts[tsWrRW] = tsFloor // no write recovery pending in the new interval
 	b.trr.OnActivate(phys)
 
-	ch.now += t.TCK
+	ch.now += ch.chip.timing.TCK
 	return nil
 }
 
@@ -154,37 +133,32 @@ func (ch *Channel) activateLocked(pc, bankIdx, logicalRow int) error {
 func (ch *Channel) Precharge(pc, bankIdx int) error {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
-	return ch.prechargeLocked(pc, bankIdx)
+	return ch.prechargeLocked(pc, bankIdx, false)
 }
 
-func (ch *Channel) prechargeLocked(pc, bankIdx int) error {
+// prechargeLocked closes the bank. With forceAuto the PRE is the closing
+// command of a row-level composite and runs at its earliest legal time
+// even in strict mode (see gateLocked).
+func (ch *Channel) prechargeLocked(pc, bankIdx int, forceAuto bool) error {
 	b, err := ch.bank(pc, bankIdx)
 	if err != nil {
 		return err
 	}
 	t := ch.chip.timing
 	if !b.open {
-		b.lastPre = ch.now
+		b.ts[tsLastPre] = ch.now
 		ch.now += t.TCK
 		return nil
 	}
-	if err := ch.timingGate("PRE", "tRAS", b.actAt+t.TRAS); err != nil {
+	if err := ch.gateLocked(cmdPRE, &b.ts, forceAuto); err != nil {
 		return err
-	}
-	if err := ch.timingGate("PRE", "tRTP", b.lastRW+t.TRTP); err != nil {
-		return err
-	}
-	if b.wrote {
-		if err := ch.timingGate("PRE", "tWR", b.lastRW+t.TWR); err != nil {
-			return err
-		}
 	}
 
-	onTime := ch.now - b.actAt
+	onTime := ch.now - b.ts[tsActAt]
 	ch.applyDoseLocked(pc, bankIdx, b, b.openPhys, 1, onTime, nil)
 
 	b.open = false
-	b.lastPre = ch.now
+	b.ts[tsLastPre] = ch.now
 	ch.now += t.TCK
 	return nil
 }
@@ -284,11 +258,7 @@ func (ch *Channel) readLocked(pc, bankIdx, col int, buf []byte) error {
 	if !b.open {
 		return ErrBankClosed
 	}
-	t := ch.chip.timing
-	if err := ch.timingGate("RD", "tRCD", b.actAt+t.TRCD); err != nil {
-		return err
-	}
-	if err := ch.timingGate("RD", "tCCD_L", b.lastRW+t.TCCDL); err != nil {
+	if err := ch.gateLocked(cmdRD, &b.ts, false); err != nil {
 		return err
 	}
 
@@ -305,8 +275,13 @@ func (ch *Channel) readLocked(pc, bankIdx, col int, buf []byte) error {
 			correctColumn(buf[:cb], rs.parity, off, cb)
 		}
 	}
-	b.lastRW = ch.now
-	ch.now += t.TCK
+	b.ts[tsLastRW] = ch.now
+	if b.ts[tsWrRW] != tsFloor {
+		// Write recovery tracks the last RW of any kind once the open
+		// interval has seen a WR.
+		b.ts[tsWrRW] = ch.now
+	}
+	ch.now += ch.chip.timing.TCK
 	return nil
 }
 
@@ -331,11 +306,7 @@ func (ch *Channel) writeLocked(pc, bankIdx, col int, data []byte) error {
 	if !b.open {
 		return ErrBankClosed
 	}
-	t := ch.chip.timing
-	if err := ch.timingGate("WR", "tRCD", b.actAt+t.TRCD); err != nil {
-		return err
-	}
-	if err := ch.timingGate("WR", "tCCD_L", b.lastRW+t.TCCDL); err != nil {
+	if err := ch.gateLocked(cmdWR, &b.ts, false); err != nil {
 		return err
 	}
 
@@ -352,9 +323,9 @@ func (ch *Channel) writeLocked(pc, bankIdx, col int, data []byte) error {
 		}
 		updateParityColumn(rs.data, rs.parity, off, cb)
 	}
-	b.lastRW = ch.now
-	b.wrote = true
-	ch.now += t.TCK
+	b.ts[tsLastRW] = ch.now
+	b.ts[tsWrRW] = ch.now
+	ch.now += ch.chip.timing.TCK
 	return nil
 }
 
@@ -368,21 +339,25 @@ func (ch *Channel) Refresh() error {
 }
 
 func (ch *Channel) refreshLocked() error {
+	banksPerPC := ch.geom.BanksPerPC()
 	for pc := 0; pc < ch.geom.PseudoChannels; pc++ {
-		for bi := 0; bi < ch.geom.Banks; bi++ {
+		for bi := 0; bi < banksPerPC; bi++ {
 			if ch.banks[pc][bi].open {
 				return fmt.Errorf("%w: %s open", ErrBanksNotIdle, Addr{ch.index, pc, bi, ch.banks[pc][bi].openLogical})
 			}
 		}
 	}
-	if err := ch.timingGate("REF", "tRFC", ch.lastRefEnd); err != nil {
+	// All banks carry the same mirrored REF-cycle end, so any one of them
+	// can answer for the channel-level tRFC gate.
+	if err := ch.gateLocked(cmdREF, &ch.banks[0][0].ts, false); err != nil {
 		return err
 	}
 
 	t := ch.chip.timing
+	refEnd := ch.now + t.TRFC
 	rowsPerRef := t.RowsPerREF(ch.geom.Rows)
 	for pc := 0; pc < ch.geom.PseudoChannels; pc++ {
-		for bi := 0; bi < ch.geom.Banks; bi++ {
+		for bi := 0; bi < banksPerPC; bi++ {
 			b := ch.banks[pc][bi]
 			for k := 0; k < rowsPerRef; k++ {
 				phys := (ch.refCounter + k) % ch.geom.Rows
@@ -398,11 +373,11 @@ func (ch *Channel) refreshLocked() error {
 					ch.restoreLocked(pc, bi, b, victim, rs)
 				}
 			}
+			b.ts[tsRefEnd] = refEnd
 		}
 	}
 	ch.refCounter = (ch.refCounter + rowsPerRef) % ch.geom.Rows
 
-	ch.lastRefEnd = ch.now + t.TRFC
-	ch.now = ch.lastRefEnd
+	ch.now = refEnd
 	return nil
 }

@@ -2,7 +2,6 @@ package hbm
 
 import (
 	"fmt"
-	"math"
 
 	"hbmrd/internal/disturb"
 	"hbmrd/internal/rowmap"
@@ -18,6 +17,7 @@ type Chip struct {
 	model    *disturb.Model
 	mapper   rowmap.Mapper
 	timing   Timing
+	gates    gateTable // timing rules compiled once from timing (gates.go)
 	modeRegs ModeRegisters
 	channels []*Channel
 }
@@ -111,6 +111,7 @@ func New(prof disturb.Profile, opts ...Option) (*Chip, error) {
 	}
 	model, err := disturb.NewModelFor(prof, disturb.Org{
 		Channels:    cfg.geom.Channels,
+		Ranks:       cfg.geom.NumRanks(),
 		RowsPerBank: cfg.geom.Rows,
 		RowBytes:    cfg.geom.RowBytes,
 	})
@@ -139,8 +140,10 @@ func New(prof disturb.Profile, opts ...Option) (*Chip, error) {
 		model:    model,
 		mapper:   cfg.mapper,
 		timing:   cfg.timing,
+		gates:    buildGateTable(cfg.timing),
 		channels: make([]*Channel, cfg.geom.Channels),
 	}
+	banksPerPC := cfg.geom.BanksPerPC()
 	for i := 0; i < cfg.geom.Channels; i++ {
 		ch := &Channel{
 			chip:       c,
@@ -148,12 +151,11 @@ func New(prof disturb.Profile, opts ...Option) (*Chip, error) {
 			fp:         model.Floorplan(),
 			index:      i,
 			autoTiming: cfg.autoTiming,
-			lastRefEnd: math.MinInt64 / 2,
 			banks:      make([][]*bank, cfg.geom.PseudoChannels),
 		}
 		for pc := 0; pc < cfg.geom.PseudoChannels; pc++ {
-			ch.banks[pc] = make([]*bank, cfg.geom.Banks)
-			for bi := 0; bi < cfg.geom.Banks; bi++ {
+			ch.banks[pc] = make([]*bank, banksPerPC)
+			for bi := 0; bi < banksPerPC; bi++ {
 				b, err := newBank(ch, pc, bi, cfg.trrCfg)
 				if err != nil {
 					return nil, err

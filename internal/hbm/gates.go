@@ -1,0 +1,123 @@
+package hbm
+
+import "math"
+
+// This file is the precomputed timing-gate layer. The JEDEC rules the
+// channel used to re-derive per call through string-keyed timingGate
+// checks (tRC, tRP, tRAS, ...) are compiled once per chip, at
+// construction, into a [command][bankState] delta table: each bank keeps
+// the handful of timestamps the rules reference in a flat array, and a
+// gate check is one row scan — index, add, compare — with no branching on
+// rule identity. Auto and strict timing share the same scan; they differ
+// only in whether an early command jumps the clock forward or reports the
+// binding rule as a *TimingError.
+
+// command enumerates the JEDEC commands the gate table covers.
+type command uint8
+
+const (
+	cmdACT command = iota
+	cmdPRE
+	cmdRD
+	cmdWR
+	cmdREF
+	numCommands
+)
+
+// cmdNames are the display names *TimingError carries.
+var cmdNames = [numCommands]string{"ACT", "PRE", "RD", "WR", "REF"}
+
+// Bank-state slots: the timestamps a bank records as commands execute.
+// Gate deltas are added to these, so together one bank row and one table
+// row decide a command's earliest legal issue time.
+const (
+	// tsActAt is the ACT time of the current open interval (tRAS, tRCD).
+	tsActAt = iota
+	// tsLastAct is the previous ACT (tRC).
+	tsLastAct
+	// tsLastPre is the previous PRE issue time (tRP).
+	tsLastPre
+	// tsLastRW is the last RD or WR (tCCD_L, tRTP).
+	tsLastRW
+	// tsWrRW tracks write recovery: the last RD/WR time while the open
+	// interval has seen a WR, tsFloor otherwise. This reproduces the
+	// historical contract exactly — tWR was gated on the last RW of any
+	// kind, but only once a write had happened since the ACT.
+	tsWrRW
+	// tsRefEnd is when the last REF cycle completes (tRFC); the channel
+	// mirrors it into every bank so ACT and REF gate on it by table.
+	tsRefEnd
+	numStates
+)
+
+// tsFloor is the initial value of every bank timestamp: far enough in the
+// past that no rule gates, far enough from MinInt64 that adding a gate
+// delta cannot overflow.
+const tsFloor TimePS = math.MinInt64 / 2
+
+// gateUnused marks table entries whose (command, state) pair carries no
+// rule. It is negative enough that floor/now-scale timestamps plus it
+// never win the max, and its sum with tsFloor does not overflow.
+const gateUnused TimePS = math.MinInt64 / 4
+
+// gateTable holds, for each command, the delay each bank-state timestamp
+// imposes on it. earliest(cmd) = max over states s of ts[s] + table[cmd][s].
+type gateTable [numCommands][numStates]TimePS
+
+// gateRules names the JEDEC rule behind each (command, state) entry, for
+// strict-mode errors.
+var gateRules = [numCommands][numStates]string{
+	cmdACT: {tsLastAct: "tRC", tsLastPre: "tRP", tsRefEnd: "tRFC"},
+	cmdPRE: {tsActAt: "tRAS", tsLastRW: "tRTP", tsWrRW: "tWR"},
+	cmdRD:  {tsActAt: "tRCD", tsLastRW: "tCCD_L"},
+	cmdWR:  {tsActAt: "tRCD", tsLastRW: "tCCD_L"},
+	cmdREF: {tsRefEnd: "tRFC"},
+}
+
+// buildGateTable compiles a validated Timing into the per-chip gate table.
+func buildGateTable(t Timing) gateTable {
+	var g gateTable
+	for c := command(0); c < numCommands; c++ {
+		for s := 0; s < numStates; s++ {
+			g[c][s] = gateUnused
+		}
+	}
+	g[cmdACT][tsLastAct] = t.TRC
+	g[cmdACT][tsLastPre] = t.TRP
+	g[cmdACT][tsRefEnd] = 0
+	g[cmdPRE][tsActAt] = t.TRAS
+	g[cmdPRE][tsLastRW] = t.TRTP
+	g[cmdPRE][tsWrRW] = t.TWR
+	g[cmdRD][tsActAt] = t.TRCD
+	g[cmdRD][tsLastRW] = t.TCCDL
+	g[cmdWR][tsActAt] = t.TRCD
+	g[cmdWR][tsLastRW] = t.TCCDL
+	g[cmdREF][tsRefEnd] = 0
+	return g
+}
+
+// gateLocked resolves cmd's earliest legal issue time against one bank's
+// timestamps and advances the channel clock to it or, in strict mode,
+// reports the binding rule. forceAuto selects auto behaviour regardless of
+// the channel mode: the interior commands of row-level composites
+// (WriteRow, ReadRow, FillRow) run at the earliest-legal cadence like the
+// hardware loop instructions they model, while their first command still
+// answers to strict mode.
+func (ch *Channel) gateLocked(cmd command, ts *[numStates]TimePS, forceAuto bool) error {
+	row := &ch.chip.gates[cmd]
+	earliest := ts[0] + row[0]
+	binding := 0
+	for s := 1; s < numStates; s++ {
+		if e := ts[s] + row[s]; e > earliest {
+			earliest, binding = e, s
+		}
+	}
+	if ch.now >= earliest {
+		return nil
+	}
+	if forceAuto || ch.autoTiming {
+		ch.now = earliest
+		return nil
+	}
+	return &TimingError{Cmd: cmdNames[cmd], Rule: gateRules[cmd][binding], At: ch.now, Earliest: earliest}
+}

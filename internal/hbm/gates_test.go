@@ -1,0 +1,266 @@
+package hbm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// refTiming is the retained per-call reference for the gate table: a
+// re-implementation of the string-keyed sequential checks the channel
+// used before gates.go (gate tRC, then tRP, then tRFC, each jumping the
+// clock in auto mode), kept as an independent oracle. The property test
+// below drives random command sequences through a real chip and this
+// reference in lockstep, for every preset's timing table, and requires
+// clock-identical auto behaviour and violation-identical strict
+// behaviour — the scalar-reference pattern the FlipMask kernel uses.
+type refTiming struct {
+	t    Timing
+	auto bool
+
+	now        TimePS
+	lastRefEnd TimePS
+	banks      map[[2]int]*refBank
+}
+
+type refBank struct {
+	open                            bool
+	actAt, lastAct, lastPre, lastRW TimePS
+	wrote                           bool
+}
+
+func newRefTiming(t Timing, auto bool) *refTiming {
+	return &refTiming{t: t, auto: auto, lastRefEnd: tsFloor, banks: map[[2]int]*refBank{}}
+}
+
+func (r *refTiming) bank(pc, b int) *refBank {
+	k := [2]int{pc, b}
+	if r.banks[k] == nil {
+		r.banks[k] = &refBank{actAt: tsFloor, lastAct: tsFloor, lastPre: tsFloor, lastRW: tsFloor}
+	}
+	return r.banks[k]
+}
+
+// gate applies one rule: in auto mode the clock jumps, in strict mode a
+// violation is recorded. Returns whether the command may proceed.
+func (r *refTiming) gate(earliest TimePS, violated *bool, worst *TimePS) bool {
+	if earliest > *worst {
+		*worst = earliest
+	}
+	if r.now >= earliest {
+		return true
+	}
+	if r.auto {
+		r.now = earliest
+		return true
+	}
+	*violated = true
+	return false
+}
+
+// Each command returns (violated, earliest-legal-time-if-violated).
+
+func (r *refTiming) act(pc, bi int) (bool, TimePS) {
+	b := r.bank(pc, bi)
+	violated, worst := false, tsFloor
+	ok := r.gate(b.lastAct+r.t.TRC, &violated, &worst) &&
+		r.gate(b.lastPre+r.t.TRP, &violated, &worst) &&
+		r.gate(r.lastRefEnd, &violated, &worst)
+	// In strict mode every rule contributes to the binding earliest even
+	// after the first violation.
+	if !ok {
+		r.gate(b.lastPre+r.t.TRP, &violated, &worst)
+		r.gate(r.lastRefEnd, &violated, &worst)
+		return true, worst
+	}
+	b.open = true
+	b.actAt, b.lastAct, b.wrote = r.now, r.now, false
+	r.now += r.t.TCK
+	return false, 0
+}
+
+func (r *refTiming) pre(pc, bi int) (bool, TimePS) {
+	b := r.bank(pc, bi)
+	if !b.open {
+		b.lastPre = r.now
+		r.now += r.t.TCK
+		return false, 0
+	}
+	violated, worst := false, tsFloor
+	ok := r.gate(b.actAt+r.t.TRAS, &violated, &worst) &&
+		r.gate(b.lastRW+r.t.TRTP, &violated, &worst) &&
+		(!b.wrote || r.gate(b.lastRW+r.t.TWR, &violated, &worst))
+	if !ok {
+		r.gate(b.lastRW+r.t.TRTP, &violated, &worst)
+		if b.wrote {
+			r.gate(b.lastRW+r.t.TWR, &violated, &worst)
+		}
+		return true, worst
+	}
+	b.open = false
+	b.lastPre = r.now
+	r.now += r.t.TCK
+	return false, 0
+}
+
+func (r *refTiming) rw(pc, bi int, write bool) (bool, TimePS) {
+	b := r.bank(pc, bi)
+	violated, worst := false, tsFloor
+	ok := r.gate(b.actAt+r.t.TRCD, &violated, &worst) &&
+		r.gate(b.lastRW+r.t.TCCDL, &violated, &worst)
+	if !ok {
+		r.gate(b.lastRW+r.t.TCCDL, &violated, &worst)
+		return true, worst
+	}
+	b.lastRW = r.now
+	if write {
+		b.wrote = true
+	}
+	r.now += r.t.TCK
+	return false, 0
+}
+
+func (r *refTiming) ref() (bool, TimePS) {
+	violated, worst := false, tsFloor
+	if !r.gate(r.lastRefEnd, &violated, &worst) {
+		return true, worst
+	}
+	r.lastRefEnd = r.now + r.t.TRFC
+	r.now = r.lastRefEnd
+	return false, 0
+}
+
+func (r *refTiming) wait(d TimePS) { r.now += d }
+
+// TestGateTableMatchesReference drives random explicit-command sequences
+// through a real channel and the per-call reference in lockstep, across
+// every preset's timing table. Auto mode must stay clock-identical after
+// every command; strict mode must agree on whether each command violates
+// timing and on the binding earliest-legal time.
+func TestGateTableMatchesReference(t *testing.T) {
+	t.Parallel()
+	for pi, p := range Presets() {
+		p, pi := p, pi
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, strict := range []bool{false, true} {
+				opts := []Option{WithGeometry(p), WithIdentityMapping()}
+				if strict {
+					opts = append(opts, WithStrictTiming())
+				}
+				chip, err := NewBuiltin(0, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ch, err := chip.Channel(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := newRefTiming(chip.Timing(), !strict)
+				rng := rand.New(rand.NewSource(int64(0xC0FFEE + 977*pi)))
+
+				type slot struct{ pc, bank int }
+				slots := []slot{{0, 0}, {0, 1}, {1, 0}, {1, p.Geometry.BanksPerPC() - 1}}
+				colBuf := make([]byte, p.Geometry.ColBytes)
+				openCount := 0
+
+				for step := 0; step < 1500; step++ {
+					s := slots[rng.Intn(len(slots))]
+					rb := ref.bank(s.pc, s.bank)
+					var gotErr error
+					var wantViolate bool
+					var wantEarliest TimePS
+					switch op := rng.Intn(10); {
+					case op < 3: // ACT (only on a closed bank: state errors are not timing)
+						if rb.open {
+							continue
+						}
+						gotErr = ch.Activate(s.pc, s.bank, 100+rng.Intn(64))
+						wantViolate, wantEarliest = ref.act(s.pc, s.bank)
+						if gotErr == nil && !wantViolate && rb.open {
+							openCount++
+						}
+					case op < 5: // PRE (legal no-op on a closed bank)
+						wasOpen := rb.open
+						gotErr = ch.Precharge(s.pc, s.bank)
+						wantViolate, wantEarliest = ref.pre(s.pc, s.bank)
+						if gotErr == nil && !wantViolate && wasOpen {
+							openCount--
+						}
+					case op < 7: // RD / WR on an open bank
+						if !rb.open {
+							continue
+						}
+						write := rng.Intn(2) == 0
+						if write {
+							gotErr = ch.Write(s.pc, s.bank, rng.Intn(p.Geometry.Cols()), colBuf)
+						} else {
+							gotErr = ch.Read(s.pc, s.bank, rng.Intn(p.Geometry.Cols()), colBuf)
+						}
+						wantViolate, wantEarliest = ref.rw(s.pc, s.bank, write)
+					case op < 8: // REF (requires all banks idle)
+						if openCount != 0 {
+							continue
+						}
+						gotErr = ch.Refresh()
+						wantViolate, wantEarliest = ref.ref()
+					default: // advance the clock by a random fraction of tRC
+						d := TimePS(rng.Int63n(int64(chip.Timing().TRC * 2)))
+						ch.Wait(d)
+						ref.wait(d)
+					}
+
+					var te *TimingError
+					switch {
+					case wantViolate && !errors.As(gotErr, &te):
+						t.Fatalf("strict=%v step %d: reference violates (earliest %d) but channel returned %v",
+							strict, step, wantEarliest, gotErr)
+					case !wantViolate && gotErr != nil:
+						t.Fatalf("strict=%v step %d: reference passes but channel returned %v", strict, step, gotErr)
+					case wantViolate && te.Earliest != wantEarliest:
+						t.Fatalf("strict=%v step %d: binding earliest %d, reference %d (%s %s)",
+							strict, step, te.Earliest, wantEarliest, te.Cmd, te.Rule)
+					}
+					if got := ch.Now(); got != ref.now {
+						t.Fatalf("strict=%v step %d: channel clock %d, reference %d", strict, step, got, ref.now)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGateTableEntries pins the compiled table's shape: every rule entry
+// carries its timing parameter and everything else is unused.
+func TestGateTableEntries(t *testing.T) {
+	t.Parallel()
+	tm := DefaultTiming()
+	g := buildGateTable(tm)
+	want := map[[2]int]TimePS{
+		{int(cmdACT), tsLastAct}: tm.TRC,
+		{int(cmdACT), tsLastPre}: tm.TRP,
+		{int(cmdACT), tsRefEnd}:  0,
+		{int(cmdPRE), tsActAt}:   tm.TRAS,
+		{int(cmdPRE), tsLastRW}:  tm.TRTP,
+		{int(cmdPRE), tsWrRW}:    tm.TWR,
+		{int(cmdRD), tsActAt}:    tm.TRCD,
+		{int(cmdRD), tsLastRW}:   tm.TCCDL,
+		{int(cmdWR), tsActAt}:    tm.TRCD,
+		{int(cmdWR), tsLastRW}:   tm.TCCDL,
+		{int(cmdREF), tsRefEnd}:  0,
+	}
+	for c := 0; c < int(numCommands); c++ {
+		for s := 0; s < numStates; s++ {
+			if delta, ok := want[[2]int{c, s}]; ok {
+				if g[c][s] != delta {
+					t.Errorf("gate[%s][%d] = %d, want %d", cmdNames[c], s, g[c][s], delta)
+				}
+				if gateRules[c][s] == "" {
+					t.Errorf("gate[%s][%d] has no rule name", cmdNames[c], s)
+				}
+			} else if g[c][s] != gateUnused {
+				t.Errorf("gate[%s][%d] = %d, want unused", cmdNames[c], s, g[c][s])
+			}
+		}
+	}
+}

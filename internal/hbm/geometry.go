@@ -1,13 +1,31 @@
 // Package hbm implements a command-level device model of the HBM DRAM
 // chips the paper characterizes. The default organization is the paper's
 // HBM2 part: 8 channels x 2 pseudo channels x 16 banks x 16384 rows of
-// 1 KiB (§3); other organizations (HBM2E- and HBM3-like) are available
-// through the preset registry (see preset.go). The chip is driven
-// exclusively through the JEDEC command interface (ACT/PRE/RD/WR/REF) with
-// picosecond timestamps, exactly as the paper's FPGA-based DRAM Bender
-// platform drives real silicon. Read-disturbance behaviour comes from the
-// calibrated fault model in internal/disturb; the undocumented TRR engine
-// from internal/trr runs inside every bank.
+// 1 KiB (§3); other organizations come from the preset registry (see
+// preset.go), which ports Ramulator2's HBM2/HBM2E/HBM3 device tables —
+// including the twelve JESD238 HBM3 rank-variant stacks (2Gb–32Gb across
+// 1R/2R/3R/4R) and the per-data-rate timing rows that parameterize them.
+// Multi-rank organizations flatten rank into the bank address (Addr.Bank
+// spans Ranks*Banks; see Geometry.RankOfBank).
+//
+// The chip is driven exclusively through the JEDEC command interface
+// (ACT/PRE/RD/WR/REF) with picosecond timestamps, exactly as the paper's
+// FPGA-based DRAM Bender platform drives real silicon. Command timing is
+// enforced by a per-chip gate table precomputed from the Timing at
+// construction (see gates.go): a gate check reads a handful of bank
+// timestamps through a [command][bankState] delta array instead of
+// re-deriving JEDEC rules per call. In auto-timing mode (the default)
+// early commands are delayed to their earliest legal time; in strict mode
+// they fail with *TimingError. Row-level composite operations (WriteRow,
+// ReadRow, FillRow, the hammer helpers) gate their first command under
+// the channel's timing mode and then run their interior commands at the
+// earliest-legal cadence in both modes, like the hardware loop
+// instructions of the real platform — so strict mode shares the bulk
+// column fast path instead of falling back to per-command issue.
+//
+// Read-disturbance behaviour comes from the calibrated fault model in
+// internal/disturb; the undocumented TRR engine from internal/trr runs
+// inside every bank.
 package hbm
 
 import "fmt"
@@ -35,9 +53,9 @@ const (
 )
 
 // Geometry describes one chip organization: how many channels, pseudo
-// channels, banks and rows a stack has, and how large a row is. Every Chip
-// carries a Geometry; the zero value is invalid — use DefaultGeometry or a
-// preset from Presets.
+// channels, ranks, banks and rows a stack has, and how large a row is.
+// Every Chip carries a Geometry; the zero value is invalid — use
+// DefaultGeometry or a preset from Presets.
 type Geometry struct {
 	// Name labels the organization (e.g. "HBM2_8Gb").
 	Name string
@@ -45,7 +63,14 @@ type Geometry struct {
 	Channels int
 	// PseudoChannels is the number of pseudo channels per channel.
 	PseudoChannels int
-	// Banks is the number of banks per pseudo channel.
+	// Ranks is the number of ranks per pseudo channel (JESD238 maps
+	// 4/8/12/16-high stacks to 1/2/3/4 ranks). Each rank contributes Banks
+	// banks to the pseudo channel's flat bank address space: bank index
+	// rank*Banks+b addresses bank b of that rank (see RankOfBank). A zero
+	// value means single-rank, so pre-rank Geometry literals keep their
+	// meaning.
+	Ranks int
+	// Banks is the number of banks per rank (per pseudo channel).
 	Banks int
 	// Rows is the number of rows per bank.
 	Rows int
@@ -62,6 +87,7 @@ func DefaultGeometry() Geometry {
 		Name:           "HBM2_8Gb",
 		Channels:       NumChannels,
 		PseudoChannels: NumPseudoChannels,
+		Ranks:          1,
 		Banks:          NumBanks,
 		Rows:           NumRows,
 		RowBytes:       RowBytes,
@@ -75,8 +101,31 @@ func (g Geometry) RowBits() int { return g.RowBytes * 8 }
 // Cols returns the number of columns per row.
 func (g Geometry) Cols() int { return g.RowBytes / g.ColBytes }
 
+// NumRanks returns the rank count, treating the zero value as single-rank.
+func (g Geometry) NumRanks() int {
+	if g.Ranks <= 0 {
+		return 1
+	}
+	return g.Ranks
+}
+
+// BanksPerPC returns the flat bank count of one pseudo channel: every rank
+// contributes Banks banks, addressed as rank*Banks+b. This is the bound on
+// Addr.Bank and the size of a channel's per-pseudo-channel bank array.
+func (g Geometry) BanksPerPC() int { return g.NumRanks() * g.Banks }
+
+// RankOfBank returns the rank a flat bank index addresses.
+func (g Geometry) RankOfBank(bank int) int { return bank / g.Banks }
+
+// BankInRank returns a flat bank index's bank number within its rank.
+func (g Geometry) BankInRank(bank int) int { return bank % g.Banks }
+
+// BankIndex flattens (rank, bank-in-rank) into the pseudo channel's bank
+// address space.
+func (g Geometry) BankIndex(rank, bank int) int { return rank*g.Banks + bank }
+
 // BanksPerStack returns the total bank count across the whole stack.
-func (g Geometry) BanksPerStack() int { return g.Channels * g.PseudoChannels * g.Banks }
+func (g Geometry) BanksPerStack() int { return g.Channels * g.PseudoChannels * g.BanksPerPC() }
 
 // TotalBytes returns the stack's total capacity in bytes.
 func (g Geometry) TotalBytes() int64 {
@@ -98,6 +147,9 @@ func (g Geometry) Validate() error {
 			return fmt.Errorf("hbm: geometry %s must be positive, got %d", c.name, c.v)
 		}
 	}
+	if g.Ranks < 0 {
+		return fmt.Errorf("hbm: geometry Ranks must be non-negative (0 means 1), got %d", g.Ranks)
+	}
 	if g.RowBytes%g.ColBytes != 0 {
 		return fmt.Errorf("hbm: RowBytes (%d) not a multiple of ColBytes (%d)", g.RowBytes, g.ColBytes)
 	}
@@ -117,8 +169,8 @@ func (g Geometry) Contains(a Addr) error {
 		return fmt.Errorf("hbm: channel %d out of [0,%d)", a.Channel, g.Channels)
 	case a.Pseudo < 0 || a.Pseudo >= g.PseudoChannels:
 		return fmt.Errorf("hbm: pseudo channel %d out of [0,%d)", a.Pseudo, g.PseudoChannels)
-	case a.Bank < 0 || a.Bank >= g.Banks:
-		return fmt.Errorf("hbm: bank %d out of [0,%d)", a.Bank, g.Banks)
+	case a.Bank < 0 || a.Bank >= g.BanksPerPC():
+		return fmt.Errorf("hbm: bank %d out of [0,%d)", a.Bank, g.BanksPerPC())
 	case a.Row < 0 || a.Row >= g.Rows:
 		return fmt.Errorf("hbm: row %d out of [0,%d)", a.Row, g.Rows)
 	}
@@ -127,7 +179,9 @@ func (g Geometry) Contains(a Addr) error {
 
 // Addr identifies a row through the command interface. Row is a logical
 // (memory-controller-visible) row number; the chip applies its internal
-// logical-to-physical mapping.
+// logical-to-physical mapping. Bank is the flat per-pseudo-channel bank
+// index: on multi-rank organizations it spans [0, Ranks*Banks) with rank
+// r's banks at r*Banks .. (r+1)*Banks-1 (see Geometry.RankOfBank).
 type Addr struct {
 	Channel int
 	Pseudo  int

@@ -83,6 +83,128 @@ func TestPresetRegistry(t *testing.T) {
 	}
 }
 
+// TestPresetMatrix pins the shape of the ported Ramulator2 registry: the
+// HBM3 matrix carries at least the twelve JESD238 rank variants, every
+// family rate row is reachable, and PresetAtRate rebinds timing without
+// touching the organization.
+func TestPresetMatrix(t *testing.T) {
+	t.Parallel()
+	rankVariants := 0
+	byRanks := map[int]int{}
+	for _, p := range PresetsByFamily(FamilyHBM3) {
+		if r := p.Geometry.NumRanks(); r > 0 && p.DataRateMbps > 0 {
+			rankVariants++
+			byRanks[r]++
+		}
+	}
+	if rankVariants < 12 {
+		t.Errorf("HBM3 matrix has %d rank-variant presets, want >= 12", rankVariants)
+	}
+	for r := 1; r <= 4; r++ {
+		if byRanks[r] < 3 {
+			t.Errorf("HBM3 matrix has %d presets with %d ranks, want >= 3 (2Gb-32Gb per JESD238)", byRanks[r], r)
+		}
+	}
+
+	// Every rate of every family builds a valid timing for its presets.
+	for _, family := range []string{FamilyHBM2, FamilyHBM2E, FamilyHBM3} {
+		rates := FamilyRates(family)
+		if len(rates) == 0 {
+			t.Fatalf("family %s has no rate rows", family)
+		}
+		for _, p := range PresetsByFamily(family) {
+			if p.DataRateMbps == 0 {
+				continue // legacy hand-rolled presets carry no matrix row
+			}
+			for _, rate := range rates {
+				got, err := PresetAtRate(p.Name, rate)
+				if err != nil {
+					t.Fatalf("PresetAtRate(%s, %d): %v", p.Name, rate, err)
+				}
+				if got.Geometry != p.Geometry {
+					t.Errorf("PresetAtRate(%s, %d) changed the organization", p.Name, rate)
+				}
+				if got.DataRateMbps != rate {
+					t.Errorf("PresetAtRate(%s, %d) reports %d Mbps", p.Name, rate, got.DataRateMbps)
+				}
+				if err := got.Timing.Validate(); err != nil {
+					t.Errorf("PresetAtRate(%s, %d): invalid timing: %v", p.Name, rate, err)
+				}
+			}
+		}
+	}
+
+	// Faster rows must not slow the device down: within a family, tRC at
+	// the highest rate stays within a few cycles of the lowest rate's (the
+	// analog core barely changes; only the command clock quantizes it).
+	for _, name := range []string{"HBM3_16Gb_4R", "HBM2E_16Gb_3.2Gbps"} {
+		p, err := LookupPreset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates := FamilyRates(p.Family)
+		lo, err := PresetAtRate(name, rates[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := PresetAtRate(name, rates[len(rates)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := float64(hi.Timing.TRC) / float64(lo.Timing.TRC); ratio > 1.5 || ratio < 0.6 {
+			t.Errorf("%s: tRC swings %.2fx between %d and %d Mbps", name, ratio, rates[0], rates[len(rates)-1])
+		}
+	}
+
+	// The legacy presets are deliberately outside the rate matrix.
+	if _, err := PresetAtRate(PresetHBM2, 2000); err == nil {
+		t.Errorf("PresetAtRate(%s) accepted a hand-rolled preset", PresetHBM2)
+	}
+	if _, err := PresetAtRate("HBM3_16Gb_4R", 9999); err == nil {
+		t.Error("PresetAtRate accepted a rate with no timing row")
+	}
+}
+
+// TestGeometryRankHelpers covers the flat bank addressing of multi-rank
+// organizations.
+func TestGeometryRankHelpers(t *testing.T) {
+	t.Parallel()
+	g := Geometry{Name: "x", Channels: 2, PseudoChannels: 2, Ranks: 3, Banks: 16,
+		Rows: 8192, RowBytes: 1024, ColBytes: 32}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.BanksPerPC() != 48 {
+		t.Errorf("BanksPerPC = %d, want 48", g.BanksPerPC())
+	}
+	if g.BanksPerStack() != 2*2*48 {
+		t.Errorf("BanksPerStack = %d", g.BanksPerStack())
+	}
+	for _, tc := range []struct{ flat, rank, inRank int }{
+		{0, 0, 0}, {15, 0, 15}, {16, 1, 0}, {33, 2, 1}, {47, 2, 15},
+	} {
+		if r := g.RankOfBank(tc.flat); r != tc.rank {
+			t.Errorf("RankOfBank(%d) = %d, want %d", tc.flat, r, tc.rank)
+		}
+		if b := g.BankInRank(tc.flat); b != tc.inRank {
+			t.Errorf("BankInRank(%d) = %d, want %d", tc.flat, b, tc.inRank)
+		}
+		if f := g.BankIndex(tc.rank, tc.inRank); f != tc.flat {
+			t.Errorf("BankIndex(%d,%d) = %d, want %d", tc.rank, tc.inRank, f, tc.flat)
+		}
+	}
+	// The zero value means single-rank, so pre-rank literals keep meaning.
+	var zero Geometry
+	if zero.NumRanks() != 1 {
+		t.Errorf("zero-value NumRanks = %d, want 1", zero.NumRanks())
+	}
+	bad := g
+	bad.Ranks = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative Ranks validated")
+	}
+}
+
 func TestGeometryValidateErrors(t *testing.T) {
 	t.Parallel()
 	base := DefaultGeometry()
@@ -123,8 +245,8 @@ func TestGeometryContains(t *testing.T) {
 		g := p.Geometry
 		good := []Addr{
 			{0, 0, 0, 0},
-			{g.Channels - 1, g.PseudoChannels - 1, g.Banks - 1, g.Rows - 1},
-			{g.Channels / 2, 0, g.Banks / 2, g.Rows / 2},
+			{g.Channels - 1, g.PseudoChannels - 1, g.BanksPerPC() - 1, g.Rows - 1},
+			{g.Channels / 2, 0, g.BanksPerPC() / 2, g.Rows / 2},
 		}
 		for _, a := range good {
 			if err := g.Contains(a); err != nil {
@@ -135,7 +257,7 @@ func TestGeometryContains(t *testing.T) {
 			{-1, 0, 0, 0},
 			{g.Channels, 0, 0, 0},
 			{0, g.PseudoChannels, 0, 0},
-			{0, 0, g.Banks, 0},
+			{0, 0, g.BanksPerPC(), 0},
 			{0, 0, 0, g.Rows},
 			{0, 0, 0, -1},
 		}

@@ -96,17 +96,36 @@ func TestTimingDefaults(t *testing.T) {
 }
 
 func TestTimingValidateErrors(t *testing.T) {
-	mutations := []func(*Timing){
-		func(tm *Timing) { tm.TCK = 0 },
-		func(tm *Timing) { tm.TRC = tm.TRAS }, // below TRAS+TRP
-		func(tm *Timing) { tm.TREFI = tm.TRFC },
-		func(tm *Timing) { tm.TREFW = tm.TREFI },
+	cases := []struct {
+		name   string
+		mutate func(*Timing)
+	}{
+		{"zero TCK", func(tm *Timing) { tm.TCK = 0 }},
+		{"TRC below TRAS+TRP", func(tm *Timing) { tm.TRC = tm.TRAS }},
+		{"TREFI not above TRFC", func(tm *Timing) { tm.TREFI = tm.TRFC }},
+		{"TREFW not above TREFI", func(tm *Timing) { tm.TREFW = tm.TREFI }},
+		{"zero MaxOpen", func(tm *Timing) { tm.MaxOpen = 0 }},
+		{"negative MaxOpen", func(tm *Timing) { tm.MaxOpen = -1 }},
+		{"TRTP at TRAS", func(tm *Timing) { tm.TRTP = tm.TRAS }},
+		{"TRTP above TRAS", func(tm *Timing) { tm.TRTP = tm.TRAS + 1 }},
+		{"TWR at TRAS", func(tm *Timing) { tm.TWR = tm.TRAS }},
+		{"TWR above TRAS", func(tm *Timing) { tm.TWR = tm.TRAS + 1 }},
+		{"MaxOpen below TRAS", func(tm *Timing) { tm.MaxOpen = tm.TRAS - 1 }},
 	}
-	for i, mut := range mutations {
-		tm := DefaultTiming()
-		mut(&tm)
-		if err := tm.Validate(); err == nil {
-			t.Errorf("mutation %d passed validation", i)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tm := DefaultTiming()
+			tc.mutate(&tm)
+			if err := tm.Validate(); err == nil {
+				t.Errorf("%s passed validation", tc.name)
+			}
+		})
+	}
+	// Every registered preset's timing table must itself validate.
+	for _, p := range Presets() {
+		if err := p.Timing.Validate(); err != nil {
+			t.Errorf("preset %s timing invalid: %v", p.Name, err)
 		}
 	}
 }

@@ -32,27 +32,20 @@ func (ch *Channel) writeRowLocked(pc, bankIdx, row int, data []byte) error {
 	if err := ch.writeColumnsLocked(pc, bankIdx, data); err != nil {
 		return err
 	}
-	return ch.prechargeLocked(pc, bankIdx)
+	return ch.prechargeLocked(pc, bankIdx, true)
 }
 
 // writeColumnsLocked writes every column of the open row in one burst:
 // the bounds, bank and timing checks of the per-column loop are hoisted
 // out (tRCD and tCCD_L gate the first WR, every later WR lands exactly
 // max(tCK, tCCD_L) after its predecessor — the same schedule the
-// per-command loop converges to), and the data moves with one copy. In
-// strict-timing mode the burst falls back to per-command issue so timing
-// violations surface exactly as a hand-written column loop would report
-// them.
+// per-command loop converges to), and the data moves with one copy. The
+// burst is the only column path: composites gate their opening ACT under
+// the channel's timing mode, and their interior commands always run at
+// this earliest-legal cadence (see gateLocked), so strict mode shares the
+// bulk fast path instead of falling back to per-command issue.
 func (ch *Channel) writeColumnsLocked(pc, bankIdx int, data []byte) error {
-	if !ch.autoTiming {
-		for col := 0; col < ch.geom.Cols(); col++ {
-			if err := ch.writeLocked(pc, bankIdx, col, data[col*ch.geom.ColBytes:]); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	b, step, err := ch.burstGateLocked("WR", pc, bankIdx)
+	b, step, err := ch.burstGateLocked(cmdWR, pc, bankIdx)
 	if err != nil {
 		return err
 	}
@@ -70,17 +63,19 @@ func (ch *Channel) writeColumnsLocked(pc, bankIdx int, data []byte) error {
 			updateParityColumn(rs.data, rs.parity, col*cb, cb)
 		}
 	}
-	b.lastRW = ch.now + TimePS(ch.geom.Cols()-1)*step
-	b.wrote = true
-	ch.now = b.lastRW + ch.chip.timing.TCK
+	b.ts[tsLastRW] = ch.now + TimePS(ch.geom.Cols()-1)*step
+	b.ts[tsWrRW] = b.ts[tsLastRW]
+	ch.now = b.ts[tsLastRW] + ch.chip.timing.TCK
 	return nil
 }
 
 // burstGateLocked runs the shared preamble of a bulk column burst: bank
-// lookup, open-row check, the tRCD and tCCD_L gates of the burst's first
-// command, and the per-column step the per-command loop converges to
-// (each command advances the clock by tCK, the next is gated on tCCD_L).
-func (ch *Channel) burstGateLocked(cmd string, pc, bankIdx int) (*bank, TimePS, error) {
+// lookup, open-row check, one gate-table probe covering the burst's first
+// command (tRCD and tCCD_L), and the per-column step the per-command loop
+// converges to (each command advances the clock by tCK, the next is gated
+// on tCCD_L). Interior commands of a composite always run at the
+// earliest-legal cadence, so the probe forces auto mode.
+func (ch *Channel) burstGateLocked(cmd command, pc, bankIdx int) (*bank, TimePS, error) {
 	b, err := ch.bank(pc, bankIdx)
 	if err != nil {
 		return nil, 0, err
@@ -88,13 +83,10 @@ func (ch *Channel) burstGateLocked(cmd string, pc, bankIdx int) (*bank, TimePS, 
 	if !b.open {
 		return nil, 0, ErrBankClosed
 	}
+	if err := ch.gateLocked(cmd, &b.ts, true); err != nil {
+		return nil, 0, err
+	}
 	t := ch.chip.timing
-	if err := ch.timingGate(cmd, "tRCD", b.actAt+t.TRCD); err != nil {
-		return nil, 0, err
-	}
-	if err := ch.timingGate(cmd, "tCCD_L", b.lastRW+t.TCCDL); err != nil {
-		return nil, 0, err
-	}
 	step := t.TCK
 	if t.TCCDL > step {
 		step = t.TCCDL
@@ -137,21 +129,13 @@ func (ch *Channel) ReadRow(pc, bankIdx, row int, buf []byte) error {
 	if err := ch.readColumnsLocked(pc, bankIdx, buf); err != nil {
 		return err
 	}
-	return ch.prechargeLocked(pc, bankIdx)
+	return ch.prechargeLocked(pc, bankIdx, true)
 }
 
 // readColumnsLocked is the read half of the bulk column path; see
 // writeColumnsLocked for the timing reasoning.
 func (ch *Channel) readColumnsLocked(pc, bankIdx int, buf []byte) error {
-	if !ch.autoTiming {
-		for col := 0; col < ch.geom.Cols(); col++ {
-			if err := ch.readLocked(pc, bankIdx, col, buf[col*ch.geom.ColBytes:]); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	b, step, err := ch.burstGateLocked("RD", pc, bankIdx)
+	b, step, err := ch.burstGateLocked(cmdRD, pc, bankIdx)
 	if err != nil {
 		return err
 	}
@@ -170,8 +154,11 @@ func (ch *Channel) readColumnsLocked(pc, bankIdx int, buf []byte) error {
 			}
 		}
 	}
-	b.lastRW = ch.now + TimePS(ch.geom.Cols()-1)*step
-	ch.now = b.lastRW + ch.chip.timing.TCK
+	b.ts[tsLastRW] = ch.now + TimePS(ch.geom.Cols()-1)*step
+	if b.ts[tsWrRW] != tsFloor {
+		b.ts[tsWrRW] = b.ts[tsLastRW]
+	}
+	ch.now = b.ts[tsLastRW] + ch.chip.timing.TCK
 	return nil
 }
 
@@ -275,7 +262,7 @@ func (ch *Channel) hammer(pc, bankIdx int, rows, counts []int, tOn TimePS, exclu
 	}
 
 	ch.now += TimePS(totalActs) * perAct
-	b.lastAct = ch.now
-	b.lastPre = ch.now
+	b.ts[tsLastAct] = ch.now
+	b.ts[tsLastPre] = ch.now
 	return nil
 }

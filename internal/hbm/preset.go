@@ -4,54 +4,278 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Preset bundles a chip organization with the timing table that matches it,
-// in the style of Ramulator's device presets. The HBM2_8Gb preset is the
-// paper's tested part; the HBM2E and HBM3 presets model plausible
-// next-generation organizations so experiments can sweep read-disturbance
-// behaviour across device generations.
+// Preset bundles a chip organization with the timing table that matches
+// it, in the style of Ramulator2's device presets. The HBM2_8Gb preset is
+// the paper's tested part; the rest of the registry is ported from
+// Ramulator2's HBM2/HBM2E/HBM3 device tables (org rows plus per-data-rate
+// timing rows), including the twelve JESD238 HBM3 rank-variant stacks, so
+// generation-scaling experiments sweep real organizations instead of
+// hand-rolled ones.
 type Preset struct {
-	// Name is the registry key (e.g. "HBM2_8Gb").
+	// Name is the registry key (e.g. "HBM2_8Gb", "HBM3_16Gb_4R").
 	Name string
 	// Description is a one-line human-readable summary.
 	Description string
+	// Family is the device generation ("HBM2", "HBM2E", "HBM3").
+	Family string
+	// DataRateMbps is the per-pin data rate of the preset's timing row
+	// (e.g. 5600 for the HBM3 5.6 Gbps row). Zero on the hand-rolled
+	// legacy presets, whose timing predates the ported rate matrix.
+	DataRateMbps int
 	// Geometry is the preset's organization.
 	Geometry Geometry
 	// Timing is the preset's default timing table (overridable per chip
-	// with WithTiming).
+	// with WithTiming, or rebound to another rate with PresetAtRate).
 	Timing Timing
 }
+
+// Device families of the preset registry.
+const (
+	FamilyHBM2  = "HBM2"
+	FamilyHBM2E = "HBM2E"
+	FamilyHBM3  = "HBM3"
+)
 
 // PresetHBM2 is the name of the paper's HBM2 part (the default).
 const PresetHBM2 = "HBM2_8Gb"
 
-// PresetHBM2E is the name of the HBM2E-like preset: a 16 Gb die with twice
-// the rows per bank and a faster interface clock.
+// PresetHBM2E is the name of the legacy HBM2E-like preset: a 16 Gb die
+// with twice the rows per bank and a faster interface clock.
 const PresetHBM2E = "HBM2E_16Gb"
 
-// PresetHBM3 is the name of the HBM3-like preset: twice the channels (each
-// half as wide, so rows as seen by one pseudo channel are smaller) at a
-// higher command clock.
+// PresetHBM3 is the name of the legacy HBM3-like preset: twice the
+// channels (each half as wide, so rows as seen by one pseudo channel are
+// smaller) at a higher command clock.
 const PresetHBM3 = "HBM3_16Gb"
 
-// builtinPresets constructs the preset registry. A fresh value is built on
-// every call so callers can mutate their copy freely.
-func builtinPresets() []Preset {
+// orgSpec is one organization row of the ported device tables
+// (Ramulator2 org_presets: density, channel/pseudo-channel/rank/bank
+// structure, rows per bank). rateMbps selects the family timing row the
+// registry binds the organization to by default.
+type orgSpec struct {
+	name      string
+	family    string
+	densityMb int
+	channels  int
+	pseudo    int
+	ranks     int
+	banks     int // per rank, per pseudo channel (bank groups folded in)
+	rows      int
+	rowBytes  int
+	colBytes  int
+	rateMbps  int
+	desc      string
+}
+
+// timingSpec is one per-data-rate timing row in command-clock cycles at
+// tCKps (Ramulator2 timing_presets; tRFC comes from the organization's
+// density, not the rate row).
+type timingSpec struct {
+	rateMbps int
+	tCKps    int
+	nRCD     int
+	nRAS     int
+	nRP      int
+	nRC      int
+	nWR      int
+	nRTP     int // long read-to-precharge (nRTPL)
+	nCCDL    int
+	nREFI    int
+}
+
+// familyTimings holds the ported per-data-rate timing rows. The HBM2 row
+// and the HBM3 4.8/5.2/5.6 rows are Ramulator2's tables verbatim; the
+// HBM3 6.0/6.4 rows extend the matrix along its own progression, and the
+// HBM2E rows scale the HBM2E-generation analog values to each rate's
+// clock.
+var familyTimings = map[string][]timingSpec{
+	FamilyHBM2: {
+		{rateMbps: 2000, tCKps: 1000, nRCD: 7, nRAS: 17, nRP: 7, nRC: 19, nWR: 8, nRTP: 3, nCCDL: 2, nREFI: 3900},
+	},
+	FamilyHBM2E: {
+		{rateMbps: 2400, tCKps: 833, nRCD: 17, nRAS: 34, nRP: 18, nRC: 52, nWR: 18, nRTP: 9, nCCDL: 5, nREFI: 4681},
+		{rateMbps: 2800, tCKps: 714, nRCD: 20, nRAS: 40, nRP: 21, nRC: 61, nWR: 21, nRTP: 11, nCCDL: 5, nREFI: 5462},
+		{rateMbps: 3200, tCKps: 625, nRCD: 23, nRAS: 45, nRP: 24, nRC: 69, nWR: 24, nRTP: 12, nCCDL: 6, nREFI: 6240},
+		{rateMbps: 3600, tCKps: 555, nRCD: 26, nRAS: 51, nRP: 27, nRC: 78, nWR: 27, nRTP: 14, nCCDL: 7, nREFI: 7027},
+	},
+	FamilyHBM3: {
+		// HBM3 clocks commands at a quarter of the data rate (CK at
+		// rate/4, DDR strobes carry the data), so tCK = 4e6/rate ps and
+		// the cycle counts grow with rate while the analog core stays put
+		// (nRC x tCK is ~48.5 ns on every row).
+		{rateMbps: 4800, tCKps: 833, nRCD: 17, nRAS: 41, nRP: 17, nRC: 58, nWR: 20, nRTP: 8, nCCDL: 4, nREFI: 4680},
+		{rateMbps: 5200, tCKps: 769, nRCD: 19, nRAS: 45, nRP: 19, nRC: 63, nWR: 21, nRTP: 8, nCCDL: 4, nREFI: 5070},
+		{rateMbps: 5600, tCKps: 714, nRCD: 20, nRAS: 48, nRP: 20, nRC: 68, nWR: 23, nRTP: 9, nCCDL: 4, nREFI: 5460},
+		{rateMbps: 6000, tCKps: 667, nRCD: 21, nRAS: 52, nRP: 21, nRC: 73, nWR: 24, nRTP: 10, nCCDL: 4, nREFI: 5850},
+		{rateMbps: 6400, tCKps: 625, nRCD: 23, nRAS: 55, nRP: 23, nRC: 78, nWR: 26, nRTP: 10, nCCDL: 4, nREFI: 6240},
+	},
+}
+
+// trfcByDensityMb maps die density to the refresh cycle time, which the
+// rate rows do not carry (it tracks capacity, not clock).
+var trfcByDensityMb = map[int]TimePS{
+	2048:  160 * NS,
+	4096:  260 * NS,
+	6144:  310 * NS,
+	8192:  350 * NS,
+	12288: 410 * NS,
+	16384: 450 * NS,
+	24576: 550 * NS,
+	32768: 650 * NS,
+}
+
+// portedOrgs lists the organizations of the ported matrix. The HBM2 rows
+// and the twelve HBM3 rank variants follow Ramulator2's org tables (HBM3
+// per JESD238A: 1/2/3/4 ranks for 4/8/12/16-high stacks); the HBM2E rows
+// extend the HBM2 organization to HBM2E densities and data rates. The
+// three legacy presets (HBM2_8Gb, HBM2E_16Gb, HBM3_16Gb) are hand-rolled
+// in legacyPresets and deliberately not regenerated here, so their sweep
+// output stays byte-identical across the registry port.
+var portedOrgs = []orgSpec{
+	// HBM2: 8-channel stacks, 2 pseudo channels, single rank.
+	{name: "HBM2_2Gb", family: FamilyHBM2, densityMb: 2048, channels: 8, pseudo: 2, ranks: 1, banks: 8, rows: 16384, rowBytes: 1024, colBytes: 32, rateMbps: 2000,
+		desc: "HBM2 2 Gb die: 8 banks per pseudo channel, 2.0 Gbps"},
+	{name: "HBM2_4Gb", family: FamilyHBM2, densityMb: 4096, channels: 8, pseudo: 2, ranks: 1, banks: 16, rows: 16384, rowBytes: 1024, colBytes: 32, rateMbps: 2000,
+		desc: "HBM2 4 Gb die: 16 banks per pseudo channel, 2.0 Gbps"},
+
+	// HBM2E: the HBM2 organization at HBM2E densities and data rates.
+	{name: "HBM2E_8Gb", family: FamilyHBM2E, densityMb: 8192, channels: 8, pseudo: 2, ranks: 1, banks: 16, rows: 16384, rowBytes: 1024, colBytes: 32, rateMbps: 3200,
+		desc: "HBM2E 8 Gb die at 3.2 Gbps"},
+	{name: "HBM2E_16Gb_2.4Gbps", family: FamilyHBM2E, densityMb: 16384, channels: 8, pseudo: 2, ranks: 1, banks: 16, rows: 32768, rowBytes: 1024, colBytes: 32, rateMbps: 2400,
+		desc: "HBM2E 16 Gb die at 2.4 Gbps"},
+	{name: "HBM2E_16Gb_2.8Gbps", family: FamilyHBM2E, densityMb: 16384, channels: 8, pseudo: 2, ranks: 1, banks: 16, rows: 32768, rowBytes: 1024, colBytes: 32, rateMbps: 2800,
+		desc: "HBM2E 16 Gb die at 2.8 Gbps"},
+	{name: "HBM2E_16Gb_3.2Gbps", family: FamilyHBM2E, densityMb: 16384, channels: 8, pseudo: 2, ranks: 1, banks: 16, rows: 32768, rowBytes: 1024, colBytes: 32, rateMbps: 3200,
+		desc: "HBM2E 16 Gb die at 3.2 Gbps"},
+	{name: "HBM2E_16Gb_3.6Gbps", family: FamilyHBM2E, densityMb: 16384, channels: 8, pseudo: 2, ranks: 1, banks: 16, rows: 32768, rowBytes: 1024, colBytes: 32, rateMbps: 3600,
+		desc: "HBM2E 16 Gb die at 3.6 Gbps"},
+
+	// HBM3: 16-channel stacks, 2 pseudo channels, 1R/2R/3R/4R rank
+	// variants (4/8/12/16-high), default-bound to the 5.6 Gbps row.
+	{name: "HBM3_2Gb_1R", family: FamilyHBM3, densityMb: 2048, channels: 16, pseudo: 2, ranks: 1, banks: 16, rows: 8192, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 2 Gb die, 4-high stack (1 rank)"},
+	{name: "HBM3_4Gb_1R", family: FamilyHBM3, densityMb: 4096, channels: 16, pseudo: 2, ranks: 1, banks: 16, rows: 16384, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 4 Gb die, 4-high stack (1 rank)"},
+	{name: "HBM3_8Gb_1R", family: FamilyHBM3, densityMb: 8192, channels: 16, pseudo: 2, ranks: 1, banks: 16, rows: 32768, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 8 Gb die, 4-high stack (1 rank)"},
+	{name: "HBM3_4Gb_2R", family: FamilyHBM3, densityMb: 4096, channels: 16, pseudo: 2, ranks: 2, banks: 16, rows: 8192, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 4 Gb die, 8-high stack (2 ranks)"},
+	{name: "HBM3_8Gb_2R", family: FamilyHBM3, densityMb: 8192, channels: 16, pseudo: 2, ranks: 2, banks: 16, rows: 16384, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 8 Gb die, 8-high stack (2 ranks)"},
+	{name: "HBM3_16Gb_2R", family: FamilyHBM3, densityMb: 16384, channels: 16, pseudo: 2, ranks: 2, banks: 16, rows: 32768, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 16 Gb die, 8-high stack (2 ranks)"},
+	{name: "HBM3_6Gb_3R", family: FamilyHBM3, densityMb: 6144, channels: 16, pseudo: 2, ranks: 3, banks: 16, rows: 8192, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 6 Gb die, 12-high stack (3 ranks)"},
+	{name: "HBM3_12Gb_3R", family: FamilyHBM3, densityMb: 12288, channels: 16, pseudo: 2, ranks: 3, banks: 16, rows: 16384, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 12 Gb die, 12-high stack (3 ranks)"},
+	{name: "HBM3_24Gb_3R", family: FamilyHBM3, densityMb: 24576, channels: 16, pseudo: 2, ranks: 3, banks: 16, rows: 32768, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 24 Gb die, 12-high stack (3 ranks)"},
+	{name: "HBM3_8Gb_4R", family: FamilyHBM3, densityMb: 8192, channels: 16, pseudo: 2, ranks: 4, banks: 16, rows: 8192, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 8 Gb die, 16-high stack (4 ranks)"},
+	{name: "HBM3_16Gb_4R", family: FamilyHBM3, densityMb: 16384, channels: 16, pseudo: 2, ranks: 4, banks: 16, rows: 16384, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 16 Gb die, 16-high stack (4 ranks)"},
+	{name: "HBM3_32Gb_4R", family: FamilyHBM3, densityMb: 32768, channels: 16, pseudo: 2, ranks: 4, banks: 16, rows: 32768, rowBytes: 1024, colBytes: 32, rateMbps: 5600,
+		desc: "HBM3 32 Gb die, 16-high stack (4 ranks)"},
+}
+
+// timingRowFor returns the family's timing row at rateMbps.
+func timingRowFor(family string, rateMbps int) (timingSpec, error) {
+	for _, ts := range familyTimings[family] {
+		if ts.rateMbps == rateMbps {
+			return ts, nil
+		}
+	}
+	return timingSpec{}, fmt.Errorf("hbm: family %s has no %d Mbps timing row (have: %v)",
+		family, rateMbps, FamilyRates(family))
+}
+
+// portTiming converts one cycle-count timing row to the picosecond Timing
+// the device enforces. tRFC comes from the die density. Ramulator2's HBM2
+// row lists nRC below nRAS+nRP; the port clamps tRC up to that sum so the
+// result satisfies the same-bank ACT-to-ACT identity Timing.Validate
+// enforces.
+func portTiming(ts timingSpec, densityMb int) Timing {
+	ck := TimePS(ts.tCKps)
+	tras := ck * TimePS(ts.nRAS)
+	trp := ck * TimePS(ts.nRP)
+	trc := ck * TimePS(ts.nRC)
+	if trc < tras+trp {
+		trc = tras + trp
+	}
+	trfc, ok := trfcByDensityMb[densityMb]
+	if !ok {
+		trfc = 350 * NS
+	}
+	refi := ck * TimePS(ts.nREFI)
+	return Timing{
+		TCK:     ck,
+		TRCD:    ck * TimePS(ts.nRCD),
+		TRAS:    tras,
+		TRP:     trp,
+		TRC:     trc,
+		TRFC:    trfc,
+		TREFI:   refi,
+		TREFW:   32 * MS,
+		TCCDL:   ck * TimePS(ts.nCCDL),
+		TRTP:    ck * TimePS(ts.nRTP),
+		TWR:     ck * TimePS(ts.nWR),
+		MaxOpen: 9 * refi,
+	}
+}
+
+func (o orgSpec) geometry() Geometry {
+	return Geometry{
+		Name:           o.name,
+		Channels:       o.channels,
+		PseudoChannels: o.pseudo,
+		Ranks:          o.ranks,
+		Banks:          o.banks,
+		Rows:           o.rows,
+		RowBytes:       o.rowBytes,
+		ColBytes:       o.colBytes,
+	}
+}
+
+func (o orgSpec) preset() Preset {
+	ts, err := timingRowFor(o.family, o.rateMbps)
+	if err != nil {
+		panic(err) // unreachable: every org's default rate has a row (registry test)
+	}
+	return Preset{
+		Name:         o.name,
+		Description:  o.desc,
+		Family:       o.family,
+		DataRateMbps: o.rateMbps,
+		Geometry:     o.geometry(),
+		Timing:       portTiming(ts, o.densityMb),
+	}
+}
+
+// legacyPresets returns the three pre-port presets exactly as they have
+// always been. Their geometry and timing are frozen: the golden sweep
+// digests pin their byte-level behaviour, so the registry port must not
+// regenerate them from the tables.
+func legacyPresets() []Preset {
 	return []Preset{
 		{
 			Name:        PresetHBM2,
 			Description: "the paper's HBM2 part: 8ch x 2pc x 16 banks x 16384 rows of 1 KiB",
+			Family:      FamilyHBM2,
 			Geometry:    DefaultGeometry(),
 			Timing:      DefaultTiming(),
 		},
 		{
 			Name:        PresetHBM2E,
 			Description: "HBM2E-like 16 Gb die: 32768 rows per bank, ~800 MHz command clock",
+			Family:      FamilyHBM2E,
 			Geometry: Geometry{
 				Name:           PresetHBM2E,
 				Channels:       8,
 				PseudoChannels: 2,
+				Ranks:          1,
 				Banks:          16,
 				Rows:           32768,
 				RowBytes:       1024,
@@ -75,10 +299,12 @@ func builtinPresets() []Preset {
 		{
 			Name:        PresetHBM3,
 			Description: "HBM3-like stack: 16 narrower channels, 512 B rows, ~1.6 GHz command clock",
+			Family:      FamilyHBM3,
 			Geometry: Geometry{
 				Name:           PresetHBM3,
 				Channels:       16,
 				PseudoChannels: 2,
+				Ranks:          1,
 				Banks:          16,
 				Rows:           16384,
 				RowBytes:       512,
@@ -102,38 +328,120 @@ func builtinPresets() []Preset {
 	}
 }
 
-// Presets returns the built-in preset registry, sorted by name with the
-// default (HBM2_8Gb) first.
-func Presets() []Preset {
-	ps := builtinPresets()
-	sort.Slice(ps, func(i, j int) bool {
-		if (ps[i].Name == PresetHBM2) != (ps[j].Name == PresetHBM2) {
-			return ps[i].Name == PresetHBM2
-		}
-		return ps[i].Name < ps[j].Name
+// The registry is built once, on first use: a slice sorted by folded name
+// for O(log n) lookup, a presentation-ordered copy for Presets, the name
+// list, and the org index PresetAtRate rebinds rates through. With 20+
+// ported presets, rebuilding per lookup (and twice more on the error
+// path) is no longer acceptable.
+var (
+	registryOnce  sync.Once
+	registByFold  []Preset // sorted by strings.ToLower(Name)
+	registDisplay []Preset // default preset first, then by name
+	registNames   []string // names in registDisplay order
+	registOrgs    map[string]orgSpec
+)
+
+func buildRegistry() {
+	ps := legacyPresets()
+	registOrgs = make(map[string]orgSpec, len(portedOrgs))
+	for _, o := range portedOrgs {
+		ps = append(ps, o.preset())
+		registOrgs[o.name] = o
+	}
+
+	registByFold = append([]Preset(nil), ps...)
+	sort.Slice(registByFold, func(i, j int) bool {
+		return strings.ToLower(registByFold[i].Name) < strings.ToLower(registByFold[j].Name)
 	})
-	return ps
+
+	registDisplay = append([]Preset(nil), ps...)
+	sort.Slice(registDisplay, func(i, j int) bool {
+		if (registDisplay[i].Name == PresetHBM2) != (registDisplay[j].Name == PresetHBM2) {
+			return registDisplay[i].Name == PresetHBM2
+		}
+		return registDisplay[i].Name < registDisplay[j].Name
+	})
+	registNames = make([]string, len(registDisplay))
+	for i, p := range registDisplay {
+		registNames[i] = p.Name
+	}
+}
+
+// Presets returns the preset registry, sorted by name with the default
+// (HBM2_8Gb) first. The returned slice is a fresh copy; callers can
+// mutate it freely.
+func Presets() []Preset {
+	registryOnce.Do(buildRegistry)
+	return append([]Preset(nil), registDisplay...)
 }
 
 // PresetNames returns the registered preset names in Presets order.
 func PresetNames() []string {
-	ps := Presets()
-	names := make([]string, len(ps))
-	for i, p := range ps {
-		names[i] = p.Name
-	}
-	return names
+	registryOnce.Do(buildRegistry)
+	return append([]string(nil), registNames...)
 }
 
-// LookupPreset finds a preset by name (case-insensitive).
-func LookupPreset(name string) (Preset, error) {
-	for _, p := range builtinPresets() {
-		if strings.EqualFold(p.Name, name) {
-			return p, nil
+// PresetsByFamily returns the registered presets of one device family
+// ("HBM2", "HBM2E", "HBM3"), in Presets order.
+func PresetsByFamily(family string) []Preset {
+	registryOnce.Do(buildRegistry)
+	var out []Preset
+	for _, p := range registDisplay {
+		if strings.EqualFold(p.Family, family) {
+			out = append(out, p)
 		}
 	}
+	return out
+}
+
+// FamilyRates returns the data rates (Mbps, ascending) a family's ported
+// timing matrix covers. Empty for unknown families.
+func FamilyRates(family string) []int {
+	rows := familyTimings[family]
+	rates := make([]int, len(rows))
+	for i, ts := range rows {
+		rates[i] = ts.rateMbps
+	}
+	sort.Ints(rates)
+	return rates
+}
+
+// LookupPreset finds a preset by name (case-insensitive) with a binary
+// search over the lazily-built registry.
+func LookupPreset(name string) (Preset, error) {
+	registryOnce.Do(buildRegistry)
+	fold := strings.ToLower(name)
+	i := sort.Search(len(registByFold), func(i int) bool {
+		return strings.ToLower(registByFold[i].Name) >= fold
+	})
+	if i < len(registByFold) && strings.EqualFold(registByFold[i].Name, name) {
+		return registByFold[i], nil
+	}
 	return Preset{}, fmt.Errorf("hbm: unknown geometry preset %q (have: %s)",
-		name, strings.Join(PresetNames(), ", "))
+		name, strings.Join(registNames, ", "))
+}
+
+// PresetAtRate returns a ported preset rebound to another data rate of
+// its family's timing matrix: the same organization with the timing row
+// (and DataRateMbps) swapped, e.g. HBM3_16Gb_4R at each of 4.8–6.4 Gbps
+// for a data-rate sensitivity sweep. The three hand-rolled legacy presets
+// carry no matrix row and are rejected.
+func PresetAtRate(name string, rateMbps int) (Preset, error) {
+	p, err := LookupPreset(name)
+	if err != nil {
+		return Preset{}, err
+	}
+	o, ok := registOrgs[p.Name]
+	if !ok {
+		return Preset{}, fmt.Errorf("hbm: preset %s is hand-rolled, not part of the ported rate matrix", p.Name)
+	}
+	ts, err := timingRowFor(o.family, rateMbps)
+	if err != nil {
+		return Preset{}, err
+	}
+	p.DataRateMbps = rateMbps
+	p.Timing = portTiming(ts, o.densityMb)
+	return p, nil
 }
 
 // DefaultPreset returns the paper's HBM2 preset.

@@ -81,7 +81,7 @@ func (t Timing) Validate() error {
 	for _, c := range []check{
 		{"TCK", t.TCK}, {"TRCD", t.TRCD}, {"TRAS", t.TRAS}, {"TRP", t.TRP},
 		{"TRC", t.TRC}, {"TRFC", t.TRFC}, {"TREFI", t.TREFI}, {"TREFW", t.TREFW},
-		{"TCCDL", t.TCCDL}, {"TRTP", t.TRTP}, {"TWR", t.TWR},
+		{"TCCDL", t.TCCDL}, {"TRTP", t.TRTP}, {"TWR", t.TWR}, {"MaxOpen", t.MaxOpen},
 	} {
 		if c.v <= 0 {
 			return fmt.Errorf("hbm: timing %s must be positive, got %d", c.name, c.v)
@@ -95,6 +95,19 @@ func (t Timing) Validate() error {
 	}
 	if t.TREFW <= t.TREFI {
 		return fmt.Errorf("hbm: TREFW (%d) must exceed TREFI (%d)", t.TREFW, t.TREFI)
+	}
+	// The recovery windows must fit inside the minimum row-open time:
+	// otherwise a single-column row cycle is gated by read-to-precharge or
+	// write recovery rather than tRAS, and the ActBudgetPerREFI arithmetic
+	// (tRC-paced activations) silently stops describing the device.
+	if t.TRTP >= t.TRAS {
+		return fmt.Errorf("hbm: TRTP (%d) must be below TRAS (%d)", t.TRTP, t.TRAS)
+	}
+	if t.TWR >= t.TRAS {
+		return fmt.Errorf("hbm: TWR (%d) must be below TRAS (%d)", t.TWR, t.TRAS)
+	}
+	if t.MaxOpen < t.TRAS {
+		return fmt.Errorf("hbm: MaxOpen (%d) below TRAS (%d)", t.MaxOpen, t.TRAS)
 	}
 	return nil
 }

@@ -52,6 +52,26 @@ func ByGeometry(preset string) Filter {
 	return func(m store.Meta) bool { return m.Geometry == preset }
 }
 
+// ByRanks keeps sweeps run on organizations with the given rank count per
+// pseudo channel. Sweeps stored before the rank dimension existed carry 0
+// and are treated as single-rank.
+func ByRanks(ranks int) Filter {
+	return func(m store.Meta) bool {
+		got := m.Ranks
+		if got == 0 {
+			got = 1
+		}
+		return got == ranks
+	}
+}
+
+// ByMinDataRate keeps sweeps whose geometry preset carries a per-pin data
+// rate of at least min Mbps. Hand-rolled presets record no rate and never
+// match.
+func ByMinDataRate(min int) Filter {
+	return func(m store.Meta) bool { return m.DataRateMbps >= min && m.DataRateMbps > 0 }
+}
+
 // ByChips keeps sweeps whose chip set is exactly the given indices
 // (order-insensitive).
 func ByChips(chips ...int) Filter {

@@ -596,13 +596,15 @@ func (s *Server) finalize(j *job, spool string) error {
 		return err
 	}
 	meta := store.Meta{
-		Fingerprint: j.sweep.Fingerprint,
-		Kind:        string(j.sweep.Kind),
-		Cells:       header.Cells,
-		Generation:  header.Generation,
-		Geometry:    j.sweep.Geometry,
-		Chips:       j.sweep.Chips,
-		Config:      j.sweep.Spec.Config,
+		Fingerprint:  j.sweep.Fingerprint,
+		Kind:         string(j.sweep.Kind),
+		Cells:        header.Cells,
+		Generation:   header.Generation,
+		Geometry:     j.sweep.Geometry,
+		Ranks:        j.sweep.Ranks,
+		DataRateMbps: j.sweep.DataRateMbps,
+		Chips:        j.sweep.Chips,
+		Config:       j.sweep.Spec.Config,
 	}
 	if err := s.store.PutFile(meta, spool); err != nil {
 		return err

@@ -51,9 +51,13 @@ type Sweep struct {
 	Fingerprint string
 	// Geometry is the resolved preset name and Chips the resolved chip
 	// indices (the spec's fields with defaults applied) - the catalog
-	// metadata recorded alongside the finished sweep in the store.
-	Geometry string
-	Chips    []int
+	// metadata recorded alongside the finished sweep in the store. Ranks
+	// and DataRateMbps come from the resolved preset (rank count per
+	// pseudo channel; per-pin data rate, 0 for hand-rolled presets).
+	Geometry     string
+	Ranks        int
+	DataRateMbps int
+	Chips        []int
 
 	run func(ctx context.Context, opts ...core.RunOption) error
 }
@@ -80,17 +84,16 @@ func Resolve(spec SweepSpec) (*Sweep, error) {
 		chips = core.AllChips()
 	}
 	var chipOpts []hbm.Option
-	g := hbm.DefaultGeometry()
-	geomName := hbm.PresetHBM2
+	preset := hbm.DefaultPreset()
 	if spec.Geometry != "" {
-		preset, err := hbm.LookupPreset(spec.Geometry)
+		p, err := hbm.LookupPreset(spec.Geometry)
 		if err != nil {
 			return nil, err
 		}
+		preset = p
 		chipOpts = append(chipOpts, hbm.WithGeometry(preset))
-		g = preset.Geometry
-		geomName = preset.Name
 	}
+	g := preset.Geometry
 	if spec.IdentityMapping {
 		chipOpts = append(chipOpts, hbm.WithMapper(rowmap.Identity{NumRows: g.Rows}))
 	}
@@ -99,7 +102,8 @@ func Resolve(spec SweepSpec) (*Sweep, error) {
 		return nil, err
 	}
 
-	s := &Sweep{Spec: spec, Kind: kind, Geometry: geomName, Chips: chips}
+	s := &Sweep{Spec: spec, Kind: kind, Geometry: preset.Name,
+		Ranks: g.NumRanks(), DataRateMbps: preset.DataRateMbps, Chips: chips}
 	var cfg any
 	switch kind {
 	case core.KindBER:

@@ -55,6 +55,13 @@ type Meta struct {
 	Generation int `json:"generation,omitempty"`
 	// Geometry is the chip organization preset name the sweep ran on.
 	Geometry string `json:"geometry,omitempty"`
+	// Ranks is the geometry's rank count per pseudo channel (0 on sweeps
+	// stored before the rank dimension existed; read it as 1).
+	Ranks int `json:"ranks,omitempty"`
+	// DataRateMbps is the preset's per-pin data rate, when the geometry
+	// preset carries one (the ported Ramulator2 matrix; legacy hand-rolled
+	// presets leave it 0).
+	DataRateMbps int `json:"data_rate_mbps,omitempty"`
 	// Chips are the study chip indices of the sweep's fleet.
 	Chips []int `json:"chips,omitempty"`
 	// Config is the sweep's raw runner config as submitted (canonical

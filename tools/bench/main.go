@@ -36,7 +36,7 @@ import (
 
 // defaultBench selects the kernels that bound sweep throughput plus one
 // end-to-end figure benchmark.
-const defaultBench = "FlipMaskHot|FlipMaskRetention|CalibFirstTouch|TrialJitter|Fig5HCFirstAcrossChips|RowInitReadHotPath|HammerReadHotPath|HammerThroughput|SweepJobsScaling"
+const defaultBench = "FlipMaskHot|FlipMaskRetention|CalibFirstTouch|TrialJitter|Fig5HCFirstAcrossChips|RowInitReadHotPath|HammerReadHotPath|HammerThroughput|SweepJobsScaling|StrictTimingRowOps"
 
 // Result is one benchmark data point.
 type Result struct {
