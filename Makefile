@@ -29,8 +29,9 @@ bench-check:
 
 # golden runs the byte-identity contract at full scale: the pinned sweep
 # digests, the checkpoint/resume byte-identity tests, and the decode
-# layer's encode->decode->re-encode round trip for every record type on
-# every preset (guards internal/core's DecodeRecords against sink drift).
+# layer's encode->decode->re-encode round trips - JSONL and the columnar
+# artifact - for every record type on every preset (guards
+# internal/core's DecodeRecords and the columnar codec against drift).
 golden:
 	go test -count=1 -run 'TestGoldenSweepDigest|PresetMatrixGoldenDigest|ResumeByteIdentity|RoundTripByteIdentity' ./...
 

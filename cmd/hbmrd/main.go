@@ -191,7 +191,7 @@ func runQuery(args []string) error {
 	storeDir := fs.String("store", "hbmrd-store", "sweep store directory")
 	ingest := fs.String("ingest", "", "finalize a completed -out JSONL file into the store")
 	specJSON := fs.String("spec", "", "aggregation query spec (JSON; see README for the grammar)")
-	figure := fs.String("figure", "", "predefined figure spec (fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15 fig16); needs -sweep")
+	figure := fs.String("figure", "", "predefined figure spec (fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15 fig16 figrank); needs -sweep")
 	sweep := fs.String("sweep", "", "sweep fingerprint for -figure")
 	kind := fs.String("kind", "", "filter the catalog listing by experiment kind")
 	format := fs.String("format", "table", "query output format: table, csv, or json")
@@ -262,8 +262,11 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	if res.CacheHit {
+	switch res.Source {
+	case hbmrd.QuerySourceCache:
 		fmt.Fprintln(os.Stderr, "hbmrd: query served from the derived-result cache")
+	case hbmrd.QuerySourceJSONL:
+		fmt.Fprintln(os.Stderr, "hbmrd: query computed from raw JSONL records (columnar artifact backfilled)")
 	}
 	switch *format {
 	case "json":

@@ -213,14 +213,23 @@ type (
 	// QueryAggregate is the typed result of one query.
 	QueryAggregate = query.Aggregate
 	// QueryResult is one executed query: aggregate, canonical JSON, and
-	// whether the derived cache answered it.
+	// the path that answered it (cache, columnar artifact, or raw JSONL).
 	QueryResult = query.Result
-	// QueryEngine executes query specs against a sweep store.
+	// QueryEngine executes query specs against a sweep store. Cache
+	// misses prefer the sweep's columnar artifact and fall back to the
+	// JSONL records (backfilling the artifact) for pre-format objects.
 	QueryEngine = query.Engine
 	// SweepCatalog indexes the finished sweeps a store holds.
 	SweepCatalog = query.Catalog
 	// CatalogFilter is one catalog predicate for SweepCatalog.Find.
 	CatalogFilter = query.Filter
+)
+
+// QueryResult.Source values: which path produced the aggregate.
+const (
+	QuerySourceCache    = query.SourceCache
+	QuerySourceColumnar = query.SourceColumnar
+	QuerySourceJSONL    = query.SourceJSONL
 )
 
 // NewQueryEngine builds a query engine over a sweep store.
@@ -239,7 +248,8 @@ func CatalogByConfig(pred func(json.RawMessage) bool) CatalogFilter {
 
 // QueryFigureSpec returns the predefined spec reproducing one of the
 // paper's figure aggregations (fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15
-// fig16) from the stored sweep at the fingerprint.
+// fig16, plus figrank for multi-rank organizations) from the stored sweep
+// at the fingerprint.
 func QueryFigureSpec(fig, sweep string) (QuerySpec, error) { return query.FigureSpec(fig, sweep) }
 
 // QueryDimensions and QueryMetrics list a kind's group-by/filter and

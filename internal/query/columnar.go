@@ -1,0 +1,188 @@
+package query
+
+import (
+	"fmt"
+
+	"hbmrd/internal/core"
+)
+
+// ComputeColumnar runs one aggregation directly over a sweep's columnar
+// artifact: filters evaluate as column scans, group keys read the
+// dimension arrays, and reducers consume the metric arrays - no typed
+// record slice and no per-record row maps are ever materialized. It
+// feeds the same computeOver pipeline as Compute, so for the same
+// records and Env the two produce byte-identical Aggregates; Compute
+// over the decoded JSONL stays the reference oracle.
+func ComputeColumnar(cs *core.ColumnSet, spec Spec, env Env) (*Aggregate, error) {
+	cspec, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	src, err := columnarSource(cs, env)
+	if err != nil {
+		return nil, err
+	}
+	return computeOver(core.Kind(cs.Header.Kind), src, cspec)
+}
+
+// columnarSource builds the per-kind dimension and metric accessors over
+// a decoded column set. The formatting of every dimension value matches
+// flatten exactly - dInt/dInt64/dBool/dStr over the same inputs - which
+// is what keeps group keys, sort order, and aggregate bytes identical
+// across the two paths.
+func columnarSource(cs *core.ColumnSet, env Env) (rowSource, error) {
+	kind := core.Kind(cs.Header.Kind)
+	dims := map[string]func(i int) dimVal{}
+	mets := map[string]func(i int) (float64, bool){}
+
+	var missing []string
+	need := func(name string) *core.Column {
+		c := cs.Col(name)
+		if c == nil {
+			missing = append(missing, name)
+		}
+		return c
+	}
+	intDim := func(c *core.Column) func(int) dimVal {
+		return func(i int) dimVal { return dInt(int(c.Int(i))) }
+	}
+	int64Dim := func(c *core.Column) func(int) dimVal {
+		return func(i int) dimVal { return dInt64(c.Int(i)) }
+	}
+	boolDim := func(c *core.Column) func(int) dimVal {
+		return func(i int) dimVal { return dBool(c.Bool(i)) }
+	}
+	floatMet := func(c *core.Column) func(int) (float64, bool) {
+		return func(i int) (float64, bool) { return c.Float(i), true }
+	}
+	intMet := func(c *core.Column) func(int) (float64, bool) {
+		return func(i int) (float64, bool) { return float64(c.Int(i)), true }
+	}
+	// patternCols wires the shared (pattern, pattern_label, wcdp) triple;
+	// wcdp is nil for kinds whose records carry no WCDP flag (the label
+	// then always equals the pattern, as flatten's wcdp=false does).
+	patternCols := func(pat, wcdp *core.Column) {
+		dims["pattern"] = func(i int) dimVal { return dStr(pat.Label(i)) }
+		dims["pattern_label"] = func(i int) dimVal {
+			if wcdp != nil && wcdp.Bool(i) {
+				return dStr("WCDP")
+			}
+			return dStr(pat.Label(i))
+		}
+		if wcdp != nil {
+			dims["wcdp"] = boolDim(wcdp)
+		}
+	}
+	rankDim := func(bank *core.Column) func(int) dimVal {
+		return func(i int) dimVal { return dInt(env.rankOf(int(bank.Int(i)))) }
+	}
+
+	switch kind {
+	case core.KindBER:
+		bank := need("Bank")
+		dims["chip"] = intDim(need("Chip"))
+		dims["channel"] = intDim(need("Channel"))
+		dims["pseudo"] = intDim(need("Pseudo"))
+		dims["bank"] = intDim(bank)
+		dims["rank"] = rankDim(bank)
+		dims["row"] = intDim(need("Row"))
+		patternCols(need("Pattern"), need("WCDP"))
+		mets["ber_percent"] = floatMet(need("BERPercent"))
+	case core.KindHCFirst:
+		bank := need("Bank")
+		dims["chip"] = intDim(need("Chip"))
+		dims["channel"] = intDim(need("Channel"))
+		dims["pseudo"] = intDim(need("Pseudo"))
+		dims["bank"] = intDim(bank)
+		dims["rank"] = rankDim(bank)
+		dims["row"] = intDim(need("Row"))
+		dims["found"] = boolDim(need("Found"))
+		patternCols(need("Pattern"), need("WCDP"))
+		mets["hcfirst"] = intMet(need("HCFirst"))
+	case core.KindHCNth:
+		dims["chip"] = intDim(need("Chip"))
+		dims["channel"] = intDim(need("Channel"))
+		dims["row"] = intDim(need("Row"))
+		dims["found"] = boolDim(need("Found"))
+		patternCols(need("Pattern"), nil)
+		hc := need("HC")
+		mets["flips"] = func(i int) (float64, bool) { return float64(len(hc.IntLists[i])), true }
+		mets["hc_first"] = func(i int) (float64, bool) {
+			l := hc.IntLists[i]
+			if len(l) == 0 {
+				return 0, false
+			}
+			return float64(l[0]), true
+		}
+		mets["hc_last"] = func(i int) (float64, bool) {
+			l := hc.IntLists[i]
+			if len(l) == 0 {
+				return 0, false
+			}
+			return float64(l[len(l)-1]), true
+		}
+		mets["additional"] = func(i int) (float64, bool) {
+			l := hc.IntLists[i]
+			if len(l) == 0 {
+				return 0, false
+			}
+			return float64(l[len(l)-1] - l[0]), true
+		}
+	case core.KindVariability:
+		dims["chip"] = intDim(need("Chip"))
+		dims["row"] = intDim(need("Row"))
+		dims["measured"] = boolDim(need("MeasuredRatios"))
+		minHC, maxHC := need("MinHC"), need("MaxHC")
+		mets["min_hc"] = intMet(minHC)
+		mets["max_hc"] = intMet(maxHC)
+		mets["ratio"] = func(i int) (float64, bool) {
+			mn := minHC.Int(i)
+			if mn == 0 {
+				return 0, true
+			}
+			return float64(maxHC.Int(i)) / float64(mn), true
+		}
+	case core.KindRowPressBER:
+		dims["chip"] = intDim(need("Chip"))
+		dims["channel"] = intDim(need("Channel"))
+		dims["tagg_on"] = int64Dim(need("TAggON"))
+		mets["ber_percent"] = floatMet(need("BERPercent"))
+		mets["retention_ber_percent"] = floatMet(need("RetentionBERPercent"))
+		mets["rows"] = intMet(need("Rows"))
+	case core.KindRowPressHC:
+		dims["chip"] = intDim(need("Chip"))
+		dims["channel"] = intDim(need("Channel"))
+		dims["row"] = intDim(need("Row"))
+		dims["tagg_on"] = int64Dim(need("TAggON"))
+		dims["found"] = boolDim(need("Found"))
+		dims["within_window"] = boolDim(need("WithinWindow"))
+		mets["hcfirst"] = intMet(need("HCFirst"))
+	case core.KindBypass:
+		dims["chip"] = intDim(need("Chip"))
+		dims["row"] = intDim(need("Row"))
+		dims["dummies"] = intDim(need("Dummies"))
+		dims["agg_acts"] = intDim(need("AggActs"))
+		mets["ber_percent"] = floatMet(need("BERPercent"))
+	case core.KindAging:
+		dims["chip"] = intDim(need("Chip"))
+		dims["channel"] = intDim(need("Channel"))
+		dims["row"] = intDim(need("Row"))
+		oldBER, newBER := need("OldBERPercent"), need("NewBERPercent")
+		mets["old_ber_percent"] = floatMet(oldBER)
+		mets["new_ber_percent"] = floatMet(newBER)
+		mets["delta_ber_percent"] = func(i int) (float64, bool) {
+			return newBER.Float(i) - oldBER.Float(i), true
+		}
+	default:
+		return rowSource{}, fmt.Errorf("query: unsupported columnar sweep kind %q", cs.Header.Kind)
+	}
+	if len(missing) > 0 {
+		return rowSource{}, fmt.Errorf("query: columnar %s sweep lacks columns %v", kind, missing)
+	}
+
+	return rowSource{
+		n:      cs.Len(),
+		dim:    func(name string) func(i int) dimVal { return dims[name] },
+		metric: func(name string) func(i int) (float64, bool) { return mets[name] },
+	}, nil
+}

@@ -1,0 +1,380 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hbmrd/internal/core"
+	"hbmrd/internal/hbm"
+	"hbmrd/internal/pattern"
+	"hbmrd/internal/store"
+)
+
+// equivRecords hand-builds one record set per kind with the awkward
+// cases both compute paths must agree on: WCDP folding, not-found rows,
+// sparse metrics (empty HC lists), MinHC zero, nil-vs-present masks,
+// and bank addresses spanning multiple ranks.
+func equivRecords() map[core.Kind]any {
+	return map[core.Kind]any{
+		core.KindBER: []core.BERRecord{
+			{Chip: 0, Channel: 0, Pseudo: 0, Bank: 0, Row: 10, Pattern: pattern.Rowstripe0, BERPercent: 0.5},
+			{Chip: 0, Channel: 0, Pseudo: 1, Bank: 15, Row: 10, Pattern: pattern.Checkered0, BERPercent: 1.25, Mask: []byte{0xAA}},
+			{Chip: 0, Channel: 1, Pseudo: 0, Bank: 16, Row: 11, Pattern: pattern.Rowstripe0, WCDP: true, BERPercent: 2},
+			{Chip: 3, Channel: 0, Pseudo: 0, Bank: 47, Row: 10, Pattern: pattern.Rowstripe1, BERPercent: 0},
+			{Chip: 3, Channel: 7, Pseudo: 1, Bank: 31, Row: 12, Pattern: pattern.Checkered1, WCDP: true, BERPercent: 0.125},
+		},
+		core.KindHCFirst: []core.HCFirstRecord{
+			{Chip: 0, Channel: 0, Pseudo: 0, Bank: 0, Row: 10, Pattern: pattern.Rowstripe0, HCFirst: 20000, Found: true},
+			{Chip: 0, Channel: 0, Pseudo: 0, Bank: 15, Row: 10, Pattern: pattern.Checkered0, HCFirst: 30000, Found: true},
+			{Chip: 0, Channel: 1, Pseudo: 1, Bank: 16, Row: 11, Pattern: pattern.Rowstripe0, WCDP: true, HCFirst: 18000, Found: true},
+			{Chip: 0, Channel: 1, Pseudo: 0, Bank: 17, Row: 11, Pattern: pattern.Checkered0, Found: false},
+			{Chip: 3, Channel: 0, Pseudo: 0, Bank: 47, Row: 10, Pattern: pattern.Rowstripe0, HCFirst: 40000, Found: true},
+			{Chip: 3, Channel: 0, Pseudo: 1, Bank: 32, Row: 12, Pattern: pattern.Rowstripe0, WCDP: true, HCFirst: 39000, Found: true},
+		},
+		core.KindHCNth: []core.HCNthRecord{
+			{Chip: 0, Channel: 0, Row: 10, Pattern: pattern.Rowstripe0, HC: []int{10000, 10250, 11000}, Found: true},
+			{Chip: 0, Channel: 0, Row: 11, Pattern: pattern.Checkered0, HC: nil, Found: false},
+			{Chip: 0, Channel: 1, Row: 10, Pattern: pattern.Rowstripe0, HC: []int{}, Found: false},
+			{Chip: 3, Channel: 0, Row: 12, Pattern: pattern.Rowstripe0, HC: []int{25000}, Found: true},
+		},
+		core.KindVariability: []core.VariabilityRecord{
+			{Chip: 0, Row: 10, MinHC: 10000, MaxHC: 24000, Iterations: 5, MeasuredRatios: true},
+			{Chip: 0, Row: 11, MinHC: 0, MaxHC: 0, Iterations: 5, MeasuredRatios: false},
+			{Chip: 3, Row: 10, MinHC: 16000, MaxHC: 16000, Iterations: 5, MeasuredRatios: true},
+		},
+		core.KindRowPressBER: []core.RowPressBERRecord{
+			{Chip: 0, Channel: 0, TAggON: 29 * hbm.NS, BERPercent: 0.5, RetentionBERPercent: 0.01, Rows: 32},
+			{Chip: 0, Channel: 0, TAggON: 3900 * hbm.NS, BERPercent: 2.5, RetentionBERPercent: 0.25, Rows: 32},
+			{Chip: 3, Channel: 1, TAggON: 29 * hbm.NS, BERPercent: 0.75, RetentionBERPercent: 0, Rows: 16},
+		},
+		core.KindRowPressHC: []core.RowPressHCRecord{
+			{Chip: 0, Channel: 0, Row: 10, TAggON: 29 * hbm.NS, HCFirst: 20000, Found: true, WithinWindow: true},
+			{Chip: 0, Channel: 0, Row: 10, TAggON: 3900 * hbm.NS, HCFirst: 4000, Found: true, WithinWindow: false},
+			{Chip: 3, Channel: 1, Row: 11, TAggON: 29 * hbm.NS, Found: false, WithinWindow: true},
+		},
+		core.KindBypass: []core.BypassRecord{
+			{Chip: 0, Row: 10, Dummies: 1, AggActs: 18, BERPercent: 0.5},
+			{Chip: 0, Row: 10, Dummies: 4, AggActs: 36, BERPercent: 1.5},
+			{Chip: 3, Row: 11, Dummies: 1, AggActs: 18, BERPercent: 0},
+		},
+		core.KindAging: []core.AgingRecord{
+			{Chip: 0, Channel: 0, Row: 10, OldBERPercent: 0.5, NewBERPercent: 0.75},
+			{Chip: 0, Channel: 1, Row: 11, OldBERPercent: 1, NewBERPercent: 0.5},
+			{Chip: 3, Channel: 0, Row: 10, OldBERPercent: 0, NewBERPercent: 0},
+		},
+	}
+}
+
+// equivSpecs returns every query both paths must answer identically for
+// a kind: the figure presets that apply to it, plus hand specs covering
+// sparse metrics, metric-threshold filters, every comparison op, and the
+// parameterized reducers.
+func equivSpecs(t *testing.T, kind core.Kind, sweep string) []Spec {
+	t.Helper()
+	figsByKind := map[core.Kind][]string{
+		core.KindBER:         {"fig4", "fig6", "fig9"},
+		core.KindHCFirst:     {"fig5", "fig7", "figrank"},
+		core.KindVariability: {"fig13"},
+		core.KindRowPressBER: {"fig14"},
+		core.KindRowPressHC:  {"fig15"},
+		core.KindBypass:      {"fig16"},
+	}
+	var specs []Spec
+	for _, fig := range figsByKind[kind] {
+		s, err := FigureSpec(fig, sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	// Ungrouped aggregation over the kind's first metric, with the
+	// parameterized reducers.
+	metric := Metrics(kind)[0]
+	specs = append(specs, Spec{
+		Sweep: sweep, Metric: metric,
+		Reducers:    []string{"count", "mean", "stddev", "cv", "min", "max", "median", "percentiles", "histogram"},
+		Percentiles: []float64{50, 90},
+		Edges:       []float64{0, 10000, 1e12},
+	})
+	// Group by every dimension at once (exercises each accessor), with a
+	// metric-threshold filter and a ne-op dimension filter.
+	specs = append(specs, Spec{
+		Sweep: sweep, GroupBy: Dimensions(kind), Metric: metric,
+		Where: []Cond{
+			{Dim: metric, Op: "ge", Value: "0"},
+			{Dim: "chip", Op: "ne", Value: "7"},
+		},
+	})
+	// Sparse-metric coverage: every metric as both aggregate and filter.
+	for _, m := range Metrics(kind) {
+		specs = append(specs, Spec{
+			Sweep: sweep, GroupBy: []string{"chip"}, Metric: m,
+			Where: []Cond{{Dim: m, Op: "gt", Value: "0.4"}},
+		})
+	}
+	// Comparison-op sweep on a string-ish dimension and a numeric one.
+	for _, op := range []string{"eq", "ne", "lt", "le", "gt", "ge"} {
+		specs = append(specs, Spec{
+			Sweep: sweep, GroupBy: []string{"chip"}, Metric: metric,
+			Where: []Cond{{Dim: "chip", Op: op, Value: "3"}},
+		})
+	}
+	return specs
+}
+
+// TestColumnarComputeEquivalence pins the tentpole's correctness claim:
+// ComputeColumnar over the encoded artifact produces Aggregate JSON
+// byte-identical to the flatten reference (ComputeEnv) for every figure
+// preset applicable to each kind, under every preset geometry's rank
+// environment. The flatten path is the oracle; any divergence is a bug
+// in the columnar path.
+func TestColumnarComputeEquivalence(t *testing.T) {
+	t.Parallel()
+	envs := []Env{{}}
+	for _, name := range []string{hbm.PresetHBM2, hbm.PresetHBM2E, hbm.PresetHBM3, "HBM3_16Gb_4R"} {
+		p, err := hbm.LookupPreset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs = append(envs, Env{BanksPerRank: p.Geometry.Banks})
+	}
+	sweep := "sha256:" + strings.Repeat("ef", 32)
+	for kind, recs := range equivRecords() {
+		kind, recs := kind, recs
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			h := core.SweepHeader{Format: 1, Kind: string(kind), Fingerprint: sweep, Cells: core.RecordCount(recs), Generation: 1}
+			var art bytes.Buffer
+			if err := core.EncodeColumnar(&art, h, recs); err != nil {
+				t.Fatal(err)
+			}
+			cs, err := core.DecodeColumnar(bytes.NewReader(art.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, env := range envs {
+				for _, spec := range equivSpecs(t, kind, sweep) {
+					ref, err := ComputeEnv(kind, recs, spec, env)
+					if err != nil {
+						t.Fatalf("ComputeEnv(%+v): %v", spec, err)
+					}
+					col, err := ComputeColumnar(cs, spec, env)
+					if err != nil {
+						t.Fatalf("ComputeColumnar(%+v): %v", spec, err)
+					}
+					refJSON, err := json.Marshal(ref)
+					if err != nil {
+						t.Fatal(err)
+					}
+					colJSON, err := json.Marshal(col)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(refJSON, colJSON) {
+						t.Fatalf("paths diverge for env %+v spec %+v:\nflatten:  %s\ncolumnar: %s",
+							env, spec, refJSON, colJSON)
+					}
+				}
+			}
+		})
+	}
+}
+
+// twinPath locates a stored sweep's columnar artifact on disk.
+func twinPath(t *testing.T, st *store.Store, fp string) string {
+	t.Helper()
+	jsonl, _, err := st.Path(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(filepath.Dir(jsonl), "results.hbmc")
+}
+
+// TestEngineColumnarPreference: a cache miss is answered from the
+// columnar artifact when present, falls back to JSONL (and backfills the
+// artifact) when not, and both cold paths produce byte-identical
+// aggregates for the same spec.
+func TestEngineColumnarPreference(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hcfirst.jsonl")
+	runTinyHCFirstToFile(t, path)
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := Ingest(st, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasColumnar(meta.Fingerprint) {
+		t.Fatal("ingest finalized no columnar artifact")
+	}
+
+	spec, err := FigureSpec("fig5", meta.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(st)
+	first, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != SourceColumnar {
+		t.Errorf("cold miss source = %q, want %q", first.Source, SourceColumnar)
+	}
+	if eng.RawReads() != 1 || eng.ColumnarReads() != 1 {
+		t.Errorf("raw/columnar reads = %d/%d, want 1/1", eng.RawReads(), eng.ColumnarReads())
+	}
+	hit, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit || hit.Source != SourceCache {
+		t.Errorf("second run: hit=%v source=%q", hit.CacheHit, hit.Source)
+	}
+
+	// Both forced cold paths bypass the cache and agree byte-for-byte
+	// with each other and with the cached aggregate.
+	colCold, err := eng.RunCold(spec, SourceColumnar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonlCold, err := eng.RunCold(spec, SourceJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colCold.CacheHit || jsonlCold.CacheHit {
+		t.Error("RunCold reported a cache hit")
+	}
+	if colCold.Source != SourceColumnar || jsonlCold.Source != SourceJSONL {
+		t.Errorf("cold sources = %q/%q", colCold.Source, jsonlCold.Source)
+	}
+	if !bytes.Equal(colCold.JSON, jsonlCold.JSON) || !bytes.Equal(colCold.JSON, first.JSON) {
+		t.Error("cold paths disagree on aggregate bytes")
+	}
+	if _, err := eng.RunCold(spec, "tape"); !errors.Is(err, ErrSpec) {
+		t.Errorf("unknown cold path: %v", err)
+	}
+
+	// Strip the artifact: the next cold query (a new spec, so no cached
+	// aggregate) falls back to JSONL and backfills the artifact.
+	if err := os.Remove(twinPath(t, st, meta.Fingerprint)); err != nil {
+		t.Fatal(err)
+	}
+	fallback, err := eng.Run(Spec{Sweep: meta.Fingerprint, GroupBy: []string{"channel"}, Metric: "hcfirst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fallback.Source != SourceJSONL {
+		t.Errorf("twin-less miss source = %q, want %q", fallback.Source, SourceJSONL)
+	}
+	if !st.HasColumnar(meta.Fingerprint) {
+		t.Error("JSONL fallback did not backfill the columnar artifact")
+	}
+	restored, err := eng.Run(Spec{Sweep: meta.Fingerprint, GroupBy: []string{"row"}, Metric: "hcfirst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Source != SourceColumnar {
+		t.Errorf("post-backfill miss source = %q, want %q", restored.Source, SourceColumnar)
+	}
+
+	// A forced-columnar cold run on a twin-less object errors instead of
+	// silently falling back.
+	if err := os.Remove(twinPath(t, st, meta.Fingerprint)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunCold(spec, SourceColumnar); !errors.Is(err, store.ErrNoColumnar) {
+		t.Errorf("forced columnar without artifact: %v, want ErrNoColumnar", err)
+	}
+	// A corrupt artifact is a fallback, not a failure.
+	if err := os.WriteFile(twinPath(t, st, meta.Fingerprint), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt, err := eng.Run(Spec{Sweep: meta.Fingerprint, GroupBy: []string{"pattern"}, Metric: "hcfirst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt.Source != SourceJSONL {
+		t.Errorf("corrupt-artifact miss source = %q, want %q", corrupt.Source, SourceJSONL)
+	}
+}
+
+// TestRankDimension: rank derives from the bank address via the env's
+// BanksPerRank, the zero Env collapses everything to rank 0, and the
+// figrank preset reproduces the per-(chip, rank) grouping end to end
+// through the engine on a multi-rank geometry.
+func TestRankDimension(t *testing.T) {
+	t.Parallel()
+	for _, kind := range []core.Kind{core.KindBER, core.KindHCFirst} {
+		if !hasName(Dimensions(kind), "rank") {
+			t.Errorf("kind %s lacks the rank dimension", kind)
+		}
+	}
+
+	recs := []core.HCFirstRecord{
+		{Chip: 0, Bank: 0, Row: 10, Pattern: pattern.Rowstripe0, HCFirst: 20000, Found: true},
+		{Chip: 0, Bank: 15, Row: 10, Pattern: pattern.Rowstripe0, HCFirst: 21000, Found: true},
+		{Chip: 0, Bank: 16, Row: 10, Pattern: pattern.Rowstripe0, HCFirst: 30000, Found: true},
+		{Chip: 0, Bank: 47, Row: 10, Pattern: pattern.Rowstripe0, HCFirst: 44000, Found: true},
+	}
+	spec := Spec{Sweep: "sha256:x", GroupBy: []string{"rank"}, Metric: "hcfirst"}
+	agg, err := ComputeEnv(core.KindHCFirst, recs, spec, Env{BanksPerRank: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Groups) != 3 ||
+		agg.Groups[0].Key[0] != "0" || agg.Groups[0].Count != 2 ||
+		agg.Groups[1].Key[0] != "1" || agg.Groups[1].Count != 1 ||
+		agg.Groups[2].Key[0] != "2" || agg.Groups[2].Count != 1 {
+		t.Errorf("rank groups = %+v", agg.Groups)
+	}
+	flat, err := ComputeEnv(core.KindHCFirst, recs, spec, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Groups) != 1 || flat.Groups[0].Key[0] != "0" || flat.Groups[0].Count != 4 {
+		t.Errorf("zero-env rank groups = %+v", flat.Groups)
+	}
+
+	// End to end: a stored multi-rank sweep queried through the engine
+	// with the figrank preset splits by rank because the stored geometry
+	// names a 4-rank organization.
+	fp := "sha256:" + strings.Repeat("4a", 32)
+	h := core.SweepHeader{Format: 1, Kind: string(core.KindHCFirst), Fingerprint: fp, Cells: len(recs), Generation: 1}
+	var buf bytes.Buffer
+	if err := core.EncodeRecords(&buf, h, recs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(store.Meta{Fingerprint: fp, Kind: string(core.KindHCFirst), Cells: len(recs), Geometry: "HBM3_16Gb_4R"}, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	figSpec, err := FigureSpec("figrank", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(st).Run(figSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceColumnar {
+		t.Errorf("figrank source = %q, want %q", res.Source, SourceColumnar)
+	}
+	var ranks []string
+	for _, g := range res.Aggregate.Groups {
+		ranks = append(ranks, g.Key[1])
+	}
+	if len(ranks) != 3 || ranks[0] != "0" || ranks[1] != "1" || ranks[2] != "2" {
+		t.Errorf("figrank rank keys = %v", ranks)
+	}
+}

@@ -27,6 +27,22 @@
 // derived cache without re-reading the raw records. Any change to the
 // aggregate's shape or the pipeline's semantics MUST bump
 // FormatGeneration so stale cached aggregates stop matching.
+//
+// # Cold-path selection
+//
+// On a derived-cache miss the engine has two ways to compute an
+// aggregate: decode the stored JSONL into records and flatten them
+// (the reference path), or stream the store's columnar twin
+// (results.hbmc) directly into the group-by/filter/reduce loop without
+// materializing records. Both paths implement the same rowSource
+// interface and feed the single computeOver pipeline, so they are
+// byte-identical by construction (asserted per figure preset by
+// TestColumnarComputeEquivalence and forced through both paths by the
+// query-smoke CI gate). Engine.Run prefers the columnar artifact and
+// falls back to JSONL when it is missing or unreadable, backfilling the
+// twin afterwards; Result.Source reports which path answered. Dimensions
+// derived from the sweep's recorded geometry (the rank axis,
+// rank = bank/banksPerRank) resolve through the same Env on both paths.
 package query
 
 import (
@@ -42,10 +58,29 @@ import (
 	"sync/atomic"
 
 	"hbmrd/internal/core"
+	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
 	"hbmrd/internal/stats"
 	"hbmrd/internal/store"
 )
+
+// Env carries geometry-derived context the records themselves do not
+// embed. The engine fills it from the stored sweep's preset; callers of
+// the pure Compute functions pass it explicitly (the zero Env means
+// single-rank: every record lands in rank 0).
+type Env struct {
+	// BanksPerRank derives the rank dimension from the flat bank address:
+	// rank = bank / BanksPerRank (see hbm.Geometry.RankOfBank). Zero or
+	// negative disables the split.
+	BanksPerRank int
+}
+
+func (e Env) rankOf(bank int) int {
+	if e.BanksPerRank <= 0 {
+		return 0
+	}
+	return bank / e.BanksPerRank
+}
 
 // FormatGeneration versions the aggregate output format and the pipeline
 // semantics. It feeds every derived-result cache key; bump it whenever the
@@ -245,9 +280,9 @@ func Dimensions(kind core.Kind) []string {
 	var dims []string
 	switch kind {
 	case core.KindBER:
-		dims = []string{"chip", "channel", "pseudo", "bank", "row", "pattern", "pattern_label", "wcdp"}
+		dims = []string{"chip", "channel", "pseudo", "bank", "rank", "row", "pattern", "pattern_label", "wcdp"}
 	case core.KindHCFirst:
-		dims = []string{"chip", "channel", "pseudo", "bank", "row", "pattern", "pattern_label", "wcdp", "found"}
+		dims = []string{"chip", "channel", "pseudo", "bank", "rank", "row", "pattern", "pattern_label", "wcdp", "found"}
 	case core.KindHCNth:
 		dims = []string{"chip", "channel", "row", "pattern", "pattern_label", "found"}
 	case core.KindVariability:
@@ -302,7 +337,7 @@ func hasName(names []string, want string) bool {
 // flatten decodes a kind's typed record slice (the shape DecodeRecords
 // returns) into the generic row model the pipeline groups and reduces.
 // Row order is record order, which is plan order.
-func flatten(kind core.Kind, records any) ([]row, error) {
+func flatten(kind core.Kind, records any, env Env) ([]row, error) {
 	var rows []row
 	add := func(dims map[string]dimVal, metrics map[string]float64) {
 		rows = append(rows, row{dims: dims, metrics: metrics})
@@ -312,7 +347,7 @@ func flatten(kind core.Kind, records any) ([]row, error) {
 		for _, r := range recs {
 			d := map[string]dimVal{
 				"chip": dInt(r.Chip), "channel": dInt(r.Channel), "pseudo": dInt(r.Pseudo),
-				"bank": dInt(r.Bank), "row": dInt(r.Row),
+				"bank": dInt(r.Bank), "rank": dInt(env.rankOf(r.Bank)), "row": dInt(r.Row),
 			}
 			patternDims(d, r.Pattern, r.WCDP)
 			add(d, map[string]float64{"ber_percent": r.BERPercent})
@@ -321,7 +356,8 @@ func flatten(kind core.Kind, records any) ([]row, error) {
 		for _, r := range recs {
 			d := map[string]dimVal{
 				"chip": dInt(r.Chip), "channel": dInt(r.Channel), "pseudo": dInt(r.Pseudo),
-				"bank": dInt(r.Bank), "row": dInt(r.Row), "found": dBool(r.Found),
+				"bank": dInt(r.Bank), "rank": dInt(env.rankOf(r.Bank)), "row": dInt(r.Row),
+				"found": dBool(r.Found),
 			}
 			patternDims(d, r.Pattern, r.WCDP)
 			add(d, map[string]float64{"hcfirst": float64(r.HCFirst)})
@@ -393,45 +429,33 @@ func flatten(kind core.Kind, records any) ([]row, error) {
 	return rows, nil
 }
 
-// match evaluates one filter against one row. A metric name is a valid
-// filter dim (threshold filters like ber_percent > 0).
-func match(r row, c Cond) (bool, error) {
-	var val dimVal
-	if dv, ok := r.dims[c.Dim]; ok {
-		val = dv
-	} else if mv, ok := r.metrics[c.Dim]; ok {
-		val = dimVal{str: fmtNum(mv), num: mv, isNum: true}
-	} else {
-		// A metric a sparse record does not carry (e.g. hc_first of an
-		// HCNth record that never flipped) filters the record out.
-		return false, nil
+// rowSource feeds computeOver one record at a time without dictating the
+// backing representation: the flatten path serves map lookups over []row,
+// the columnar path serves typed array reads. dim and metric resolve a
+// name to a per-row accessor once, so the hot loop does no map lookups by
+// name; a metric accessor's second return is false when the record does
+// not carry that metric (sparse metrics like hc_first of an HCNth record
+// that never flipped).
+type rowSource struct {
+	n      int
+	dim    func(name string) func(i int) dimVal
+	metric func(name string) func(i int) (float64, bool)
+}
+
+// rowsSource adapts the flattened row model to the source interface.
+func rowsSource(rows []row) rowSource {
+	return rowSource{
+		n: len(rows),
+		dim: func(name string) func(i int) dimVal {
+			return func(i int) dimVal { return rows[i].dims[name] }
+		},
+		metric: func(name string) func(i int) (float64, bool) {
+			return func(i int) (float64, bool) {
+				mv, ok := rows[i].metrics[name]
+				return mv, ok
+			}
+		},
 	}
-	var cmp int
-	if condNum, err := strconv.ParseFloat(c.Value, 64); err == nil && val.isNum {
-		switch {
-		case val.num < condNum:
-			cmp = -1
-		case val.num > condNum:
-			cmp = 1
-		}
-	} else {
-		cmp = strings.Compare(val.str, c.Value)
-	}
-	switch c.Op {
-	case "eq":
-		return cmp == 0, nil
-	case "ne":
-		return cmp != 0, nil
-	case "lt":
-		return cmp < 0, nil
-	case "le":
-		return cmp <= 0, nil
-	case "gt":
-		return cmp > 0, nil
-	case "ge":
-		return cmp >= 0, nil
-	}
-	return false, specErr("unknown filter op %q", c.Op)
 }
 
 // fmtNum formats a float the way keys and cells render: integers in full
@@ -513,12 +537,33 @@ type Aggregate struct {
 
 // Compute runs one canonicalized aggregation over a kind's decoded record
 // slice. It is the pure pipeline under Engine.Run - no store, no cache -
-// and is deterministic per the package contract.
+// and is deterministic per the package contract. It is also the reference
+// oracle for the columnar path: ComputeColumnar must produce the same
+// Aggregate bytes for the same records under the same Env.
 func Compute(kind core.Kind, records any, spec Spec) (*Aggregate, error) {
+	return ComputeEnv(kind, records, spec, Env{})
+}
+
+// ComputeEnv is Compute with explicit geometry context for the derived
+// dimensions (rank).
+func ComputeEnv(kind core.Kind, records any, spec Spec, env Env) (*Aggregate, error) {
 	cspec, err := spec.Canonical()
 	if err != nil {
 		return nil, err
 	}
+	rows, err := flatten(kind, records, env)
+	if err != nil {
+		return nil, err
+	}
+	return computeOver(kind, rowsSource(rows), cspec)
+}
+
+// computeOver is the single filter/group/reduce pipeline both record
+// representations feed. It pre-resolves every accessor the spec touches -
+// filter operands, group-key dimensions, the metric - so the flatten and
+// columnar paths share the loop below verbatim and cannot drift apart.
+// cspec must already be canonical.
+func computeOver(kind core.Kind, src rowSource, cspec Spec) (*Aggregate, error) {
 	dims, metrics := Dimensions(kind), Metrics(kind)
 	for _, g := range cspec.GroupBy {
 		if !hasName(dims, g) {
@@ -534,10 +579,36 @@ func Compute(kind core.Kind, records any, spec Spec) (*Aggregate, error) {
 		}
 	}
 
-	rows, err := flatten(kind, records)
-	if err != nil {
-		return nil, err
+	// One filter evaluator per cond: a dimension operand resolves ahead of
+	// a metric one (the vocabularies are disjoint per kind), the cond
+	// value's numeric form parses once, and comparisons are numeric only
+	// when both sides are (matching the row model's match semantics).
+	type condEval struct {
+		op        string
+		value     string
+		condNum   float64
+		condIsNum bool
+		dim       func(i int) dimVal
+		met       func(i int) (float64, bool)
 	}
+	conds := make([]condEval, 0, len(cspec.Where))
+	for _, w := range cspec.Where {
+		ce := condEval{op: w.Op, value: w.Value}
+		if n, err := strconv.ParseFloat(w.Value, 64); err == nil {
+			ce.condNum, ce.condIsNum = n, true
+		}
+		if hasName(dims, w.Dim) {
+			ce.dim = src.dim(w.Dim)
+		} else {
+			ce.met = src.metric(w.Dim)
+		}
+		conds = append(conds, ce)
+	}
+	keyGet := make([]func(i int) dimVal, len(cspec.GroupBy))
+	for i, g := range cspec.GroupBy {
+		keyGet[i] = src.dim(g)
+	}
+	metGet := src.metric(cspec.Metric)
 
 	type groupAcc struct {
 		key  []dimVal
@@ -547,26 +618,61 @@ func Compute(kind core.Kind, records any, spec Spec) (*Aggregate, error) {
 	var order []string
 	matched := 0
 rowLoop:
-	for _, r := range rows {
-		for _, w := range cspec.Where {
-			ok, err := match(r, w)
-			if err != nil {
-				return nil, err
+	for i := 0; i < src.n; i++ {
+		for _, ce := range conds {
+			var val dimVal
+			if ce.dim != nil {
+				val = ce.dim(i)
+			} else {
+				mv, ok := ce.met(i)
+				if !ok {
+					// A metric this record does not carry filters it out.
+					continue rowLoop
+				}
+				val = dimVal{str: fmtNum(mv), num: mv, isNum: true}
+			}
+			var cmp int
+			if ce.condIsNum && val.isNum {
+				switch {
+				case val.num < ce.condNum:
+					cmp = -1
+				case val.num > ce.condNum:
+					cmp = 1
+				}
+			} else {
+				cmp = strings.Compare(val.str, ce.value)
+			}
+			var ok bool
+			switch ce.op {
+			case "eq":
+				ok = cmp == 0
+			case "ne":
+				ok = cmp != 0
+			case "lt":
+				ok = cmp < 0
+			case "le":
+				ok = cmp <= 0
+			case "gt":
+				ok = cmp > 0
+			case "ge":
+				ok = cmp >= 0
+			default:
+				return nil, specErr("unknown filter op %q", ce.op)
 			}
 			if !ok {
 				continue rowLoop
 			}
 		}
 		matched++
-		mv, ok := r.metrics[cspec.Metric]
+		mv, ok := metGet(i)
 		if !ok {
 			continue // sparse metric this record does not carry
 		}
-		key := make([]dimVal, len(cspec.GroupBy))
+		key := make([]dimVal, len(keyGet))
 		var kb strings.Builder
-		for i, g := range cspec.GroupBy {
-			key[i] = r.dims[g]
-			kb.WriteString(key[i].str)
+		for k, get := range keyGet {
+			key[k] = get(i)
+			kb.WriteString(key[k].str)
 			kb.WriteByte(0x1f)
 		}
 		ks := kb.String()
@@ -597,7 +703,7 @@ rowLoop:
 
 	agg := &Aggregate{
 		Format: FormatGeneration, Sweep: cspec.Sweep, Kind: string(kind), Spec: cspec,
-		Records: core.RecordCount(records), Matched: matched,
+		Records: src.n, Matched: matched,
 	}
 	for _, ks := range order {
 		acc := groups[ks]
@@ -641,36 +747,67 @@ rowLoop:
 	return agg, nil
 }
 
+// Result.Source values: which path produced the aggregate bytes.
+const (
+	SourceCache    = "cache"    // served from the derived-result cache
+	SourceColumnar = "columnar" // computed from the columnar artifact
+	SourceJSONL    = "jsonl"    // computed from the raw JSONL records
+)
+
 // Result is one executed query: the typed aggregate, its canonical JSON
 // serialization (byte-identical across repeated runs of the same spec,
-// cache hit or miss), and whether the derived cache answered it.
+// whichever path produced it), and the path that answered it.
 type Result struct {
 	Aggregate Aggregate
 	JSON      []byte
 	CacheHit  bool
+	// Source is SourceCache, SourceColumnar or SourceJSONL.
+	Source string
 }
 
 // Engine executes query specs against a sweep store, content-addressing
 // every aggregate into the store's derived cache keyed on (sweep
 // fingerprint, canonical spec): the first run of a spec decodes and
 // reduces the raw records, every identical run after it is a cache hit
-// that never re-reads them.
+// that never re-reads them. On a miss the engine prefers the sweep's
+// columnar artifact and falls back to the JSONL records for objects that
+// predate the columnar format (backfilling their artifact as it goes).
 type Engine struct {
 	Store *store.Store
 
-	rawReads atomic.Int64
+	rawReads      atomic.Int64
+	columnarReads atomic.Int64
 }
 
 // NewEngine builds a query engine over a store.
 func NewEngine(s *store.Store) *Engine { return &Engine{Store: s} }
 
-// RawReads reports how many times the engine has opened a sweep's raw
-// record stream - the counter cache-hit tests assert does not move.
+// RawReads reports how many times the engine has gone to the stored
+// sweep bytes - either representation - instead of the derived cache.
+// The counter cache-hit tests assert does not move.
 func (e *Engine) RawReads() int64 { return e.rawReads.Load() }
 
+// ColumnarReads reports how many of those reads were served by the
+// columnar artifact rather than the JSONL records.
+func (e *Engine) ColumnarReads() int64 { return e.columnarReads.Load() }
+
+// envFor derives the query environment from the stored sweep's geometry
+// preset: multi-rank organizations expose the rank dimension as
+// bank/BanksPerRank. An unknown or absent preset means the zero Env.
+func envFor(meta *store.Meta) Env {
+	if meta == nil || meta.Geometry == "" {
+		return Env{}
+	}
+	p, err := hbm.LookupPreset(meta.Geometry)
+	if err != nil {
+		return Env{}
+	}
+	return Env{BanksPerRank: p.Geometry.Banks}
+}
+
 // Run executes one spec: canonicalize, serve from the derived cache when
-// the (sweep, spec) key is stored, otherwise decode the sweep's records,
-// aggregate, and cache the result.
+// the (sweep, spec) key is stored, otherwise aggregate the stored sweep -
+// columnar artifact preferred, JSONL fallback - and cache the result.
 func (e *Engine) Run(spec Spec) (*Result, error) {
 	cspec, err := spec.Canonical()
 	if err != nil {
@@ -686,7 +823,7 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 	if b, err := e.Store.GetDerived(key); err == nil {
 		var agg Aggregate
 		if err := json.Unmarshal(b, &agg); err == nil && agg.Format == FormatGeneration {
-			return &Result{Aggregate: agg, JSON: b, CacheHit: true}, nil
+			return &Result{Aggregate: agg, JSON: b, CacheHit: true, Source: SourceCache}, nil
 		}
 		// A corrupt or stale cached aggregate falls through to recompute.
 	} else if !errors.Is(err, store.ErrNotFound) {
@@ -694,19 +831,7 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 	}
 
 	e.rawReads.Add(1)
-	rc, meta, err := e.Store.Get(cspec.Sweep)
-	if err != nil {
-		return nil, err
-	}
-	defer rc.Close()
-	h, recs, err := core.DecodeRecords(core.Kind(meta.Kind), rc)
-	if err != nil {
-		return nil, err
-	}
-	if h.Fingerprint != cspec.Sweep {
-		return nil, fmt.Errorf("query: store object %s holds sweep %s", cspec.Sweep, h.Fingerprint)
-	}
-	agg, err := Compute(core.Kind(meta.Kind), recs, cspec)
+	agg, source, err := e.computeCold(cspec, "")
 	if err != nil {
 		return nil, err
 	}
@@ -720,7 +845,99 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 	// costs the next identical query a recompute, never this one its
 	// answer.
 	_ = e.Store.PutDerived(key, b)
-	return &Result{Aggregate: *agg, JSON: b, CacheHit: false}, nil
+	return &Result{Aggregate: *agg, JSON: b, CacheHit: false, Source: source}, nil
+}
+
+// RunCold executes one spec against the stored sweep bytes through one
+// explicit path - SourceColumnar or SourceJSONL - bypassing the derived
+// cache on both read and write. The harness equivalence checks use it to
+// assert the two representations produce byte-identical aggregates.
+func (e *Engine) RunCold(spec Spec, source string) (*Result, error) {
+	cspec, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	if cspec.Sweep == "" {
+		return nil, specErr("sweep fingerprint is required")
+	}
+	switch source {
+	case SourceColumnar, SourceJSONL:
+	default:
+		return nil, specErr("unknown cold path %q (have %s %s)", source, SourceColumnar, SourceJSONL)
+	}
+	e.rawReads.Add(1)
+	agg, got, err := e.computeCold(cspec, source)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(agg)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	return &Result{Aggregate: *agg, JSON: b, CacheHit: false, Source: got}, nil
+}
+
+// computeCold aggregates a stored sweep on a cache miss. forced pins the
+// path (SourceColumnar errors hard, for the equivalence harness); empty
+// prefers columnar and treats ANY columnar failure - no artifact on a
+// pre-format object, torn file, decode error - as "take the JSONL
+// contract path instead", because the artifact is an optimization and
+// the JSONL is the format of record.
+func (e *Engine) computeCold(cspec Spec, forced string) (*Aggregate, string, error) {
+	if forced != SourceJSONL {
+		agg, err := e.computeColumnar(cspec)
+		if err == nil {
+			return agg, SourceColumnar, nil
+		}
+		if forced == SourceColumnar {
+			return nil, "", err
+		}
+	}
+	agg, err := e.computeJSONL(cspec)
+	if err != nil {
+		return nil, "", err
+	}
+	if forced == "" {
+		// The sweep answered from JSONL, so it predates the columnar
+		// format: backfill the artifact (best-effort) so the next cold
+		// query takes the fast path.
+		_ = e.Store.EnsureColumnar(cspec.Sweep)
+	}
+	return agg, SourceJSONL, nil
+}
+
+func (e *Engine) computeColumnar(cspec Spec) (*Aggregate, error) {
+	rc, meta, err := e.Store.GetColumnar(cspec.Sweep)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	cs, err := core.DecodeColumnar(rc)
+	if err != nil {
+		return nil, err
+	}
+	if cs.Header.Fingerprint != cspec.Sweep {
+		return nil, fmt.Errorf("query: store object %s holds sweep %s", cspec.Sweep, cs.Header.Fingerprint)
+	}
+	e.columnarReads.Add(1)
+	return ComputeColumnar(cs, cspec, envFor(meta))
+}
+
+func (e *Engine) computeJSONL(cspec Spec) (*Aggregate, error) {
+	rc, meta, err := e.Store.Get(cspec.Sweep)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	h, recs, err := core.DecodeRecords(core.Kind(meta.Kind), rc)
+	if err != nil {
+		return nil, err
+	}
+	if h.Fingerprint != cspec.Sweep {
+		return nil, fmt.Errorf("query: store object %s holds sweep %s", cspec.Sweep, h.Fingerprint)
+	}
+	return ComputeEnv(core.Kind(meta.Kind), recs, cspec, envFor(meta))
 }
 
 // Table renders the aggregate as a header row plus one row of formatted
@@ -855,8 +1072,13 @@ func FigureSpec(fig, sweep string) (Spec, error) {
 		s.GroupBy = []string{"dummies", "agg_acts"}
 		s.Metric = "ber_percent"
 		s.Reducers = []string{"count", "mean", "max"}
+	case "figrank": // HCfirst across ranks within each chip (kind hcfirst, multi-rank organizations)
+		s.GroupBy = []string{"chip", "rank"}
+		s.Metric = "hcfirst"
+		s.Where = []Cond{{Dim: "found", Value: "true"}}
+		s.Reducers = []string{"count", "mean", "min", "max"}
 	default:
-		return Spec{}, specErr("no figure spec %q (have fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15 fig16)", fig)
+		return Spec{}, specErr("no figure spec %q (have fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15 fig16 figrank)", fig)
 	}
 	return s, nil
 }

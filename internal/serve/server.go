@@ -344,7 +344,9 @@ func (s *Server) handleRecords(w http.ResponseWriter, _ *http.Request, fp string
 // handleQuery runs one aggregation spec against the store. The canonical
 // aggregate JSON is content-addressed into the store's derived cache, so
 // a repeated identical spec is answered without re-reading the raw
-// records; the X-Hbmrd-Query-Cache header reports which path served it.
+// records; the X-Hbmrd-Query-Cache header reports hit or miss, and
+// X-Hbmrd-Query-Source which representation answered (cache, columnar,
+// or jsonl).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var spec query.Spec
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
@@ -370,6 +372,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		cache = "hit"
 	}
 	w.Header().Set("X-Hbmrd-Query-Cache", cache)
+	w.Header().Set("X-Hbmrd-Query-Source", res.Source)
 	if r.URL.Query().Get("format") == "csv" {
 		w.Header().Set("Content-Type", "text/csv")
 		_, _ = io.WriteString(w, res.Aggregate.CSV())

@@ -8,6 +8,7 @@
 // Layout under the root:
 //
 //	objects/<aa>/<rest-of-fingerprint>/results.jsonl
+//	objects/<aa>/<rest-of-fingerprint>/results.hbmc  (columnar twin)
 //	objects/<aa>/<rest-of-fingerprint>/meta.json
 //	derived/<aa>/<rest-of-key>.json  (cached query results)
 //	tmp/  (staging for atomic finalize)
@@ -16,6 +17,21 @@
 // objects/ in one step, so a crashed writer can never leave a half-object
 // at an address. Losing a race to another writer is success - the content
 // is identical by construction.
+//
+// # Columnar twin
+//
+// JSONL is the interchange contract - fingerprints, golden digests,
+// resume and the HTTP streaming surface are all defined over it - but it
+// is a slow read: every query miss pays one reflective JSON parse per
+// record. At finalize, Put therefore transcodes the stream into a compact
+// columnar twin (results.hbmc, see core.EncodeColumnar: per-field typed
+// arrays behind a self-describing header) stored beside the JSONL under
+// the same fingerprint. The twin is derived data, best-effort by design:
+// a stream the transcoder cannot decode finalizes without one, readers
+// fall back to the JSONL via Get, and EnsureColumnar backfills the twin
+// lazily for objects finalized before the format existed. GetColumnar
+// refreshes the object's LRU recency exactly as raw reads do, and Prune
+// evicts and accounts the twin together with its object.
 package store
 
 import (
@@ -29,10 +45,17 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"hbmrd/internal/core"
 )
 
 // ErrNotFound reports a fingerprint with no finished sweep in the store.
 var ErrNotFound = errors.New("store: sweep not found")
+
+// ErrNoColumnar reports a stored sweep without a columnar twin (finalized
+// before the format existed, or from a stream the transcoder could not
+// decode). The JSONL via Get still serves it; EnsureColumnar backfills.
+var ErrNoColumnar = errors.New("store: sweep has no columnar artifact")
 
 // Meta describes one stored sweep. Fingerprint, Kind and Cells identify
 // the sweep; Records and Bytes size it (Put computes both from the stream
@@ -236,6 +259,11 @@ func (s *Store) put(meta Meta, r io.Reader) error {
 		meta.Records = lc.lines - 1
 	}
 
+	// Transcode the staged stream into its columnar twin. Best-effort: a
+	// stream the decoder rejects (not a sweep, unknown kind) finalizes
+	// without one and readers stay on the JSONL path.
+	_ = transcodeColumnar(filepath.Join(stage, "results.jsonl"), filepath.Join(stage, "results.hbmc"))
+
 	mb, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -253,6 +281,114 @@ func (s *Store) put(meta Meta, r io.Reader) error {
 			return nil
 		}
 		return fmt.Errorf("store: finalizing %s: %w", meta.Fingerprint, err)
+	}
+	return nil
+}
+
+// transcodeColumnar decodes the sweep JSONL at src and writes its
+// columnar twin to dst (written whole, then synced - callers either stage
+// inside a not-yet-visible object or rename into place themselves).
+func transcodeColumnar(src, dst string) error {
+	f, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, recs, err := core.DecodeRecords("", f)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	err = core.EncodeColumnar(out, h, recs)
+	if serr := out.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dst)
+	}
+	return err
+}
+
+// GetColumnar opens the stored sweep's columnar twin and its metadata.
+// The caller closes the reader. Returns ErrNotFound when the fingerprint
+// has no finished sweep, and ErrNoColumnar when the sweep is stored but
+// carries no twin (readers should fall back to Get and may backfill via
+// EnsureColumnar). A columnar hit refreshes the object's LRU recency just
+// like a raw read.
+func (s *Store) GetColumnar(fingerprint string) (io.ReadCloser, *Meta, error) {
+	dir, err := s.objectDir(fingerprint)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, err := readMeta(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, ErrNotFound
+		}
+		return nil, nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, "results.hbmc"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("%w: %s", ErrNoColumnar, fingerprint)
+		}
+		return nil, nil, err
+	}
+	touch(filepath.Join(dir, "meta.json"))
+	return f, meta, nil
+}
+
+// HasColumnar reports whether the stored sweep carries a columnar twin.
+func (s *Store) HasColumnar(fingerprint string) bool {
+	dir, err := s.objectDir(fingerprint)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(dir, "results.hbmc"))
+	return err == nil
+}
+
+// EnsureColumnar backfills the columnar twin of an already-finalized
+// sweep - the lazy migration path for stores populated before the format
+// existed. Idempotent: a present twin is left untouched. The twin is
+// staged under tmp/ and renamed into the object, so concurrent callers
+// race safely (identical content by construction) and a crash leaves no
+// half-written artifact. Returns ErrNotFound when the fingerprint has no
+// finished sweep.
+func (s *Store) EnsureColumnar(fingerprint string) error {
+	dir, err := s.objectDir(fingerprint)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); err != nil {
+		if os.IsNotExist(err) {
+			return ErrNotFound
+		}
+		return err
+	}
+	dst := filepath.Join(dir, "results.hbmc")
+	if _, err := os.Stat(dst); err == nil {
+		return nil
+	}
+	stage, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "columnar-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	stagePath := stage.Name()
+	stage.Close()
+	if err := transcodeColumnar(filepath.Join(dir, "results.jsonl"), stagePath); err != nil {
+		os.Remove(stagePath)
+		return fmt.Errorf("store: transcoding %s: %w", fingerprint, err)
+	}
+	if err := os.Rename(stagePath, dst); err != nil {
+		os.Remove(stagePath)
+		return fmt.Errorf("store: backfilling %s: %w", fingerprint, err)
 	}
 	return nil
 }

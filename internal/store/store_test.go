@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"os"
@@ -9,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hbmrd/internal/core"
 )
 
 const testFP = "sha256:0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
@@ -221,8 +224,11 @@ func TestStoreDerived(t *testing.T) {
 }
 
 // TestStorePruneLRU: Prune evicts least-recently-accessed entries - sweep
-// objects and derived results alike - until the payload fits the budget,
-// and a Get refreshes recency so hot sweeps survive.
+// objects (with their columnar twins) and derived results alike - until
+// the payload fits the budget, and a Get or GetColumnar refreshes recency
+// so hot sweeps survive. The object mix is deliberately old/new: one
+// stale sweep has its twin stripped (an object finalized before the
+// columnar format existed) and must still be sized and evicted correctly.
 func TestStorePruneLRU(t *testing.T) {
 	t.Parallel()
 	s := openTestStore(t)
@@ -236,6 +242,14 @@ func TestStorePruneLRU(t *testing.T) {
 		if err := s.Put(Meta{Fingerprint: fp, Kind: "ber", Cells: 2}, strings.NewReader(content)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// fps[1] predates the columnar format: strip its twin.
+	oldDir, err := s.objectDir(fps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(oldDir, "results.hbmc")); err != nil {
+		t.Fatal(err)
 	}
 	dkey := "sha256:4444444444444444444444444444444444444444444444444444444444444444"
 	if err := s.PutDerived(dkey, []byte("{}\n")); err != nil {
@@ -267,26 +281,38 @@ func TestStorePruneLRU(t *testing.T) {
 	stamp(fps[1], 2*time.Minute, false)
 	stamp(fps[2], 3*time.Minute, false)
 
-	// A Get on the oldest sweep refreshes it past everything else.
-	rc, _, err := s.Get(fps[0])
+	// A columnar read on the oldest sweep refreshes it past everything
+	// else, exactly as a raw Get would.
+	rc, _, err := s.GetColumnar(fps[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	rc.Close()
 
-	// Budget for exactly one sweep object (results.jsonl + meta.json): the
-	// derived result and the two stale sweeps go, the refreshed one stays.
+	// Budget for exactly one sweep object - results.jsonl plus its
+	// columnar twin plus meta.json; the twin counts toward the budget -
+	// so the derived result and the two stale sweeps go, the refreshed
+	// one stays.
 	dir, err := s.objectDir(fps[0])
 	if err != nil {
 		t.Fatal(err)
 	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var keep int64
-	for _, name := range []string{"results.jsonl", "meta.json"} {
-		fi, err := os.Stat(filepath.Join(dir, name))
+	sawTwin := false
+	for _, f := range files {
+		fi, err := f.Info()
 		if err != nil {
 			t.Fatal(err)
 		}
 		keep += fi.Size()
+		sawTwin = sawTwin || f.Name() == "results.hbmc"
+	}
+	if !sawTwin {
+		t.Fatal("finalized object has no columnar twin to account for")
 	}
 	removed, err := s.Prune(keep)
 	if err != nil {
@@ -312,6 +338,120 @@ func TestStorePruneLRU(t *testing.T) {
 	}
 	if !s.Has(fps[1]) {
 		t.Error("re-put after prune not visible")
+	}
+}
+
+// TestStoreColumnarTwin: Put transcodes the finalized stream into a
+// columnar twin under the same fingerprint; GetColumnar serves it and
+// decodes back to the exact records of the JSONL; a junk stream (not a
+// sweep) finalizes without a twin and GetColumnar reports ErrNoColumnar.
+func TestStoreColumnarTwin(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	// Byte-identity through the twin only holds for streams in canonical
+	// EncodeRecords form (the only form the pipeline ever finalizes), so
+	// normalize the shorthand test content first.
+	raw := strings.ReplaceAll(testContent(), `{"Chip":0}`, `{"Chip":0,"Pattern":"Rowstripe0"}`)
+	raw = strings.ReplaceAll(raw, `{"Chip":1}`, `{"Chip":1,"Pattern":"Checkered1"}`)
+	hdr, recs, err := core.DecodeRecords("", strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canon bytes.Buffer
+	if err := core.EncodeRecords(&canon, hdr, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Meta{Fingerprint: testFP, Kind: "ber", Cells: 2}, bytes.NewReader(canon.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasColumnar(testFP) {
+		t.Fatal("finalized sweep has no columnar twin")
+	}
+	rc, meta, err := s.GetColumnar(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if meta.Kind != "ber" {
+		t.Errorf("columnar meta kind = %q", meta.Kind)
+	}
+	cs, err := core.DecodeColumnar(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Header.Fingerprint != testFP || cs.Len() != 2 {
+		t.Fatalf("columnar twin header %+v, %d rows", cs.Header, cs.Len())
+	}
+	back, err := cs.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re bytes.Buffer
+	if err := core.EncodeRecords(&re, cs.Header, back); err != nil {
+		t.Fatal(err)
+	}
+	if re.String() != canon.String() {
+		t.Error("columnar twin does not re-encode to the stored JSONL")
+	}
+
+	// Junk content finalizes (the store is format-agnostic about its
+	// payload) but gets no twin.
+	junkFP := "sha256:9999999999999999999999999999999999999999999999999999999999999999"
+	if err := s.Put(Meta{Fingerprint: junkFP, Kind: "mystery", Cells: 1}, strings.NewReader("not a sweep\n")); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasColumnar(junkFP) {
+		t.Error("junk stream grew a columnar twin")
+	}
+	if _, _, err := s.GetColumnar(junkFP); !errors.Is(err, ErrNoColumnar) {
+		t.Errorf("GetColumnar on twin-less object: %v, want ErrNoColumnar", err)
+	}
+	if _, _, err := s.GetColumnar("sha256:" + strings.Repeat("ab", 32)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetColumnar on absent object: %v, want ErrNotFound", err)
+	}
+}
+
+// TestEnsureColumnarBackfill: an object finalized without a twin (a store
+// populated before the format existed) is backfilled in place, and the
+// call is idempotent.
+func TestEnsureColumnarBackfill(t *testing.T) {
+	t.Parallel()
+	s := openTestStore(t)
+	if err := s.Put(Meta{Fingerprint: testFP, Kind: "ber", Cells: 2}, strings.NewReader(testContent())); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := s.objectDir(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "results.hbmc")); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasColumnar(testFP) {
+		t.Fatal("twin still present after strip")
+	}
+	if err := s.EnsureColumnar(testFP); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasColumnar(testFP) {
+		t.Fatal("EnsureColumnar left no twin")
+	}
+	before, err := os.Stat(filepath.Join(dir, "results.hbmc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnsureColumnar(testFP); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(filepath.Join(dir, "results.hbmc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("idempotent EnsureColumnar rewrote the twin")
+	}
+	if err := s.EnsureColumnar("sha256:" + strings.Repeat("cd", 32)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("EnsureColumnar on absent object: %v, want ErrNotFound", err)
 	}
 }
 

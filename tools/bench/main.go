@@ -34,9 +34,11 @@ import (
 	"time"
 )
 
-// defaultBench selects the kernels that bound sweep throughput plus one
-// end-to-end figure benchmark.
-const defaultBench = "FlipMaskHot|FlipMaskRetention|CalibFirstTouch|TrialJitter|Fig5HCFirstAcrossChips|RowInitReadHotPath|HammerReadHotPath|HammerThroughput|SweepJobsScaling|StrictTimingRowOps"
+// defaultBench selects the kernels that bound sweep throughput, one
+// end-to-end figure benchmark, and the query read path (cold-miss
+// aggregation through both stored representations plus the columnar
+// artifact decode).
+const defaultBench = "FlipMaskHot|FlipMaskRetention|CalibFirstTouch|TrialJitter|Fig5HCFirstAcrossChips|RowInitReadHotPath|HammerReadHotPath|HammerThroughput|SweepJobsScaling|StrictTimingRowOps|QueryFig5ColdMiss|ColumnarDecode"
 
 // Result is one benchmark data point.
 type Result struct {

@@ -123,6 +123,26 @@ func run(update bool, goldenPath string) error {
 		out.Write(res.JSON)
 		out.WriteString(res.Aggregate.CSV())
 	}
+	// Every golden query must produce byte-identical aggregates through
+	// both cold representations - the columnar artifact and the raw
+	// JSONL records - the equivalence contract that lets the engine pick
+	// its path freely.
+	for _, spec := range specs {
+		col, err := eng.RunCold(spec, hbmrd.QuerySourceColumnar)
+		if err != nil {
+			return fmt.Errorf("cold columnar %v: %w", spec.Reducers, err)
+		}
+		raw, err := eng.RunCold(spec, hbmrd.QuerySourceJSONL)
+		if err != nil {
+			return fmt.Errorf("cold jsonl %v: %w", spec.Reducers, err)
+		}
+		if !bytes.Equal(col.JSON, raw.JSON) {
+			return fmt.Errorf("reducer %v: columnar and JSONL cold paths disagree:\n  columnar: %s\n  jsonl:    %s",
+				spec.Reducers, col.JSON, raw.JSON)
+		}
+	}
+	fmt.Fprintf(&out, "==== paths ====\ncold columnar/jsonl byte-identical across %d queries\n", len(specs))
+
 	// The derived cache must answer a repeated spec without re-reading
 	// the raw records.
 	before := eng.RawReads()
