@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands directly.
 
-.PHONY: test short bench race ci bench-check golden
+.PHONY: test short bench race ci bench-check golden fabric-chaos
 
 test:
 	go build ./... && go test ./...
@@ -28,12 +28,21 @@ bench-check:
 	go run ./tools/bench -check -benchtime 200ms
 
 # golden runs the byte-identity contract at full scale: the pinned sweep
-# digests, the checkpoint/resume byte-identity tests, and the decode
-# layer's encode->decode->re-encode round trips - JSONL and the columnar
+# digests, the checkpoint/resume byte-identity tests, the decode layer's
+# encode->decode->re-encode round trips - JSONL and the columnar
 # artifact - for every record type on every preset (guards
-# internal/core's DecodeRecords and the columnar codec against drift).
+# internal/core's DecodeRecords and the columnar codec against drift),
+# and the sharded-execution golden (a sweep split across in-process
+# workers must merge to the exact bytes of an uninterrupted local run).
 golden:
-	go test -count=1 -run 'TestGoldenSweepDigest|PresetMatrixGoldenDigest|ResumeByteIdentity|RoundTripByteIdentity' ./...
+	go test -count=1 -run 'TestGoldenSweepDigest|PresetMatrixGoldenDigest|ResumeByteIdentity|RoundTripByteIdentity|GoldenShardedByteIdentity' ./...
+
+# fabric-chaos runs the distributed-sweep failure-injection suite under
+# the race detector: dropped connections, injected 5xx, torn shard
+# streams, hung workers, and drained-worker resume, all asserting
+# byte-identity of the merged output.
+fabric-chaos:
+	go test -race -count=1 ./internal/fabric/ ./internal/serve/
 
 # query-smoke runs a tiny sweep into a temp store, executes one query per
 # aggregation reducer through the content-addressed query engine, and

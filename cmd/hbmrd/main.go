@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hbmrd [-full] [-chips 0,1,...] [-geometry PRESET] [-jobs N] [-progress] [-out results.jsonl] <artifact>
+//	hbmrd [-full] [-chips 0,1,...] [-geometry PRESET] [-jobs N] [-progress] [-out results.jsonl] [-shard S:E] <artifact>
 //
 // -geometry selects a chip organization preset: HBM2_8Gb (the paper's
 // part and the default), the legacy HBM2E_16Gb/HBM3_16Gb organizations,
@@ -21,7 +21,9 @@
 // of the full result set). Interrupting with Ctrl-C cancels the in-flight
 // sweep promptly; -resume FILE picks a cancelled -out run back up from
 // its valid prefix and completes the file byte-identically to an
-// uninterrupted run.
+// uninterrupted run. -shard START:END runs only that contiguous range of
+// the sweep's plan cells under the shard's sub-fingerprint - the unit the
+// distributed fabric (hbmrdd -peers) dispatches to workers.
 //
 // Artifacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15 fig16 fig17 trr attack defense all
@@ -77,6 +79,7 @@ type runCtx struct {
 	progress bool
 	out      *hbmrd.JSONLFileSink
 	resume   *hbmrd.Checkpoint
+	shard    *hbmrd.ShardRange
 	// label is the artifact name, used for progress-sink lines.
 	label string
 }
@@ -93,6 +96,7 @@ func run(ctx context.Context, args []string) error {
 	progress := fs.Bool("progress", false, "report live sweep progress on stderr")
 	outFlag := fs.String("out", "", "stream experiment records to this JSON Lines file")
 	resumeFlag := fs.String("resume", "", "resume a cancelled -out run from this JSON Lines file")
+	shardFlag := fs.String("shard", "", "run only plan cells START:END of the artifact's sweep (a distributed-fabric shard)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,6 +123,15 @@ func run(ctx context.Context, args []string) error {
 			}
 			c.chips = append(c.chips, idx)
 		}
+	}
+	if *shardFlag != "" {
+		start, end, ok := strings.Cut(*shardFlag, ":")
+		s, serr := strconv.Atoi(strings.TrimSpace(start))
+		e, eerr := strconv.Atoi(strings.TrimSpace(end))
+		if !ok || serr != nil || eerr != nil {
+			return fmt.Errorf("bad -shard value %q: want START:END plan cell indices", *shardFlag)
+		}
+		c.shard = &hbmrd.ShardRange{Start: s, End: e}
 	}
 	// Reject unknown artifacts before -out truncates an existing results
 	// file over a typo.
@@ -372,6 +385,9 @@ func (c runCtx) runOpts() []hbmrd.RunOption {
 	}
 	if c.resume != nil {
 		opts = append(opts, hbmrd.WithResume(c.resume))
+	}
+	if c.shard != nil {
+		opts = append(opts, hbmrd.WithShard(*c.shard))
 	}
 	return opts
 }

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	hbmrdd [-addr :8344] [-store DIR] [-workers N] [-jobs N] [-drain-timeout 10s]
+//	       [-peers URL,URL,...] [-shards N] [-http-timeout 30s] [-http-idle-timeout 2m]
+//
+// With -peers the daemon becomes a sweep coordinator: shardable sweeps
+// are split into contiguous cell-range shards and dispatched to the
+// listed hbmrdd workers with retry, backoff, per-shard timeouts, and
+// worker quarantine; the merged result is byte-identical to a local run,
+// and any shard the pool cannot finish is healed locally through the
+// ordinary checkpoint-resume path.
 //
 // Endpoints:
 //
@@ -39,6 +47,9 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
+	"hbmrd/internal/fabric"
 	"hbmrd/internal/serve"
 	"hbmrd/internal/store"
 )
@@ -57,6 +68,11 @@ func run(args []string) error {
 	workers := fs.Int("workers", 1, "max concurrently executing sweeps")
 	jobs := fs.Int("jobs", 0, "per-sweep engine workers (default GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max time to wait on shutdown for in-flight sweeps to checkpoint")
+	peers := fs.String("peers", "", "comma-separated worker base URLs; when set, shardable sweeps are distributed across them")
+	shards := fs.Int("shards", 0, "shards per distributed sweep (default 2 per peer)")
+	shardTimeout := fs.Duration("shard-timeout", 2*time.Minute, "per-shard end-to-end deadline across retries")
+	httpTimeout := fs.Duration("http-timeout", 30*time.Second, "request header+body read deadline (slowloris guard)")
+	httpIdleTimeout := fs.Duration("http-idle-timeout", 2*time.Minute, "keep-alive idle connection deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,12 +81,34 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(serve.Config{Store: st, Workers: *workers, Jobs: *jobs})
+	cfg := serve.Config{Store: st, Workers: *workers, Jobs: *jobs}
+	if *peers != "" {
+		coord, err := fabric.New(fabric.Config{
+			Peers:        strings.Split(*peers, ","),
+			Shards:       *shards,
+			ShardTimeout: *shardTimeout,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Distribute = coord.Distribute
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// WriteTimeout stays 0 on purpose: live NDJSON tails are open-ended.
+	// Read deadlines and the idle deadline keep a slow or stalled client
+	// from pinning a connection forever.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *httpTimeout,
+		ReadTimeout:       *httpTimeout,
+		IdleTimeout:       *httpIdleTimeout,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

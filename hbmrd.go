@@ -171,6 +171,32 @@ func SweepFingerprint(kind SweepKind, fleet []*TestChip, cfg any) (string, error
 	return core.FingerprintFor(kind, fleet, cfg)
 }
 
+// ShardRange is a contiguous [Start, End) range of a sweep's plan cells,
+// the unit the distributed fabric splits sweeps into.
+type ShardRange = core.ShardRange
+
+// WithShard restricts a sweep run to the plan cells in r: the stream's
+// header carries the parent fingerprint plus the range, its fingerprint
+// is the shard's sub-fingerprint, and its records are exactly the
+// parent's record lines for that range - so concatenating contiguous
+// shard payloads under the parent header reproduces the whole-sweep file
+// byte for byte. Aging sweeps cannot shard.
+func WithShard(r ShardRange) RunOption { return core.WithShard(r) }
+
+// ShardFingerprint derives the deterministic sub-fingerprint of the
+// [start, end) shard of the sweep fingerprinted by parent.
+func ShardFingerprint(parent string, start, end int) string {
+	return core.ShardFingerprint(parent, start, end)
+}
+
+// SweepPlanSize reports how many plan cells a Run*Context call with this
+// kind, fleet, and config would execute - the bound shard ranges are
+// validated against. Aging sweeps compose two inner sweeps and have no
+// single plan; they return an error.
+func SweepPlanSize(kind SweepKind, fleet []*TestChip, cfg any) (int, error) {
+	return core.PlanSize(kind, fleet, cfg)
+}
+
 // NewJSONLSink streams every record to w as one JSON object per line -
 // the sweep's fingerprint header first, then records in plan order, so a
 // truncated file is a valid prefix of the full result set and a

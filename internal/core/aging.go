@@ -65,6 +65,11 @@ func RunAgingContext(ctx context.Context, fleet []*TestChip, cfg AgingConfig, op
 	if o.resume != nil {
 		return nil, fmt.Errorf("core: aging sweeps stream no resumable prefix; re-run from scratch")
 	}
+	// Joined records are emitted only once both inner sweeps finish, so no
+	// cell range of a single plan maps to a slice of the output stream.
+	if o.shard != nil {
+		return nil, fmt.Errorf("core: aging sweeps compose two inner sweeps and cannot be sharded")
+	}
 	var innerOpts []RunOption
 	if o.jobs > 0 {
 		innerOpts = append(innerOpts, WithJobs(o.jobs))

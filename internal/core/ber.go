@@ -88,7 +88,7 @@ func RunBERContext(ctx context.Context, fleet []*TestChip, cfg BERConfig, opts .
 	p := newPlan(fleet, cfg.Channels, cfg.Pseudos, cfg.Banks, len(cfg.Rows))
 	o := applyOpts(opts)
 	// Every cell emits one record per pattern plus the derived WCDP record.
-	st, err := prepareSweep[BERRecord](KindBER, fleet, cfg, p, o, fixedSpan(len(cfg.Patterns)+1))
+	p, st, err := prepareSweep[BERRecord](KindBER, fleet, cfg, p, o, fixedSpan(len(cfg.Patterns)+1))
 	if err != nil {
 		return nil, err
 	}

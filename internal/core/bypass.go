@@ -74,7 +74,7 @@ func RunBypassContext(ctx context.Context, fleet []*TestChip, cfg BypassConfig, 
 	p := newPlan(fleet, []int{cfg.Channel}, []int{cfg.Pseudo}, []int{cfg.Bank},
 		len(cfg.DummyCounts)*len(cfg.AggActs)*len(cfg.Victims))
 	o := applyOpts(opts)
-	st, err := prepareSweep[BypassRecord](KindBypass, fleet, cfg, p, o, fixedSpan(1))
+	p, st, err := prepareSweep[BypassRecord](KindBypass, fleet, cfg, p, o, fixedSpan(1))
 	if err != nil {
 		return nil, err
 	}

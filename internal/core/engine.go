@@ -54,6 +54,7 @@ type runOpts struct {
 	jobs   int
 	sink   Sink
 	resume *Checkpoint
+	shard  *ShardRange
 }
 
 // RunOption tunes how a runner executes its sweep. Every Run*Context entry

@@ -80,7 +80,7 @@ func RunHCFirstContext(ctx context.Context, fleet []*TestChip, cfg HCFirstConfig
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, cfg.Channels, cfg.Pseudos, cfg.Banks, len(cfg.Rows))
 	o := applyOpts(opts)
-	st, err := prepareSweep[HCFirstRecord](KindHCFirst, fleet, cfg, p, o, hcFirstSpan(len(cfg.Patterns)))
+	p, st, err := prepareSweep[HCFirstRecord](KindHCFirst, fleet, cfg, p, o, hcFirstSpan(len(cfg.Patterns)))
 	if err != nil {
 		return nil, err
 	}

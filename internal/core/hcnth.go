@@ -93,7 +93,7 @@ func RunHCNthContext(ctx context.Context, fleet []*TestChip, cfg HCNthConfig, op
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, cfg.Channels, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.Rows)*len(cfg.Patterns))
 	o := applyOpts(opts)
-	st, err := prepareSweep[HCNthRecord](KindHCNth, fleet, cfg, p, o, fixedSpan(1))
+	p, st, err := prepareSweep[HCNthRecord](KindHCNth, fleet, cfg, p, o, fixedSpan(1))
 	if err != nil {
 		return nil, err
 	}

@@ -24,13 +24,23 @@ type SweepHeader struct {
 	Kind string `json:"kind"`
 	// Fingerprint is the content hash of (kind, canonical config, geometry,
 	// timing, chip set and row mappings, code generation). Equal
-	// fingerprints mean byte-identical record streams.
+	// fingerprints mean byte-identical record streams. For a shard it is
+	// the shard's sub-fingerprint (see ShardFingerprint).
 	Fingerprint string `json:"fingerprint"`
-	// Cells is the sweep's total plan cell count.
+	// Cells is the stream's plan cell count: the whole sweep's, or - for a
+	// shard - only the shard range's.
 	Cells int `json:"cells"`
 	// Generation is the CodeGeneration the producer was built at (also part
 	// of the fingerprint; duplicated here for human readers).
 	Generation int `json:"generation"`
+	// Parent is the full sweep's fingerprint when this stream is a shard
+	// produced under WithShard; empty (and omitted, so whole-sweep header
+	// bytes are unchanged) otherwise.
+	Parent string `json:"parent,omitempty"`
+	// ShardStart and ShardEnd bound the parent-plan cell range
+	// [ShardStart, ShardEnd) a shard stream covers.
+	ShardStart int `json:"shard_start,omitempty"`
+	ShardEnd   int `json:"shard_end,omitempty"`
 }
 
 // rawLine is one complete record line of a checkpoint file plus the byte
@@ -196,31 +206,46 @@ type sweepState[R any] struct {
 	resumed bool
 }
 
-// prepareSweep computes the sweep's fingerprint and, when the caller
-// passed WithResume, validates the checkpoint against it and resolves the
-// resume plan: walk the plan in order, consume each cell's records from
-// the prefix via span, and stop at the first cell the prefix does not
-// fully cover. Records of a partially covered cell are cut off by truncAt
-// so the re-run cell appends exactly once.
-func prepareSweep[R any](kind Kind, fleet []*TestChip, cfg any, p plan, o runOpts, span spanFunc) (*sweepState[R], error) {
+// prepareSweep computes the sweep's fingerprint, narrows the plan to the
+// shard range when the caller passed WithShard, and, when the caller
+// passed WithResume, validates the checkpoint against the (shard)
+// fingerprint and resolves the resume plan: walk the plan in order,
+// consume each cell's records from the prefix via span, and stop at the
+// first cell the prefix does not fully cover. Records of a partially
+// covered cell are cut off by truncAt so the re-run cell appends exactly
+// once. The returned plan is the one to execute (the shard slice under
+// WithShard, the input plan otherwise).
+func prepareSweep[R any](kind Kind, fleet []*TestChip, cfg any, p plan, o runOpts, span spanFunc) (plan, *sweepState[R], error) {
 	fp, err := fingerprintSweep(kind, fleet, cfg)
 	if err != nil {
-		return nil, err
+		return p, nil, err
 	}
-	st := &sweepState[R]{header: SweepHeader{
+	h := SweepHeader{
 		Format: sweepFormat, Kind: string(kind), Fingerprint: fp,
 		Cells: len(p.cells), Generation: CodeGeneration,
-	}}
+	}
+	if o.shard != nil {
+		sr := *o.shard
+		if err := sr.validate(len(p.cells)); err != nil {
+			return p, nil, err
+		}
+		h.Parent = fp
+		h.ShardStart, h.ShardEnd = sr.Start, sr.End
+		h.Fingerprint = ShardFingerprint(fp, sr.Start, sr.End)
+		h.Cells = sr.End - sr.Start
+		p = plan{cells: p.cells[sr.Start:sr.End]}
+	}
+	st := &sweepState[R]{header: h}
 	cp := o.resume
 	if cp == nil {
-		return st, nil
+		return p, st, nil
 	}
 	if cp.Header.Kind != string(kind) {
-		return nil, fmt.Errorf("core: checkpoint is a %s sweep, not %s", cp.Header.Kind, kind)
+		return p, nil, fmt.Errorf("core: checkpoint is a %s sweep, not %s", cp.Header.Kind, kind)
 	}
-	if cp.Header.Fingerprint != fp {
-		return nil, fmt.Errorf("core: checkpoint fingerprint %s does not match this sweep (%s): "+
-			"the config, chip set, geometry, or code generation changed", cp.Header.Fingerprint, fp)
+	if cp.Header.Fingerprint != h.Fingerprint {
+		return p, nil, fmt.Errorf("core: checkpoint fingerprint %s does not match this sweep (%s): "+
+			"the config, chip set, geometry, shard range, or code generation changed", cp.Header.Fingerprint, h.Fingerprint)
 	}
 	st.resumed = true
 	st.truncAt = cp.headerEnd
@@ -228,7 +253,7 @@ func prepareSweep[R any](kind Kind, fleet []*TestChip, cfg any, p plan, o runOpt
 	for ci := range p.cells {
 		n, complete, err := span(cp.lines[rec:])
 		if err != nil {
-			return nil, err
+			return p, nil, err
 		}
 		if !complete {
 			break
@@ -237,7 +262,7 @@ func prepareSweep[R any](kind Kind, fleet []*TestChip, cfg any, p plan, o runOpt
 		for j := 0; j < n; j++ {
 			var r R
 			if err := json.Unmarshal(cp.lines[rec+j].data, &r); err != nil {
-				return nil, fmt.Errorf("core: decoding checkpoint record %d: %w", rec+j, err)
+				return p, nil, fmt.Errorf("core: decoding checkpoint record %d: %w", rec+j, err)
 			}
 			cellRecs = append(cellRecs, r)
 			// Absorbed into prefill; release the raw bytes so a resumed
@@ -250,5 +275,5 @@ func prepareSweep[R any](kind Kind, fleet []*TestChip, cfg any, p plan, o runOpt
 		st.skip = ci + 1
 		st.truncAt = cp.lines[rec-1].end
 	}
-	return st, nil
+	return p, st, nil
 }

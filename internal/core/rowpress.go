@@ -85,7 +85,7 @@ func RunRowPressBERContext(ctx context.Context, fleet []*TestChip, cfg RowPressB
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, cfg.Channels, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.TAggONs))
 	o := applyOpts(opts)
-	st, err := prepareSweep[RowPressBERRecord](KindRowPressBER, fleet, cfg, p, o, fixedSpan(1))
+	p, st, err := prepareSweep[RowPressBERRecord](KindRowPressBER, fleet, cfg, p, o, fixedSpan(1))
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +205,7 @@ func RunRowPressHCContext(ctx context.Context, fleet []*TestChip, cfg RowPressHC
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, cfg.Channels, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.Rows)*len(cfg.TAggONs))
 	o := applyOpts(opts)
-	st, err := prepareSweep[RowPressHCRecord](KindRowPressHC, fleet, cfg, p, o, fixedSpan(1))
+	p, st, err := prepareSweep[RowPressHCRecord](KindRowPressHC, fleet, cfg, p, o, fixedSpan(1))
 	if err != nil {
 		return nil, err
 	}

@@ -68,7 +68,7 @@ func RunVariabilityContext(ctx context.Context, fleet []*TestChip, cfg Variabili
 	cfg.fill(fleetGeometry(fleet))
 	p := newPlan(fleet, []int{cfg.Channel}, []int{cfg.Pseudo}, []int{cfg.Bank}, len(cfg.Rows))
 	o := applyOpts(opts)
-	st, err := prepareSweep[VariabilityRecord](KindVariability, fleet, cfg, p, o, fixedSpan(1))
+	p, st, err := prepareSweep[VariabilityRecord](KindVariability, fleet, cfg, p, o, fixedSpan(1))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,401 @@
+// Package fabric is the distributed sweep coordinator: it splits one
+// sweep's plan into contiguous cell-range shards, dispatches them to a
+// pool of hbmrdd workers over the service's ordinary HTTP surface, and
+// merges the shard streams back into the single-sweep spool file.
+//
+// The byte-identity contract: a sweep distributed across any number of
+// workers - including workers that crash, hang, answer 5xx, or tear
+// their streams mid-body - produces a final JSONL file byte-identical to
+// the same sweep executed locally and uninterrupted. The mechanism is
+// the engine's own determinism: a shard is the deterministic
+// sub-fingerprint of its parent range (core.ShardFingerprint), its
+// payload is exactly the parent's record lines for that range, and the
+// merged file is the parent header plus the contiguous successful shard
+// payloads - a valid checkpoint the engine's Checkpoint/WithResume
+// machinery extends locally to heal any gap. Failure never costs
+// correctness, only the locality of the remaining work.
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"hbmrd/internal/core"
+	"hbmrd/internal/serve"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Peers are the base URLs of the hbmrdd workers (required).
+	Peers []string
+	// Shards is the target shard count per sweep (default 2 per peer),
+	// clamped to the sweep's plan size.
+	Shards int
+	// Retry is the backoff discipline for per-shard dispatch.
+	Retry Policy
+	// ShardTimeout bounds one shard end to end - submit, poll, fetch,
+	// across all retries (default 2m).
+	ShardTimeout time.Duration
+	// PollInterval paces shard status polling (default 25ms).
+	PollInterval time.Duration
+	// QuarantineAfter is the consecutive-failure count that quarantines a
+	// worker (default 2); a quarantined worker rejoins when its /healthz
+	// answers again.
+	QuarantineAfter int
+	// ProbeTimeout bounds one /healthz probe (default 2s).
+	ProbeTimeout time.Duration
+	// Client issues all worker requests (default http.DefaultClient); the
+	// chaos tests plug a FaultInjector transport in here.
+	Client *http.Client
+	// Logf receives coordinator log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator distributes sweeps over a worker pool. Plug its Distribute
+// method into serve.Config.Distribute (or call it directly).
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+	peers  []*peer
+
+	mu   sync.Mutex
+	next int
+}
+
+// New builds a Coordinator over cfg.Peers.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("fabric: config needs at least one peer")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	c := &Coordinator{cfg: cfg, client: client}
+	for _, u := range cfg.Peers {
+		c.peers = append(c.peers, &peer{url: u})
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) quarantineAfter() int {
+	if c.cfg.QuarantineAfter > 0 {
+		return c.cfg.QuarantineAfter
+	}
+	return 2
+}
+
+func (c *Coordinator) pollInterval() time.Duration {
+	if c.cfg.PollInterval > 0 {
+		return c.cfg.PollInterval
+	}
+	return 25 * time.Millisecond
+}
+
+// splitPlan cuts cells into n contiguous near-equal ranges.
+func splitPlan(cells, n int) []serve.ShardSpec {
+	if n > cells {
+		n = cells
+	}
+	if n < 1 {
+		n = 1
+	}
+	base, rem := cells/n, cells%n
+	ranges := make([]serve.ShardSpec, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		ranges = append(ranges, serve.ShardSpec{Start: start, End: start + size})
+		start += size
+	}
+	return ranges
+}
+
+func (c *Coordinator) shardCount() int {
+	if c.cfg.Shards > 0 {
+		return c.cfg.Shards
+	}
+	return 2 * len(c.peers)
+}
+
+// shardResult is one dispatched shard's outcome.
+type shardResult struct {
+	header  core.SweepHeader
+	payload []byte
+	err     error
+}
+
+// Distribute executes sw across the worker pool and assembles the merged
+// stream at spool. On full success the spool holds the complete sweep,
+// byte-identical to a local run, and Distribute returns nil. On partial
+// success it holds the parent header plus the contiguous successful
+// shard prefix - a valid checkpoint - and Distribute returns an error,
+// which tells the serving layer to finish the remainder locally through
+// its ordinary resume path. Matches the serve.Config.Distribute contract.
+func (c *Coordinator) Distribute(ctx context.Context, sw *serve.Sweep, spool string) error {
+	if !sw.Shardable() {
+		return fmt.Errorf("fabric: sweep %s is not shardable", sw.Fingerprint)
+	}
+	ranges := splitPlan(sw.Cells, c.shardCount())
+	c.logf("fabric: sweep %s: %d cells across %d shards on %d workers",
+		sw.Fingerprint, sw.Cells, len(ranges), len(c.peers))
+
+	results := make([]shardResult, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, r serve.ShardSpec) {
+			defer wg.Done()
+			results[i] = c.dispatch(ctx, sw, r)
+		}(i, r)
+	}
+	wg.Wait()
+
+	// Merge the contiguous successful prefix. A later shard with an
+	// earlier gap cannot be used: record replay is strictly plan-ordered,
+	// so only an unbroken prefix is a valid checkpoint.
+	k := len(ranges)
+	for i := range results {
+		if results[i].err != nil {
+			c.logf("fabric: sweep %s shard [%d:%d) failed: %v",
+				sw.Fingerprint, ranges[i].Start, ranges[i].End, results[i].err)
+			if i < k {
+				k = i
+			}
+		}
+	}
+	if k == 0 {
+		return fmt.Errorf("fabric: no usable shard prefix for %s (first shard: %w)", sw.Fingerprint, results[0].err)
+	}
+
+	header, err := parentHeaderBytes(results[0].header, sw)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.Write(header)
+	for _, res := range results[:k] {
+		buf.Write(res.payload)
+	}
+	// A previous attempt may have left a longer local checkpoint at the
+	// spool; keep whichever prefix is further along.
+	if fi, err := os.Stat(spool); err == nil && k < len(ranges) && fi.Size() >= int64(buf.Len()) {
+		return fmt.Errorf("fabric: merged %d of %d shards for %s, but the existing spool is further along; resuming it locally",
+			k, len(ranges), sw.Fingerprint)
+	}
+	if err := os.WriteFile(spool, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("fabric: writing merged spool: %w", err)
+	}
+	if k < len(ranges) {
+		return fmt.Errorf("fabric: merged %d of %d shards for %s; finishing cells %d.. locally",
+			k, len(ranges), sw.Fingerprint, ranges[k].Start)
+	}
+	c.logf("fabric: sweep %s merged from %d shards (%d bytes)", sw.Fingerprint, len(ranges), buf.Len())
+	return nil
+}
+
+// parentHeaderBytes reconstructs the parent sweep's exact header line
+// from a shard's header: same fields, shard lineage cleared. The sink
+// writes headers with json.Encoder, so a marshal of the restored struct
+// is byte-identical to what a local run would have written.
+func parentHeaderBytes(shard core.SweepHeader, sw *serve.Sweep) ([]byte, error) {
+	if shard.Parent != sw.Fingerprint {
+		return nil, fmt.Errorf("fabric: shard header parent %s does not match sweep %s", shard.Parent, sw.Fingerprint)
+	}
+	h := shard
+	h.Fingerprint = sw.Fingerprint
+	h.Cells = sw.Cells
+	h.Parent, h.ShardStart, h.ShardEnd = "", 0, 0
+	b, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// dispatch runs one shard to completion on some healthy worker, retrying
+// per the policy, under the per-shard deadline.
+func (c *Coordinator) dispatch(ctx context.Context, sw *serve.Sweep, r serve.ShardSpec) shardResult {
+	fp := core.ShardFingerprint(sw.Fingerprint, r.Start, r.End)
+	spec := sw.Spec
+	spec.Shard = &serve.ShardSpec{Start: r.Start, End: r.End}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return shardResult{err: err}
+	}
+	if c.cfg.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.ShardTimeout)
+		defer cancel()
+	}
+	var res shardResult
+	attempt := 0
+	err = c.cfg.Retry.Do(ctx, func(actx context.Context) error {
+		attempt++
+		// On a retry, a previous attempt's shard may still be in flight on
+		// a worker we merely lost patience with: reattach via the healthz
+		// shard lineage instead of starting it again elsewhere.
+		var p *peer
+		if attempt > 1 {
+			if p = c.findInFlight(actx, fp); p != nil {
+				c.logf("fabric: shard %s already in flight on %s; reattaching", fp, p.url)
+			}
+		}
+		if p == nil {
+			var aerr error
+			if p, aerr = c.acquire(actx); aerr != nil {
+				return Permanent(aerr)
+			}
+		}
+		h, payload, rerr := c.runShard(actx, p, fp, specJSON)
+		if rerr != nil {
+			p.fail(c.quarantineAfter())
+			return fmt.Errorf("%s: %w", p.url, rerr)
+		}
+		p.ok()
+		res.header, res.payload = h, payload
+		return nil
+	})
+	if err != nil {
+		return shardResult{err: err}
+	}
+	return res
+}
+
+// statusReply covers both shapes of /sweeps/<fp>/status: a live job
+// (status, error) and a stored sweep (status "cached" plus counters).
+type statusReply struct {
+	Status  string `json:"status"`
+	Error   string `json:"error"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// runShard performs one attempt: submit the shard spec, poll it to the
+// store, fetch the stream, and validate it against the worker's own
+// record and byte counts (a short body is a torn stream, not a result).
+func (c *Coordinator) runShard(ctx context.Context, p *peer, fp string, specJSON []byte) (core.SweepHeader, []byte, error) {
+	var zero core.SweepHeader
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+"/sweeps", bytes.NewReader(specJSON))
+	if err != nil {
+		return zero, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return zero, nil, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return zero, nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusBadRequest:
+		// The spec itself is broken; no worker will ever accept it.
+		return zero, nil, Permanent(fmt.Errorf("fabric: shard spec rejected: %s", bytes.TrimSpace(body)))
+	case resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted:
+		return zero, nil, fmt.Errorf("fabric: submit: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+
+	st, err := c.pollStatus(ctx, p, fp)
+	if err != nil {
+		return zero, nil, err
+	}
+	return c.fetchShard(ctx, p, fp, st)
+}
+
+// pollStatus waits for the shard to reach the worker's store.
+func (c *Coordinator) pollStatus(ctx context.Context, p *peer, fp string) (statusReply, error) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/sweeps/"+fp+"/status", nil)
+		if err != nil {
+			return statusReply{}, err
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return statusReply{}, err
+		}
+		var st statusReply
+		derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return statusReply{}, fmt.Errorf("fabric: status: %s", resp.Status)
+		}
+		if derr != nil {
+			return statusReply{}, derr
+		}
+		switch st.Status {
+		case "cached":
+			return st, nil
+		case serve.StatusFailed:
+			return statusReply{}, fmt.Errorf("fabric: shard failed on worker: %s", st.Error)
+		case serve.StatusCheckpointed:
+			// The worker drained mid-shard; its spool keeps the valid
+			// prefix, and a resubmission (this retry or a later one)
+			// resumes it.
+			return statusReply{}, fmt.Errorf("fabric: worker checkpointed the shard mid-run")
+		}
+		select {
+		case <-ctx.Done():
+			return statusReply{}, ctx.Err()
+		case <-time.After(c.pollInterval()):
+		}
+	}
+}
+
+// fetchShard downloads a stored shard stream and validates it.
+func (c *Coordinator) fetchShard(ctx context.Context, p *peer, fp string, st statusReply) (core.SweepHeader, []byte, error) {
+	var zero core.SweepHeader
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/sweeps/"+fp, nil)
+	if err != nil {
+		return zero, nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return zero, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return zero, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return zero, nil, fmt.Errorf("fabric: fetch: %s", resp.Status)
+	}
+	if int64(len(body)) != st.Bytes {
+		return zero, nil, fmt.Errorf("fabric: torn shard stream: got %d bytes, worker stored %d", len(body), st.Bytes)
+	}
+	i := bytes.IndexByte(body, '\n')
+	if i < 0 {
+		return zero, nil, fmt.Errorf("fabric: shard stream has no header line")
+	}
+	var h core.SweepHeader
+	if err := json.Unmarshal(body[:i], &h); err != nil || h.Format == 0 {
+		return zero, nil, fmt.Errorf("fabric: shard stream header is invalid: %v", err)
+	}
+	if h.Fingerprint != fp {
+		return zero, nil, fmt.Errorf("fabric: shard stream fingerprint %s, want %s", h.Fingerprint, fp)
+	}
+	payload := body[i+1:]
+	if got := bytes.Count(payload, []byte("\n")); got != st.Records {
+		return zero, nil, fmt.Errorf("fabric: shard stream holds %d records, worker stored %d", got, st.Records)
+	}
+	return h, payload, nil
+}

@@ -1,0 +1,79 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRetryDoBacksOffAndSucceeds(t *testing.T) {
+	t.Parallel()
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryDoExhaustsAttempts(t *testing.T) {
+	t.Parallel()
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	calls := 0
+	sentinel := errors.New("still down")
+	err := p.Do(context.Background(), func(context.Context) error { calls++; return sentinel })
+	if calls != 3 || !errors.Is(err, sentinel) || !strings.Contains(err.Error(), "3 attempts") {
+		t.Errorf("Do = %v after %d calls, want wrapped sentinel after 3", err, calls)
+	}
+}
+
+func TestRetryDoStopsOnPermanent(t *testing.T) {
+	t.Parallel()
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	sentinel := errors.New("bad spec")
+	err := p.Do(context.Background(), func(context.Context) error { calls++; return Permanent(sentinel) })
+	if calls != 1 || !errors.Is(err, sentinel) {
+		t.Errorf("Do = %v after %d calls, want sentinel after 1", err, calls)
+	}
+}
+
+func TestRetryDoRespectsContext(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond}
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Errorf("Do = %v after %d calls, want context.Canceled after 1", err, calls)
+	}
+}
+
+func TestRetryAttemptTimeout(t *testing.T) {
+	t.Parallel()
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, AttemptTimeout: 10 * time.Millisecond}
+	slow := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		slow++
+		if slow == 1 {
+			<-ctx.Done() // a hung worker: only the attempt deadline frees us
+			return ctx.Err()
+		}
+		return nil
+	})
+	if err != nil || slow != 2 {
+		t.Errorf("Do = %v after %d calls, want nil after the timed-out attempt retries", err, slow)
+	}
+}

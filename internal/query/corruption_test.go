@@ -1,0 +1,118 @@
+package query
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hbmrd/internal/store"
+)
+
+// corruptTwin locates the store's single results.hbmc and rewrites it via
+// mutate (bit-flip, truncation, ...).
+func corruptTwin(t *testing.T, storeDir string, mutate func([]byte) []byte) {
+	t.Helper()
+	twins, err := filepath.Glob(filepath.Join(storeDir, "objects", "*", "*", "results.hbmc"))
+	if err != nil || len(twins) != 1 {
+		t.Fatalf("columnar twins = %v (err %v), want exactly one", twins, err)
+	}
+	b, err := os.ReadFile(twins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(twins[0], mutate(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptColumnarTwinFallsBackToJSONL is the store's graceful-
+// degradation contract: a columnar twin that no longer decodes is a cache
+// miss, not an error - the engine logs it, drops the corrupt artifact,
+// answers byte-identically from the JSONL of record, and re-transcodes a
+// fresh twin so the next cold query is fast again.
+func TestCorruptColumnarTwinFallsBackToJSONL(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		// One flipped bit inside the embedded header's fingerprint: the
+		// artifact either stops parsing or identifies the wrong sweep.
+		{"bitflip", func(b []byte) []byte {
+			i := bytes.Index(b, []byte("sha256:"))
+			if i < 0 {
+				t.Fatal("twin carries no fingerprint bytes")
+			}
+			b[i+len("sha256:")+3] ^= 0x10
+			return b
+		}},
+		// A torn twin (crashed writer, partial disk): decode fails mid-
+		// payload.
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			path := filepath.Join(dir, "hcfirst.jsonl")
+			runTinyHCFirstToFile(t, path)
+			st, err := store.Open(filepath.Join(dir, "store"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			meta, err := Ingest(st, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := meta.Fingerprint
+			if !st.HasColumnar(fp) {
+				t.Fatal("ingest wrote no columnar twin")
+			}
+			spec, err := FigureSpec("fig5", fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reference aggregate straight from the JSONL of record,
+			// bypassing the derived cache on both ends.
+			ref, err := NewEngine(st).RunCold(spec, SourceJSONL)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			corruptTwin(t, filepath.Join(dir, "store"), tc.mutate)
+
+			var logs strings.Builder
+			eng := NewEngine(st)
+			eng.Logf = func(format string, args ...any) { fmt.Fprintf(&logs, format+"\n", args...) }
+			got, err := eng.Run(spec)
+			if err != nil {
+				t.Fatalf("query over corrupt twin errored: %v", err)
+			}
+			if got.Source != SourceJSONL {
+				t.Errorf("Source = %s, want %s (JSONL fallback)", got.Source, SourceJSONL)
+			}
+			if !bytes.Equal(got.JSON, ref.JSON) {
+				t.Error("fallback aggregate is not byte-identical to the JSONL reference")
+			}
+			if !strings.Contains(logs.String(), "unreadable") {
+				t.Errorf("quarantine was not logged: %q", logs.String())
+			}
+			// The corrupt artifact was dropped and re-transcoded from the
+			// JSONL; the fresh twin serves the same bytes on the fast path.
+			if !st.HasColumnar(fp) {
+				t.Fatal("twin was not re-transcoded after the drop")
+			}
+			again, err := NewEngine(st).RunCold(spec, SourceColumnar)
+			if err != nil {
+				t.Fatalf("re-transcoded twin does not decode: %v", err)
+			}
+			if !bytes.Equal(again.JSON, ref.JSON) {
+				t.Error("re-transcoded twin's aggregate diverges from the JSONL reference")
+			}
+		})
+	}
+}

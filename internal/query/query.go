@@ -775,12 +775,22 @@ type Result struct {
 type Engine struct {
 	Store *store.Store
 
+	// Logf, when set, receives operational notes (e.g. a corrupt columnar
+	// twin being quarantined). Nil discards them.
+	Logf func(format string, args ...any)
+
 	rawReads      atomic.Int64
 	columnarReads atomic.Int64
 }
 
 // NewEngine builds a query engine over a store.
 func NewEngine(s *store.Store) *Engine { return &Engine{Store: s} }
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
 
 // RawReads reports how many times the engine has gone to the stored
 // sweep bytes - either representation - instead of the derived cache.
@@ -893,15 +903,28 @@ func (e *Engine) computeCold(cspec Spec, forced string) (*Aggregate, string, err
 		if forced == SourceColumnar {
 			return nil, "", err
 		}
+		// A twin that exists but no longer decodes (or holds the wrong
+		// sweep) is corruption, not absence: quarantine it by deletion so
+		// every future cold query stops paying the failed decode, and let
+		// the JSONL path below re-transcode a fresh one. A merely absent
+		// twin (pre-format object) takes the same fallback without the
+		// drop.
+		if !errors.Is(err, store.ErrNoColumnar) && !errors.Is(err, store.ErrNotFound) {
+			e.logf("query: columnar twin of %s unreadable (%v); dropping it and answering from JSONL", cspec.Sweep, err)
+			if derr := e.Store.DropColumnar(cspec.Sweep); derr != nil {
+				e.logf("query: dropping columnar twin of %s: %v", cspec.Sweep, derr)
+			}
+		}
 	}
 	agg, err := e.computeJSONL(cspec)
 	if err != nil {
 		return nil, "", err
 	}
 	if forced == "" {
-		// The sweep answered from JSONL, so it predates the columnar
-		// format: backfill the artifact (best-effort) so the next cold
-		// query takes the fast path.
+		// The sweep answered from JSONL: either it predates the columnar
+		// format or its corrupt twin was just dropped. Re-transcode the
+		// artifact from the JSONL of record (best-effort) so the next cold
+		// query takes the fast path again.
 		_ = e.Store.EnsureColumnar(cspec.Sweep)
 	}
 	return agg, SourceJSONL, nil

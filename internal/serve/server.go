@@ -62,12 +62,13 @@ func (j *job) setState(status, errMsg string) {
 // content-addressed store, and serves results - finished or in flight -
 // as NDJSON.
 type Server struct {
-	store    *store.Store
-	queries  *query.Engine
-	spoolDir string
-	workers  int
-	jobsOpt  int
-	logf     func(format string, args ...any)
+	store      *store.Store
+	queries    *query.Engine
+	spoolDir   string
+	workers    int
+	jobsOpt    int
+	logf       func(format string, args ...any)
+	distribute func(ctx context.Context, sw *Sweep, spool string) error
 
 	queue chan *job
 
@@ -90,6 +91,12 @@ type Config struct {
 	Jobs int
 	// Logf receives service log lines (default log.Printf).
 	Logf func(format string, args ...any)
+	// Distribute, when set, is offered every shardable sweep before local
+	// execution (the fabric coordinator plugs in here). It must leave the
+	// complete sweep - byte-identical to a local run - in spool, or at
+	// least a valid checkpoint prefix: on error the server falls back to
+	// executing locally, resuming whatever prefix was left behind.
+	Distribute func(ctx context.Context, sw *Sweep, spool string) error
 }
 
 // New builds a Server and starts its workers. Stop with Drain.
@@ -110,17 +117,20 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	queries := query.NewEngine(cfg.Store)
+	queries.Logf = logf
 	s := &Server{
-		store:    cfg.Store,
-		queries:  query.NewEngine(cfg.Store),
-		spoolDir: spoolDir,
-		workers:  workers,
-		jobsOpt:  cfg.Jobs,
-		logf:     logf,
-		queue:    make(chan *job, statusQueueCapacity),
-		jobs:     make(map[string]*job),
-		runCtx:   ctx,
-		drain:    cancel,
+		store:      cfg.Store,
+		queries:    queries,
+		spoolDir:   spoolDir,
+		workers:    workers,
+		jobsOpt:    cfg.Jobs,
+		logf:       logf,
+		distribute: cfg.Distribute,
+		queue:      make(chan *job, statusQueueCapacity),
+		jobs:       make(map[string]*job),
+		runCtx:     ctx,
+		drain:      cancel,
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -188,23 +198,46 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// healthJob is one in-flight job in the healthz report. Shard lineage
+// (parent fingerprint and cell range) lets a coordinator dedup in-flight
+// shards across workers the way handleSubmit dedups whole sweeps.
+type healthJob struct {
+	Fingerprint string `json:"fingerprint"`
+	Kind        string `json:"kind"`
+	Status      string `json:"status"`
+	Parent      string `json:"parent,omitempty"`
+	ShardStart  int    `json:"shard_start"`
+	ShardEnd    int    `json:"shard_end"`
+}
+
 // handleHealthz reports liveness plus the operational gauges a deployment
-// watches: where the store lives, how many sweeps are queued or running,
-// and how many finished sweeps the catalog can serve.
+// watches: where the store lives, which sweeps are queued or running
+// (with shard lineage), and how many finished sweeps the catalog can
+// serve.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	live := 0
+	inflight := []healthJob{}
 	s.mu.Lock()
-	for _, j := range s.jobs {
-		if status, _ := j.state(); status == StatusQueued || status == StatusRunning {
-			live++
+	for fp, j := range s.jobs {
+		status, _ := j.state()
+		if status != StatusQueued && status != StatusRunning {
+			continue
 		}
+		inflight = append(inflight, healthJob{
+			Fingerprint: fp,
+			Kind:        string(j.sweep.Kind),
+			Status:      status,
+			Parent:      j.sweep.Parent,
+			ShardStart:  j.sweep.ShardStart,
+			ShardEnd:    j.sweep.ShardEnd,
+		})
 	}
 	s.mu.Unlock()
 	catalogSize, _ := s.store.Count()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":            true,
 		"store":         s.store.Root(),
-		"live_jobs":     live,
+		"live_jobs":     len(inflight),
+		"jobs":          inflight,
 		"stored_sweeps": catalogSize,
 	})
 }
@@ -524,6 +557,28 @@ func (s *Server) runJob(j *job) {
 	s.logf("serve: %s sweep %s running", j.sweep.Kind, fp)
 
 	spool := s.spoolPath(fp)
+	if s.distribute != nil && j.sweep.Shardable() {
+		err := s.distribute(s.runCtx, j.sweep, spool)
+		switch {
+		case err == nil:
+			if ferr := s.finalize(j, spool); ferr != nil {
+				j.setState(StatusFailed, ferr.Error())
+				s.logf("serve: sweep %s finalize failed: %v", fp, ferr)
+				return
+			}
+			j.setState(StatusDone, "")
+			s.logf("serve: sweep %s done (distributed)", fp)
+			return
+		case errors.Is(err, context.Canceled), s.runCtx.Err() != nil:
+			j.setState(StatusCheckpointed, "")
+			s.logf("serve: sweep %s checkpointed at %s", fp, spool)
+			return
+		default:
+			// Whatever prefix distribution merged is a valid checkpoint;
+			// the local run below resumes it.
+			s.logf("serve: sweep %s distribution failed (%v); running locally", fp, err)
+		}
+	}
 	runErr, resumed := s.execute(j, spool, true)
 	if runErr != nil && resumed && !errors.Is(runErr, context.Canceled) && s.runCtx.Err() == nil {
 		// The runner rejected the checkpoint (a kind that cannot resume,
@@ -607,6 +662,9 @@ func (s *Server) finalize(j *job, spool string) error {
 		Ranks:        j.sweep.Ranks,
 		DataRateMbps: j.sweep.DataRateMbps,
 		Chips:        j.sweep.Chips,
+		Parent:       j.sweep.Parent,
+		ShardStart:   j.sweep.ShardStart,
+		ShardEnd:     j.sweep.ShardEnd,
 		Config:       j.sweep.Spec.Config,
 	}
 	if err := s.store.PutFile(meta, spool); err != nil {

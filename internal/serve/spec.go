@@ -40,6 +40,19 @@ type SweepSpec struct {
 	// with unset fields taking the runner's defaults. Unknown fields are
 	// rejected so a typo cannot silently run the wrong sweep.
 	Config json.RawMessage `json:"config,omitempty"`
+	// Shard, when set, restricts execution to the contiguous cell range
+	// [Start, End) of the sweep's plan. The job runs under the shard's
+	// sub-fingerprint (core.ShardFingerprint of the parent sweep's), so
+	// shards dedup, spool, checkpoint, and store exactly like whole
+	// sweeps. Set by the distributed coordinator (internal/fabric);
+	// rejected for aging sweeps, which cannot shard.
+	Shard *ShardSpec `json:"shard,omitempty"`
+}
+
+// ShardSpec is the wire form of a plan cell range [Start, End).
+type ShardSpec struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
 }
 
 // Sweep is a resolved spec: the fleet is built, the config decoded and
@@ -58,8 +71,23 @@ type Sweep struct {
 	Ranks        int
 	DataRateMbps int
 	Chips        []int
+	// Cells is the full plan's cell count (0 for aging, which has no
+	// single plan) - the bound a coordinator shards against.
+	Cells int
+	// Parent, ShardStart and ShardEnd carry shard lineage when the spec
+	// requested a shard: Parent is the full sweep's fingerprint and
+	// Fingerprint the shard's sub-fingerprint.
+	Parent     string
+	ShardStart int
+	ShardEnd   int
 
 	run func(ctx context.Context, opts ...core.RunOption) error
+}
+
+// Shardable reports whether a coordinator can split this sweep: it must
+// have a plan of more than one cell and not itself be a shard.
+func (s *Sweep) Shardable() bool {
+	return s.Parent == "" && s.Cells > 1
 }
 
 // Run executes the sweep. Records and progress flow exclusively through
@@ -195,6 +223,25 @@ func Resolve(spec SweepSpec) (*Sweep, error) {
 		return nil, err
 	}
 	s.Fingerprint = fp
+	if cells, err := core.PlanSize(kind, fleet, cfg); err == nil {
+		s.Cells = cells
+	}
+	if spec.Shard != nil {
+		sh := *spec.Shard
+		if s.Cells == 0 {
+			return nil, fmt.Errorf("serve: %s sweeps cannot be sharded", kind)
+		}
+		if sh.Start < 0 || sh.End > s.Cells || sh.Start >= sh.End {
+			return nil, fmt.Errorf("serve: shard range [%d:%d) invalid for a plan of %d cells", sh.Start, sh.End, s.Cells)
+		}
+		s.Parent = fp
+		s.ShardStart, s.ShardEnd = sh.Start, sh.End
+		s.Fingerprint = core.ShardFingerprint(fp, sh.Start, sh.End)
+		inner := s.run
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			return inner(ctx, append(opts, core.WithShard(core.ShardRange{Start: sh.Start, End: sh.End}))...)
+		}
+	}
 	return s, nil
 }
 

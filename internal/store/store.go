@@ -87,6 +87,13 @@ type Meta struct {
 	DataRateMbps int `json:"data_rate_mbps,omitempty"`
 	// Chips are the study chip indices of the sweep's fleet.
 	Chips []int `json:"chips,omitempty"`
+	// Parent is the full sweep's fingerprint when this object is a shard
+	// produced by the distributed fabric; empty for whole sweeps.
+	Parent string `json:"parent,omitempty"`
+	// ShardStart and ShardEnd bound the parent-plan cell range
+	// [ShardStart, ShardEnd) a shard object covers.
+	ShardStart int `json:"shard_start,omitempty"`
+	ShardEnd   int `json:"shard_end,omitempty"`
 	// Config is the sweep's raw runner config as submitted (canonical
 	// identity lives in the fingerprint; this copy exists so catalog
 	// queries can filter on config fields without re-deriving them).
@@ -389,6 +396,29 @@ func (s *Store) EnsureColumnar(fingerprint string) error {
 	if err := os.Rename(stagePath, dst); err != nil {
 		os.Remove(stagePath)
 		return fmt.Errorf("store: backfilling %s: %w", fingerprint, err)
+	}
+	return nil
+}
+
+// DropColumnar removes the stored sweep's columnar twin, leaving the
+// JSONL and metadata in place. The recovery path for a twin that no
+// longer decodes (disk corruption): readers fall back to the JSONL and
+// EnsureColumnar re-transcodes a fresh twin from it. A missing twin is
+// success; returns ErrNotFound when the fingerprint has no finished
+// sweep at all.
+func (s *Store) DropColumnar(fingerprint string) error {
+	dir, err := s.objectDir(fingerprint)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); err != nil {
+		if os.IsNotExist(err) {
+			return ErrNotFound
+		}
+		return err
+	}
+	if err := os.Remove(filepath.Join(dir, "results.hbmc")); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: dropping columnar twin of %s: %w", fingerprint, err)
 	}
 	return nil
 }

@@ -35,10 +35,11 @@ import (
 )
 
 // defaultBench selects the kernels that bound sweep throughput, one
-// end-to-end figure benchmark, and the query read path (cold-miss
+// end-to-end figure benchmark, the query read path (cold-miss
 // aggregation through both stored representations plus the columnar
-// artifact decode).
-const defaultBench = "FlipMaskHot|FlipMaskRetention|CalibFirstTouch|TrialJitter|Fig5HCFirstAcrossChips|RowInitReadHotPath|HammerReadHotPath|HammerThroughput|SweepJobsScaling|StrictTimingRowOps|QueryFig5ColdMiss|ColumnarDecode"
+// artifact decode), and the distributed fabric (shard-stream merge plus
+// 2-worker-vs-local sweep throughput).
+const defaultBench = "FlipMaskHot|FlipMaskRetention|CalibFirstTouch|TrialJitter|Fig5HCFirstAcrossChips|RowInitReadHotPath|HammerReadHotPath|HammerThroughput|SweepJobsScaling|StrictTimingRowOps|QueryFig5ColdMiss|ColumnarDecode|ShardMerge|FabricSweep"
 
 // Result is one benchmark data point.
 type Result struct {
