@@ -28,6 +28,11 @@
 // Artifacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15 fig16 fig17 trr attack defense all
 //
+// The post-paper sweep kinds (vrd: per-cell HCfirst variability across
+// repeated trials, arXiv 2502.13075; coldist: column-read disturbance,
+// arXiv 2510.14750) run either as artifacts by name or through the -kind
+// flag: `hbmrd -kind vrd -out vrd.jsonl`.
+//
 // The query verb works against a local sweep store instead of running
 // experiments: `hbmrd query -ingest FILE` finalizes a completed -out file
 // into the store, `hbmrd query` lists the catalog, and `hbmrd query -spec
@@ -97,10 +102,19 @@ func run(ctx context.Context, args []string) error {
 	outFlag := fs.String("out", "", "stream experiment records to this JSON Lines file")
 	resumeFlag := fs.String("resume", "", "resume a cancelled -out run from this JSON Lines file")
 	shardFlag := fs.String("shard", "", "run only plan cells START:END of the artifact's sweep (a distributed-fabric shard)")
+	kindFlag := fs.String("kind", "", `run one sweep kind directly ("vrd", "coldist") instead of naming an artifact`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
+	switch {
+	case *kindFlag != "":
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-kind %s replaces the artifact argument", *kindFlag)
+		}
+		if *kindFlag != "vrd" && *kindFlag != "coldist" {
+			return fmt.Errorf("unknown -kind %q (have: vrd, coldist)", *kindFlag)
+		}
+	case fs.NArg() != 1:
 		return fmt.Errorf("usage: hbmrd [-full] [-chips 0,1] [-geometry PRESET] [-jobs N] [-progress] [-out FILE | -resume FILE] <artifact>; artifacts: %s", strings.Join(artifactNames(), " "))
 	}
 	if *resumeFlag != "" && *outFlag != "" {
@@ -136,6 +150,9 @@ func run(ctx context.Context, args []string) error {
 	// Reject unknown artifacts before -out truncates an existing results
 	// file over a typo.
 	name := fs.Arg(0)
+	if *kindFlag != "" {
+		name = *kindFlag
+	}
 	if _, known := artifacts()[name]; !known && name != "all" {
 		return fmt.Errorf("unknown artifact %q (have: %s)", name, strings.Join(artifactNames(), " "))
 	}
@@ -204,7 +221,7 @@ func runQuery(args []string) error {
 	storeDir := fs.String("store", "hbmrd-store", "sweep store directory")
 	ingest := fs.String("ingest", "", "finalize a completed -out JSONL file into the store")
 	specJSON := fs.String("spec", "", "aggregation query spec (JSON; see README for the grammar)")
-	figure := fs.String("figure", "", "predefined figure spec (fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15 fig16 figrank); needs -sweep")
+	figure := fs.String("figure", "", "predefined figure spec (fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15 fig16 figrank figvrd figcoldist); needs -sweep")
 	sweep := fs.String("sweep", "", "sweep fingerprint for -figure")
 	kind := fs.String("kind", "", "filter the catalog listing by experiment kind")
 	format := fs.String("format", "table", "query output format: table, csv, or json")
@@ -717,6 +734,48 @@ func artifacts() map[string]artifactFn {
 			return hbmrd.RenderDefense(rep), nil
 		},
 
+		"vrd": func(ctx context.Context, c runCtx) (string, error) {
+			fleet, err := c.fleet(hbmrd.AllChips())
+			if err != nil {
+				return "", err
+			}
+			recs, err := hbmrd.RunVRDContext(ctx, fleet, hbmrd.VRDConfig{
+				Rows:   hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), c.pick(6, 768)),
+				Trials: c.pick(5, 20),
+			}, c.runOpts()...)
+			if err != nil {
+				return "", err
+			}
+			return renderVRD(recs), nil
+		},
+
+		"coldist": func(ctx context.Context, c runCtx) (string, error) {
+			fleet, err := c.fleet(hbmrd.AllChips())
+			if err != nil {
+				return "", err
+			}
+			cfg := hbmrd.ColDisturbConfig{}
+			if c.full {
+				// More aggressor rows than the default four, clamped so the
+				// deepest default distance (8) keeps its victim in range.
+				g := fleet[0].Chip.Geometry()
+				for _, r := range hbmrd.SampleRowsIn(g, 64) {
+					if r < 8 {
+						r = 8
+					}
+					if r > g.Rows-9 {
+						r = g.Rows - 9
+					}
+					cfg.AggRows = append(cfg.AggRows, r)
+				}
+			}
+			recs, err := hbmrd.RunColDisturbContext(ctx, fleet, cfg, c.runOpts()...)
+			if err != nil {
+				return "", err
+			}
+			return renderColDist(recs), nil
+		},
+
 		"trr": func(_ context.Context, c runCtx) (string, error) {
 			chip, err := hbmrd.NewChip(0, c.chipOpts()...)
 			if err != nil {
@@ -760,6 +819,36 @@ func runHCNth(ctx context.Context, c runCtx) ([]hbmrd.HCNthRecord, error) {
 		cfg.Patterns = []hbmrd.Pattern{hbmrd.Rowstripe0, hbmrd.Checkered0}
 	}
 	return hbmrd.RunHCNthContext(ctx, fleet, cfg, c.runOpts()...)
+}
+
+// renderVRD prints one cell per line: the HCfirst distribution summary
+// across that cell's repeated trials.
+func renderVRD(recs []hbmrd.VRDRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %3s %3s %3s %6s %6s %8s %8s %10s %8s %6s\n",
+		"chip", "ch", "pc", "bk", "row", "found", "minHC", "maxHC", "meanHC", "pHC", "ratio")
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%4d %3d %3d %3d %6d %3d/%-2d %8d %8d %10.1f %8d %6.3f\n",
+			r.Chip, r.Channel, r.Pseudo, r.Bank, r.Row, r.Found, r.Trials,
+			r.MinHC, r.MaxHC, r.MeanHC, r.PHC, r.Ratio())
+	}
+	return b.String()
+}
+
+// renderColDist prints one (aggressor, distance, stripe) probe per line.
+func renderColDist(recs []hbmrd.ColDisturbRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %6s %5s %7s %8s %7s %13s\n",
+		"chip", "agg", "dist", "stripe", "reads", "flips", "first-disturb")
+	for _, r := range recs {
+		first := "-"
+		if r.Found {
+			first = strconv.Itoa(r.FirstDisturb)
+		}
+		fmt.Fprintf(&b, "%4d %6d %+5d %7d %8d %7d %13s\n",
+			r.Chip, r.Row, r.Distance, r.Stripe, r.Reads, r.Flips, first)
+	}
+	return b.String()
 }
 
 func channelsN(n int) []int {

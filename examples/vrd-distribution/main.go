@@ -1,0 +1,119 @@
+// Command vrd-distribution runs a small Variable Read Disturbance sweep
+// (arXiv 2502.13075) across the device generations: HCfirst measured
+// once is not the number a mitigation can trust, so the vrd sweep
+// repeats the measurement per row and records the distribution. The
+// presets come from PresetsByFamily rather than a hard-coded list, so
+// the example follows the registry as it grows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hbmrd"
+)
+
+func main() {
+	fmt.Println("HCfirst distributions over repeated trials (chip 0 profile, demo scale)")
+	fmt.Println()
+	fmt.Printf("%-18s %6s %7s %9s %9s %9s %7s\n",
+		"preset", "rows", "trials", "minHC", "maxHC", "p90HC", "ratio")
+
+	// One representative organization per family keeps the demo quick;
+	// drop the [:1] to sweep every registered preset of each family.
+	for _, family := range []string{hbmrd.FamilyHBM2, hbmrd.FamilyHBM2E, hbmrd.FamilyHBM3} {
+		for _, preset := range hbmrd.PresetsByFamily(family)[:1] {
+			report(preset)
+		}
+	}
+
+	// The per-trial view for the paper's part: each row's trials as a
+	// spread bar between its minimum and maximum HCfirst.
+	preset, err := hbmrd.LookupPreset(hbmrd.PresetHBM2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := runVRD(preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("%s per-row trial spread (HCfirst, %d trials per row)\n", preset.Name, recs[0].Trials)
+	fmt.Println()
+	for _, r := range recs {
+		if r.Found == 0 {
+			fmt.Printf("  row %6d  no flips within the hammer budget\n", r.Row)
+			continue
+		}
+		fmt.Printf("  row %6d  %8d %s %-8d  ratio %.3f\n",
+			r.Row, r.MinHC, spreadBar(r), r.MaxHC, r.Ratio())
+	}
+
+	fmt.Println()
+	fmt.Println("A mitigation threshold set at one measured HCfirst is unsafe by")
+	fmt.Println("exactly these ratios: the same cell flips earlier on another trial.")
+	fmt.Println("The figvrd query preset aggregates the stored ratio distribution.")
+}
+
+// runVRD sweeps a few rows of one preset with repeated HCfirst trials.
+func runVRD(preset hbmrd.GeometryPreset) ([]hbmrd.VRDRecord, error) {
+	fleet, err := hbmrd.NewFleet([]int{0},
+		hbmrd.WithGeometry(preset), hbmrd.WithIdentityMapping())
+	if err != nil {
+		return nil, err
+	}
+	return hbmrd.RunVRD(fleet, hbmrd.VRDConfig{
+		Rows:   hbmrd.SampleRowsIn(fleet[0].Chip.Geometry(), 4),
+		Trials: 5,
+	})
+}
+
+// report sweeps one preset and prints its aggregate distribution row.
+func report(preset hbmrd.GeometryPreset) {
+	recs, err := runVRD(preset)
+	if err != nil {
+		log.Fatalf("%s: %v", preset.Name, err)
+	}
+	minHC, maxHC, p90, trials, measured, worst := 0, 0, 0, 0, 0, 0.0
+	for _, r := range recs {
+		trials = r.Trials
+		if r.Found == 0 {
+			continue
+		}
+		measured++
+		if minHC == 0 || r.MinHC < minHC {
+			minHC = r.MinHC
+		}
+		if r.MaxHC > maxHC {
+			maxHC = r.MaxHC
+		}
+		if r.PHC > p90 {
+			p90 = r.PHC
+		}
+		if ratio := r.Ratio(); ratio > worst {
+			worst = ratio
+		}
+	}
+	fmt.Printf("%-18s %3d/%-2d %7d %9d %9d %9d %7.3f\n",
+		preset.Name, measured, len(recs), trials, minHC, maxHC, p90, worst)
+}
+
+// spreadBar renders one row's trial positions between its min and max
+// HCfirst as a fixed-width bar.
+func spreadBar(r hbmrd.VRDRecord) string {
+	const width = 24
+	bar := []byte(strings.Repeat("-", width))
+	span := r.MaxHC - r.MinHC
+	for _, hc := range r.HCs {
+		if hc == 0 {
+			continue // not-found trial
+		}
+		pos := 0
+		if span > 0 {
+			pos = (hc - r.MinHC) * (width - 1) / span
+		}
+		bar[pos] = '*'
+	}
+	return string(bar)
+}

@@ -101,6 +101,10 @@ type (
 	AgingConfig        = core.AgingConfig
 	AgingRecord        = core.AgingRecord
 	AgingSummary       = core.AgingSummary
+	VRDConfig          = core.VRDConfig
+	VRDRecord          = core.VRDRecord
+	ColDisturbConfig   = core.ColDisturbConfig
+	ColDisturbRecord   = core.ColDisturbRecord
 	SubarrayScanConfig = core.SubarrayScanConfig
 )
 
@@ -138,6 +142,8 @@ const (
 	KindRowPressHC  = core.KindRowPressHC
 	KindBypass      = core.KindBypass
 	KindAging       = core.KindAging
+	KindVRD         = core.KindVRD
+	KindColDisturb  = core.KindColDisturb
 )
 
 // CodeGeneration is the fault-model behaviour generation stamped into
@@ -274,8 +280,9 @@ func CatalogByConfig(pred func(json.RawMessage) bool) CatalogFilter {
 
 // QueryFigureSpec returns the predefined spec reproducing one of the
 // paper's figure aggregations (fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15
-// fig16, plus figrank for multi-rank organizations) from the stored sweep
-// at the fingerprint.
+// fig16, plus figrank for multi-rank organizations, figvrd for the VRD
+// trial-distribution view, and figcoldist for flips versus column-read
+// distance) from the stored sweep at the fingerprint.
 func QueryFigureSpec(fig, sweep string) (QuerySpec, error) { return query.FigureSpec(fig, sweep) }
 
 // QueryDimensions and QueryMetrics list a kind's group-by/filter and
@@ -520,6 +527,22 @@ func RunAgingContext(ctx context.Context, fleet []*TestChip, cfg AgingConfig, op
 }
 
 func SummarizeAging(recs []AgingRecord) AgingSummary { return core.SummarizeAging(recs) }
+
+func RunVRD(fleet []*TestChip, cfg VRDConfig) ([]VRDRecord, error) {
+	return core.RunVRD(fleet, cfg)
+}
+
+func RunVRDContext(ctx context.Context, fleet []*TestChip, cfg VRDConfig, opts ...RunOption) ([]VRDRecord, error) {
+	return core.RunVRDContext(ctx, fleet, cfg, opts...)
+}
+
+func RunColDisturb(fleet []*TestChip, cfg ColDisturbConfig) ([]ColDisturbRecord, error) {
+	return core.RunColDisturb(fleet, cfg)
+}
+
+func RunColDisturbContext(ctx context.Context, fleet []*TestChip, cfg ColDisturbConfig, opts ...RunOption) ([]ColDisturbRecord, error) {
+	return core.RunColDisturbContext(ctx, fleet, cfg, opts...)
+}
 
 func ScanSubarrayBoundaries(tc *TestChip, cfg SubarrayScanConfig) ([]int, error) {
 	return core.ScanSubarrayBoundaries(tc, cfg)

@@ -143,6 +143,14 @@ func columnarSchema(kind Kind) ([]colSpec, error) {
 	case KindAging:
 		return []colSpec{{"Chip", ColInt}, {"Channel", ColInt}, {"Row", ColInt},
 			{"OldBERPercent", ColFloat}, {"NewBERPercent", ColFloat}}, nil
+	case KindVRD:
+		return []colSpec{{"Chip", ColInt}, {"Channel", ColInt}, {"Pseudo", ColInt}, {"Bank", ColInt}, {"Row", ColInt},
+			{"Pattern", ColDict}, {"Trials", ColInt}, {"Found", ColInt}, {"MinHC", ColInt}, {"MaxHC", ColInt},
+			{"MeanHC", ColFloat}, {"PHC", ColInt}, {"HCs", ColIntList}}, nil
+	case KindColDisturb:
+		return []colSpec{{"Chip", ColInt}, {"Channel", ColInt}, {"Pseudo", ColInt}, {"Bank", ColInt}, {"Row", ColInt},
+			{"Distance", ColInt}, {"Stripe", ColInt}, {"Reads", ColInt}, {"Flips", ColInt},
+			{"ColFlips", ColIntList}, {"FirstDisturb", ColInt}, {"Found", ColBool}}, nil
 	}
 	return nil, fmt.Errorf("core: no columnar schema for kind %q", kind)
 }
@@ -261,6 +269,37 @@ func ExtractColumns(kind Kind, records any) (*ColumnSet, error) {
 			col(2).Ints = append(col(2).Ints, int64(r.Row))
 			col(3).Floats = append(col(3).Floats, r.OldBERPercent)
 			col(4).Floats = append(col(4).Floats, r.NewBERPercent)
+		}
+	case []VRDRecord:
+		for _, r := range recs {
+			col(0).Ints = append(col(0).Ints, int64(r.Chip))
+			col(1).Ints = append(col(1).Ints, int64(r.Channel))
+			col(2).Ints = append(col(2).Ints, int64(r.Pseudo))
+			col(3).Ints = append(col(3).Ints, int64(r.Bank))
+			col(4).Ints = append(col(4).Ints, int64(r.Row))
+			pat(5, r.Pattern)
+			col(6).Ints = append(col(6).Ints, int64(r.Trials))
+			col(7).Ints = append(col(7).Ints, int64(r.Found))
+			col(8).Ints = append(col(8).Ints, int64(r.MinHC))
+			col(9).Ints = append(col(9).Ints, int64(r.MaxHC))
+			col(10).Floats = append(col(10).Floats, r.MeanHC)
+			col(11).Ints = append(col(11).Ints, int64(r.PHC))
+			col(12).IntLists = append(col(12).IntLists, r.HCs)
+		}
+	case []ColDisturbRecord:
+		for _, r := range recs {
+			col(0).Ints = append(col(0).Ints, int64(r.Chip))
+			col(1).Ints = append(col(1).Ints, int64(r.Channel))
+			col(2).Ints = append(col(2).Ints, int64(r.Pseudo))
+			col(3).Ints = append(col(3).Ints, int64(r.Bank))
+			col(4).Ints = append(col(4).Ints, int64(r.Row))
+			col(5).Ints = append(col(5).Ints, int64(r.Distance))
+			col(6).Ints = append(col(6).Ints, int64(r.Stripe))
+			col(7).Ints = append(col(7).Ints, int64(r.Reads))
+			col(8).Ints = append(col(8).Ints, int64(r.Flips))
+			col(9).IntLists = append(col(9).IntLists, r.ColFlips)
+			col(10).Ints = append(col(10).Ints, int64(r.FirstDisturb))
+			col(11).Bools = append(col(11).Bools, r.Found)
 		}
 	default:
 		return nil, fmt.Errorf("core: unsupported record slice %T for kind %s", records, kind)
@@ -389,6 +428,34 @@ func (cs *ColumnSet) Records() (any, error) {
 			out[i] = AgingRecord{
 				Chip: int(col(0).Int(i)), Channel: int(col(1).Int(i)), Row: int(col(2).Int(i)),
 				OldBERPercent: col(3).Float(i), NewBERPercent: col(4).Float(i),
+			}
+		}
+		return out, nil
+	case KindVRD:
+		out := make([]VRDRecord, n)
+		for i := range out {
+			p, err := pat(5, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = VRDRecord{
+				Chip: int(col(0).Int(i)), Channel: int(col(1).Int(i)), Pseudo: int(col(2).Int(i)),
+				Bank: int(col(3).Int(i)), Row: int(col(4).Int(i)),
+				Pattern: p, Trials: int(col(6).Int(i)), Found: int(col(7).Int(i)),
+				MinHC: int(col(8).Int(i)), MaxHC: int(col(9).Int(i)),
+				MeanHC: col(10).Float(i), PHC: int(col(11).Int(i)), HCs: col(12).IntLists[i],
+			}
+		}
+		return out, nil
+	case KindColDisturb:
+		out := make([]ColDisturbRecord, n)
+		for i := range out {
+			out[i] = ColDisturbRecord{
+				Chip: int(col(0).Int(i)), Channel: int(col(1).Int(i)), Pseudo: int(col(2).Int(i)),
+				Bank: int(col(3).Int(i)), Row: int(col(4).Int(i)),
+				Distance: int(col(5).Int(i)), Stripe: int(col(6).Int(i)), Reads: int(col(7).Int(i)),
+				Flips: int(col(8).Int(i)), ColFlips: col(9).IntLists[i],
+				FirstDisturb: int(col(10).Int(i)), Found: col(11).Bool(i),
 			}
 		}
 		return out, nil

@@ -30,6 +30,15 @@
 //     identical sweep from its valid prefix, finishing byte-identically)
 //     and finished files content-addressable (internal/store serves a
 //     repeat sweep from disk instead of re-running it).
+//   - Repeated measurements of one cell (the vrd sweep's per-trial HCfirst
+//     bisections, the coldist sweep's per-distance probes) are
+//     deterministic through the device's restore epochs: every restore of
+//     a row advances its epoch, which reseeds the fault model's
+//     TrialJitter deterministically, so trial K of a cell sees the same
+//     jitter in every run. Because all of a cell's repeated measurements
+//     execute inside that one plan cell, a sharded run replays the
+//     identical epoch sequence a local run does (see vrd.go and
+//     coldisturb.go for the two sides of this contract).
 //
 // Adding a new sweep-shaped experiment therefore costs a config struct, a
 // plan, a record-span rule for resume, and a measurement closure rather

@@ -19,7 +19,7 @@ import (
 // kind names the expected experiment; pass "" to accept whatever the
 // header declares. The returned records value is a typed slice -
 // []BERRecord for KindBER, []HCFirstRecord for KindHCFirst, and so on for
-// all eight kinds. Record lines are decoded strictly (unknown fields and
+// all ten kinds. Record lines are decoded strictly (unknown fields and
 // trailing garbage are errors), so drift between the sink encoding and
 // the record structs cannot pass silently.
 func DecodeRecords(kind Kind, r io.Reader) (SweepHeader, any, error) {
@@ -52,6 +52,10 @@ func DecodeRecords(kind Kind, r io.Reader) (SweepHeader, any, error) {
 		recs, err = decodeAll[BypassRecord](br)
 	case KindAging:
 		recs, err = decodeAll[AgingRecord](br)
+	case KindVRD:
+		recs, err = decodeAll[VRDRecord](br)
+	case KindColDisturb:
+		recs, err = decodeAll[ColDisturbRecord](br)
 	default:
 		return SweepHeader{}, nil, fmt.Errorf("core: unknown experiment kind %q", kind)
 	}
@@ -94,7 +98,7 @@ func decodeAll[R any](br *bufio.Reader) ([]R, error) {
 
 // EncodeRecords writes a sweep stream - header line, then one record per
 // line - exactly as a JSONLSink would during the live run. records must be
-// a slice of one of the eight record types (the shape DecodeRecords
+// a slice of one of the ten record types (the shape DecodeRecords
 // returns); EncodeRecords(w, DecodeRecords(kind, r)) reproduces r byte for
 // byte.
 func EncodeRecords(w io.Writer, h SweepHeader, records any) error {
@@ -150,10 +154,35 @@ func VerifyComplete(h SweepHeader, records any) error {
 			r := recs[i]
 			return [5]int{r.Chip, r.Channel, r.Pseudo, r.Bank, r.Row}, r.WCDP, r.Found
 		})
-	case []HCNthRecord, []VariabilityRecord, []RowPressBERRecord, []RowPressHCRecord, []BypassRecord:
+	case []HCNthRecord, []VariabilityRecord, []RowPressBERRecord, []RowPressHCRecord, []BypassRecord, []VRDRecord:
 		// One record per plan cell.
 		if n := RecordCount(records); n != h.Cells {
 			return incomplete(n)
+		}
+		return nil
+	case []ColDisturbRecord:
+		// One run of (distance, stripe) records per plan cell; runs group
+		// by aggressor-cell identity and all runs share one length.
+		runs, span := 0, -1
+		i := 0
+		for i < len(recs) {
+			key := [5]int{recs[i].Chip, recs[i].Channel, recs[i].Pseudo, recs[i].Bank, recs[i].Row}
+			j := i
+			for ; j < len(recs); j++ {
+				if [5]int{recs[j].Chip, recs[j].Channel, recs[j].Pseudo, recs[j].Bank, recs[j].Row} != key {
+					break
+				}
+			}
+			runs++
+			if span == -1 {
+				span = j - i
+			} else if j-i != span {
+				return fmt.Errorf("core: incomplete sweep: cell %v has %d of %d probe records", key, j-i, span)
+			}
+			i = j
+		}
+		if runs != h.Cells {
+			return incomplete(runs)
 		}
 		return nil
 	case []AgingRecord:

@@ -78,6 +78,17 @@ func roundTripSweeps(t *testing.T, preset hbm.Preset) map[Kind]func(opts ...RunO
 				BER: BERConfig{Channels: []int{0}, Rows: rows, Patterns: pats[:1], Reps: 1},
 			}, opts...)
 		},
+		KindVRD: func(opts ...RunOption) (any, error) {
+			return RunVRDContext(ctx, roundTripFleet(t, preset), VRDConfig{
+				Rows: rows, Trials: 3,
+			}, opts...)
+		},
+		KindColDisturb: func(opts ...RunOption) (any, error) {
+			return RunColDisturbContext(ctx, roundTripFleet(t, preset), ColDisturbConfig{
+				AggRows: rows[:1], Distances: []int{1, 3}, Stripes: []int{2},
+				Reads: 8_000, MaxReads: 1 << 17,
+			}, opts...)
+		},
 	}
 }
 

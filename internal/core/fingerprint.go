@@ -23,12 +23,15 @@ const (
 	KindRowPressHC  Kind = "rowpress-hc"
 	KindBypass      Kind = "bypass"
 	KindAging       Kind = "aging"
+	KindVRD         Kind = "vrd"
+	KindColDisturb  Kind = "coldist"
 )
 
 // Kinds lists every experiment kind, in a stable order.
 func Kinds() []Kind {
 	return []Kind{KindBER, KindHCFirst, KindHCNth, KindVariability,
-		KindRowPressBER, KindRowPressHC, KindBypass, KindAging}
+		KindRowPressBER, KindRowPressHC, KindBypass, KindAging,
+		KindVRD, KindColDisturb}
 }
 
 // CodeGeneration is the fault-model behaviour generation baked into every
@@ -150,6 +153,20 @@ func FingerprintFor(kind Kind, fleet []*TestChip, cfg any) (string, error) {
 		}
 		c.fill(g)
 		return fingerprintSweep(kind, fleet, c)
+	case KindVRD:
+		c, ok := cfg.(VRDConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return fingerprintSweep(kind, fleet, c)
+	case KindColDisturb:
+		c, ok := cfg.(ColDisturbConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return fingerprintSweep(kind, fleet, c)
 	}
 	return "", fmt.Errorf("core: unknown experiment kind %q", kind)
 }
@@ -172,6 +189,10 @@ func configTypeName(kind Kind) string {
 		return "BypassConfig"
 	case KindAging:
 		return "AgingConfig"
+	case KindVRD:
+		return "VRDConfig"
+	case KindColDisturb:
+		return "ColDisturbConfig"
 	}
 	return "unknown config"
 }

@@ -121,6 +121,20 @@ func PlanSize(kind Kind, fleet []*TestChip, cfg any) (int, error) {
 		return len(fleet) * len(c.DummyCounts) * len(c.AggActs) * len(c.Victims), nil
 	case KindAging:
 		return 0, fmt.Errorf("core: aging sweeps compose two inner sweeps and have no single shardable plan")
+	case KindVRD:
+		c, ok := cfg.(VRDConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return len(fleet) * len(c.Channels) * len(c.Pseudos) * len(c.Banks) * len(c.Rows), nil
+	case KindColDisturb:
+		c, ok := cfg.(ColDisturbConfig)
+		if !ok {
+			return bad()
+		}
+		c.fill(g)
+		return len(fleet) * len(c.AggRows), nil
 	}
 	return 0, fmt.Errorf("core: unknown experiment kind %q", kind)
 }

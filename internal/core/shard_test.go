@@ -288,6 +288,16 @@ func TestPlanSizeMatchesRunners(t *testing.T) {
 				_, err := RunBypassContext(ctx, fleet, BypassConfig{Victims: rows[:1], DummyCounts: []int{1, 2}, AggActs: []int{18}, Windows: 32}, opts...)
 				return err
 			}},
+		{KindVRD, VRDConfig{Rows: rows, Trials: 2},
+			func(fleet []*TestChip, opts ...RunOption) error {
+				_, err := RunVRDContext(ctx, fleet, VRDConfig{Rows: rows, Trials: 2}, opts...)
+				return err
+			}},
+		{KindColDisturb, ColDisturbConfig{AggRows: rows, Distances: []int{1, 2}, Stripes: []int{2}, Reads: 4_000, MaxReads: 1 << 16},
+			func(fleet []*TestChip, opts ...RunOption) error {
+				_, err := RunColDisturbContext(ctx, fleet, ColDisturbConfig{AggRows: rows, Distances: []int{1, 2}, Stripes: []int{2}, Reads: 4_000, MaxReads: 1 << 16}, opts...)
+				return err
+			}},
 	}
 	for _, tc := range cases {
 		t.Run(string(tc.kind), func(t *testing.T) {

@@ -168,6 +168,9 @@ const (
 	saltEpoch   uint64 = 0xAB
 	saltPatJit  uint64 = 0xAC
 	saltWord    uint64 = 0xAD
+	// saltCol feeds the column-disturb (bitline) fields: the per-row
+	// threshold jitter and the per-cell flip draw (see coldisturb.go).
+	saltCol uint64 = 0xAE
 	// saltRetention decorrelates the retention draw from the threshold
 	// draw of the same cell.
 	saltRetention uint64 = 0x52455453414C54

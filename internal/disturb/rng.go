@@ -8,6 +8,14 @@
 // is stable across repeated experiments (like silicon), yet every chip,
 // die, bank, row, and cell differs (like process variation).
 //
+// Two disturbance channels share that machinery. The wordline model
+// (FlipMask, model.go) covers row hammer, RowPress, and retention as a
+// function of activation count and aggressor-on time; the bitline model
+// (ColFlipMask, coldisturb.go) covers column-read disturbance, where
+// streaming reads through one open row stress cells sharing its bitlines
+// many rows away. Both draw from the same per-cell hash stream,
+// decorrelated through distinct salts.
+//
 // # Determinism contract
 //
 // The per-cell hash stream is the specification: cell idx of a row draws

@@ -105,9 +105,28 @@ func BenchmarkShardMerge(b *testing.B) {
 	}
 }
 
+// fullBenchSpec is the -full-scale fabric workload: 96 plan cells (four
+// channels x 24 rows) against the demo spec's 12 - the scale at which
+// distribution has to amortize its dispatch, polling, and merge overhead.
+func fullBenchSpec(b *testing.B, iter int) serve.SweepSpec {
+	b.Helper()
+	rows := core.SampleRows(24)
+	for i := range rows {
+		rows[i] = 64 + (rows[i]+iter*7)%(hbm.NumRows-128)
+	}
+	raw := fmt.Sprintf(`{"kind":"ber","chips":[0],"identity_mapping":true,
+		"config":{"Channels":[0,1,2,3],"Rows":%s,"Patterns":["Rowstripe0"],"Reps":1}}`, intsJSON(rows))
+	var s serve.SweepSpec
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
 // BenchmarkFabricSweep compares sweep throughput local vs distributed
 // across two in-process workers - the fabric's dispatch, polling, and
-// merge overhead against the sweeps it parallelizes.
+// merge overhead against the sweeps it parallelizes - at the demo scale
+// (12 cells) and at -full scale (96 cells, under full/).
 func BenchmarkFabricSweep(b *testing.B) {
 	newBenchWorker := func(b *testing.B) string {
 		st, err := store.Open(b.TempDir())
@@ -123,10 +142,10 @@ func BenchmarkFabricSweep(b *testing.B) {
 		return ts.URL
 	}
 
-	b.Run("local", func(b *testing.B) {
+	runLocal := func(b *testing.B, spec func(*testing.B, int) serve.SweepSpec) {
 		dir := b.TempDir()
 		for i := 0; i < b.N; i++ {
-			sw, err := serve.Resolve(benchSpec(b, i))
+			sw, err := serve.Resolve(spec(b, i))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -139,10 +158,9 @@ func BenchmarkFabricSweep(b *testing.B) {
 			}
 			f.Close()
 		}
-	})
-
-	b.Run("workers=2", func(b *testing.B) {
-		c, err := New(Config{Peers: []string{newBenchWorker(b), newBenchWorker(b)}, Shards: 4,
+	}
+	runFabric := func(b *testing.B, spec func(*testing.B, int) serve.SweepSpec, shards int) {
+		c, err := New(Config{Peers: []string{newBenchWorker(b), newBenchWorker(b)}, Shards: shards,
 			PollInterval: 2 * time.Millisecond})
 		if err != nil {
 			b.Fatal(err)
@@ -150,7 +168,7 @@ func BenchmarkFabricSweep(b *testing.B) {
 		dir := b.TempDir()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			sw, err := serve.Resolve(benchSpec(b, i))
+			sw, err := serve.Resolve(spec(b, i))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -158,5 +176,10 @@ func BenchmarkFabricSweep(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-	})
+	}
+
+	b.Run("local", func(b *testing.B) { runLocal(b, benchSpec) })
+	b.Run("workers=2", func(b *testing.B) { runFabric(b, benchSpec, 4) })
+	b.Run("full/local", func(b *testing.B) { runLocal(b, fullBenchSpec) })
+	b.Run("full/workers=2", func(b *testing.B) { runFabric(b, fullBenchSpec, 8) })
 }

@@ -90,38 +90,75 @@ func testPolicy() Policy {
 	return Policy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
 }
 
+// newKindSpecs are the two post-legacy sweep kinds on the paper preset:
+// the fabric contract must hold for them with zero fabric changes.
+func newKindSpecs(t *testing.T) []serve.SweepSpec {
+	t.Helper()
+	rows := intsJSON(core.SampleRows(6))
+	// SampleRows leaves only two rows of edge clearance; drop the last of
+	// seven samples so every aggressor has a victim at distance 3.
+	aggRows := intsJSON(core.SampleRows(7)[:6])
+	var specs []serve.SweepSpec
+	for _, raw := range []string{
+		`{"kind":"vrd","chips":[0],"identity_mapping":true,
+			"config":{"Rows":` + rows + `,"Trials":3}}`,
+		`{"kind":"coldist","chips":[0],"identity_mapping":true,
+			"config":{"AggRows":` + aggRows + `,"Distances":[1,3],"Stripes":[2],"Reads":8000,"MaxReads":131072}}`,
+	} {
+		var s serve.SweepSpec
+		if err := json.Unmarshal([]byte(raw), &s); err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// assertShardedIdentity distributes spec across two workers and demands
+// the merged spool match the uninterrupted local run byte for byte.
+func assertShardedIdentity(t *testing.T, spec serve.SweepSpec) {
+	t.Helper()
+	want := referenceRun(t, spec)
+
+	w1, _ := newWorker(t, 2)
+	w2, _ := newWorker(t, 2)
+	c, err := New(Config{Peers: []string{w1, w2}, Shards: 4, Retry: testPolicy(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := serve.Resolve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spool := filepath.Join(t.TempDir(), "merged.jsonl")
+	if err := c.Distribute(context.Background(), sw, spool); err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	got, err := os.ReadFile(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged sweep (%d bytes) diverges from uninterrupted local run (%d bytes)", len(got), len(want))
+	}
+}
+
 // TestGoldenShardedByteIdentity is the fabric's contract on every legacy
-// preset: a sweep split across two workers merges to the exact bytes of
-// an uninterrupted local run.
+// preset plus both post-legacy sweep kinds: a sweep split across two
+// workers merges to the exact bytes of an uninterrupted local run.
 func TestGoldenShardedByteIdentity(t *testing.T) {
 	for _, preset := range []string{"HBM2_8Gb", "HBM2E_16Gb", "HBM3_16Gb"} {
 		preset := preset
 		t.Run(preset, func(t *testing.T) {
 			t.Parallel()
-			spec := testSpec(t, preset)
-			want := referenceRun(t, spec)
-
-			w1, _ := newWorker(t, 2)
-			w2, _ := newWorker(t, 2)
-			c, err := New(Config{Peers: []string{w1, w2}, Shards: 4, Retry: testPolicy(), Logf: t.Logf})
-			if err != nil {
-				t.Fatal(err)
-			}
-			sw, err := serve.Resolve(spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			spool := filepath.Join(t.TempDir(), "merged.jsonl")
-			if err := c.Distribute(context.Background(), sw, spool); err != nil {
-				t.Fatalf("Distribute: %v", err)
-			}
-			got, err := os.ReadFile(spool)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(got, want) {
-				t.Errorf("merged sweep (%d bytes) diverges from uninterrupted local run (%d bytes)", len(got), len(want))
-			}
+			assertShardedIdentity(t, testSpec(t, preset))
+		})
+	}
+	for _, spec := range newKindSpecs(t) {
+		spec := spec
+		t.Run(spec.Kind, func(t *testing.T) {
+			t.Parallel()
+			assertShardedIdentity(t, spec)
 		})
 	}
 }

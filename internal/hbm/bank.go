@@ -14,6 +14,25 @@ const (
 	coupleDist2 = 0.015
 )
 
+// maxColDisturbDist bounds the bitline blast radius of a column-read
+// burst: victims further than this many rows from the open aggressor
+// (still within the same subarray) take no column disturbance. Far
+// beyond the distances the sweep runner probes, and it keeps the
+// per-burst victim scan bounded.
+const maxColDisturbDist = 16
+
+// colDose records one column-read burst's worth of bitline disturbance
+// pending against a victim row: the signed row distance from the
+// aggressor to the victim, the read count, and a snapshot of the
+// aggressor's image at burst time (nil = never written, reads as
+// zeros). Like doseAbove/doseBelow, it materializes into flips at the
+// victim's next restore.
+type colDose struct {
+	dist  int
+	reads int
+	agg   []byte
+}
+
 // rowState is the device-side state of one physical row. Rows materialize
 // lazily: a bank only holds state for rows that an experiment has touched.
 type rowState struct {
@@ -27,6 +46,9 @@ type rowState struct {
 	// neighbours above (row+1 side) and below, in reference activations,
 	// already amplification- and jitter-scaled.
 	doseAbove, doseBelow float64
+	// colDoses accumulates column-read (bitline) disturbance bursts from
+	// aggressor rows in the same subarray (ColumnRead).
+	colDoses []colDose
 	// epoch counts restores (activate/refresh/write cycles); it seeds the
 	// per-trial dose jitter.
 	epoch uint64

@@ -196,18 +196,12 @@ func (ch *Channel) applyDoseLocked(pc, bankIdx int, b *bank, physRow, count int,
 	}
 }
 
-// restoreLocked materializes pending disturbance and retention flips into
-// the row's stored data, then restores full charge (dose and retention
-// clock reset, epoch advance).
+// restoreLocked materializes pending disturbance (wordline dose, column
+// doses, retention) and flips into the row's stored data, then restores
+// full charge (dose and retention clock reset, epoch advance).
 func (ch *Channel) restoreLocked(pc, bankIdx int, b *bank, phys int, rs *rowState) {
-	if rs.data != nil && (rs.doseAbove > 0 || rs.doseBelow > 0 || ch.now-rs.lastRestore > 30*MS) {
-		var above, below []byte
-		if n := b.peek(phys + 1); n != nil {
-			above = n.data
-		}
-		if n := b.peek(phys - 1); n != nil {
-			below = n.data
-		}
+	rowPending := rs.doseAbove > 0 || rs.doseBelow > 0 || ch.now-rs.lastRestore > 30*MS
+	if rs.data != nil && (rowPending || len(rs.colDoses) > 0) {
 		if ch.scratch == nil {
 			ch.scratch = make([]byte, ch.geom.RowBytes)
 		}
@@ -215,14 +209,36 @@ func (ch *Channel) restoreLocked(pc, bankIdx int, b *bank, phys int, rs *rowStat
 		for i := range mask {
 			mask[i] = 0
 		}
-		retSec := float64(ch.now-rs.lastRestore) / float64(SEC)
-		n, err := ch.chip.model.FlipMask(
-			ch.rowLoc(pc, bankIdx, phys),
-			rs.data, above, below,
-			disturb.Dose{Above: rs.doseAbove, Below: rs.doseBelow},
-			retSec, mask,
-		)
-		if err == nil && n > 0 {
+		flips := 0
+		if rowPending {
+			var above, below []byte
+			if n := b.peek(phys + 1); n != nil {
+				above = n.data
+			}
+			if n := b.peek(phys - 1); n != nil {
+				below = n.data
+			}
+			retSec := float64(ch.now-rs.lastRestore) / float64(SEC)
+			n, err := ch.chip.model.FlipMask(
+				ch.rowLoc(pc, bankIdx, phys),
+				rs.data, above, below,
+				disturb.Dose{Above: rs.doseAbove, Below: rs.doseBelow},
+				retSec, mask,
+			)
+			if err == nil {
+				flips += n
+			}
+		}
+		for _, cd := range rs.colDoses {
+			n, err := ch.chip.model.ColFlipMask(
+				ch.rowLoc(pc, bankIdx, phys),
+				rs.data, cd.agg, cd.dist, cd.reads, mask,
+			)
+			if err == nil {
+				flips += n
+			}
+		}
+		if flips > 0 {
 			for i := range rs.data {
 				rs.data[i] ^= mask[i]
 			}
@@ -230,9 +246,38 @@ func (ch *Channel) restoreLocked(pc, bankIdx int, b *bank, phys int, rs *rowStat
 	}
 	rs.doseAbove = 0
 	rs.doseBelow = 0
+	rs.colDoses = nil
 	rs.lastRestore = ch.now
 	rs.epoch++
 	rs.jitter = ch.chip.model.TrialJitter(ch.rowLoc(pc, bankIdx, phys), rs.epoch)
+}
+
+// applyColDisturbLocked queues one column-read burst's bitline
+// disturbance against every materialized row of the bank that shares the
+// aggressor's subarray within the blast radius. The aggressor's image is
+// snapshotted once (flip eligibility depends on the data pattern on the
+// shared bitlines at burst time, not whatever is stored when the victim
+// eventually restores). Map iteration order does not matter: each
+// victim's dose list is independent and ColFlipMask's outcome is a pure
+// per-cell function, so the materialized flips are order-invariant.
+func (ch *Channel) applyColDisturbLocked(b *bank, aggPhys int, aggRS *rowState, reads int) {
+	var snap []byte
+	snapped := false
+	for phys, vrs := range b.rows {
+		if phys == aggPhys || vrs.data == nil {
+			continue
+		}
+		if d := phys - aggPhys; d >= -maxColDisturbDist && d <= maxColDisturbDist &&
+			ch.fp.SameSubarray(aggPhys, phys) {
+			if !snapped {
+				if aggRS.data != nil {
+					snap = append([]byte(nil), aggRS.data...)
+				}
+				snapped = true
+			}
+			vrs.colDoses = append(vrs.colDoses, colDose{dist: d, reads: reads, agg: snap})
+		}
+	}
 }
 
 // Read issues a RD for one column (ColBytes bytes) of the open row into buf.

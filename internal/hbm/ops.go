@@ -162,6 +162,64 @@ func (ch *Channel) readColumnsLocked(pc, bankIdx int, buf []byte) error {
 	return nil
 }
 
+// ColumnRead opens a logical row and streams `reads` back-to-back column
+// reads through it before precharging - the ColumnDisturb access pattern
+// (arXiv 2510.14750). Unlike hammering, the disturbance is carried by the
+// bitlines: every materialized row sharing the aggressor's subarray
+// within the blast radius accrues a pending column dose, scaled by the
+// read count and the data pattern, on top of the ordinary long-open
+// (RowPress) wordline dose on the immediate neighbours. Equivalent to
+// ACT + reads*RD + PRE, in O(1).
+func (ch *Channel) ColumnRead(pc, bankIdx, row, reads int) error {
+	if row < 0 || row >= ch.geom.Rows {
+		return fmt.Errorf("hbm: row %d out of range", row)
+	}
+	if reads < 0 {
+		return fmt.Errorf("hbm: negative column read count %d", reads)
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+
+	b, err := ch.bank(pc, bankIdx)
+	if err != nil {
+		return err
+	}
+	if b.open {
+		return fmt.Errorf("%w: %s", ErrBankOpen, Addr{ch.index, pc, bankIdx, b.openLogical})
+	}
+	if reads == 0 {
+		return nil
+	}
+
+	// The row stays open for the whole read burst at the bulk column
+	// cadence (see burstGateLocked), never less than tRAS.
+	t := ch.chip.timing
+	step := t.TCK
+	if t.TCCDL > step {
+		step = t.TCCDL
+	}
+	onTime := TimePS(reads) * step
+	if onTime < t.TRAS {
+		onTime = t.TRAS
+	}
+	perAct := t.TRC
+	if onTime+t.TRP > perAct {
+		perAct = onTime + t.TRP
+	}
+
+	phys := ch.chip.mapper.ToPhysical(row)
+	rs := b.row(phys, ch.now)
+	ch.restoreLocked(pc, bankIdx, b, phys, rs)
+	b.trr.OnActivateN(phys, 1)
+	ch.applyDoseLocked(pc, bankIdx, b, phys, 1, onTime, nil)
+	ch.applyColDisturbLocked(b, phys, rs, reads)
+
+	ch.now += perAct
+	b.ts[tsLastAct] = ch.now
+	b.ts[tsLastPre] = ch.now
+	return nil
+}
+
 // HammerDoubleSided performs the paper's double-sided access pattern: it
 // alternately activates the two aggressor rows `count` times each, keeping
 // each activation open for tOn (clamped up to tRAS). Equivalent to the

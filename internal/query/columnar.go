@@ -173,6 +173,45 @@ func columnarSource(cs *core.ColumnSet, env Env) (rowSource, error) {
 		mets["delta_ber_percent"] = func(i int) (float64, bool) {
 			return newBER.Float(i) - oldBER.Float(i), true
 		}
+	case core.KindVRD:
+		bank := need("Bank")
+		dims["chip"] = intDim(need("Chip"))
+		dims["channel"] = intDim(need("Channel"))
+		dims["pseudo"] = intDim(need("Pseudo"))
+		dims["bank"] = intDim(bank)
+		dims["rank"] = rankDim(bank)
+		dims["row"] = intDim(need("Row"))
+		patternCols(need("Pattern"), nil)
+		found := need("Found")
+		dims["measured"] = func(i int) dimVal { return dBool(found.Int(i) > 0) }
+		minHC, maxHC := need("MinHC"), need("MaxHC")
+		mets["min_hc"] = intMet(minHC)
+		mets["max_hc"] = intMet(maxHC)
+		mets["mean_hc"] = floatMet(need("MeanHC"))
+		mets["phc"] = intMet(need("PHC"))
+		mets["ratio"] = func(i int) (float64, bool) {
+			mn := minHC.Int(i)
+			if mn == 0 {
+				return 0, true
+			}
+			return float64(maxHC.Int(i)) / float64(mn), true
+		}
+		mets["found"] = intMet(found)
+		mets["trials"] = intMet(need("Trials"))
+	case core.KindColDisturb:
+		bank := need("Bank")
+		dims["chip"] = intDim(need("Chip"))
+		dims["channel"] = intDim(need("Channel"))
+		dims["pseudo"] = intDim(need("Pseudo"))
+		dims["bank"] = intDim(bank)
+		dims["rank"] = rankDim(bank)
+		dims["row"] = intDim(need("Row"))
+		dims["distance"] = intDim(need("Distance"))
+		dims["stripe"] = intDim(need("Stripe"))
+		dims["found"] = boolDim(need("Found"))
+		mets["flips"] = intMet(need("Flips"))
+		mets["first_disturb"] = intMet(need("FirstDisturb"))
+		mets["reads"] = intMet(need("Reads"))
 	default:
 		return rowSource{}, fmt.Errorf("query: unsupported columnar sweep kind %q", cs.Header.Kind)
 	}

@@ -295,6 +295,10 @@ func Dimensions(kind core.Kind) []string {
 		dims = []string{"chip", "row", "dummies", "agg_acts"}
 	case core.KindAging:
 		dims = []string{"chip", "channel", "row"}
+	case core.KindVRD:
+		dims = []string{"chip", "channel", "pseudo", "bank", "rank", "row", "pattern", "pattern_label", "measured"}
+	case core.KindColDisturb:
+		dims = []string{"chip", "channel", "pseudo", "bank", "rank", "row", "distance", "stripe", "found"}
 	}
 	sort.Strings(dims)
 	return dims
@@ -320,6 +324,10 @@ func Metrics(kind core.Kind) []string {
 		ms = []string{"ber_percent"}
 	case core.KindAging:
 		ms = []string{"old_ber_percent", "new_ber_percent", "delta_ber_percent"}
+	case core.KindVRD:
+		ms = []string{"min_hc", "max_hc", "mean_hc", "phc", "ratio", "found", "trials"}
+	case core.KindColDisturb:
+		ms = []string{"flips", "first_disturb", "reads"}
 	}
 	sort.Strings(ms)
 	return ms
@@ -421,6 +429,32 @@ func flatten(kind core.Kind, records any, env Env) ([]row, error) {
 			add(d, map[string]float64{
 				"old_ber_percent": r.OldBERPercent, "new_ber_percent": r.NewBERPercent,
 				"delta_ber_percent": r.NewBERPercent - r.OldBERPercent,
+			})
+		}
+	case []core.VRDRecord:
+		for _, r := range recs {
+			d := map[string]dimVal{
+				"chip": dInt(r.Chip), "channel": dInt(r.Channel), "pseudo": dInt(r.Pseudo),
+				"bank": dInt(r.Bank), "rank": dInt(env.rankOf(r.Bank)), "row": dInt(r.Row),
+				"measured": dBool(r.Found > 0),
+			}
+			patternDims(d, r.Pattern, false)
+			add(d, map[string]float64{
+				"min_hc": float64(r.MinHC), "max_hc": float64(r.MaxHC), "mean_hc": r.MeanHC,
+				"phc": float64(r.PHC), "ratio": r.Ratio(),
+				"found": float64(r.Found), "trials": float64(r.Trials),
+			})
+		}
+	case []core.ColDisturbRecord:
+		for _, r := range recs {
+			d := map[string]dimVal{
+				"chip": dInt(r.Chip), "channel": dInt(r.Channel), "pseudo": dInt(r.Pseudo),
+				"bank": dInt(r.Bank), "rank": dInt(env.rankOf(r.Bank)), "row": dInt(r.Row),
+				"distance": dInt(r.Distance), "stripe": dInt(r.Stripe), "found": dBool(r.Found),
+			}
+			add(d, map[string]float64{
+				"flips": float64(r.Flips), "first_disturb": float64(r.FirstDisturb),
+				"reads": float64(r.Reads),
 			})
 		}
 	default:
@@ -1100,8 +1134,17 @@ func FigureSpec(fig, sweep string) (Spec, error) {
 		s.Metric = "hcfirst"
 		s.Where = []Cond{{Dim: "found", Value: "true"}}
 		s.Reducers = []string{"count", "mean", "min", "max"}
+	case "figvrd": // per-row HCfirst spread across repeated trials (kind vrd)
+		s.GroupBy = []string{"chip"}
+		s.Metric = "ratio"
+		s.Where = []Cond{{Dim: "measured", Value: "true"}}
+		s.Reducers = []string{"box"}
+	case "figcoldist": // column-disturb flips vs victim distance (kind coldist)
+		s.GroupBy = []string{"distance"}
+		s.Metric = "flips"
+		s.Reducers = []string{"count", "mean", "max"}
 	default:
-		return Spec{}, specErr("no figure spec %q (have fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15 fig16 figrank)", fig)
+		return Spec{}, specErr("no figure spec %q (have fig4 fig5 fig6 fig7 fig9 fig13 fig14 fig15 fig16 figrank figvrd figcoldist)", fig)
 	}
 	return s, nil
 }

@@ -27,7 +27,8 @@ import (
 // store.
 type SweepSpec struct {
 	// Kind selects the experiment ("ber", "hcfirst", "hcnth",
-	// "variability", "rowpress-ber", "rowpress-hc", "bypass", "aging").
+	// "variability", "rowpress-ber", "rowpress-hc", "bypass", "aging",
+	// "vrd", "coldist").
 	Kind string `json:"kind"`
 	// Chips are the study chip indices (default: all six).
 	Chips []int `json:"chips,omitempty"`
@@ -212,6 +213,26 @@ func Resolve(spec SweepSpec) (*Sweep, error) {
 		cfg = c
 		s.run = func(ctx context.Context, opts ...core.RunOption) error {
 			_, err := core.RunAgingContext(ctx, fleet, c, opts...)
+			return err
+		}
+	case core.KindVRD:
+		c := core.VRDConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunVRDContext(ctx, fleet, c, opts...)
+			return err
+		}
+	case core.KindColDisturb:
+		c := core.ColDisturbConfig{}
+		if err := decodeConfig(spec.Config, &c); err != nil {
+			return nil, err
+		}
+		cfg = c
+		s.run = func(ctx context.Context, opts ...core.RunOption) error {
+			_, err := core.RunColDisturbContext(ctx, fleet, c, opts...)
 			return err
 		}
 	default:

@@ -67,31 +67,20 @@ func smokeQueries(fp string) []hbmrd.QuerySpec {
 	return specs
 }
 
-func run(update bool, goldenPath string) error {
-	dir, err := os.MkdirTemp("", "querysmoke-*")
-	if err != nil {
-		return err
-	}
-	defer os.RemoveAll(dir)
-
-	// A tiny deterministic sweep through the -out flow.
+// runStored executes one sweep through the -out flow (a fresh fleet per
+// sweep, exactly as the CLI runs them) and ingests it into the store.
+func runStored(dir string, st *hbmrd.SweepStore, name string, run func(fleet []*hbmrd.TestChip, sink hbmrd.Sink) error) (hbmrd.SweepStoreMeta, error) {
 	fleet, err := hbmrd.NewFleet([]int{0}, hbmrd.WithIdentityMapping())
 	if err != nil {
-		return err
+		return hbmrd.SweepStoreMeta{}, err
 	}
-	outPath := filepath.Join(dir, "ber.jsonl")
+	outPath := filepath.Join(dir, name+".jsonl")
 	f, err := os.Create(outPath)
 	if err != nil {
-		return err
+		return hbmrd.SweepStoreMeta{}, err
 	}
 	sink := hbmrd.NewJSONLFileSink(f)
-	_, err = hbmrd.RunBERContext(context.Background(), fleet, hbmrd.BERConfig{
-		Channels:    []int{0, 1},
-		Rows:        hbmrd.SampleRows(2),
-		Patterns:    []hbmrd.Pattern{hbmrd.Rowstripe0, hbmrd.Checkered0},
-		HammerCount: 100_000,
-		Reps:        1,
-	}, hbmrd.WithSink(sink))
+	err = run(fleet, sink)
 	if err == nil {
 		err = sink.Err()
 	}
@@ -99,14 +88,35 @@ func run(update bool, goldenPath string) error {
 		err = cerr
 	}
 	if err != nil {
+		return hbmrd.SweepStoreMeta{}, err
+	}
+	return hbmrd.IngestSweep(st, outPath)
+}
+
+func run(update bool, goldenPath string) error {
+	dir, err := os.MkdirTemp("", "querysmoke-*")
+	if err != nil {
 		return err
 	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
 
 	st, err := hbmrd.OpenSweepStore(filepath.Join(dir, "store"))
 	if err != nil {
 		return err
 	}
-	meta, err := hbmrd.IngestSweep(st, outPath)
+
+	// A tiny deterministic sweep through the -out flow.
+	meta, err := runStored(dir, st, "ber", func(fleet []*hbmrd.TestChip, sink hbmrd.Sink) error {
+		_, err := hbmrd.RunBERContext(ctx, fleet, hbmrd.BERConfig{
+			Channels:    []int{0, 1},
+			Rows:        hbmrd.SampleRows(2),
+			Patterns:    []hbmrd.Pattern{hbmrd.Rowstripe0, hbmrd.Checkered0},
+			HammerCount: 100_000,
+			Reps:        1,
+		}, hbmrd.WithSink(sink))
+		return err
+	})
 	if err != nil {
 		return err
 	}
@@ -122,6 +132,46 @@ func run(update bool, goldenPath string) error {
 		fmt.Fprintf(&out, "==== reducer %s ====\n", strings.Join(spec.Reducers, ","))
 		out.Write(res.JSON)
 		out.WriteString(res.Aggregate.CSV())
+	}
+
+	// The post-legacy sweep kinds: one tiny sweep each through the same
+	// -out flow, queried through their figure presets. Their specs join
+	// the cold-path equivalence loop below.
+	vrdMeta, err := runStored(dir, st, "vrd", func(fleet []*hbmrd.TestChip, sink hbmrd.Sink) error {
+		_, err := hbmrd.RunVRDContext(ctx, fleet, hbmrd.VRDConfig{
+			Rows: hbmrd.SampleRows(2), Trials: 3,
+		}, hbmrd.WithSink(sink))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	colMeta, err := runStored(dir, st, "coldist", func(fleet []*hbmrd.TestChip, sink hbmrd.Sink) error {
+		_, err := hbmrd.RunColDisturbContext(ctx, fleet, hbmrd.ColDisturbConfig{
+			AggRows: hbmrd.SampleRows(2)[:1], Distances: []int{1, 3}, Stripes: []int{1, 2},
+			Reads: 8_000, MaxReads: 1 << 17,
+		}, hbmrd.WithSink(sink))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for _, fig := range []struct{ name, fp string }{
+		{"figvrd", vrdMeta.Fingerprint},
+		{"figcoldist", colMeta.Fingerprint},
+	} {
+		spec, err := hbmrd.QueryFigureSpec(fig.name, fig.fp)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Run(spec)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", fig.name, err)
+		}
+		fmt.Fprintf(&out, "==== figure %s ====\n", fig.name)
+		out.Write(res.JSON)
+		out.WriteString(res.Aggregate.CSV())
+		specs = append(specs, spec)
 	}
 	// Every golden query must produce byte-identical aggregates through
 	// both cold representations - the columnar artifact and the raw
