@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands directly.
 
-.PHONY: test short bench race ci bench-check golden fabric-chaos
+.PHONY: test short bench race ci bench-check golden fabric-chaos metrics-smoke
 
 test:
 	go build ./... && go test ./...
@@ -43,6 +43,13 @@ golden:
 # byte-identity of the merged output.
 fabric-chaos:
 	go test -race -count=1 ./internal/fabric/ ./internal/serve/
+
+# metrics-smoke boots a live hbmrdd, runs a tiny sweep through it, and
+# asserts the /metrics Prometheus exposition is well-formed and moving
+# (sweep/store/HTTP series with the expected values). CI runs it in the
+# fabric-chaos job.
+metrics-smoke:
+	./tools/metrics-smoke.sh
 
 # query-smoke runs a tiny sweep into a temp store, executes one query per
 # aggregation reducer through the content-addressed query engine, and

@@ -85,6 +85,7 @@ type runCtx struct {
 	out      *hbmrd.JSONLFileSink
 	resume   *hbmrd.Checkpoint
 	shard    *hbmrd.ShardRange
+	tracer   *hbmrd.Tracer
 	// label is the artifact name, used for progress-sink lines.
 	label string
 }
@@ -103,6 +104,7 @@ func run(ctx context.Context, args []string) error {
 	resumeFlag := fs.String("resume", "", "resume a cancelled -out run from this JSON Lines file")
 	shardFlag := fs.String("shard", "", "run only plan cells START:END of the artifact's sweep (a distributed-fabric shard)")
 	kindFlag := fs.String("kind", "", `run one sweep kind directly ("vrd", "coldist") instead of naming an artifact`)
+	traceFlag := fs.String("trace-out", "", "write sweep-lifecycle spans (plan/cells/finalize) to this JSON Lines file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,7 +208,29 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 
+	// -trace-out is observability, not results: trace spans are strictly
+	// out-of-band of the -out record stream, and a trace write failure
+	// warns instead of failing the run.
+	closeTrace := func() {}
+	if *traceFlag != "" {
+		tf, err := os.Create(*traceFlag)
+		if err != nil {
+			return err
+		}
+		c.tracer = hbmrd.NewTracer(tf)
+		closeTrace = func() {
+			err := c.tracer.Err()
+			if cerr := tf.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hbmrd: writing trace %s: %v\n", *traceFlag, err)
+			}
+		}
+	}
+
 	err := runArtifacts(ctx, name, c)
+	closeTrace()
 	if cerr := closeOut(); err == nil {
 		err = cerr
 	}
@@ -405,6 +429,9 @@ func (c runCtx) runOpts() []hbmrd.RunOption {
 	}
 	if c.shard != nil {
 		opts = append(opts, hbmrd.WithShard(*c.shard))
+	}
+	if c.tracer != nil {
+		opts = append(opts, hbmrd.WithTracer(c.tracer))
 	}
 	return opts
 }

@@ -24,7 +24,9 @@
 //	GET  /sweeps/<fp>/status
 //	GET  /sweeps/<fp>/records  typed decoded records of a stored sweep
 //	POST /query             run an aggregation spec (?format=csv for CSV)
-//	GET  /healthz           store path, live jobs, catalog size
+//	GET  /healthz           store path, live jobs, catalog size, metric snapshot
+//	GET  /metrics           Prometheus text exposition (counters, gauges, histograms)
+//	GET  /debug/pprof/      runtime profiles (only with -pprof)
 //
 // On SIGTERM/SIGINT the service drains: in-flight sweeps are cancelled
 // and their spool files keep a valid checkpoint prefix (fingerprint
@@ -52,6 +54,7 @@ import (
 	"hbmrd/internal/fabric"
 	"hbmrd/internal/serve"
 	"hbmrd/internal/store"
+	"hbmrd/internal/telemetry"
 )
 
 func main() {
@@ -73,6 +76,7 @@ func run(args []string) error {
 	shardTimeout := fs.Duration("shard-timeout", 2*time.Minute, "per-shard end-to-end deadline across retries")
 	httpTimeout := fs.Duration("http-timeout", 30*time.Second, "request header+body read deadline (slowloris guard)")
 	httpIdleTimeout := fs.Duration("http-idle-timeout", 2*time.Minute, "keep-alive idle connection deadline")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,13 +85,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := serve.Config{Store: st, Workers: *workers, Jobs: *jobs}
+	lg := telemetry.NewLogger(log.Printf)
+	cfg := serve.Config{Store: st, Workers: *workers, Jobs: *jobs, Log: lg, Pprof: *pprofOn}
 	if *peers != "" {
 		coord, err := fabric.New(fabric.Config{
 			Peers:        strings.Split(*peers, ","),
 			Shards:       *shards,
 			ShardTimeout: *shardTimeout,
-			Logf:         log.Printf,
+			Log:          lg,
 		})
 		if err != nil {
 			return err

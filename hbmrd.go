@@ -40,6 +40,7 @@ import (
 	"hbmrd/internal/report"
 	"hbmrd/internal/retention"
 	"hbmrd/internal/store"
+	"hbmrd/internal/telemetry"
 	"hbmrd/internal/thermal"
 	"hbmrd/internal/trr"
 	"hbmrd/internal/utrr"
@@ -169,6 +170,20 @@ func WithResume(cp *Checkpoint) RunOption { return core.WithResume(cp) }
 // ResumeFrom reads the valid prefix (fingerprint header plus complete
 // record lines) of a partially written sweep file.
 func ResumeFrom(r io.Reader) (*Checkpoint, error) { return core.ResumeFrom(r) }
+
+// Tracer streams sweep-lifecycle spans (plan → cells → finalize) as
+// JSON Lines, one object per completed span, keyed by the sweep's
+// fingerprint. Tracing is strictly out-of-band of the record stream:
+// it never changes a sweep's records, fingerprints, or sink bytes.
+// `hbmrd -trace-out FILE` wires one up for CLI sweeps.
+type Tracer = telemetry.Tracer
+
+// NewTracer returns a Tracer writing JSONL spans to w (the caller
+// owns w and closes it after the sweep).
+func NewTracer(w io.Writer) *Tracer { return telemetry.NewTracer(w) }
+
+// WithTracer attaches a span tracer to a sweep run.
+func WithTracer(t *Tracer) RunOption { return core.WithTracer(t) }
 
 // SweepFingerprint computes the fingerprint a Run*Context call with this
 // kind, fleet, and config would stamp into its header, without running

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"hbmrd/internal/hbm"
+	"hbmrd/internal/telemetry"
 )
 
 // Cell is one schedulable unit of a sweep. Everything a cell touches lives
@@ -55,6 +57,7 @@ type runOpts struct {
 	sink   Sink
 	resume *Checkpoint
 	shard  *ShardRange
+	tracer *telemetry.Tracer
 }
 
 // RunOption tunes how a runner executes its sweep. Every Run*Context entry
@@ -118,6 +121,16 @@ func (e *cellEnv) bank(pc, bnk int) bankRef {
 func runSweep[R any](ctx context.Context, p plan, o runOpts, st *sweepState[R], measure func(ctx context.Context, env *cellEnv, c Cell) ([]R, error)) ([]R, error) {
 	if st == nil {
 		st = &sweepState[R]{}
+	}
+	// Telemetry is resolved once per sweep (handle lookup takes a lock)
+	// and is strictly out-of-band: nothing below touches the sink, the
+	// records, or the header. With telemetry disabled obs is nil and the
+	// per-cell cost is two nil checks.
+	obs := newSweepObs(st.header.Kind)
+	obs.begin(st.skip)
+	var sweepStart time.Time
+	if obs != nil || o.tracer != nil {
+		sweepStart = time.Now()
 	}
 	cells := p.cells
 	// Progress reports live cells only: a resumed sweep's checkpointed
@@ -235,6 +248,10 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, st *sweepState[R], 
 		}
 	}
 
+	var cellsStart time.Time
+	if o.tracer != nil {
+		cellsStart = time.Now()
+	}
 	next := make(chan group)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -255,11 +272,16 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, st *sweepState[R], 
 					if cctx.Err() != nil {
 						break
 					}
+					var cellStart time.Time
+					if obs != nil {
+						cellStart = time.Now()
+					}
 					recs, err := measure(cctx, env, cells[i])
 					if err != nil {
 						fail(fmt.Errorf("core: chip %d channel %d: %w", c0.TC.Index, c0.Channel, err))
 						break
 					}
+					obs.cell(cellStart, len(recs))
 					slots[i] = recs
 					cellDone(i)
 				}
@@ -279,10 +301,21 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, st *sweepState[R], 
 	if err == nil {
 		err = first
 	}
+	fp := st.header.Fingerprint
+	var finStart time.Time
+	if o.tracer != nil {
+		o.tracer.Emit(fp, "cells", cellsStart, "cells", liveTotal, "workers", workers, "err", errAttr(err))
+		finStart = time.Now()
+	}
 	if o.sink != nil {
 		o.sink.Finish(err)
 	}
 	if err != nil {
+		if o.tracer != nil {
+			o.tracer.Emit(fp, "finalize", finStart, "err", errAttr(err))
+			o.tracer.Emit(fp, "sweep", sweepStart, "kind", st.header.Kind,
+				"cells", len(cells), "prefilled", st.skip, "err", errAttr(err))
+		}
 		return nil, err
 	}
 
@@ -293,6 +326,11 @@ func runSweep[R any](ctx context.Context, p plan, o runOpts, st *sweepState[R], 
 	out := make([]R, 0, n)
 	for _, s := range slots {
 		out = append(out, s...)
+	}
+	if o.tracer != nil {
+		o.tracer.Emit(fp, "finalize", finStart, "records", n)
+		o.tracer.Emit(fp, "sweep", sweepStart, "kind", st.header.Kind,
+			"cells", len(cells), "prefilled", st.skip, "records", n)
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // sweepFormat versions the streamed sweep file format (header line shape
@@ -216,6 +217,10 @@ type sweepState[R any] struct {
 // once. The returned plan is the one to execute (the shard slice under
 // WithShard, the input plan otherwise).
 func prepareSweep[R any](kind Kind, fleet []*TestChip, cfg any, p plan, o runOpts, span spanFunc) (plan, *sweepState[R], error) {
+	var planStart time.Time
+	if o.tracer != nil {
+		planStart = time.Now()
+	}
 	fp, err := fingerprintSweep(kind, fleet, cfg)
 	if err != nil {
 		return p, nil, err
@@ -238,6 +243,10 @@ func prepareSweep[R any](kind Kind, fleet []*TestChip, cfg any, p plan, o runOpt
 	st := &sweepState[R]{header: h}
 	cp := o.resume
 	if cp == nil {
+		if o.tracer != nil {
+			o.tracer.Emit(h.Fingerprint, "plan", planStart,
+				"kind", string(kind), "cells", len(p.cells))
+		}
 		return p, st, nil
 	}
 	if cp.Header.Kind != string(kind) {
@@ -274,6 +283,10 @@ func prepareSweep[R any](kind Kind, fleet []*TestChip, cfg any, p plan, o runOpt
 		rec += n
 		st.skip = ci + 1
 		st.truncAt = cp.lines[rec-1].end
+	}
+	if o.tracer != nil {
+		o.tracer.Emit(h.Fingerprint, "plan", planStart,
+			"kind", string(kind), "cells", len(p.cells), "resumed", true, "prefilled", st.skip)
 	}
 	return p, st, nil
 }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"time"
+
+	"hbmrd/internal/telemetry"
+)
+
+// WithTracer streams sweep-lifecycle spans (plan → cells → finalize,
+// plus a root sweep span) to t as JSONL, keyed by the sweep's
+// fingerprint. Tracing is strictly out-of-band: it never touches the
+// sink, the records, or the fingerprint. `hbmrd -trace-out` wires
+// this up for CLI sweeps.
+func WithTracer(t *telemetry.Tracer) RunOption { return func(o *runOpts) { o.tracer = t } }
+
+// sweepObs bundles the engine's per-sweep metric handles, resolved
+// once per runSweep so the per-cell path is pure atomics. A nil
+// *sweepObs (telemetry disabled) makes every method a no-op — the
+// worker loop pays two nil checks and nothing else.
+type sweepObs struct {
+	cells     *telemetry.Counter
+	records   *telemetry.Counter
+	cellSecs  *telemetry.Histogram
+	sweeps    *telemetry.Counter
+	prefilled *telemetry.Counter
+}
+
+func newSweepObs(kind string) *sweepObs {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	k := telemetry.L("kind", kind)
+	return &sweepObs{
+		cells:     telemetry.Default.Counter("hbmrd_sweep_cells_total", k),
+		records:   telemetry.Default.Counter("hbmrd_sweep_records_total", k),
+		cellSecs:  telemetry.Default.Histogram("hbmrd_sweep_cell_seconds", telemetry.DurationBuckets, k),
+		sweeps:    telemetry.Default.Counter("hbmrd_sweeps_total", k),
+		prefilled: telemetry.Default.Counter("hbmrd_sweep_resume_prefilled_cells_total", k),
+	}
+}
+
+// begin records the sweep start and how many plan cells the resume
+// checkpoint prefilled.
+func (o *sweepObs) begin(skip int) {
+	if o == nil {
+		return
+	}
+	o.sweeps.Inc()
+	o.prefilled.Add(int64(skip))
+}
+
+// cell records one executed plan cell: its wall time and record count.
+func (o *sweepObs) cell(start time.Time, nrecs int) {
+	if o == nil {
+		return
+	}
+	o.cellSecs.Observe(time.Since(start).Seconds())
+	o.cells.Inc()
+	o.records.Add(int64(nrecs))
+}
+
+func init() {
+	telemetry.Default.Help("hbmrd_sweep_cells_total", "Plan cells executed by the sweep engine, by sweep kind.")
+	telemetry.Default.Help("hbmrd_sweep_records_total", "Records produced by executed plan cells, by sweep kind.")
+	telemetry.Default.Help("hbmrd_sweep_cell_seconds", "Wall time per executed plan cell, by sweep kind.")
+	telemetry.Default.Help("hbmrd_sweeps_total", "Sweeps started on the engine, by kind.")
+	telemetry.Default.Help("hbmrd_sweep_resume_prefilled_cells_total", "Plan cells skipped because a resume checkpoint already covered them.")
+}
+
+// errAttr renders err for a span attribute ("" on success).
+func errAttr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

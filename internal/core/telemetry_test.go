@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"hbmrd/internal/telemetry"
+)
+
+// sweepBytes runs the shared engine workload into a JSONL sink and
+// returns the full stream - header line plus records - as bytes.
+func sweepBytes(t *testing.T, opts ...RunOption) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	opts = append([]RunOption{WithJobs(4), WithSink(NewJSONLSink(&buf))}, opts...)
+	if _, err := RunBERContext(context.Background(), smallFleet(t, 0, 1), engineBERConfig(), opts...); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTelemetryIsOutOfBand is the byte-identity regression gate for the
+// whole telemetry layer: the record stream of a sweep must be identical
+// with metrics enabled (the default), with metrics disabled, and with a
+// span tracer attached. Telemetry observes the sweep; it must never be
+// able to alter it.
+func TestTelemetryIsOutOfBand(t *testing.T) {
+	cells := telemetry.Default.Counter("hbmrd_sweep_cells_total", telemetry.L("kind", "ber"))
+	sweeps := telemetry.Default.Counter("hbmrd_sweeps_total", telemetry.L("kind", "ber"))
+
+	c0, s0 := cells.Value(), sweeps.Value()
+	base := sweepBytes(t)
+	if cells.Value() <= c0 || sweeps.Value() != s0+1 {
+		t.Errorf("enabled run moved cells %d->%d, sweeps %d->%d",
+			c0, cells.Value(), s0, sweeps.Value())
+	}
+
+	telemetry.SetEnabled(false)
+	c1 := cells.Value()
+	disabled := sweepBytes(t)
+	telemetry.SetEnabled(true)
+	if cells.Value() != c1 {
+		t.Errorf("disabled run still moved the cell counter: %d -> %d", c1, cells.Value())
+	}
+	if !bytes.Equal(base, disabled) {
+		t.Error("record stream changed when telemetry was disabled")
+	}
+
+	var spans bytes.Buffer
+	traced := sweepBytes(t, WithTracer(telemetry.NewTracer(&spans)))
+	if !bytes.Equal(base, traced) {
+		t.Error("record stream changed when a span tracer was attached")
+	}
+	got := spans.String()
+	for _, span := range []string{`"span":"plan"`, `"span":"cells"`, `"span":"finalize"`, `"span":"sweep"`} {
+		if !strings.Contains(got, span) {
+			t.Errorf("trace output is missing %s:\n%s", span, got)
+		}
+	}
+}

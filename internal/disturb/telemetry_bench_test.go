@@ -1,0 +1,123 @@
+package disturb
+
+import (
+	"testing"
+	"time"
+
+	"hbmrd/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverheadFlipMask prices telemetry against the
+// fault-model hot kernel under a deliberately harsher contract than
+// production: one counter update, one histogram observation, and one
+// timestamp per FlipMask call, where the engine actually pays that once
+// per cell (thousands of kernel calls). Disabled is the gate-checked
+// no-op path. Both sub-benchmarks must stay at 0 allocs/op - the kernel
+// allocates nothing and telemetry may not change that.
+func BenchmarkTelemetryOverheadFlipMask(b *testing.B) {
+	flips := telemetry.Default.Counter("bench_flipmask_flips_total")
+	seconds := telemetry.Default.Histogram("bench_flipmask_seconds", telemetry.DurationBuckets)
+	run := func(b *testing.B) {
+		m := benchFlipModel(b)
+		victim := benchFillRow(0x55)
+		aggr := benchFillRow(0xAA)
+		dst := make([]byte, RowBytes)
+		locs := [4]RowLoc{
+			{Channel: 0, Pseudo: 0, Bank: 0, Row: 1000},
+			{Channel: 0, Pseudo: 0, Bank: 0, Row: 1002},
+			{Channel: 3, Pseudo: 1, Bank: 5, Row: 4000},
+			{Channel: 3, Pseudo: 1, Bank: 5, Row: 4002},
+		}
+		dose := Dose{Above: 16 * 1024, Below: 16 * 1024}
+		for _, loc := range locs {
+			if _, err := m.FlipMask(loc, victim, aggr, aggr, dose, 0, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var start time.Time
+			if telemetry.Enabled() {
+				start = time.Now()
+			}
+			n, err := m.FlipMask(locs[i&3], victim, aggr, aggr, dose, 0, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if telemetry.Enabled() {
+				flips.Add(int64(n))
+				seconds.Observe(time.Since(start).Seconds())
+			}
+		}
+	}
+	b.Run("enabled", run)
+	b.Run("disabled", func(b *testing.B) {
+		telemetry.SetEnabled(false)
+		defer telemetry.SetEnabled(true)
+		run(b)
+	})
+}
+
+// TestFlipMaskTelemetryZeroAlloc pins the acceptance budget directly:
+// wrapping the fault-model hot kernel in telemetry - enabled or not -
+// performs zero allocations per call.
+func TestFlipMaskTelemetryZeroAlloc(t *testing.T) {
+	flips := telemetry.Default.Counter("bench_flipmask_flips_total")
+	seconds := telemetry.Default.Histogram("bench_flipmask_seconds", telemetry.DurationBuckets)
+	m, err := NewModel(mustProfile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := benchFillRowT(t, 0x55)
+	aggr := benchFillRowT(t, 0xAA)
+	dst := make([]byte, RowBytes)
+	loc := RowLoc{Channel: 0, Pseudo: 0, Bank: 0, Row: 1000}
+	dose := Dose{Above: 16 * 1024, Below: 16 * 1024}
+	if _, err := m.FlipMask(loc, victim, aggr, aggr, dose, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	kernel := func() {
+		var start time.Time
+		if telemetry.Enabled() {
+			start = time.Now()
+		}
+		n, err := m.FlipMask(loc, victim, aggr, aggr, dose, 0, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if telemetry.Enabled() {
+			flips.Add(int64(n))
+			seconds.Observe(time.Since(start).Seconds())
+		}
+	}
+	for _, state := range []struct {
+		name string
+		on   bool
+	}{{"enabled", true}, {"disabled", false}} {
+		telemetry.SetEnabled(state.on)
+		if allocs := testing.AllocsPerRun(100, kernel); allocs != 0 {
+			t.Errorf("%s: %.0f allocs/op on the instrumented kernel, want 0", state.name, allocs)
+		}
+	}
+	telemetry.SetEnabled(true)
+}
+
+func mustProfile(t *testing.T) Profile {
+	t.Helper()
+	p, err := BuiltinProfile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func benchFillRowT(t *testing.T, fill byte) []byte {
+	t.Helper()
+	buf := make([]byte, RowBytes)
+	for i := range buf {
+		buf[i] = fill
+	}
+	return buf
+}

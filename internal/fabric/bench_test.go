@@ -15,6 +15,7 @@ import (
 	"hbmrd/internal/hbm"
 	"hbmrd/internal/serve"
 	"hbmrd/internal/store"
+	"hbmrd/internal/telemetry"
 )
 
 // benchSpec is the fabric benchmark workload: 12 plan cells, with each
@@ -133,7 +134,7 @@ func BenchmarkFabricSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		srv, err := serve.New(serve.Config{Store: st, Workers: 2, Jobs: 2, Logf: func(string, ...any) {}})
+		srv, err := serve.New(serve.Config{Store: st, Workers: 2, Jobs: 2, Log: telemetry.NewLogger(func(string, ...any) {})})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sync"
@@ -29,6 +30,7 @@ import (
 
 	"hbmrd/internal/core"
 	"hbmrd/internal/serve"
+	"hbmrd/internal/telemetry"
 )
 
 // Config parameterizes a Coordinator.
@@ -43,8 +45,17 @@ type Config struct {
 	// ShardTimeout bounds one shard end to end - submit, poll, fetch,
 	// across all retries (default 2m).
 	ShardTimeout time.Duration
-	// PollInterval paces shard status polling (default 25ms).
+	// PollInterval paces shard status polling (default 25ms). The first
+	// polls of a shard run at this interval; once a shard has survived a
+	// couple of polls the interval grows geometrically (with jitter) up
+	// to PollMaxInterval, so long shards stop burning a request every
+	// 25ms while tiny shards keep their fast completion detection - the
+	// poll-overhead follow-on the hbmrd_fabric_poll_wait_seconds metric
+	// and BenchmarkFabricOverhead measure.
 	PollInterval time.Duration
+	// PollMaxInterval caps the grown poll interval (default 20x
+	// PollInterval).
+	PollMaxInterval time.Duration
 	// QuarantineAfter is the consecutive-failure count that quarantines a
 	// worker (default 2); a quarantined worker rejoins when its /healthz
 	// answers again.
@@ -54,8 +65,13 @@ type Config struct {
 	// Client issues all worker requests (default http.DefaultClient); the
 	// chaos tests plug a FaultInjector transport in here.
 	Client *http.Client
-	// Logf receives coordinator log lines (default: discard).
-	Logf func(format string, args ...any)
+	// Log receives coordinator log lines (default: discard; wrap any
+	// printf-shaped sink with telemetry.NewLogger).
+	Log *telemetry.Logger
+	// Tracer, when set, receives per-shard spans (dispatch through
+	// fetch) and the merge span for every distributed sweep, keyed by
+	// the parent fingerprint.
+	Tracer *telemetry.Tracer
 }
 
 // Coordinator distributes sweeps over a worker pool. Plug its Distribute
@@ -86,9 +102,7 @@ func New(cfg Config) (*Coordinator, error) {
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
-	if c.cfg.Logf != nil {
-		c.cfg.Logf(format, args...)
-	}
+	c.cfg.Log.Infof(format, args...)
 }
 
 func (c *Coordinator) quarantineAfter() int {
@@ -103,6 +117,13 @@ func (c *Coordinator) pollInterval() time.Duration {
 		return c.cfg.PollInterval
 	}
 	return 25 * time.Millisecond
+}
+
+func (c *Coordinator) pollMaxInterval() time.Duration {
+	if c.cfg.PollMaxInterval > 0 {
+		return c.cfg.PollMaxInterval
+	}
+	return 20 * c.pollInterval()
 }
 
 // splitPlan cuts cells into n contiguous near-equal ranges.
@@ -152,6 +173,7 @@ func (c *Coordinator) Distribute(ctx context.Context, sw *serve.Sweep, spool str
 	if !sw.Shardable() {
 		return fmt.Errorf("fabric: sweep %s is not shardable", sw.Fingerprint)
 	}
+	distSpan := c.cfg.Tracer.Start(sw.Fingerprint, "distribute", "cells", sw.Cells, "peers", len(c.peers))
 	ranges := splitPlan(sw.Cells, c.shardCount())
 	c.logf("fabric: sweep %s: %d cells across %d shards on %d workers",
 		sw.Fingerprint, sw.Cells, len(ranges), len(c.peers))
@@ -181,11 +203,18 @@ func (c *Coordinator) Distribute(ctx context.Context, sw *serve.Sweep, spool str
 		}
 	}
 	if k == 0 {
-		return fmt.Errorf("fabric: no usable shard prefix for %s (first shard: %w)", sw.Fingerprint, results[0].err)
+		mMergeNone.Inc()
+		err := fmt.Errorf("fabric: no usable shard prefix for %s (first shard: %w)", sw.Fingerprint, results[0].err)
+		distSpan.End("merged_shards", 0, "shards", len(ranges), "err", err.Error())
+		return err
 	}
 
+	mergeSpan := c.cfg.Tracer.Start(sw.Fingerprint, "merge", "shards", k)
 	header, err := parentHeaderBytes(results[0].header, sw)
 	if err != nil {
+		mMergeNone.Inc()
+		mergeSpan.End("err", err.Error())
+		distSpan.End("merged_shards", 0, "shards", len(ranges), "err", err.Error())
 		return err
 	}
 	var buf bytes.Buffer
@@ -196,17 +225,32 @@ func (c *Coordinator) Distribute(ctx context.Context, sw *serve.Sweep, spool str
 	// A previous attempt may have left a longer local checkpoint at the
 	// spool; keep whichever prefix is further along.
 	if fi, err := os.Stat(spool); err == nil && k < len(ranges) && fi.Size() >= int64(buf.Len()) {
-		return fmt.Errorf("fabric: merged %d of %d shards for %s, but the existing spool is further along; resuming it locally",
+		mMergeNone.Inc()
+		err := fmt.Errorf("fabric: merged %d of %d shards for %s, but the existing spool is further along; resuming it locally",
 			k, len(ranges), sw.Fingerprint)
+		mergeSpan.End("err", err.Error())
+		distSpan.End("merged_shards", k, "shards", len(ranges), "err", err.Error())
+		return err
 	}
 	if err := os.WriteFile(spool, buf.Bytes(), 0o644); err != nil {
-		return fmt.Errorf("fabric: writing merged spool: %w", err)
+		mMergeNone.Inc()
+		err = fmt.Errorf("fabric: writing merged spool: %w", err)
+		mergeSpan.End("err", err.Error())
+		distSpan.End("merged_shards", k, "shards", len(ranges), "err", err.Error())
+		return err
 	}
+	mMergeBytes.Add(int64(buf.Len()))
+	mergeSpan.End("bytes", buf.Len())
 	if k < len(ranges) {
-		return fmt.Errorf("fabric: merged %d of %d shards for %s; finishing cells %d.. locally",
+		mMergePartial.Inc()
+		err := fmt.Errorf("fabric: merged %d of %d shards for %s; finishing cells %d.. locally",
 			k, len(ranges), sw.Fingerprint, ranges[k].Start)
+		distSpan.End("merged_shards", k, "shards", len(ranges), "err", err.Error())
+		return err
 	}
+	mMergeFull.Inc()
 	c.logf("fabric: sweep %s merged from %d shards (%d bytes)", sw.Fingerprint, len(ranges), buf.Len())
+	distSpan.End("merged_shards", k, "shards", len(ranges), "bytes", buf.Len())
 	return nil
 }
 
@@ -233,10 +277,13 @@ func parentHeaderBytes(shard core.SweepHeader, sw *serve.Sweep) ([]byte, error) 
 // per the policy, under the per-shard deadline.
 func (c *Coordinator) dispatch(ctx context.Context, sw *serve.Sweep, r serve.ShardSpec) shardResult {
 	fp := core.ShardFingerprint(sw.Fingerprint, r.Start, r.End)
+	mShardsDispatched.Inc()
+	span := c.cfg.Tracer.Start(sw.Fingerprint, "shard", "start", r.Start, "end", r.End, "shard_fp", fp)
 	spec := sw.Spec
 	spec.Shard = &serve.ShardSpec{Start: r.Start, End: r.End}
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
+		span.End("err", err.Error())
 		return shardResult{err: err}
 	}
 	if c.cfg.ShardTimeout > 0 {
@@ -246,14 +293,20 @@ func (c *Coordinator) dispatch(ctx context.Context, sw *serve.Sweep, r serve.Sha
 	}
 	var res shardResult
 	attempt := 0
+	var lastPeer string
 	err = c.cfg.Retry.Do(ctx, func(actx context.Context) error {
 		attempt++
+		mShardAttempts.Inc()
+		if attempt > 1 {
+			mShardRetries.Inc()
+		}
 		// On a retry, a previous attempt's shard may still be in flight on
 		// a worker we merely lost patience with: reattach via the healthz
 		// shard lineage instead of starting it again elsewhere.
 		var p *peer
 		if attempt > 1 {
 			if p = c.findInFlight(actx, fp); p != nil {
+				mShardReattaches.Inc()
 				c.logf("fabric: shard %s already in flight on %s; reattaching", fp, p.url)
 			}
 		}
@@ -263,9 +316,13 @@ func (c *Coordinator) dispatch(ctx context.Context, sw *serve.Sweep, r serve.Sha
 				return Permanent(aerr)
 			}
 		}
+		lastPeer = p.url
 		h, payload, rerr := c.runShard(actx, p, fp, specJSON)
 		if rerr != nil {
-			p.fail(c.quarantineAfter())
+			if p.fail(c.quarantineAfter()) {
+				mQuarantines.Inc()
+				c.logf("fabric: worker %s quarantined after consecutive failures", p.url)
+			}
 			return fmt.Errorf("%s: %w", p.url, rerr)
 		}
 		p.ok()
@@ -273,8 +330,11 @@ func (c *Coordinator) dispatch(ctx context.Context, sw *serve.Sweep, r serve.Sha
 		return nil
 	})
 	if err != nil {
+		mShardFailures.Inc()
+		span.End("attempts", attempt, "peer", lastPeer, "err", err.Error())
 		return shardResult{err: err}
 	}
+	span.End("attempts", attempt, "peer", lastPeer, "bytes", len(res.payload))
 	return res
 }
 
@@ -321,8 +381,16 @@ func (c *Coordinator) runShard(ctx context.Context, p *peer, fp string, specJSON
 	return c.fetchShard(ctx, p, fp, st)
 }
 
-// pollStatus waits for the shard to reach the worker's store.
+// pollStatus waits for the shard to reach the worker's store. The
+// wait between polls starts at PollInterval and, once the shard has
+// survived two polls (so tiny shards still complete at full speed),
+// grows 1.5x per poll up to PollMaxInterval with subtractive jitter —
+// the hbmrd_fabric_poll_wait_seconds metric showed fixed-interval
+// polling dominating the fabric's overhead on small sweeps (PR 8
+// follow-on; see BenchmarkFabricOverhead).
 func (c *Coordinator) pollStatus(ctx context.Context, p *peer, fp string) (statusReply, error) {
+	interval, maxInterval := c.pollInterval(), c.pollMaxInterval()
+	polls := 0
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/sweeps/"+fp+"/status", nil)
 		if err != nil {
@@ -352,10 +420,22 @@ func (c *Coordinator) pollStatus(ctx context.Context, p *peer, fp string) (statu
 			// resumes it.
 			return statusReply{}, fmt.Errorf("fabric: worker checkpointed the shard mid-run")
 		}
+		polls++
+		wait := interval
+		if wait > 0 {
+			wait -= time.Duration(rand.Float64() * 0.2 * float64(wait))
+		}
+		mPollWait.Observe(wait.Seconds())
 		select {
 		case <-ctx.Done():
 			return statusReply{}, ctx.Err()
-		case <-time.After(c.pollInterval()):
+		case <-time.After(wait):
+		}
+		if polls >= 2 {
+			interval = interval * 3 / 2
+			if interval > maxInterval {
+				interval = maxInterval
+			}
 		}
 	}
 }
@@ -379,6 +459,7 @@ func (c *Coordinator) fetchShard(ctx context.Context, p *peer, fp string, st sta
 	if resp.StatusCode != http.StatusOK {
 		return zero, nil, fmt.Errorf("fabric: fetch: %s", resp.Status)
 	}
+	mFetchBytes.Add(int64(len(body)))
 	if int64(len(body)) != st.Bytes {
 		return zero, nil, fmt.Errorf("fabric: torn shard stream: got %d bytes, worker stored %d", len(body), st.Bytes)
 	}

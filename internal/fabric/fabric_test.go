@@ -18,6 +18,7 @@ import (
 	"hbmrd/internal/core"
 	"hbmrd/internal/serve"
 	"hbmrd/internal/store"
+	"hbmrd/internal/telemetry"
 )
 
 // testSpec is a sweep with enough plan cells (12) to shard meaningfully
@@ -77,7 +78,7 @@ func newWorker(t *testing.T, jobs int) (url, dir string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.New(serve.Config{Store: st, Workers: 2, Jobs: jobs, Logf: t.Logf})
+	srv, err := serve.New(serve.Config{Store: st, Workers: 2, Jobs: jobs, Log: telemetry.NewLogger(t.Logf)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func assertShardedIdentity(t *testing.T, spec serve.SweepSpec) {
 
 	w1, _ := newWorker(t, 2)
 	w2, _ := newWorker(t, 2)
-	c, err := New(Config{Peers: []string{w1, w2}, Shards: 4, Retry: testPolicy(), Logf: t.Logf})
+	c, err := New(Config{Peers: []string{w1, w2}, Shards: 4, Retry: testPolicy(), Log: telemetry.NewLogger(t.Logf)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,11 +173,11 @@ func frontService(t *testing.T, peers []string, client *http.Client, retry Polic
 		t.Fatal(err)
 	}
 	c, err := New(Config{Peers: peers, Shards: 4, Retry: retry, Client: client,
-		ShardTimeout: 30 * time.Second, Logf: t.Logf})
+		ShardTimeout: 30 * time.Second, Log: telemetry.NewLogger(t.Logf)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.New(serve.Config{Store: st, Workers: 1, Jobs: 2, Logf: t.Logf, Distribute: c.Distribute})
+	srv, err := serve.New(serve.Config{Store: st, Workers: 1, Jobs: 2, Log: telemetry.NewLogger(t.Logf), Distribute: c.Distribute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +350,7 @@ func TestWorkerDrainResumesOnRestart(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				srv, err := serve.New(serve.Config{Store: st, Workers: 2, Jobs: jobs, Logf: t.Logf})
+				srv, err := serve.New(serve.Config{Store: st, Workers: 2, Jobs: jobs, Log: telemetry.NewLogger(t.Logf)})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -20,13 +20,17 @@ type peer struct {
 	quarantined bool
 }
 
-func (p *peer) fail(after int) {
+// fail records one failure and reports whether this call newly
+// quarantined the peer (so the caller counts each transition once).
+func (p *peer) fail(after int) bool {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.fails++
-	if p.fails >= after {
+	if p.fails >= after && !p.quarantined {
 		p.quarantined = true
+		return true
 	}
-	p.mu.Unlock()
+	return false
 }
 
 func (p *peer) ok() {
@@ -103,6 +107,7 @@ func (c *Coordinator) acquire(ctx context.Context) (*peer, error) {
 		}
 		if _, err := c.probe(ctx, p); err == nil {
 			p.ok()
+			mReinstates.Inc()
 			c.logf("fabric: worker %s reinstated", p.url)
 			return p, nil
 		}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"hbmrd/internal/store"
+	"hbmrd/internal/telemetry"
 )
 
 // corruptTwin locates the store's single results.hbmc and rewrites it via
@@ -87,7 +89,7 @@ func TestCorruptColumnarTwinFallsBackToJSONL(t *testing.T) {
 
 			var logs strings.Builder
 			eng := NewEngine(st)
-			eng.Logf = func(format string, args ...any) { fmt.Fprintf(&logs, format+"\n", args...) }
+			eng.Log = telemetry.NewLogger(func(format string, args ...any) { fmt.Fprintf(&logs, format+"\n", args...) })
 			got, err := eng.Run(spec)
 			if err != nil {
 				t.Fatalf("query over corrupt twin errored: %v", err)
@@ -114,5 +116,55 @@ func TestCorruptColumnarTwinFallsBackToJSONL(t *testing.T) {
 				t.Error("re-transcoded twin's aggregate diverges from the JSONL reference")
 			}
 		})
+	}
+}
+
+// TestRejectedSpecDoesNotQuarantineTwin pins the boundary of the
+// quarantine heuristic: a spec the engine rejects (unknown metric here)
+// fails on ANY representation, so it must surface as ErrSpec without
+// evicting the healthy columnar twin - otherwise every typo'd query
+// would silently push the store back onto the slow JSONL path.
+func TestRejectedSpecDoesNotQuarantineTwin(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hcfirst.jsonl")
+	runTinyHCFirstToFile(t, path)
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := Ingest(st, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := meta.Fingerprint
+	if !st.HasColumnar(fp) {
+		t.Fatal("ingest wrote no columnar twin")
+	}
+
+	var logs strings.Builder
+	eng := NewEngine(st)
+	eng.Log = telemetry.NewLogger(func(format string, args ...any) { fmt.Fprintf(&logs, format+"\n", args...) })
+	bad := Spec{Sweep: fp, Metric: "no_such_metric", Reducers: []string{"mean"}}
+	if _, err := eng.Run(bad); !errors.Is(err, ErrSpec) {
+		t.Fatalf("Run(bad spec) = %v, want ErrSpec", err)
+	}
+	if !st.HasColumnar(fp) {
+		t.Fatal("rejected spec evicted the columnar twin")
+	}
+	if strings.Contains(logs.String(), "unreadable") {
+		t.Errorf("rejected spec was logged as twin corruption: %q", logs.String())
+	}
+	// The twin still serves valid queries on the fast path.
+	good, err := FigureSpec("fig5", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceColumnar {
+		t.Errorf("Source after rejected spec = %s, want %s", res.Source, SourceColumnar)
 	}
 }

@@ -56,12 +56,14 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"hbmrd/internal/core"
 	"hbmrd/internal/hbm"
 	"hbmrd/internal/pattern"
 	"hbmrd/internal/stats"
 	"hbmrd/internal/store"
+	"hbmrd/internal/telemetry"
 )
 
 // Env carries geometry-derived context the records themselves do not
@@ -809,9 +811,14 @@ type Result struct {
 type Engine struct {
 	Store *store.Store
 
-	// Logf, when set, receives operational notes (e.g. a corrupt columnar
+	// Log, when set, receives operational notes (e.g. a corrupt columnar
 	// twin being quarantined). Nil discards them.
-	Logf func(format string, args ...any)
+	Log *telemetry.Logger
+
+	// Trace, when set, receives one span per Run (cache hit or full
+	// compute) keyed by the sweep fingerprint, with the answering source
+	// (cache, columnar, jsonl) as an attribute.
+	Trace *telemetry.Tracer
 
 	rawReads      atomic.Int64
 	columnarReads atomic.Int64
@@ -821,9 +828,7 @@ type Engine struct {
 func NewEngine(s *store.Store) *Engine { return &Engine{Store: s} }
 
 func (e *Engine) logf(format string, args ...any) {
-	if e.Logf != nil {
-		e.Logf(format, args...)
-	}
+	e.Log.Warnf(format, args...)
 }
 
 // RawReads reports how many times the engine has gone to the stored
@@ -853,6 +858,7 @@ func envFor(meta *store.Meta) Env {
 // the (sweep, spec) key is stored, otherwise aggregate the stored sweep -
 // columnar artifact preferred, JSONL fallback - and cache the result.
 func (e *Engine) Run(spec Spec) (*Result, error) {
+	start := time.Now()
 	cspec, err := spec.Canonical()
 	if err != nil {
 		return nil, err
@@ -867,7 +873,9 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 	if b, err := e.Store.GetDerived(key); err == nil {
 		var agg Aggregate
 		if err := json.Unmarshal(b, &agg); err == nil && agg.Format == FormatGeneration {
-			return &Result{Aggregate: agg, JSON: b, CacheHit: true, Source: SourceCache}, nil
+			res := &Result{Aggregate: agg, JSON: b, CacheHit: true, Source: SourceCache}
+			e.observe(start, cspec, res)
+			return res, nil
 		}
 		// A corrupt or stale cached aggregate falls through to recompute.
 	} else if !errors.Is(err, store.ErrNotFound) {
@@ -889,7 +897,9 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 	// costs the next identical query a recompute, never this one its
 	// answer.
 	_ = e.Store.PutDerived(key, b)
-	return &Result{Aggregate: *agg, JSON: b, CacheHit: false, Source: source}, nil
+	res := &Result{Aggregate: *agg, JSON: b, CacheHit: false, Source: source}
+	e.observe(start, cspec, res)
+	return res, nil
 }
 
 // RunCold executes one spec against the stored sweep bytes through one
@@ -937,6 +947,12 @@ func (e *Engine) computeCold(cspec Spec, forced string) (*Aggregate, string, err
 		if forced == SourceColumnar {
 			return nil, "", err
 		}
+		// A rejected spec is the caller's problem, not the twin's: the
+		// JSONL path would refuse it identically, so surface it without
+		// blaming (and evicting) a healthy artifact.
+		if errors.Is(err, ErrSpec) {
+			return nil, "", err
+		}
 		// A twin that exists but no longer decodes (or holds the wrong
 		// sweep) is corruption, not absence: quarantine it by deletion so
 		// every future cold query stops paying the failed decode, and let
@@ -944,6 +960,7 @@ func (e *Engine) computeCold(cspec Spec, forced string) (*Aggregate, string, err
 		// twin (pre-format object) takes the same fallback without the
 		// drop.
 		if !errors.Is(err, store.ErrNoColumnar) && !errors.Is(err, store.ErrNotFound) {
+			mColumnarDrops.Inc()
 			e.logf("query: columnar twin of %s unreadable (%v); dropping it and answering from JSONL", cspec.Sweep, err)
 			if derr := e.Store.DropColumnar(cspec.Sweep); derr != nil {
 				e.logf("query: dropping columnar twin of %s: %v", cspec.Sweep, derr)

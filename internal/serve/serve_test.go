@@ -20,6 +20,7 @@ import (
 	"hbmrd/internal/query"
 	"hbmrd/internal/rowmap"
 	"hbmrd/internal/store"
+	"hbmrd/internal/telemetry"
 )
 
 // tinySpec is a sweep small enough to finish in milliseconds: one chip,
@@ -35,7 +36,7 @@ func newTestService(t *testing.T, dir string) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(Config{Store: st, Workers: 1, Jobs: 2, Logf: t.Logf})
+	srv, err := New(Config{Store: st, Workers: 1, Jobs: 2, Log: telemetry.NewLogger(t.Logf)})
 	if err != nil {
 		t.Fatal(err)
 	}

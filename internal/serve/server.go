@@ -9,6 +9,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -19,6 +20,7 @@ import (
 	"hbmrd/internal/core"
 	"hbmrd/internal/query"
 	"hbmrd/internal/store"
+	"hbmrd/internal/telemetry"
 )
 
 // Job states, as reported by the status endpoint.
@@ -67,7 +69,8 @@ type Server struct {
 	spoolDir   string
 	workers    int
 	jobsOpt    int
-	logf       func(format string, args ...any)
+	log        *telemetry.Logger
+	pprof      bool
 	distribute func(ctx context.Context, sw *Sweep, spool string) error
 
 	queue chan *job
@@ -89,8 +92,14 @@ type Config struct {
 	// Jobs is the per-sweep engine worker bound (core.WithJobs; default
 	// GOMAXPROCS).
 	Jobs int
-	// Logf receives service log lines (default log.Printf).
-	Logf func(format string, args ...any)
+	// Log receives service log lines (default: log.Printf wrapped as a
+	// telemetry.Logger; wrap any printf-shaped sink with
+	// telemetry.NewLogger).
+	Log *telemetry.Logger
+	// Pprof, when true, mounts net/http/pprof under /debug/pprof/ on the
+	// service handler (hbmrdd -pprof). Off by default: profiling
+	// endpoints expose internals and cost CPU when scraped.
+	Pprof bool
 	// Distribute, when set, is offered every shardable sweep before local
 	// execution (the fabric coordinator plugs in here). It must leave the
 	// complete sweep - byte-identical to a local run - in spool, or at
@@ -108,9 +117,9 @@ func New(cfg Config) (*Server, error) {
 	if workers <= 0 {
 		workers = 1
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = log.Printf
+	lg := cfg.Log
+	if lg == nil {
+		lg = telemetry.NewLogger(log.Printf)
 	}
 	spoolDir := filepath.Join(cfg.Store.Root(), "spool")
 	if err := os.MkdirAll(spoolDir, 0o755); err != nil {
@@ -118,14 +127,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	queries := query.NewEngine(cfg.Store)
-	queries.Logf = logf
+	queries.Log = lg
 	s := &Server{
 		store:      cfg.Store,
 		queries:    queries,
 		spoolDir:   spoolDir,
 		workers:    workers,
 		jobsOpt:    cfg.Jobs,
-		logf:       logf,
+		log:        lg,
+		pprof:      cfg.Pprof,
 		distribute: cfg.Distribute,
 		queue:      make(chan *job, statusQueueCapacity),
 		jobs:       make(map[string]*job),
@@ -137,6 +147,12 @@ func New(cfg Config) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// logf keeps the historical printf-style call sites; lines go through
+// the unified telemetry.Logger at info level.
+func (s *Server) logf(format string, args ...any) {
+	s.log.Infof(format, args...)
 }
 
 // Drain stops the service gracefully: in-flight sweeps are cancelled,
@@ -158,18 +174,25 @@ func (s *Server) Drain() {
 //	GET  /sweeps/<fp>/records typed decoded records of a stored sweep
 //	POST /query             run an aggregation spec (?format=csv for CSV);
 //	                        repeated identical specs hit the derived cache
-//	GET  /healthz           liveness: store path, live jobs, catalog size
+//	GET  /healthz           liveness: store path, live jobs, catalog size,
+//	                        plus a debug-vars style metrics snapshot
+//	GET  /metrics           Prometheus text exposition of every metric
+//
+// With Config.Pprof, net/http/pprof additionally mounts under
+// /debug/pprof/. Every route is wrapped with request count and latency
+// metrics; the wrapping is out-of-band and changes no response bytes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/healthz", instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/query", instrument("query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		s.handleQuery(w, r)
-	})
-	mux.HandleFunc("/sweeps", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/sweeps", instrument("sweeps", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
 			s.handleSubmit(w, r)
@@ -178,8 +201,8 @@ func (s *Server) Handler() http.Handler {
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
-	})
-	mux.HandleFunc("/sweeps/", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/sweeps/", instrument("sweeps_fp", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -194,8 +217,22 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		s.handleStream(w, r, rest)
-	})
+	}))
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics serves the process-wide registry in the Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = telemetry.Default.WritePrometheus(w)
 }
 
 // healthJob is one in-flight job in the healthz report. Shard lineage
@@ -239,6 +276,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"live_jobs":     len(inflight),
 		"jobs":          inflight,
 		"stored_sweeps": catalogSize,
+		// Debug-vars style snapshot of the metrics registry: the same
+		// series /metrics exposes, as JSON for humans and scripts.
+		"metrics": telemetry.Default.Snapshot(),
 	})
 }
 
@@ -554,6 +594,18 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	fp := j.sweep.Fingerprint
 	j.setState(StatusRunning, "")
+	mJobsRunning.Add(1)
+	defer mJobsRunning.Add(-1)
+	defer func() {
+		switch status, _ := j.state(); status {
+		case StatusDone:
+			mSweepsDone.Inc()
+		case StatusFailed:
+			mSweepsFailed.Inc()
+		case StatusCheckpointed:
+			mSweepsCheckpt.Inc()
+		}
+	}()
 	s.logf("serve: %s sweep %s running", j.sweep.Kind, fp)
 
 	spool := s.spoolPath(fp)
@@ -624,6 +676,7 @@ func (s *Server) execute(j *job, spool string, allowResume bool) (runErr error, 
 		if cp, err := core.ResumeFrom(f); err == nil {
 			opts = append(opts, core.WithResume(cp))
 			resumed = true
+			mSpoolResumes.Inc()
 			s.logf("serve: sweep %s resuming from %d checkpointed records", j.sweep.Fingerprint, cp.Records())
 		}
 	}

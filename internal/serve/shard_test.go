@@ -16,6 +16,7 @@ import (
 
 	"hbmrd/internal/core"
 	"hbmrd/internal/store"
+	"hbmrd/internal/telemetry"
 )
 
 // shardSpec returns base with a shard range [start, end) spliced in.
@@ -213,7 +214,7 @@ func TestServiceDistributeFallsBackToLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	var offered []string
-	srv, err := New(Config{Store: st, Workers: 1, Jobs: 2, Logf: t.Logf,
+	srv, err := New(Config{Store: st, Workers: 1, Jobs: 2, Log: telemetry.NewLogger(t.Logf),
 		Distribute: func(_ context.Context, sw *Sweep, _ string) error {
 			offered = append(offered, sw.Fingerprint)
 			return errors.New("all peers are down")

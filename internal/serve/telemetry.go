@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"hbmrd/internal/telemetry"
+)
+
+// Service metrics. Out-of-band like everything in telemetry: request
+// bodies, sweep records, and store bytes are never touched.
+var (
+	mJobsRunning   = telemetry.Default.Gauge("hbmrd_serve_jobs_running")
+	mSweepsDone    = telemetry.Default.Counter("hbmrd_serve_sweeps_completed_total", telemetry.L("status", StatusDone))
+	mSweepsFailed  = telemetry.Default.Counter("hbmrd_serve_sweeps_completed_total", telemetry.L("status", StatusFailed))
+	mSweepsCheckpt = telemetry.Default.Counter("hbmrd_serve_sweeps_completed_total", telemetry.L("status", StatusCheckpointed))
+	mSpoolResumes  = telemetry.Default.Counter("hbmrd_serve_spool_resumes_total")
+)
+
+func init() {
+	telemetry.Default.Help("hbmrd_serve_jobs_running", "Sweep jobs currently executing on the service worker pool.")
+	telemetry.Default.Help("hbmrd_serve_sweeps_completed_total", "Sweep jobs reaching a terminal state, by outcome.")
+	telemetry.Default.Help("hbmrd_serve_spool_resumes_total", "Sweep executions that resumed a checkpointed spool.")
+	telemetry.Default.Help("hbmrd_http_requests_total", "HTTP requests served, by route and status code.")
+	telemetry.Default.Help("hbmrd_http_request_seconds", "HTTP request wall time, by route.")
+}
+
+// statusRecorder captures the response status for the request
+// counter. It forwards Flush so the NDJSON live-stream handler keeps
+// flushing through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route with the request counter and latency
+// histogram. The histogram handle resolves once per route at Handler
+// build; the per-request counter lookup keys on the response code.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	seconds := telemetry.Default.Histogram("hbmrd_http_request_seconds",
+		telemetry.DurationBuckets, telemetry.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+		telemetry.Default.Counter("hbmrd_http_requests_total",
+			telemetry.L("route", route), telemetry.L("code", strconv.Itoa(rec.code))).Inc()
+		seconds.Observe(time.Since(start).Seconds())
+	}
+}

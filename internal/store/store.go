@@ -179,6 +179,7 @@ func (s *Store) Get(fingerprint string) (io.ReadCloser, *Meta, error) {
 		return nil, nil, err
 	}
 	touch(filepath.Join(dir, "meta.json"))
+	mReadsJSONL.Inc()
 	return f, meta, nil
 }
 
@@ -198,6 +199,7 @@ func (s *Store) Path(fingerprint string) (string, *Meta, error) {
 		return "", nil, err
 	}
 	touch(filepath.Join(dir, "meta.json"))
+	mReadsJSONL.Inc()
 	return filepath.Join(dir, "results.jsonl"), meta, nil
 }
 
@@ -289,6 +291,8 @@ func (s *Store) put(meta Meta, r io.Reader) error {
 		}
 		return fmt.Errorf("store: finalizing %s: %w", meta.Fingerprint, err)
 	}
+	mPuts.Inc()
+	mPutBytes.Add(n)
 	return nil
 }
 
@@ -348,6 +352,7 @@ func (s *Store) GetColumnar(fingerprint string) (io.ReadCloser, *Meta, error) {
 		return nil, nil, err
 	}
 	touch(filepath.Join(dir, "meta.json"))
+	mReadsColumnar.Inc()
 	return f, meta, nil
 }
 
@@ -397,6 +402,7 @@ func (s *Store) EnsureColumnar(fingerprint string) error {
 		os.Remove(stagePath)
 		return fmt.Errorf("store: backfilling %s: %w", fingerprint, err)
 	}
+	mBackfills.Inc()
 	return nil
 }
 
@@ -420,6 +426,7 @@ func (s *Store) DropColumnar(fingerprint string) error {
 	if err := os.Remove(filepath.Join(dir, "results.hbmc")); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: dropping columnar twin of %s: %w", fingerprint, err)
 	}
+	mDrops.Inc()
 	return nil
 }
 
@@ -496,6 +503,7 @@ func (s *Store) GetDerived(key string) ([]byte, error) {
 		return nil, err
 	}
 	touch(path)
+	mDerivedGets.Inc()
 	return b, nil
 }
 
@@ -530,6 +538,7 @@ func (s *Store) PutDerived(key string, data []byte) error {
 		os.Remove(stage.Name())
 		return fmt.Errorf("store: finalizing derived %s: %w", key, err)
 	}
+	mDerivedPuts.Inc()
 	return nil
 }
 
@@ -560,6 +569,8 @@ type pruneEntry struct {
 // after its object is unlinked, and a later identical Put simply restores
 // the address.
 func (s *Store) Prune(keepBytes int64) (removed int, err error) {
+	mPruneRuns.Inc()
+	defer func() { mPruneEvicted.Add(int64(removed)) }()
 	var entries []pruneEntry
 	var total int64
 

@@ -1,0 +1,30 @@
+package store
+
+import "hbmrd/internal/telemetry"
+
+// Store metrics. All out-of-band: counters observe completed
+// operations and never touch the bytes flowing through them.
+var (
+	mPuts          = telemetry.Default.Counter("hbmrd_store_puts_total")
+	mPutBytes      = telemetry.Default.Counter("hbmrd_store_put_bytes_total")
+	mReadsJSONL    = telemetry.Default.Counter("hbmrd_store_reads_total", telemetry.L("repr", "jsonl"))
+	mReadsColumnar = telemetry.Default.Counter("hbmrd_store_reads_total", telemetry.L("repr", "columnar"))
+	mBackfills     = telemetry.Default.Counter("hbmrd_store_columnar_backfills_total")
+	mDrops         = telemetry.Default.Counter("hbmrd_store_columnar_drops_total")
+	mPruneRuns     = telemetry.Default.Counter("hbmrd_store_prune_runs_total")
+	mPruneEvicted  = telemetry.Default.Counter("hbmrd_store_prune_evicted_total")
+	mDerivedGets   = telemetry.Default.Counter("hbmrd_store_derived_gets_total")
+	mDerivedPuts   = telemetry.Default.Counter("hbmrd_store_derived_puts_total")
+)
+
+func init() {
+	telemetry.Default.Help("hbmrd_store_puts_total", "Sweeps finalized into the content-addressed store.")
+	telemetry.Default.Help("hbmrd_store_put_bytes_total", "Record-stream bytes finalized into the store.")
+	telemetry.Default.Help("hbmrd_store_reads_total", "Stored-sweep opens, by representation served.")
+	telemetry.Default.Help("hbmrd_store_columnar_backfills_total", "Columnar twins backfilled by EnsureColumnar.")
+	telemetry.Default.Help("hbmrd_store_columnar_drops_total", "Columnar twins dropped by DropColumnar.")
+	telemetry.Default.Help("hbmrd_store_prune_runs_total", "LRU prune passes over the store.")
+	telemetry.Default.Help("hbmrd_store_prune_evicted_total", "Entries (objects or derived results) evicted by pruning.")
+	telemetry.Default.Help("hbmrd_store_derived_gets_total", "Derived-cache hits served from disk.")
+	telemetry.Default.Help("hbmrd_store_derived_puts_total", "Derived results cached to disk.")
+}

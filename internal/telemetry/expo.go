@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// formatFloat renders a sample value the way the exposition format
+// expects: integral values without an exponent, everything else in
+// the shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label set, histograms expanded into cumulative _bucket
+// series plus _sum and _count. The scrape takes the registry lock, so
+// it never observes a half-registered family, and reads every sample
+// atomically (though not as one consistent cut — standard for
+// Prometheus clients).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := writeSeries(w, f, k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, key string) error {
+	switch s := f.series[key].(type) {
+	case *Counter:
+		return writeSample(w, f.name, key, "", float64(s.Value()))
+	case *Gauge:
+		return writeSample(w, f.name, key, "", float64(s.Value()))
+	case *Histogram:
+		cum := int64(0)
+		for i, b := range s.bounds {
+			cum += s.buckets[i].Load()
+			le := L("le", formatFloat(b))
+			if err := writeSample(w, f.name+"_bucket", mergeKey(key, le), "", float64(cum)); err != nil {
+				return err
+			}
+		}
+		cum += s.buckets[len(s.bounds)].Load()
+		if err := writeSample(w, f.name+"_bucket", mergeKey(key, L("le", "+Inf")), "", float64(cum)); err != nil {
+			return err
+		}
+		if err := writeSample(w, f.name+"_sum", key, "", s.Sum()); err != nil {
+			return err
+		}
+		return writeSample(w, f.name+"_count", key, "", float64(s.Count()))
+	}
+	return nil
+}
+
+// mergeKey appends one label to an already-serialized label set. The
+// `le` label lands last, which the format permits (labels need not be
+// sorted in the output line).
+func mergeKey(key string, l Label) string {
+	extra := l.Key + `="` + escapeLabel(l.Value) + `"`
+	if key == "" {
+		return extra
+	}
+	return key + "," + extra
+}
+
+func writeSample(w io.Writer, name, key, suffix string, v float64) error {
+	if key == "" {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, suffix, formatFloat(v))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s%s{%s} %s\n", name, suffix, key, formatFloat(v))
+	return err
+}
+
+// HistogramSnapshot is the JSON form of a histogram sample.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+}
+
+// Snapshot returns every series as a flat map keyed by
+// `name{labels}` (expvar/debug-vars style): counters and gauges map
+// to their value, histograms to {count, sum}. The serve healthz
+// handler embeds this under a "metrics" key.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any)
+	for _, f := range r.families {
+		for key, s := range f.series {
+			id := f.name
+			if key != "" {
+				id += "{" + key + "}"
+			}
+			switch s := s.(type) {
+			case *Counter:
+				out[id] = s.Value()
+			case *Gauge:
+				out[id] = s.Value()
+			case *Histogram:
+				out[id] = HistogramSnapshot{Count: s.Count(), Sum: s.Sum()}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// Logger is the repo's one logging type, replacing the ad-hoc
+// `Logf func(string, ...any)` fields that used to live on serve,
+// query, and fabric configs. It is leveled, printf-compatible (the
+// old call sites keep their exact output), and supports structured
+// key=val lines for new code. A nil *Logger discards everything, so
+// every component treats its logger field as optional.
+type Logger struct {
+	min    atomic.Int32
+	printf func(format string, args ...any)
+}
+
+// NewLogger wraps any printf-shaped sink (log.Printf, t.Logf, a
+// buffer-writing closure) as a Logger. The minimum level starts at
+// Debug — everything through, matching the unleveled behavior the
+// Logf fields had.
+func NewLogger(printf func(format string, args ...any)) *Logger {
+	if printf == nil {
+		return nil
+	}
+	l := &Logger{printf: printf}
+	l.min.Store(int32(LevelDebug))
+	return l
+}
+
+// SetLevel raises or lowers the minimum level that gets emitted.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && l.printf != nil && int32(lv) >= l.min.Load()
+}
+
+// Logf emits a printf-style line at lv.
+func (l *Logger) Logf(lv Level, format string, args ...any) {
+	if l.Enabled(lv) {
+		l.printf(format, args...)
+	}
+}
+
+// Debugf emits at LevelDebug.
+func (l *Logger) Debugf(format string, args ...any) { l.Logf(LevelDebug, format, args...) }
+
+// Infof emits at LevelInfo.
+func (l *Logger) Infof(format string, args ...any) { l.Logf(LevelInfo, format, args...) }
+
+// Warnf emits at LevelWarn.
+func (l *Logger) Warnf(format string, args ...any) { l.Logf(LevelWarn, format, args...) }
+
+// Errorf emits at LevelError.
+func (l *Logger) Errorf(format string, args ...any) { l.Logf(LevelError, format, args...) }
+
+// Log emits a structured line: `msg k=v k=v ...` with a level
+// prefix. kv is alternating key, value pairs; a trailing odd key is
+// dropped.
+func (l *Logger) Log(lv Level, msg string, kv ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(lv.String())
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", kv[i], kv[i+1])
+	}
+	l.printf("%s", b.String())
+}

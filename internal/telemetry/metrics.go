@@ -1,0 +1,299 @@
+// Package telemetry is the repo's stdlib-only observability layer:
+// an atomic metrics registry (counters, gauges, fixed-bucket
+// histograms), lightweight span tracing, and a leveled structured
+// logger. Everything here is strictly out-of-band of the sweep record
+// stream — no instrumented code path may alter the bytes a sink
+// writes, the fingerprints in a header, or any golden digest.
+//
+// Design constraints, in order:
+//
+//  1. Zero allocations on the hot path. Handle lookup (Counter,
+//     Gauge, Histogram) takes a lock and may allocate, so call sites
+//     resolve handles once (package var or per-sweep) and the
+//     per-event operations (Add, Set, Observe) are pure atomics.
+//  2. Safe under -race with concurrent writers and scrapers.
+//  3. No dependencies beyond the standard library.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates the *optional* instrumentation — per-cell timing in
+// the engine and anything else that pays more than a single atomic
+// add. Counters stay live regardless; they are too cheap to gate.
+// Default on: the overhead budget is pinned by
+// BenchmarkTelemetryOverhead* and TestTelemetryOverheadBudget.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled toggles optional (timing) instrumentation globally.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether optional instrumentation is on. Hot loops
+// should read it once per batch (per sweep, per request), not per
+// event.
+func Enabled() bool { return enabled.Load() }
+
+// Label is one dimension of a metric series. Keep cardinality tiny
+// and bounded (sweep kinds, HTTP routes, outcome enums) — every
+// distinct label set is a live series held for the process lifetime.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0; negative deltas
+// are silently dropped to keep the series monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: atomic per-bucket counts
+// plus a CAS-maintained float64 sum. Observe is lock-free and
+// allocation-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets builds n exponentially spaced upper bounds starting at
+// start, each factor apart — the usual shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DurationBuckets spans 1µs to ~1000s in x4 steps — wide enough for
+// both per-cell fault-model timing (µs–ms) and whole-sweep or HTTP
+// request latencies (ms–minutes) without per-family tuning.
+var DurationBuckets = ExpBuckets(1e-6, 4, 16)
+
+// series kinds, also the Prometheus TYPE strings.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one metric name: a type, optional help, shared histogram
+// bounds, and the live series keyed by their serialized label sets.
+type family struct {
+	name   string
+	kind   string
+	help   string
+	bounds []float64
+	series map[string]any // serialized labels -> *Counter | *Gauge | *Histogram
+}
+
+// Registry is a mutex-guarded name->family map. The lock is only
+// taken on handle lookup and scrape; the handles themselves are
+// lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry. Most code uses Default;
+// fresh registries are for tests that need isolation.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry that /metrics and healthz
+// expose.
+var Default = NewRegistry()
+
+// validName enforces the Prometheus metric/label-name charset. Names
+// are registered at init time, so a bad one is a programmer error and
+// panics.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey serializes a label set into its canonical exposition form,
+// `k1="v1",k2="v2"` with keys sorted. It doubles as the series map
+// key.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format escapes for label values.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup get-or-creates the family and series, enforcing that one
+// name keeps one type (and one bucket layout for histograms). The
+// make closure runs with the registry lock held and receives the
+// family so histograms can share its bucket layout.
+func (r *Registry) lookup(name, kind string, bounds []float64, labels []Label, mk func(*family) any) any {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, bounds: bounds, series: map[string]any{}}
+		r.families[name] = f
+	} else if f.kind == "" {
+		// Created by Help() before first use; adopt the type now.
+		f.kind, f.bounds = kind, bounds
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = mk(f)
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter series for name+labels, creating it on
+// first use. Resolve once and keep the handle; do not call per event.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, kindCounter, nil, labels, func(*family) any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge series for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, kindGauge, nil, labels, func(*family) any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram series for name+labels with the
+// given upper bounds (ignored after the first registration of the
+// family — all series of one name share a bucket layout).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s bounds not strictly ascending", name))
+		}
+	}
+	return r.lookup(name, kindHistogram, bounds, labels, func(f *family) any {
+		h := &Histogram{bounds: f.bounds}
+		h.buckets = make([]atomic.Int64, len(f.bounds)+1)
+		return h
+	}).(*Histogram)
+}
+
+// Help attaches (or replaces) the HELP text for a metric name.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		f.help = help
+	} else {
+		r.families[name] = &family{name: name, help: help, series: map[string]any{}}
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer emits spans as JSONL, one object per completed span:
+//
+//	{"trace":"<id>","span":"<name>","start":"<RFC3339Nano>",
+//	 "dur_us":123.45,"attrs":{"k":"v",...}}
+//
+// The trace id groups the spans of one logical operation — the sweep
+// fingerprint for engine traces, the parent fingerprint for fabric
+// shard traces, the canonical spec key for query traces. Spans are
+// written when they End, so a trace's lines appear in completion
+// order, not start order; readers sort by start.
+//
+// A nil *Tracer is valid everywhere and costs nothing: Start on a
+// nil tracer returns a nil *Span, and every Span method is nil-safe.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewTracer returns a tracer writing JSONL spans to w. The caller
+// owns w (the tracer never closes it).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w}
+}
+
+// Err returns the first write or encode error, if any. Trace output
+// is best-effort: a failed write disables nothing and loses only
+// trace lines, never records.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is one timed region within a trace.
+type Span struct {
+	t     *Tracer
+	trace string
+	name  string
+	start time.Time
+	attrs map[string]any
+}
+
+// Start opens a span. kv is alternating key, value pairs attached as
+// attrs (a trailing odd key is dropped).
+func (t *Tracer) Start(trace, name string, kv ...any) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, trace: trace, name: name, start: time.Now()}
+	s.Annotate(kv...)
+	return s
+}
+
+// Emit records an already-measured span in one call — for call sites
+// that only learn the trace id (e.g. the fingerprint) after the timed
+// region began.
+func (t *Tracer) Emit(trace, name string, start time.Time, kv ...any) {
+	if t == nil {
+		return
+	}
+	s := &Span{t: t, trace: trace, name: name, start: start}
+	s.Annotate(kv...)
+	s.End()
+}
+
+// Annotate attaches alternating key, value pairs to the span.
+func (s *Span) Annotate(kv ...any) {
+	if s == nil {
+		return
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprint(kv[i])
+		}
+		if s.attrs == nil {
+			s.attrs = make(map[string]any, len(kv)/2)
+		}
+		s.attrs[k] = kv[i+1]
+	}
+}
+
+// spanLine is the wire form of one span.
+type spanLine struct {
+	Trace string         `json:"trace"`
+	Span  string         `json:"span"`
+	Start string         `json:"start"`
+	DurUS float64        `json:"dur_us"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// End closes the span, attaches any final kv pairs, and writes its
+// JSONL line.
+func (s *Span) End(kv ...any) {
+	if s == nil {
+		return
+	}
+	s.Annotate(kv...)
+	dur := time.Since(s.start)
+	line := spanLine{
+		Trace: s.trace,
+		Span:  s.name,
+		Start: s.start.UTC().Format(time.RFC3339Nano),
+		DurUS: float64(dur.Microseconds()) + float64(dur.Nanoseconds()%1e3)/1e3,
+		Attrs: s.attrs,
+	}
+	b, err := json.Marshal(line)
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+}

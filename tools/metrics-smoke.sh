@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# metrics-smoke: boot a live hbmrdd against a temp store, run a tiny
+# sweep through it, and assert the /metrics exposition is well-formed
+# Prometheus text that actually moved - the daemon-level complement to
+# the in-process /metrics tests.
+set -euo pipefail
+
+dir=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir/hbmrdd" ./cmd/hbmrdd
+port=$((20000 + RANDOM % 20000))
+base="http://127.0.0.1:$port"
+"$dir/hbmrdd" -addr "127.0.0.1:$port" -store "$dir/store" >"$dir/hbmrdd.log" 2>&1 &
+pid=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$base/healthz" >/dev/null || { echo "hbmrdd never came up"; cat "$dir/hbmrdd.log"; exit 1; }
+
+spec='{"kind":"ber","chips":[0],"identity_mapping":true,"config":{"Channels":[0],"Rows":[2000,3000],"Patterns":["Rowstripe0"],"Reps":1}}'
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$spec" "$base/sweeps" >/dev/null
+
+# Wait until the sweep lands in the metrics, then pin the exposition.
+for _ in $(seq 1 100); do
+  if curl -fsS "$base/metrics" 2>/dev/null | grep -F 'hbmrd_serve_sweeps_completed_total{status="done"} 1' >/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+
+expo=$(curl -fsS -D "$dir/headers" "$base/metrics")
+grep -qi '^Content-Type: text/plain; version=0.0.4' "$dir/headers" \
+  || { echo "wrong /metrics Content-Type:"; cat "$dir/headers"; exit 1; }
+
+fail=0
+for want in \
+  '# TYPE hbmrd_sweep_cells_total counter' \
+  '# TYPE hbmrd_serve_jobs_running gauge' \
+  '# TYPE hbmrd_http_request_seconds histogram' \
+  'hbmrd_sweep_cells_total{kind="ber"} 2' \
+  'hbmrd_serve_sweeps_completed_total{status="done"} 1' \
+  'hbmrd_store_puts_total 1' \
+  'hbmrd_http_request_seconds_bucket{route="healthz",le="+Inf"}' \
+  'hbmrd_http_requests_total{code="202",route="sweeps"} 1' \
+  ; do
+  if ! grep -qF "$want" <<<"$expo"; then
+    echo "missing from /metrics: $want"
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "--- /metrics ---"; echo "$expo"; exit 1
+fi
+echo "metrics-smoke: ok ($(grep -c '^hbmrd_' <<<"$expo") samples)"
